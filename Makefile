@@ -1,0 +1,51 @@
+# The HyperModel Benchmark — common tasks.
+
+GO ?= go
+
+.PHONY: all build test test-race bench bench-paper fuzz vet fmt examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# The Go benchmark suite (one bench per paper table/figure plus
+# storage-layer micro-benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# The paper's full evaluation: all experiments, all backends, level 4.
+# Use LEVEL=5 or LEVEL=6 for the larger databases.
+LEVEL ?= 4
+bench-paper:
+	$(GO) run ./cmd/hyperbench -level $(LEVEL)
+
+# Short fuzz pass over every fuzz target.
+fuzz:
+	$(GO) test -fuzz FuzzDecodeObject -fuzztime 10s ./internal/backend/oodb
+	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/query
+	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 10s ./internal/remote
+	$(GO) test -fuzz FuzzDecodeBitmap -fuzztime 10s ./internal/hyper
+	$(GO) test -fuzz FuzzDecodePolicy -fuzztime 10s ./internal/acl
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/archive
+	$(GO) run ./examples/linkdistance
+	$(GO) run ./examples/multiuser
+	$(GO) run ./examples/editor
+
+clean:
+	rm -f test_output.txt bench_output.txt

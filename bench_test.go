@@ -1,0 +1,676 @@
+// Benchmarks regenerating the paper's measurement surfaces, one bench
+// per experiment row (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded results):
+//
+//	E1  BenchmarkCreate*            — §5.3 database creation
+//	E2  BenchmarkNameLookup*        — O1/O2
+//	E3  BenchmarkRangeLookup*       — O3/O4
+//	E4  BenchmarkGroupLookup*       — O5A/O5B/O6
+//	E5  BenchmarkRefLookup*         — O7A/O7B/O8
+//	E6  BenchmarkSeqScan            — O9
+//	E7  BenchmarkClosure{1N,MN,MNAtt}, BenchmarkColdClosure* — O10/O14/O15
+//	E8  BenchmarkClosure1NAtt*, BenchmarkClosureMNAttLinkSum — O11–O13/O18
+//	E9  BenchmarkTextNodeEdit, BenchmarkFormNodeEdit — O16/O17
+//	E10 the Cold* variants against their warm counterparts
+//	E11 BenchmarkClusterAblation*   — clustering on/off
+//	E12 every bench's {oodb,reldb,memdb} sub-benchmarks
+//	E13 BenchmarkRemote*            — workstation/server
+//	E14 BenchmarkExtension*         — R4/R5/R11 exercises
+//	E15 BenchmarkMultiUser          — concurrent optimistic commits
+//
+// Most benches run against a level-4 database (781 nodes), the paper's
+// smallest configuration; cmd/hyperbench runs the same workloads at
+// levels 5 and 6.
+package hypermodel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"hypermodel"
+	"hypermodel/internal/acl"
+	"hypermodel/internal/harness"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/txn"
+	"hypermodel/internal/version"
+)
+
+const (
+	benchLevel = 4
+	benchSeed  = 1
+)
+
+// shared caches one generated database per backend kind for the whole
+// bench run; tearing it down is left to the OS temp cleaner when the
+// process exits (b.Cleanup would rebuild per sub-benchmark).
+type shared struct {
+	once sync.Once
+	b    hyper.Backend
+	lay  hyper.Layout
+	err  error
+}
+
+var sharedDBs = map[harness.BackendKind]*shared{
+	harness.KindOODB:  {},
+	harness.KindRelDB: {},
+	harness.KindMemDB: {},
+}
+
+func sharedDB(b *testing.B, kind harness.BackendKind) (hyper.Backend, hyper.Layout) {
+	b.Helper()
+	s := sharedDBs[kind]
+	s.once.Do(func() {
+		dir, err := os.MkdirTemp("", "hmbench-"+string(kind)+"-*")
+		if err != nil {
+			s.err = err
+			return
+		}
+		s.b, s.lay, _, s.err = harness.Build(kind, dir, benchLevel, benchSeed)
+	})
+	if s.err != nil {
+		b.Fatal(s.err)
+	}
+	return s.b, s.lay
+}
+
+// perBackend runs fn as a sub-benchmark on each backend (E12's axis).
+func perBackend(b *testing.B, fn func(b *testing.B, db hyper.Backend, lay hyper.Layout)) {
+	for _, kind := range harness.AllBackends {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			db, lay := sharedDB(b, kind)
+			fn(b, db, lay)
+		})
+	}
+}
+
+// --- E1: database creation (§5.3) ---
+
+func BenchmarkCreate(b *testing.B) {
+	for _, kind := range harness.AllBackends {
+		kind := kind
+		b.Run(string(kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db, lay, _, err := harness.Build(kind, b.TempDir(), 3, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := db.Close(); err != nil {
+					b.Fatal(err)
+				}
+				_ = lay
+			}
+			b.ReportMetric(float64(hypermodel.TotalNodes(3)), "nodes/op")
+		})
+	}
+}
+
+// --- E2: name lookup (O1, O2) ---
+
+func BenchmarkNameLookup(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(2))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNode(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.NameLookup(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkNameOIDLookup(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(3))
+		oids := make([]hypermodel.OID, b.N)
+		for i := range oids {
+			oid, err := db.OIDOf(lay.RandomNode(rng))
+			if err == hypermodel.ErrNoOIDs {
+				b.Skip("backend has no object identifiers (O2 not applicable)")
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			oids[i] = oid
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.NameOIDLookup(db, oids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E3: range lookup (O3, O4) ---
+
+func BenchmarkRangeLookupHundred(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(4))
+		b.ResetTimer()
+		nodes := 0
+		for i := 0; i < b.N; i++ {
+			ids, err := hypermodel.RangeLookupHundred(db, int32(rng.Intn(91)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes += len(ids)
+		}
+		b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+	})
+}
+
+func BenchmarkRangeLookupMillion(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(5))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.RangeLookupMillion(db, int32(rng.Intn(990001))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E4: group lookup (O5A, O5B, O6) ---
+
+func BenchmarkGroupLookup1N(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(6))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomInternal(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.GroupLookup1N(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGroupLookupMN(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(7))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomInternal(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.GroupLookupMN(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGroupLookupMNAtt(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(8))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNode(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.GroupLookupMNAtt(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E5: reference lookup (O7A, O7B, O8) ---
+
+func BenchmarkRefLookup1N(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(9))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNonRoot(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.RefLookup1N(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRefLookupMN(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(10))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNonRoot(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.RefLookupMN(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkRefLookupMNAtt(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(11))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNode(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.RefLookupMNAtt(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E6: sequential scan (O9) ---
+
+func BenchmarkSeqScan(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n, err := hypermodel.SeqScan(db, 1, hypermodel.NodeID(lay.Total()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != lay.Total() {
+				b.Fatalf("scan visited %d nodes", n)
+			}
+		}
+		b.ReportMetric(float64(lay.Total()), "nodes/op")
+	})
+}
+
+// --- E7: closure traversals (O10, O14, O15) ---
+
+func BenchmarkClosure1N(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(12))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.Closure1N(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(hyper.ClosureSize(lay.ClosureStartLevel(), lay.LeafLevel)), "nodes/op")
+	})
+}
+
+func BenchmarkClosureMN(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(13))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.ClosureMN(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClosureMNAtt(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(14))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.ClosureMNAtt(db, ids[i], 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkColdClosure1N measures the cold path (E10): every iteration
+// drops the caches first, so the closure pays disk or image reloads.
+func BenchmarkColdClosure1N(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(15))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		if err := db.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.DropCaches(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hypermodel.Closure1N(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E8: other closure operations (O11, O12, O13, O18) ---
+
+func BenchmarkClosure1NAttSum(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(16))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := hypermodel.Closure1NAttSum(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClosure1NAttSet(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(17))
+		start := lay.RandomClosureStart(rng)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.Closure1NAttSet(db, start); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		// Leave the attribute restored for other benches.
+		if b.N%2 == 1 {
+			if _, err := hypermodel.Closure1NAttSet(db, start); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClosure1NPred(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(18))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.Closure1NPred(db, ids[i], int32(i%990001)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClosureMNAttLinkSum(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(19))
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.ClosureMNAttLinkSum(db, ids[i], 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E9: editing (O16, O17) ---
+
+func BenchmarkTextNodeEdit(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(20))
+		id := lay.RandomTextNode(rng)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := hypermodel.TextNodeEdit(db, id, i%2 == 0); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if b.N%2 == 1 { // restore
+			if err := hypermodel.TextNodeEdit(db, id, false); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkFormNodeEdit(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		rng := rand.New(rand.NewSource(21))
+		id, ok := lay.RandomFormNode(rng)
+		if !ok {
+			b.Skip("no form nodes at this level")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := hypermodel.Rect{X: i % 50, Y: i % 50, W: 25 + i%26, H: 25 + i%26}
+			if err := hypermodel.FormNodeEdit(db, id, r); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E11: clustering ablation ---
+
+func BenchmarkClusterAblation(b *testing.B) {
+	variants := []struct {
+		name       string
+		clustering bool
+		order      hyper.Order
+	}{
+		{"clustered", true, hypermodel.OrderDFS},
+		{"unclustered", false, hypermodel.OrderBFS},
+	}
+	for _, v := range variants {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := hypermodel.OpenOODBWith(dir+"/db", hypermodel.OODBOptions{Clustering: v.clustering})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			lay, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: benchLevel, Seed: benchSeed, Order: v.order})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(22))
+			ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+			if err := db.Commit(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.DropCaches(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := hypermodel.Closure1N(db, ids[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_, _, reads := db.CacheStats()
+			b.ReportMetric(float64(reads)/float64(b.N), "diskreads/op")
+		})
+	}
+}
+
+// --- E13: workstation/server ---
+
+func BenchmarkRemote(b *testing.B) {
+	dir, err := os.MkdirTemp("", "hmbench-remote-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, stop, err := hypermodel.StartServer(dir+"/srv.db", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	db, err := hypermodel.DialServer(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	lay, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: benchLevel, Seed: benchSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+
+	b.Run("warmNameLookup", func(b *testing.B) {
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNode(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.NameLookup(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("coldClosure1N", func(b *testing.B) {
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.DropCaches(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hypermodel.Closure1N(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warmClosure1N", func(b *testing.B) {
+		ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomClosureStart(rng) })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.Closure1N(db, ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E14: extensions ---
+
+func BenchmarkExtensionVersionCapture(b *testing.B) {
+	db, lay := sharedDB(b, harness.KindOODB)
+	vs := version.New(db)
+	rng := rand.New(rand.NewSource(24))
+	ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNode(rng) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vs.Capture(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionGuardedRead(b *testing.B) {
+	db, lay := sharedDB(b, harness.KindOODB)
+	if err := acl.SetPolicy(db, 2, acl.Policy{Public: acl.Read}); err != nil {
+		b.Fatal(err)
+	}
+	defer acl.RemovePolicy(db, 2)
+	guard := acl.NewGuard(db, "bench")
+	rng := rand.New(rand.NewSource(25))
+	ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNode(rng) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := guard.Hundred(ids[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionDynamicAttr(b *testing.B) {
+	db, lay := sharedDB(b, harness.KindOODB)
+	sm := db.(hypermodel.SchemaModifier)
+	if _, err := sm.AddClass(fmt.Sprintf("BenchClass%d", b.N)); err != nil {
+		b.Skip("class already registered in this process")
+	}
+	rng := rand.New(rand.NewSource(26))
+	ids := drawIDs(b.N, func() hypermodel.NodeID { return lay.RandomNode(rng) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sm.SetAttr(ids[i], "benchattr", int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E15: multi-user ---
+
+func BenchmarkMultiUserDisjoint(b *testing.B) {
+	dir, err := os.MkdirTemp("", "hmbench-multi-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, stop, err := hypermodel.StartServer(dir+"/srv.db", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer stop()
+	boot, err := hypermodel.DialServer(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := hypermodel.Generate(boot, hypermodel.GenConfig{LeafLevel: 2, Seed: benchSeed}); err != nil {
+		b.Fatal(err)
+	}
+	if err := boot.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	boot.Close()
+
+	const users = 2
+	dbs := make([]hyper.Backend, users)
+	for u := range dbs {
+		db, err := hypermodel.DialServer(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		dbs[u] = db
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, users)
+		for u := 0; u < users; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				target := hypermodel.NodeID(2 + u) // distinct level-1 nodes
+				errs <- txn.RunN(dbs[u], 100, func() error {
+					h, err := dbs[u].Hundred(target)
+					if err != nil {
+						return err
+					}
+					return dbs[u].SetHundred(target, (h+1)%100)
+				})
+			}(u)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(users), "txns/op")
+}
+
+func drawIDs(n int, draw func() hypermodel.NodeID) []hypermodel.NodeID {
+	out := make([]hypermodel.NodeID, n)
+	for i := range out {
+		out[i] = draw()
+	}
+	return out
+}

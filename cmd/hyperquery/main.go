@@ -1,0 +1,90 @@
+// Command hyperquery runs ad-hoc queries (R12) against a generated
+// HyperModel database, printing the chosen plan (index scan vs
+// sequential scan) and the matching nodes.
+//
+// One-shot:
+//
+//	hyperquery -backend oodb -dir ./data -level 4 'select where hundred between 10 and 19 limit 5'
+//
+// Or as a REPL when no query argument is given:
+//
+//	hyperquery -backend oodb -dir ./data -level 4
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hypermodel/internal/harness"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/query"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hyperquery: ")
+	var (
+		backend = flag.String("backend", "oodb", "backend: oodb, reldb or memdb")
+		dir     = flag.String("dir", ".", "directory holding the database files")
+		level   = flag.Int("level", 4, "leaf level the database was generated with")
+	)
+	flag.Parse()
+
+	b, err := harness.OpenBackend(harness.BackendKind(*backend), *dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer b.Close()
+	last := hyper.NodeID(hyper.TotalNodes(*level))
+
+	runOne := func(q string) {
+		res, plan, err := query.Run(b, 1, last, q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		fmt.Printf("plan: %s\n", plan)
+		if res.Agg != nil {
+			fmt.Println(res.Agg)
+			return
+		}
+		ids := res.IDs
+		fmt.Printf("%d node(s)", len(ids))
+		if len(ids) > 0 {
+			max := len(ids)
+			if max > 20 {
+				max = 20
+			}
+			fmt.Printf(": %v", ids[:max])
+			if len(ids) > max {
+				fmt.Printf(" ... (+%d more)", len(ids)-max)
+			}
+		}
+		fmt.Println()
+	}
+
+	if flag.NArg() > 0 {
+		runOne(strings.Join(flag.Args(), " "))
+		return
+	}
+	fmt.Println("hyperquery REPL — e.g.: select where hundred between 10 and 19 and kind = text limit 5")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		runOne(line)
+	}
+}

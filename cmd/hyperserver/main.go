@@ -1,0 +1,29 @@
+// Command hyperserver runs the page server of the workstation/server
+// architecture (R6): it owns the database file and serves pages,
+// allocation and optimistically-validated commits to hypermodel
+// clients (hypermodel.DialServer).
+//
+// Usage:
+//
+//	hyperserver -db ./data/shared.db -addr 127.0.0.1:7077
+package main
+
+import (
+	"flag"
+	"log"
+
+	"hypermodel/internal/remote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hyperserver: ")
+	var (
+		db   = flag.String("db", "hypermodel.db", "database file to serve")
+		addr = flag.String("addr", "127.0.0.1:7077", "listen address")
+	)
+	flag.Parse()
+	if err := remote.ListenAndServeStore(*db, *addr, nil); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package hypermodel_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"hypermodel"
+)
+
+// ExampleGenerate builds the paper's smallest test database and shows
+// its structural constants.
+func ExampleGenerate() {
+	dir, err := os.MkdirTemp("", "hm-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := hypermodel.OpenOODB(filepath.Join(dir, "ex.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	layout, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes:", layout.Total())
+	fmt.Println("form nodes:", layout.FormCount())
+	fmt.Println("first/last id:", layout.FirstID(), layout.LastID())
+	// Output:
+	// nodes: 781
+	// form nodes: 5
+	// first/last id: 1 781
+}
+
+// ExampleClosure1N derives a document's table of contents: the
+// pre-order transitive closure of the ordered 1-N aggregation.
+func ExampleClosure1N() {
+	dir, err := os.MkdirTemp("", "hm-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := hypermodel.OpenOODB(filepath.Join(dir, "ex.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if _, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 4, Seed: 1}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Node 7 is the first level-2 node: a "document" in the paper's
+	// archive reading. Its closure holds the document, its 5 chapters
+	// and their 25 leaves: 31 nodes in the level-4 database.
+	toc, err := hypermodel.Closure1N(db, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("table of contents entries:", len(toc))
+	fmt.Println("starts at the document:", toc[0])
+	// Output:
+	// table of contents entries: 31
+	// starts at the document: 7
+}
+
+// ExampleTotalNodes shows the paper's three database sizes.
+func ExampleTotalNodes() {
+	for _, level := range []int{4, 5, 6} {
+		fmt.Printf("level %d: %d nodes\n", level, hypermodel.TotalNodes(level))
+	}
+	// Output:
+	// level 4: 781 nodes
+	// level 5: 3906 nodes
+	// level 6: 19531 nodes
+}

@@ -1,0 +1,155 @@
+// Archive: the paper's own reading of the level-4 hierarchy — "an
+// archive with 5 folders with 5 documents in each folder", documents
+// holding chapters, sections and text/bitmap leaves. The example
+// builds the archive, derives a table of contents, protects one
+// document (R11), versions a section before editing it (R5), and
+// answers an ad-hoc query (R12).
+//
+//	go run ./examples/archive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hypermodel"
+	"hypermodel/internal/acl"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/query"
+	"hypermodel/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "hm-archive-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := hypermodel.OpenOODB(filepath.Join(dir, "archive.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	layout, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 4, Seed: 1990})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("archive: %d nodes — 5 folders × 5 documents × 5 chapters × 5 sections × 5 leaves\n\n",
+		layout.Total())
+
+	// Folders are level 1, documents level 2.
+	folderFirst, _ := hyper.LevelIDs(1)
+	docFirst, _ := hyper.LevelIDs(2)
+	folder := folderFirst
+	docs, err := hypermodel.GroupLookup1N(db, folder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("folder %d holds documents %v\n", folder, docs)
+
+	// Table of contents for the first document: the pre-order 1-N
+	// closure, stored back into the database.
+	doc := docs[0]
+	toc, err := hypermodel.Closure1N(db, doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hypermodel.SaveNodeList(db, fmt.Sprintf("toc/doc-%d", doc), toc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("document %d table of contents: %d entries (chapters, sections, leaves)\n\n", doc, len(toc))
+
+	// R11: the first document becomes public read-only, the second
+	// public read-write; a link between them still works.
+	if err := acl.SetPolicy(db, docFirst, acl.Policy{Public: acl.Read}); err != nil {
+		log.Fatal(err)
+	}
+	if err := acl.SetPolicy(db, docFirst+1, acl.Policy{Public: acl.Read | acl.Write}); err != nil {
+		log.Fatal(err)
+	}
+	guard := acl.NewGuard(db, "visitor")
+	chaptersA, err := db.Children(docFirst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chaptersB, err := db.Children(docFirst + 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := guard.SetHundred(chaptersA[0], 1); err != nil {
+		fmt.Printf("R11: write into read-only document rejected: %v\n", err)
+	}
+	if err := guard.SetHundred(chaptersB[0], 1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R11: write into read-write document accepted\n")
+	if err := guard.AddRef(hypermodel.Edge{From: chaptersB[0], To: chaptersA[0], OffsetTo: 3}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R11: hypertext link from the writable document into the protected one created\n\n")
+
+	// R5: version a section's text, edit it, inspect the previous
+	// version, and restore.
+	rng := rand.New(rand.NewSource(3))
+	section := layout.RandomTextNode(rng)
+	vs := version.New(db)
+	if _, err := vs.Capture(section); err != nil {
+		log.Fatal(err)
+	}
+	if err := hypermodel.TextNodeEdit(db, section, true); err != nil {
+		log.Fatal(err)
+	}
+	prev, info, err := vs.Previous(section)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := db.Text(section)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R5: section %d version %d kept %q..., live text now %q...\n",
+		section, info.Version, firstWords(prev.Text, 2), firstWords(cur, 2))
+	if err := vs.Restore(section, info.Version); err != nil {
+		log.Fatal(err)
+	}
+	restored, err := db.Text(section)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R5: restored version %d (%q...)\n\n", info.Version, firstWords(restored, 2))
+
+	// R12: an ad-hoc query with its plan.
+	q := `select where hundred between 40 and 49 and kind = text limit 5`
+	res, plan, err := query.Run(db, 1, hypermodel.NodeID(layout.Total()), q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R12: %s\n     plan: %s\n     -> %v\n", q, plan, res.IDs)
+
+	// Aggregates work too.
+	qa := `select avg hundred where kind = text`
+	agg, _, err := query.Run(db, 1, hypermodel.NodeID(layout.Total()), qa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R12: %s\n     -> %s\n", qa, agg.Agg)
+
+	if err := db.Commit(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func firstWords(s string, n int) string {
+	words := strings.SplitN(s, " ", n+1)
+	if len(words) > n {
+		words = words[:n]
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,155 @@
+// Editor: a simulated interactive editing session — the application
+// the HyperModel abstracts ("creation and editing of the data-part of
+// hypertext-documents"). A user opens a document, renders its table of
+// contents, browses sections, follows hypertext links, edits text and
+// a figure, and saves. Each interactive step is timed against the R7
+// requirement: an interactive design application needs 100–10,000
+// object accesses per second at ≈100 bytes per object.
+//
+//	go run ./examples/editor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"hypermodel"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/version"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "hm-editor-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := hypermodel.OpenOODB(filepath.Join(dir, "docs.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	layout, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 4, Seed: 2026})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The editor starts on a freshly opened database: everything cold.
+	if err := db.DropCaches(); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	fmt.Println("interactive session over a level-4 archive (781 nodes)")
+	fmt.Printf("%-44s %10s %12s %10s\n", "step", "objects", "elapsed", "obj/s")
+
+	totalObjects := 0
+	var totalTime time.Duration
+	step := func(name string, fn func() (objects int)) {
+		start := time.Now()
+		n := fn()
+		elapsed := time.Since(start)
+		totalObjects += n
+		totalTime += elapsed
+		rate := float64(n) / elapsed.Seconds()
+		fmt.Printf("%-44s %10d %12s %9.0f\n", name, n, elapsed.Round(time.Microsecond), rate)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 1. Open a document: fetch its whole structure (cold!).
+	docFirst, _ := hyper.LevelIDs(2)
+	doc := docFirst + hypermodel.NodeID(rng.Intn(hyper.NodesAtLevel(2)))
+	var toc []hypermodel.NodeID
+	step("open document (cold closure + ToC)", func() int {
+		var err error
+		toc, err = hypermodel.Closure1N(db, doc)
+		must(err)
+		must(hypermodel.SaveNodeList(db, "editor/toc", toc))
+		must(db.Commit())
+		return len(toc)
+	})
+
+	// 2. Render: read every section's attributes and text previews.
+	step("render document (warm attribute reads)", func() int {
+		for _, id := range toc {
+			n, err := db.Node(id)
+			must(err)
+			if n.Kind == hypermodel.KindText {
+				_, err = db.Text(id)
+				must(err)
+			}
+		}
+		return len(toc)
+	})
+
+	// 3. Follow hypertext links out of the document (5 hops each from
+	// three random sections).
+	step("follow hypertext links (3×5 hops)", func() int {
+		n := 0
+		for i := 0; i < 3; i++ {
+			start := toc[rng.Intn(len(toc))]
+			pairs, err := hypermodel.ClosureMNAttLinkSum(db, start, 5)
+			must(err)
+			n += len(pairs) + 1
+		}
+		return n
+	})
+
+	// 4. Edit: version a section, substitute its text, commit.
+	vs := version.New(db)
+	var section hypermodel.NodeID
+	for _, id := range toc {
+		n, err := db.Node(id)
+		must(err)
+		if n.Kind == hypermodel.KindText {
+			section = id
+			break
+		}
+	}
+	step("edit text section (version + edit + save)", func() int {
+		_, err := vs.Capture(section)
+		must(err)
+		must(hypermodel.TextNodeEdit(db, section, true))
+		must(db.Commit())
+		return 2 // section object + version record
+	})
+
+	// 5. Edit a figure.
+	if fig, ok := layout.RandomFormNode(rng); ok {
+		step("invert figure region (bitmap edit + save)", func() int {
+			must(hypermodel.FormNodeEdit(db, fig, hypermodel.Rect{X: 10, Y: 10, W: 40, H: 40}))
+			must(db.Commit())
+			return 1
+		})
+	}
+
+	// 6. Undo: restore the section from its version.
+	step("undo text edit (restore previous version)", func() int {
+		st, info, err := vs.Previous(section)
+		must(err)
+		must(db.SetText(section, st.Text))
+		must(db.Commit())
+		_ = info
+		return 2
+	})
+
+	overall := float64(totalObjects) / totalTime.Seconds()
+	fmt.Printf("\nsession: %d object accesses in %s — %.0f objects/second\n",
+		totalObjects, totalTime.Round(time.Microsecond), overall)
+	switch {
+	case overall >= 100 && overall <= 10000:
+		fmt.Println("R7: inside the paper's 100–10,000 obj/s interactive band (1988 hardware)")
+	case overall > 10000:
+		fmt.Println("R7: far above the paper's 100–10,000 obj/s band — 1988's requirement is easy in 2026")
+	default:
+		fmt.Println("R7: BELOW the interactive band — this system would feel sluggish")
+	}
+}

@@ -1,0 +1,111 @@
+// Linkdistance: the M-N attribute relationship as a directed weighted
+// graph (Figure 4). Every node references one other node with an
+// offsetTo weight; closureMNAttLinkSum (O18) walks the reference chain
+// accumulating distance. The example surveys chain shapes across many
+// start nodes and finds the farthest node reachable within the
+// benchmark's depth bound.
+//
+//	go run ./examples/linkdistance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"hypermodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "hm-linkdistance-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := hypermodel.OpenOODB(filepath.Join(dir, "links.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	layout, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 4, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weighted reference graph over %d nodes (out-degree 1, weights 0–9)\n\n", layout.Total())
+
+	const depth = 25
+	rng := rand.New(rand.NewSource(11))
+
+	// Survey: chain length and total distance from 200 random starts.
+	// Chains end early when they bite their own tail (cycle) — with
+	// out-degree 1 the expected tail is short relative to the graph.
+	var (
+		lengths  [depth + 1]int
+		maxDist  int64
+		maxStart hypermodel.NodeID
+		maxEnd   hypermodel.NodeID
+		totalLen int
+	)
+	const starts = 200
+	for i := 0; i < starts; i++ {
+		start := layout.RandomNode(rng)
+		pairs, err := hypermodel.ClosureMNAttLinkSum(db, start, depth)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lengths[len(pairs)]++
+		totalLen += len(pairs)
+		if len(pairs) > 0 {
+			last := pairs[len(pairs)-1]
+			if last.Dist > maxDist {
+				maxDist, maxStart, maxEnd = last.Dist, start, last.ID
+			}
+		}
+	}
+	fmt.Printf("chains from %d random starts (depth bound %d):\n", starts, depth)
+	fmt.Printf("  average chain length: %.1f\n", float64(totalLen)/starts)
+	short, full := 0, 0
+	for l, c := range lengths {
+		if l < depth {
+			short += c
+		} else {
+			full += c
+		}
+	}
+	fmt.Printf("  cycled before the bound: %d, ran the full %d hops: %d\n", short, depth, full)
+	fmt.Printf("  farthest walk: %d -> %d, total offsetTo distance %d\n\n", maxStart, maxEnd, maxDist)
+
+	// The same walk step by step, as an application would render it.
+	pairs, err := hypermodel.ClosureMNAttLinkSum(db, maxStart, depth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("walk from node %d:\n", maxStart)
+	shown := pairs
+	if len(shown) > 8 {
+		shown = shown[:8]
+	}
+	prev := int64(0)
+	for hop, p := range shown {
+		fmt.Printf("  hop %2d: node %-6d (+%d, total %d)\n", hop+1, p.ID, p.Dist-prev, p.Dist)
+		prev = p.Dist
+	}
+	if len(pairs) > len(shown) {
+		fmt.Printf("  ... %d more hops\n", len(pairs)-len(shown))
+	}
+
+	// Cross-check against O15 (same traversal without distances).
+	ids, err := hypermodel.ClosureMNAtt(db, maxStart, depth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(ids) != len(pairs) {
+		log.Fatalf("O15 and O18 disagree: %d vs %d nodes", len(ids), len(pairs))
+	}
+	fmt.Printf("\nO15 closureMNAtt agrees: %d nodes reachable\n", len(ids))
+}

@@ -1,0 +1,103 @@
+// Quickstart: open a database, generate the paper's level-4 test
+// structure (781 nodes), run a handful of the benchmark operations by
+// hand, and print a miniature result table.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"hypermodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "hm-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := hypermodel.OpenOODB(filepath.Join(dir, "quickstart.db"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Build the §5.2 test database: a fan-out-5 document hierarchy with
+	// TextNode/FormNode leaves, the M-N aggregation, and the weighted
+	// reference graph.
+	layout, timings, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 4, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d nodes in %v (leaves: %d text + %d form)\n\n",
+		layout.Total(), timings.Total.Round(1000000),
+		timings.LeafCount-layout.FormCount(), layout.FormCount())
+
+	rng := rand.New(rand.NewSource(7))
+
+	// O1: name lookup by uniqueId.
+	id := layout.RandomNode(rng)
+	hundred, err := hypermodel.NameLookup(db, id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("O1  nameLookup(%d)          -> hundred = %d\n", id, hundred)
+
+	// O5A: ordered children of a random interior node.
+	parent := layout.RandomInternal(rng)
+	children, err := hypermodel.GroupLookup1N(db, parent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("O5A groupLookup1N(%d)        -> %v\n", parent, children)
+
+	// O10: pre-order closure from a level-3 node — a table of contents.
+	start := layout.RandomClosureStart(rng)
+	toc, err := hypermodel.Closure1N(db, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("O10 closure1N(%d)           -> %d nodes, pre-order\n", start, len(toc))
+
+	// The closure result is storable in the database (§6.5).
+	if err := hypermodel.SaveNodeList(db, "quickstart-toc", toc); err != nil {
+		log.Fatal(err)
+	}
+	back, err := hypermodel.LoadNodeList(db, "quickstart-toc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    stored and reloaded the closure: %d node references\n", len(back))
+
+	// O16: edit a text node (version1 -> version-2) and restore it.
+	tid := layout.RandomTextNode(rng)
+	if err := hypermodel.TextNodeEdit(db, tid, true); err != nil {
+		log.Fatal(err)
+	}
+	if err := hypermodel.TextNodeEdit(db, tid, false); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("O16 textNodeEdit(%d)        -> substituted and restored\n", tid)
+	if err := db.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// And the real thing: the §6 protocol (here 5 iterations instead of
+	// the paper's 50 to keep the quickstart quick).
+	fmt.Println()
+	results, err := hypermodel.RunBenchmark(db, layout, hypermodel.BenchConfig{
+		Iterations: 5,
+		Ops:        []string{"O1", "O3", "O10", "O14"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hypermodel.RenderResults(os.Stdout, "quickstart benchmark (level 4, 5 iterations)", results)
+}

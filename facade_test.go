@@ -1,0 +1,110 @@
+package hypermodel_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hypermodel"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quick start describes: open, generate, operate, benchmark, render.
+func TestFacadeEndToEnd(t *testing.T) {
+	db, err := hypermodel.OpenOODB(filepath.Join(t.TempDir(), "f.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	lay, tm, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Total() != hypermodel.TotalNodes(3) || tm.Total <= 0 {
+		t.Fatalf("layout/timings wrong: %d %v", lay.Total(), tm.Total)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	if _, err := hypermodel.NameLookup(db, lay.RandomNode(rng)); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := hypermodel.Closure1N(db, lay.RandomClosureStart(rng))
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("closure: %v %v", ids, err)
+	}
+	if err := hypermodel.SaveNodeList(db, "facade", ids); err != nil {
+		t.Fatal(err)
+	}
+	back, err := hypermodel.LoadNodeList(db, "facade")
+	if err != nil || len(back) != len(ids) {
+		t.Fatalf("list round trip: %v %v", back, err)
+	}
+
+	results, err := hypermodel.RunBenchmark(db, lay, hypermodel.BenchConfig{
+		Iterations: 3, Ops: []string{"O1", "O10"},
+	})
+	if err != nil || len(results) != 2 {
+		t.Fatalf("benchmark: %v %v", results, err)
+	}
+	var buf bytes.Buffer
+	hypermodel.RenderResults(&buf, "facade", results)
+	if !strings.Contains(buf.String(), "closure1N") {
+		t.Fatalf("render: %s", buf.String())
+	}
+}
+
+// TestFacadeServerRoundTrip drives the workstation/server path through
+// the public API only.
+func TestFacadeServerRoundTrip(t *testing.T) {
+	addr, stop, err := hypermodel.StartServer(filepath.Join(t.TempDir(), "srv.db"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	db, err := hypermodel.DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	lay, _, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := hypermodel.DialServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	n, err := hypermodel.SeqScan(other, lay.FirstID(), lay.LastID())
+	if err != nil || n != lay.Total() {
+		t.Fatalf("scan over server: %d (%v)", n, err)
+	}
+}
+
+func TestFacadeBackendsAndErrors(t *testing.T) {
+	rel, err := hypermodel.OpenRelDB(filepath.Join(t.TempDir(), "r.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel.Close()
+	if _, err := rel.OIDOf(1); !errors.Is(err, hypermodel.ErrNoOIDs) {
+		t.Fatalf("reldb OIDOf: %v", err)
+	}
+	mem, err := hypermodel.OpenMemDB("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if _, err := mem.Node(1); !errors.Is(err, hypermodel.ErrNotFound) {
+		t.Fatalf("memdb missing node: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module hypermodel
+
+go 1.22

@@ -1,0 +1,261 @@
+// Package hypermodel is a full reproduction of "The HyperModel
+// Benchmark" (Berre, Anderson, Mallison; Tektronix/OGC TR CS/E-88-031,
+// EDBT 1990): the generic hypertext schema, the three-size test
+// database generator, all twenty benchmark operations, the cold/warm
+// measurement protocol, and three complete database backends to run
+// them on — an object store with clustering (the GemStone/Vbase
+// architecture class), a relational mapping, and an in-memory image —
+// plus a TCP page server for the paper's workstation/server
+// architecture.
+//
+// Quick start:
+//
+//	db, err := hypermodel.OpenOODB("bench.db")
+//	...
+//	layout, timings, err := hypermodel.Generate(db, hypermodel.GenConfig{LeafLevel: 4, Seed: 1})
+//	results, err := hypermodel.RunBenchmark(db, layout, hypermodel.BenchConfig{})
+//	hypermodel.RenderResults(os.Stdout, "level 4, oodb", results)
+//
+// The package is a facade over the implementation packages; everything
+// here is stable, documented API for downstream users. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for the reproduced
+// evaluation.
+package hypermodel
+
+import (
+	"io"
+
+	"hypermodel/internal/backend/memdb"
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/backend/reldb"
+	"hypermodel/internal/harness"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/store"
+)
+
+// Core model types (Figure 1 of the paper).
+type (
+	// NodeID is the uniqueId attribute: dense numbering from 1.
+	NodeID = hyper.NodeID
+	// Kind is a node's class: Node, TextNode, FormNode or dynamic.
+	Kind = hyper.Kind
+	// Node carries the per-node attributes.
+	Node = hyper.Node
+	// Edge is one refTo/refFrom association with offset attributes.
+	Edge = hyper.Edge
+	// Rect is a bitmap subrectangle (formNodeEdit).
+	Rect = hyper.Rect
+	// Bitmap is FormNode content.
+	Bitmap = hyper.Bitmap
+	// OID is a backend object identifier.
+	OID = hyper.OID
+	// NodeDist pairs a node with its weighted distance (O18).
+	NodeDist = hyper.NodeDist
+)
+
+// Node kinds.
+const (
+	KindInternal = hyper.KindInternal
+	KindText     = hyper.KindText
+	KindForm     = hyper.KindForm
+	KindUser     = hyper.KindUser
+)
+
+// Backend is the conceptual-schema interface every database mapping
+// implements; all benchmark operations run against it.
+type Backend = hyper.Backend
+
+// Optional backend extensions.
+type (
+	// SchemaModifier adds classes and attributes at runtime (R4).
+	SchemaModifier = hyper.SchemaModifier
+	// Aborter rolls back uncommitted changes.
+	Aborter = hyper.Aborter
+	// StatsReporter exposes cache counters (cold/warm evidence).
+	StatsReporter = hyper.StatsReporter
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound reports a missing node, blob or edge.
+	ErrNotFound = hyper.ErrNotFound
+	// ErrNoOIDs reports a backend without object identifiers (O2 is
+	// then "not applicable").
+	ErrNoOIDs = hyper.ErrNoOIDs
+	// ErrWrongKind reports a content operation on the wrong class.
+	ErrWrongKind = hyper.ErrWrongKind
+	// ErrConflict reports failed optimistic validation (multi-user).
+	ErrConflict = remote.ErrConflict
+)
+
+// Generation (§5.2).
+type (
+	// GenConfig parameterizes test-database generation.
+	GenConfig = hyper.GenConfig
+	// GenTimings reports the §5.3 creation measurements.
+	GenTimings = hyper.GenTimings
+	// Layout lets the benchmark driver draw inputs (random node on
+	// level 3, random text node, ...).
+	Layout = hyper.Layout
+)
+
+// Creation orders.
+const (
+	// OrderDFS creates subtrees depth-first (clustering-friendly).
+	OrderDFS = hyper.OrderDFS
+	// OrderBFS creates level by level.
+	OrderBFS = hyper.OrderBFS
+)
+
+// Generate builds the test database on any backend: the fan-out-5 1-N
+// tree to cfg.LeafLevel (4, 5 or 6 in the paper), the M-N aggregation,
+// the attributed association, TextNode and FormNode contents.
+func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
+	return hyper.Generate(b, cfg)
+}
+
+// OODBOptions configure the object-database backend.
+type OODBOptions = oodb.Options
+
+// OpenOODB opens (creating if needed) the object-database mapping: a
+// single-file object store with WAL crash recovery, a buffer pool,
+// key/attribute B+tree indexes, and clustering along the 1-N
+// hierarchy.
+func OpenOODB(path string) (*oodb.DB, error) {
+	return oodb.Open(path, oodb.DefaultOptions())
+}
+
+// OpenOODBWith opens the object-database mapping with explicit
+// options (e.g. clustering off for the E11 ablation).
+func OpenOODBWith(path string, opts OODBOptions) (*oodb.DB, error) {
+	return oodb.Open(path, opts)
+}
+
+// OpenRelDB opens the relational mapping: NODE/CHILD/PART/REF tables
+// and attribute indexes over the same storage engine, with content out
+// of line and no object identifiers.
+func OpenRelDB(path string) (*reldb.DB, error) {
+	return reldb.Open(path, reldb.Options{})
+}
+
+// OpenMemDB opens the in-memory image mapping with whole-image
+// snapshot persistence (an empty path keeps it volatile).
+func OpenMemDB(path string) (*memdb.DB, error) {
+	return memdb.Open(path)
+}
+
+// DialServer connects to a hyperserver page server and returns the
+// object-database mapping running over the workstation client — the
+// paper's R6 architecture. Cold runs fetch pages from the server; the
+// warm working set lives in the workstation cache.
+func DialServer(addr string) (*oodb.DB, error) {
+	c, err := remote.Dial(addr, remote.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return oodb.New(c, oodb.DefaultOptions())
+}
+
+// StartServer opens (or creates) the database at path and serves it as
+// a page server on addr ("127.0.0.1:0" picks a free port). It returns
+// the bound address and a stop function that shuts the server down and
+// closes the database.
+func StartServer(path, addr string) (boundAddr string, stop func() error, err error) {
+	st, err := store.Open(path, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := remote.NewServer(st)
+	a, err := srv.ListenAndServe(addr)
+	if err != nil {
+		st.Close()
+		return "", nil, err
+	}
+	return a.String(), func() error {
+		if err := srv.Close(); err != nil {
+			st.Close()
+			return err
+		}
+		return st.Close()
+	}, nil
+}
+
+// The twenty benchmark operations (§6). Each takes the backend and the
+// operation's input and returns references, never node copies.
+var (
+	// NameLookup is O1: hundred attribute by uniqueId.
+	NameLookup = hyper.NameLookup
+	// NameOIDLookup is O2: hundred attribute by object identifier.
+	NameOIDLookup = hyper.NameOIDLookup
+	// RangeLookupHundred is O3: hundred in [x, x+9] (10%).
+	RangeLookupHundred = hyper.RangeLookupHundred
+	// RangeLookupMillion is O4: million in [x, x+9999] (1%).
+	RangeLookupMillion = hyper.RangeLookupMillion
+	// GroupLookup1N is O5A: ordered children.
+	GroupLookup1N = hyper.GroupLookup1N
+	// GroupLookupMN is O5B: parts.
+	GroupLookupMN = hyper.GroupLookupMN
+	// GroupLookupMNAtt is O6: referenced node(s).
+	GroupLookupMNAtt = hyper.GroupLookupMNAtt
+	// RefLookup1N is O7A: parent.
+	RefLookup1N = hyper.RefLookup1N
+	// RefLookupMN is O7B: wholes.
+	RefLookupMN = hyper.RefLookupMN
+	// RefLookupMNAtt is O8: referencing nodes.
+	RefLookupMNAtt = hyper.RefLookupMNAtt
+	// SeqScan is O9: visit every node's ten attribute.
+	SeqScan = hyper.SeqScan
+	// Closure1N is O10: pre-order 1-N closure.
+	Closure1N = hyper.Closure1N
+	// Closure1NAttSum is O11: sum hundred over the closure.
+	Closure1NAttSum = hyper.Closure1NAttSum
+	// Closure1NAttSet is O12: hundred := 99 − hundred over the closure.
+	Closure1NAttSet = hyper.Closure1NAttSet
+	// Closure1NPred is O13: closure pruned at million ∈ [x, x+9999].
+	Closure1NPred = hyper.Closure1NPred
+	// ClosureMN is O14: M-N closure.
+	ClosureMN = hyper.ClosureMN
+	// ClosureMNAtt is O15: attributed closure to a depth (25).
+	ClosureMNAtt = hyper.ClosureMNAtt
+	// TextNodeEdit is O16: version1 ↔ version-2 substitution.
+	TextNodeEdit = hyper.TextNodeEdit
+	// FormNodeEdit is O17: invert a bitmap subrectangle.
+	FormNodeEdit = hyper.FormNodeEdit
+	// ClosureMNAttLinkSum is O18: nodes with offsetTo distances.
+	ClosureMNAttLinkSum = hyper.ClosureMNAttLinkSum
+	// SaveNodeList stores a closure result in the database (§6.5).
+	SaveNodeList = hyper.SaveNodeList
+	// LoadNodeList retrieves a stored closure result.
+	LoadNodeList = hyper.LoadNodeList
+)
+
+// Benchmark harness (§6 protocol: 50 cold, commit, 50 warm, close).
+type (
+	// BenchConfig parameterizes a run (iterations default to the
+	// paper's 50, depth to 25).
+	BenchConfig = harness.Config
+	// OpResult is one operation's cold/warm measurement.
+	OpResult = harness.OpResult
+)
+
+// RunBenchmark executes the benchmark operations under the paper's
+// protocol and returns the result matrix.
+func RunBenchmark(b Backend, lay Layout, cfg BenchConfig) ([]OpResult, error) {
+	return harness.Run(b, lay, cfg)
+}
+
+// RenderResults writes the result matrix as the paper-style table.
+func RenderResults(w io.Writer, title string, results []OpResult) {
+	harness.RenderOperations(w, title, results)
+}
+
+// Structural constants of the test databases (§5.2).
+const (
+	// FanOut is the 1-N tree fan-out (5).
+	FanOut = hyper.FanOut
+)
+
+// TotalNodes returns the node count of a database with leaves on the
+// given level: 781, 3 906 and 19 531 for the paper's levels 4–6.
+func TotalNodes(leafLevel int) int { return hyper.TotalNodes(leafLevel) }

@@ -1,0 +1,256 @@
+// Package acl implements requirement R11 and §6.8 extension 3: access
+// control over document structures.
+//
+// Policies attach to any node and govern the whole 1-N subtree below
+// it (the "document-structure"). The effective policy for a node is
+// the one attached to its nearest ancestor (including itself); with no
+// ancestor policy, access is allowed. Per-user grants override the
+// public flags.
+//
+// The paper's example works directly: set public read-access on one
+// document, public write-access on another, and hypertext links
+// between the two still work because links only require write access
+// on the side whose refTo collection changes.
+//
+// Policies are stored as backend blobs ("acl/<nodeId>"), so every
+// backend enforces them identically through the Guard wrapper.
+package acl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"hypermodel/internal/hyper"
+)
+
+// Access is a permission bit set.
+type Access uint8
+
+// Permission bits.
+const (
+	Read Access = 1 << iota
+	Write
+)
+
+// ErrDenied is returned when the guard blocks an operation.
+var ErrDenied = errors.New("acl: access denied")
+
+// Policy is the access rule attached to one document root.
+type Policy struct {
+	Public Access            // access granted to everyone
+	Users  map[string]Access // per-user overrides (union with Public)
+}
+
+// Allows reports whether the policy grants the user the access bits.
+func (p Policy) Allows(user string, want Access) bool {
+	eff := p.Public | p.Users[user]
+	return eff&want == want
+}
+
+func encodePolicy(p Policy) []byte {
+	users := make([]string, 0, len(p.Users))
+	for u := range p.Users {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	b := []byte{byte(p.Public)}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(users)))
+	for _, u := range users {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(u)))
+		b = append(b, u...)
+		b = append(b, byte(p.Users[u]))
+	}
+	return b
+}
+
+func decodePolicy(data []byte) (Policy, error) {
+	if len(data) < 5 {
+		return Policy{}, errors.New("acl: truncated policy")
+	}
+	p := Policy{Public: Access(data[0]), Users: map[string]Access{}}
+	n := int(binary.LittleEndian.Uint32(data[1:]))
+	off := 5
+	for i := 0; i < n; i++ {
+		if off+4 > len(data) {
+			return Policy{}, errors.New("acl: truncated policy user")
+		}
+		l := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if off+l+1 > len(data) {
+			return Policy{}, errors.New("acl: truncated policy user")
+		}
+		p.Users[string(data[off:off+l])] = Access(data[off+l])
+		off += l + 1
+	}
+	return p, nil
+}
+
+func policyKey(id hyper.NodeID) string { return fmt.Sprintf("acl/%d", id) }
+
+// SetPolicy attaches (or replaces) the policy on a document root.
+func SetPolicy(b hyper.Backend, root hyper.NodeID, p Policy) error {
+	if _, err := b.Node(root); err != nil {
+		return err
+	}
+	return b.PutBlob(policyKey(root), encodePolicy(p))
+}
+
+// GetPolicy reads the policy attached to a node, if any.
+func GetPolicy(b hyper.Backend, root hyper.NodeID) (Policy, bool, error) {
+	data, err := b.GetBlob(policyKey(root))
+	if errors.Is(err, hyper.ErrNotFound) {
+		return Policy{}, false, nil
+	}
+	if err != nil {
+		return Policy{}, false, err
+	}
+	p, err := decodePolicy(data)
+	return p, err == nil, err
+}
+
+// RemovePolicy detaches the policy from a node.
+func RemovePolicy(b hyper.Backend, root hyper.NodeID) error {
+	return b.DeleteBlob(policyKey(root))
+}
+
+// Guard wraps a backend with enforcement for one authenticated user.
+// Read operations require Read on the target's document; mutations
+// require Write. Only the operations the benchmark's editor issues are
+// wrapped; Guard embeds the backend, so everything else passes through
+// (the zero-trust variant would wrap every method).
+type Guard struct {
+	hyper.Backend
+	User string
+}
+
+// NewGuard returns an enforcement wrapper for user.
+func NewGuard(b hyper.Backend, user string) *Guard {
+	return &Guard{Backend: b, User: user}
+}
+
+// effective finds the nearest ancestor policy of id.
+func (g *Guard) effective(id hyper.NodeID) (Policy, bool, error) {
+	cur := id
+	for {
+		p, ok, err := GetPolicy(g.Backend, cur)
+		if err != nil {
+			return Policy{}, false, err
+		}
+		if ok {
+			return p, true, nil
+		}
+		parent, hasParent, err := g.Backend.Parent(cur)
+		if err != nil {
+			return Policy{}, false, err
+		}
+		if !hasParent {
+			return Policy{}, false, nil
+		}
+		cur = parent
+	}
+}
+
+// Check reports whether the user has the wanted access on id's
+// document.
+func (g *Guard) Check(id hyper.NodeID, want Access) error {
+	p, ok, err := g.effective(id)
+	if err != nil {
+		return err
+	}
+	if !ok || p.Allows(g.User, want) {
+		return nil
+	}
+	return fmt.Errorf("%w: user %q needs %s on node %d", ErrDenied, g.User, accessName(want), id)
+}
+
+func accessName(a Access) string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Read | Write:
+		return "read+write"
+	default:
+		return fmt.Sprintf("access(%d)", a)
+	}
+}
+
+// Text checks Read before delegating.
+func (g *Guard) Text(id hyper.NodeID) (string, error) {
+	if err := g.Check(id, Read); err != nil {
+		return "", err
+	}
+	return g.Backend.Text(id)
+}
+
+// SetText checks Write before delegating.
+func (g *Guard) SetText(id hyper.NodeID, text string) error {
+	if err := g.Check(id, Write); err != nil {
+		return err
+	}
+	return g.Backend.SetText(id, text)
+}
+
+// Form checks Read before delegating.
+func (g *Guard) Form(id hyper.NodeID) (hyper.Bitmap, error) {
+	if err := g.Check(id, Read); err != nil {
+		return hyper.Bitmap{}, err
+	}
+	return g.Backend.Form(id)
+}
+
+// SetForm checks Write before delegating.
+func (g *Guard) SetForm(id hyper.NodeID, bm hyper.Bitmap) error {
+	if err := g.Check(id, Write); err != nil {
+		return err
+	}
+	return g.Backend.SetForm(id, bm)
+}
+
+// SetHundred checks Write before delegating.
+func (g *Guard) SetHundred(id hyper.NodeID, v int32) error {
+	if err := g.Check(id, Write); err != nil {
+		return err
+	}
+	return g.Backend.SetHundred(id, v)
+}
+
+// Node checks Read before delegating.
+func (g *Guard) Node(id hyper.NodeID) (hyper.Node, error) {
+	if err := g.Check(id, Read); err != nil {
+		return hyper.Node{}, err
+	}
+	return g.Backend.Node(id)
+}
+
+// Hundred checks Read before delegating.
+func (g *Guard) Hundred(id hyper.NodeID) (int32, error) {
+	if err := g.Check(id, Read); err != nil {
+		return 0, err
+	}
+	return g.Backend.Hundred(id)
+}
+
+// AddRef checks Write on the referencing document and Read on the
+// referenced one: links across differently-protected documents remain
+// possible, exactly the paper's R11 scenario.
+func (g *Guard) AddRef(e hyper.Edge) error {
+	if err := g.Check(e.From, Write); err != nil {
+		return err
+	}
+	if err := g.Check(e.To, Read); err != nil {
+		return err
+	}
+	return g.Backend.AddRef(e)
+}
+
+// AddChild checks Write on the parent's document.
+func (g *Guard) AddChild(parent, child hyper.NodeID) error {
+	if err := g.Check(parent, Write); err != nil {
+		return err
+	}
+	return g.Backend.AddChild(parent, child)
+}

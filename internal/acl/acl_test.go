@@ -1,0 +1,189 @@
+package acl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hypermodel/internal/backend/memdb"
+	"hypermodel/internal/hyper"
+)
+
+// setup generates a level-3 database (documents are the level-1
+// nodes: 2..6) on a volatile memdb.
+func setup(t *testing.T) *memdb.DB {
+	t.Helper()
+	db, err := memdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 3, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPolicyCodec(t *testing.T) {
+	f := func(pub uint8, ua, ub uint8) bool {
+		p := Policy{
+			Public: Access(pub & 3),
+			Users:  map[string]Access{"alice": Access(ua & 3), "bob": Access(ub & 3)},
+		}
+		got, err := decodePolicy(encodePolicy(p))
+		if err != nil {
+			return false
+		}
+		return got.Public == p.Public && got.Users["alice"] == p.Users["alice"] && got.Users["bob"] == p.Users["bob"]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodePolicy([]byte{1}); err == nil {
+		t.Fatal("truncated policy accepted")
+	}
+}
+
+func TestDefaultIsAllow(t *testing.T) {
+	db := setup(t)
+	g := NewGuard(db, "anyone")
+	if _, err := g.Hundred(10); err != nil {
+		t.Fatalf("unprotected read denied: %v", err)
+	}
+	if err := g.SetHundred(10, 5); err != nil {
+		t.Fatalf("unprotected write denied: %v", err)
+	}
+}
+
+func TestPaperScenario(t *testing.T) {
+	// §3.1 R11: public read-access on one document-structure, public
+	// write-access on another, links between them still possible.
+	db := setup(t)
+	docA, docB := hyper.NodeID(2), hyper.NodeID(3)
+	if err := SetPolicy(db, docA, Policy{Public: Read}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SetPolicy(db, docB, Policy{Public: Read | Write}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(db, "carol")
+
+	// Nodes inside docA: readable, not writable. Node 7 is docA's
+	// first child (level-major numbering).
+	if _, err := g.Hundred(7); err != nil {
+		t.Fatalf("read in read-only document denied: %v", err)
+	}
+	if err := g.SetHundred(7, 1); !errors.Is(err, ErrDenied) {
+		t.Fatalf("write in read-only document allowed: %v", err)
+	}
+	// Nodes inside docB: writable. Node 12 is docB's first child.
+	if err := g.SetHundred(12, 1); err != nil {
+		t.Fatalf("write in writable document denied: %v", err)
+	}
+	// Link from docB (writable) into docA (readable): allowed.
+	if err := g.AddRef(hyper.Edge{From: 12, To: 7}); err != nil {
+		t.Fatalf("cross-document link denied: %v", err)
+	}
+	// Link from docA (read-only): denied, the refTo collection of a
+	// protected node would change.
+	if err := g.AddRef(hyper.Edge{From: 7, To: 12}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("link out of read-only document allowed: %v", err)
+	}
+}
+
+func TestPerUserOverride(t *testing.T) {
+	db := setup(t)
+	doc := hyper.NodeID(2)
+	if err := SetPolicy(db, doc, Policy{Public: Read, Users: map[string]Access{"owner": Read | Write}}); err != nil {
+		t.Fatal(err)
+	}
+	owner := NewGuard(db, "owner")
+	stranger := NewGuard(db, "stranger")
+	if err := owner.SetHundred(7, 2); err != nil {
+		t.Fatalf("owner write denied: %v", err)
+	}
+	if err := stranger.SetHundred(7, 3); !errors.Is(err, ErrDenied) {
+		t.Fatalf("stranger write allowed: %v", err)
+	}
+}
+
+func TestNearestAncestorWins(t *testing.T) {
+	db := setup(t)
+	// Document root read-only, but one section inside is writable.
+	if err := SetPolicy(db, 2, Policy{Public: Read}); err != nil {
+		t.Fatal(err)
+	}
+	section := hyper.NodeID(7) // child of 2
+	if err := SetPolicy(db, section, Policy{Public: Read | Write}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(db, "u")
+	// Inside the writable section (its first child is 32).
+	if err := g.SetHundred(32, 1); err != nil {
+		t.Fatalf("write under nearer writable policy denied: %v", err)
+	}
+	// Sibling section still read-only.
+	if err := g.SetHundred(33+4, 1); err == nil {
+		// 37 is a child of node 8, still under doc 2's policy.
+		t.Fatal("write under read-only ancestor allowed")
+	}
+}
+
+func TestRemovePolicy(t *testing.T) {
+	db := setup(t)
+	if err := SetPolicy(db, 2, Policy{}); err != nil { // deny everything
+		t.Fatal(err)
+	}
+	g := NewGuard(db, "u")
+	if _, err := g.Hundred(7); !errors.Is(err, ErrDenied) {
+		t.Fatalf("read under empty policy allowed: %v", err)
+	}
+	if err := RemovePolicy(db, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Hundred(7); err != nil {
+		t.Fatalf("read after policy removal denied: %v", err)
+	}
+}
+
+func TestContentGuards(t *testing.T) {
+	db := setup(t)
+	first, _ := hyper.LevelIDs(3)
+	textID := first // leaf 0 is a text node
+	// Find the document (level-1 ancestor) of textID and lock it down.
+	doc := textID
+	for {
+		p, ok, err := db.Parent(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || p == 1 {
+			break
+		}
+		doc = p
+	}
+	if err := SetPolicy(db, doc, Policy{Public: 0}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGuard(db, "u")
+	if _, err := g.Text(textID); !errors.Is(err, ErrDenied) {
+		t.Fatalf("text read allowed: %v", err)
+	}
+	if err := g.SetText(textID, "x"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("text write allowed: %v", err)
+	}
+	if err := g.AddChild(doc, 9999); !errors.Is(err, ErrDenied) {
+		t.Fatalf("addChild allowed: %v", err)
+	}
+	// Operations still work through the raw backend (enforcement is
+	// the guard's job, storage stays shared).
+	if _, err := db.Text(textID); err != nil {
+		t.Fatalf("raw backend read failed: %v", err)
+	}
+}
+
+func TestSetPolicyOnMissingNode(t *testing.T) {
+	db := setup(t)
+	if err := SetPolicy(db, 99999, Policy{}); err == nil {
+		t.Fatal("policy on missing node accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package acl
+
+import "testing"
+
+// FuzzDecodePolicy: stored policies may be corrupted on disk; the
+// decoder must reject or accept without panicking, and accepted
+// policies must round-trip canonically.
+func FuzzDecodePolicy(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodePolicy(Policy{Public: Read}))
+	f.Add(encodePolicy(Policy{Public: Read | Write, Users: map[string]Access{"a": Write, "bb": Read}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodePolicy(data)
+		if err != nil {
+			return
+		}
+		re := encodePolicy(p)
+		p2, err := decodePolicy(re)
+		if err != nil {
+			t.Fatalf("re-encoded policy does not decode: %v", err)
+		}
+		if p2.Public != p.Public || len(p2.Users) != len(p.Users) {
+			t.Fatal("policy round trip diverged")
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package acl
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/backend/reldb"
+	"hypermodel/internal/hyper"
+)
+
+// TestACLOverPersistentBackends verifies policies are durable and
+// enforced identically on the disk-backed mappings.
+func TestACLOverPersistentBackends(t *testing.T) {
+	cases := []struct {
+		name string
+		open func(path string) (hyper.Backend, error)
+	}{
+		{"oodb", func(p string) (hyper.Backend, error) { return oodb.Open(p, oodb.DefaultOptions()) }},
+		{"reldb", func(p string) (hyper.Backend, error) { return reldb.Open(p, reldb.Options{}) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "db")
+			b, err := tc.open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := hyper.Generate(b, hyper.GenConfig{LeafLevel: 2, Seed: 4}); err != nil {
+				t.Fatal(err)
+			}
+			doc := hyper.NodeID(2)
+			if err := SetPolicy(b, doc, Policy{Public: Read, Users: map[string]Access{"owner": Read | Write}}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			b2, err := tc.open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b2.Close()
+			kids, err := b2.Children(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stranger := NewGuard(b2, "stranger")
+			if _, err := stranger.Hundred(kids[0]); err != nil {
+				t.Fatalf("public read denied after reopen: %v", err)
+			}
+			if err := stranger.SetHundred(kids[0], 1); !errors.Is(err, ErrDenied) {
+				t.Fatalf("stranger write allowed after reopen: %v", err)
+			}
+			owner := NewGuard(b2, "owner")
+			if err := owner.SetHundred(kids[0], 1); err != nil {
+				t.Fatalf("owner write denied after reopen: %v", err)
+			}
+		})
+	}
+}

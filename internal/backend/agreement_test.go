@@ -1,0 +1,202 @@
+// Package backend_test cross-checks the three mappings: the same seed
+// must produce logically identical databases, and every operation must
+// return identical results on all of them. This is what makes the E12
+// backend comparison meaningful — the backends do the same logical
+// work, differing only in physical organization.
+package backend_test
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hypermodel/internal/backend/memdb"
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/backend/reldb"
+	"hypermodel/internal/hyper"
+)
+
+func buildAll(t *testing.T, level int, seed int64) (map[string]hyper.Backend, hyper.Layout) {
+	t.Helper()
+	dir := t.TempDir()
+	backends := map[string]hyper.Backend{}
+
+	odb, err := oodb.Open(filepath.Join(dir, "o.db"), oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["oodb"] = odb
+	rdb, err := reldb.Open(filepath.Join(dir, "r.db"), reldb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["reldb"] = rdb
+	mdb, err := memdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["memdb"] = mdb
+
+	var lay hyper.Layout
+	for name, b := range backends {
+		l, _, err := hyper.Generate(b, hyper.GenConfig{LeafLevel: level, Seed: seed})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lay = l
+		if err := b.Commit(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Cleanup(func() { b.Close() })
+	}
+	return backends, lay
+}
+
+// agree runs fn on every backend and requires identical results.
+func agree[T any](t *testing.T, backends map[string]hyper.Backend, what string, fn func(hyper.Backend) (T, error)) T {
+	t.Helper()
+	var ref T
+	var refName string
+	for name, b := range backends {
+		got, err := fn(b)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", what, name, err)
+		}
+		if refName == "" {
+			ref, refName = got, name
+			continue
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%s: %s and %s disagree:\n%v\nvs\n%v", what, refName, name, ref, got)
+		}
+	}
+	return ref
+}
+
+func TestBackendsAgreeOnEveryOperation(t *testing.T) {
+	backends, lay := buildAll(t, 3, 77)
+	rng := rand.New(rand.NewSource(5))
+
+	for round := 0; round < 10; round++ {
+		id := lay.RandomNode(rng)
+		agree(t, backends, "O1 nameLookup", func(b hyper.Backend) (int32, error) {
+			return hyper.NameLookup(b, id)
+		})
+		// O3/O4 return sets; backends enumerate them in their index's
+		// natural order, so compare order-insensitively.
+		x := int32(rng.Intn(91))
+		agree(t, backends, "O3 rangeLookupHundred", func(b hyper.Backend) (map[hyper.NodeID]int, error) {
+			ids, err := hyper.RangeLookupHundred(b, x)
+			return multiset(ids), err
+		})
+		y := int32(rng.Intn(990001))
+		agree(t, backends, "O4 rangeLookupMillion", func(b hyper.Backend) (map[hyper.NodeID]int, error) {
+			ids, err := hyper.RangeLookupMillion(b, y)
+			return multiset(ids), err
+		})
+		internal := lay.RandomInternal(rng)
+		agree(t, backends, "O5A groupLookup1N", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.GroupLookup1N(b, internal)
+		})
+		agree(t, backends, "O5B groupLookupMN", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.GroupLookupMN(b, internal)
+		})
+		agree(t, backends, "O6 groupLookupMNAtt", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.GroupLookupMNAtt(b, id)
+		})
+		nonRoot := lay.RandomNonRoot(rng)
+		agree(t, backends, "O7A refLookup1N", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.RefLookup1N(b, nonRoot)
+		})
+		agree(t, backends, "O8 refLookupMNAtt", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.RefLookupMNAtt(b, id)
+		})
+
+		start := lay.RandomClosureStart(rng)
+		agree(t, backends, "O10 closure1N", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.Closure1N(b, start)
+		})
+		agree(t, backends, "O11 closure1NAttSum", func(b hyper.Backend) (int64, error) {
+			sum, _, err := hyper.Closure1NAttSum(b, start)
+			return sum, err
+		})
+		px := int32(rng.Intn(990001))
+		agree(t, backends, "O13 closure1NPred", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.Closure1NPred(b, start, px)
+		})
+		agree(t, backends, "O15 closureMNAtt", func(b hyper.Backend) ([]hyper.NodeID, error) {
+			return hyper.ClosureMNAtt(b, start, 25)
+		})
+		agree(t, backends, "O18 closureMNAttLinkSum", func(b hyper.Backend) ([]hyper.NodeDist, error) {
+			return hyper.ClosureMNAttLinkSum(b, start, 25)
+		})
+	}
+
+	// O7B / O14 may return M-N results in backend-specific order;
+	// compare as sets.
+	for round := 0; round < 10; round++ {
+		nonRoot := lay.RandomNonRoot(rng)
+		agree(t, backends, "O7B refLookupMN (set)", func(b hyper.Backend) (map[hyper.NodeID]int, error) {
+			ids, err := hyper.RefLookupMN(b, nonRoot)
+			return multiset(ids), err
+		})
+		start := lay.RandomClosureStart(rng)
+		agree(t, backends, "O14 closureMN (set)", func(b hyper.Backend) (map[hyper.NodeID]int, error) {
+			ids, err := hyper.ClosureMN(b, start)
+			return multiset(ids), err
+		})
+	}
+
+	// Text contents agree word for word.
+	tid := lay.RandomTextNode(rng)
+	agree(t, backends, "text content", func(b hyper.Backend) (string, error) {
+		return b.Text(tid)
+	})
+	// Bitmap dimensions agree.
+	fid, _ := lay.RandomFormNode(rng)
+	type dims struct{ W, H int }
+	agree(t, backends, "form dimensions", func(b hyper.Backend) (dims, error) {
+		bm, err := b.Form(fid)
+		return dims{bm.W, bm.H}, err
+	})
+}
+
+// TestBackendsAgreeAfterUpdates mutates all three backends identically
+// and re-checks agreement — catches index-maintenance divergence.
+func TestBackendsAgreeAfterUpdates(t *testing.T) {
+	backends, lay := buildAll(t, 3, 78)
+	rng := rand.New(rand.NewSource(6))
+	start := lay.RandomClosureStart(rng)
+	for name, b := range backends {
+		if _, err := hyper.Closure1NAttSet(b, start); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tid := lay.RandomTextNode(rand.New(rand.NewSource(9)))
+		if err := hyper.TextNodeEdit(b, tid, true); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := b.Commit(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for round := 0; round < 10; round++ {
+		x := int32(rng.Intn(91))
+		agree(t, backends, "range after update", func(b hyper.Backend) (map[hyper.NodeID]int, error) {
+			ids, err := hyper.RangeLookupHundred(b, x)
+			return multiset(ids), err
+		})
+		agree(t, backends, "sum after update", func(b hyper.Backend) (int64, error) {
+			sum, _, err := hyper.Closure1NAttSum(b, start)
+			return sum, err
+		})
+	}
+}
+
+func multiset(ids []hyper.NodeID) map[hyper.NodeID]int {
+	m := map[hyper.NodeID]int{}
+	for _, id := range ids {
+		m[id]++
+	}
+	return m
+}

@@ -1,0 +1,19 @@
+// Package backend groups the concrete realizations of the HyperModel
+// conceptual schema (hyper.Backend):
+//
+//   - oodb: the object-database mapping over the repository's object
+//     store, with OIDs and clustering along the 1-N hierarchy — the
+//     architecture class of GemStone and Vbase, the systems the paper
+//     was written to compare;
+//   - reldb: the relational mapping (per the /BLAH88/ methodology the
+//     paper cites): one table per entity and relationship plus
+//     attribute indexes, content out of line, no object identifiers;
+//   - memdb: the Smalltalk-80-style in-memory image with whole-image
+//     snapshot persistence;
+//   - backendtest: the conformance suite each mapping must pass.
+//
+// The package's own tests assert cross-backend agreement: identical
+// generation seeds must yield identical results for every benchmark
+// operation, which is what makes timing comparisons between the
+// mappings meaningful.
+package backend

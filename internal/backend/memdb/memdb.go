@@ -1,0 +1,582 @@
+// Package memdb maps the HyperModel schema onto an in-memory object
+// graph with whole-image snapshot persistence — the Smalltalk-80 style
+// system of the paper's three-way comparison (/ANDE89/).
+//
+// Characteristics this mapping reproduces:
+//
+//   - warm operations are pointer-chasing speed;
+//   - "cold" means reloading the whole image from the snapshot file
+//     (DropCaches), so cold cost is flat and large, independent of the
+//     operation;
+//   - there are no secondary indexes: range lookups scan every node,
+//     exactly the behaviour that made image systems poor at O3/O4;
+//   - Commit rewrites the snapshot, so commit cost scales with database
+//     size, not with the transaction's write set.
+package memdb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"hypermodel/internal/hyper"
+)
+
+// node is the in-image object: attributes plus directly-held
+// relationship collections (the OODB "complex object").
+type node struct {
+	Attrs    hyper.Node
+	Children []hyper.NodeID
+	Parent   hyper.NodeID
+	Parts    []hyper.NodeID
+	PartOf   []hyper.NodeID
+	RefsTo   []hyper.Edge
+	RefsFrom []hyper.Edge
+	Text     string
+	Form     []byte // EncodeBitmap format; nil unless KindForm
+}
+
+// image is the gob-serialized snapshot.
+type image struct {
+	Nodes     map[hyper.NodeID]*node
+	Blobs     map[string][]byte
+	Classes   map[string]hyper.Kind
+	ClassAttr map[hyper.Kind][]string
+	UserAttrs map[hyper.NodeID]map[string]int64
+	NextKind  hyper.Kind
+}
+
+func newImage() *image {
+	return &image{
+		Nodes:     make(map[hyper.NodeID]*node),
+		Blobs:     make(map[string][]byte),
+		Classes:   make(map[string]hyper.Kind),
+		ClassAttr: make(map[hyper.Kind][]string),
+		UserAttrs: make(map[hyper.NodeID]map[string]int64),
+		NextKind:  hyper.KindUser,
+	}
+}
+
+// DB implements hyper.Backend over an in-memory image.
+type DB struct {
+	mu    sync.Mutex
+	path  string // snapshot file; empty = volatile (no persistence)
+	img   *image
+	dirty bool // image differs from the last snapshot
+}
+
+var (
+	_ hyper.Backend        = (*DB)(nil)
+	_ hyper.SchemaModifier = (*DB)(nil)
+)
+
+// Open loads (or initializes) an image. An empty path yields a volatile
+// database whose Commit and DropCaches are no-ops.
+func Open(path string) (*DB, error) {
+	db := &DB{path: path, img: newImage()}
+	if path == "" {
+		return db, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return db, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("memdb: open %s: %w", path, err)
+	}
+	img, err := decodeImage(data)
+	if err != nil {
+		return nil, fmt.Errorf("memdb: open %s: %w", path, err)
+	}
+	db.img = img
+	return db, nil
+}
+
+func decodeImage(data []byte) (*image, error) {
+	img := newImage()
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(img); err != nil {
+		return nil, fmt.Errorf("decode image: %w", err)
+	}
+	return img, nil
+}
+
+func (d *DB) Name() string { return "memdb" }
+
+func (d *DB) getNode(id hyper.NodeID) (*node, error) {
+	n, ok := d.img.Nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %d", hyper.ErrNotFound, id)
+	}
+	return n, nil
+}
+
+func (d *DB) create(n hyper.Node, text string, form []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	if _, exists := d.img.Nodes[n.ID]; exists {
+		return fmt.Errorf("memdb: node %d already exists", n.ID)
+	}
+	d.img.Nodes[n.ID] = &node{Attrs: n, Text: text, Form: form}
+	return nil
+}
+
+// CreateNode stores an interior node. The near hint is meaningless in
+// an image system and is ignored.
+func (d *DB) CreateNode(n hyper.Node, _ hyper.NodeID) error {
+	return d.create(n, "", nil)
+}
+
+// CreateTextNode stores a TextNode leaf.
+func (d *DB) CreateTextNode(n hyper.Node, text string, _ hyper.NodeID) error {
+	return d.create(n, text, nil)
+}
+
+// CreateFormNode stores a FormNode leaf.
+func (d *DB) CreateFormNode(n hyper.Node, bm hyper.Bitmap, _ hyper.NodeID) error {
+	return d.create(n, "", hyper.EncodeBitmap(bm))
+}
+
+// AddChild appends child to parent's ordered children.
+func (d *DB) AddChild(parent, child hyper.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	p, err := d.getNode(parent)
+	if err != nil {
+		return err
+	}
+	c, err := d.getNode(child)
+	if err != nil {
+		return err
+	}
+	if c.Parent != 0 {
+		return fmt.Errorf("memdb: node %d already has a parent", child)
+	}
+	p.Children = append(p.Children, child)
+	c.Parent = parent
+	return nil
+}
+
+// AddPart relates part to whole in the M-N aggregation.
+func (d *DB) AddPart(whole, part hyper.NodeID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	w, err := d.getNode(whole)
+	if err != nil {
+		return err
+	}
+	p, err := d.getNode(part)
+	if err != nil {
+		return err
+	}
+	w.Parts = append(w.Parts, part)
+	p.PartOf = append(p.PartOf, whole)
+	return nil
+}
+
+// AddRef stores a refTo/refFrom association.
+func (d *DB) AddRef(e hyper.Edge) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	from, err := d.getNode(e.From)
+	if err != nil {
+		return err
+	}
+	to, err := d.getNode(e.To)
+	if err != nil {
+		return err
+	}
+	from.RefsTo = append(from.RefsTo, e)
+	to.RefsFrom = append(to.RefsFrom, e)
+	return nil
+}
+
+// Node returns a node's attributes.
+func (d *DB) Node(id hyper.NodeID) (hyper.Node, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return hyper.Node{}, err
+	}
+	return n.Attrs, nil
+}
+
+// Hundred returns the hundred attribute.
+func (d *DB) Hundred(id hyper.NodeID) (int32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return 0, err
+	}
+	return n.Attrs.Hundred, nil
+}
+
+// SetHundred updates the hundred attribute.
+func (d *DB) SetHundred(id hyper.NodeID, v int32) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	n, err := d.getNode(id)
+	if err != nil {
+		return err
+	}
+	n.Attrs.Hundred = v
+	return nil
+}
+
+// OIDOf returns the image's object identifier: object identity in an
+// image system is the reference itself, so the OID is the uniqueId.
+func (d *DB) OIDOf(id hyper.NodeID) (hyper.OID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.getNode(id); err != nil {
+		return 0, err
+	}
+	return hyper.OID(id), nil
+}
+
+// HundredByOID is a direct object access.
+func (d *DB) HundredByOID(oid hyper.OID) (int32, error) {
+	return d.Hundred(hyper.NodeID(oid))
+}
+
+// RangeHundred scans all nodes: image systems have no secondary
+// indexes, which is exactly their O3/O4 weakness.
+func (d *DB) RangeHundred(lo, hi int32) ([]hyper.NodeID, error) {
+	return d.scanRange(func(n *node) int32 { return n.Attrs.Hundred }, lo, hi)
+}
+
+// RangeMillion scans all nodes.
+func (d *DB) RangeMillion(lo, hi int32) ([]hyper.NodeID, error) {
+	return d.scanRange(func(n *node) int32 { return n.Attrs.Million }, lo, hi)
+}
+
+func (d *DB) scanRange(attr func(*node) int32, lo, hi int32) ([]hyper.NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []hyper.NodeID
+	for id, n := range d.img.Nodes {
+		if v := attr(n); v >= lo && v <= hi {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Children returns the ordered children.
+func (d *DB) Children(id hyper.NodeID) ([]hyper.NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return nil, err
+	}
+	return append([]hyper.NodeID(nil), n.Children...), nil
+}
+
+// Parts returns the M-N parts.
+func (d *DB) Parts(id hyper.NodeID) ([]hyper.NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return nil, err
+	}
+	return append([]hyper.NodeID(nil), n.Parts...), nil
+}
+
+// RefsTo returns the outgoing reference edges.
+func (d *DB) RefsTo(id hyper.NodeID) ([]hyper.Edge, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return nil, err
+	}
+	return append([]hyper.Edge(nil), n.RefsTo...), nil
+}
+
+// Parent returns the 1-N parent.
+func (d *DB) Parent(id hyper.NodeID) (hyper.NodeID, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return 0, false, err
+	}
+	return n.Parent, n.Parent != 0, nil
+}
+
+// PartOf returns the wholes this node is part of.
+func (d *DB) PartOf(id hyper.NodeID) ([]hyper.NodeID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return nil, err
+	}
+	return append([]hyper.NodeID(nil), n.PartOf...), nil
+}
+
+// RefsFrom returns the incoming reference edges.
+func (d *DB) RefsFrom(id hyper.NodeID) ([]hyper.Edge, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return nil, err
+	}
+	return append([]hyper.Edge(nil), n.RefsFrom...), nil
+}
+
+// ScanTen visits the ten attribute of nodes with uniqueId in
+// [first, last].
+func (d *DB) ScanTen(first, last hyper.NodeID, visit func(hyper.NodeID, int32) bool) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for id := first; id <= last; id++ {
+		n, ok := d.img.Nodes[id]
+		if !ok {
+			continue
+		}
+		if !visit(id, n.Attrs.Ten) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Text returns a TextNode's content.
+func (d *DB) Text(id hyper.NodeID) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return "", err
+	}
+	if n.Attrs.Kind != hyper.KindText {
+		return "", fmt.Errorf("%w: node %d is %s", hyper.ErrWrongKind, id, n.Attrs.Kind)
+	}
+	return n.Text, nil
+}
+
+// SetText replaces a TextNode's content.
+func (d *DB) SetText(id hyper.NodeID, text string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	n, err := d.getNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Attrs.Kind != hyper.KindText {
+		return fmt.Errorf("%w: node %d is %s", hyper.ErrWrongKind, id, n.Attrs.Kind)
+	}
+	n.Text = text
+	return nil
+}
+
+// Form returns a FormNode's bitmap.
+func (d *DB) Form(id hyper.NodeID) (hyper.Bitmap, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n, err := d.getNode(id)
+	if err != nil {
+		return hyper.Bitmap{}, err
+	}
+	if n.Attrs.Kind != hyper.KindForm {
+		return hyper.Bitmap{}, fmt.Errorf("%w: node %d is %s", hyper.ErrWrongKind, id, n.Attrs.Kind)
+	}
+	return hyper.DecodeBitmap(n.Form)
+}
+
+// SetForm replaces a FormNode's bitmap.
+func (d *DB) SetForm(id hyper.NodeID, bm hyper.Bitmap) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	n, err := d.getNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Attrs.Kind != hyper.KindForm {
+		return fmt.Errorf("%w: node %d is %s", hyper.ErrWrongKind, id, n.Attrs.Kind)
+	}
+	n.Form = hyper.EncodeBitmap(bm)
+	return nil
+}
+
+// PutBlob stores a named value.
+func (d *DB) PutBlob(key string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	d.img.Blobs[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// GetBlob retrieves a named value.
+func (d *DB) GetBlob(key string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, ok := d.img.Blobs[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: blob %q", hyper.ErrNotFound, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// DeleteBlob removes a named value (idempotent).
+func (d *DB) DeleteBlob(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	delete(d.img.Blobs, key)
+	return nil
+}
+
+// Commit writes the image snapshot: whole-image persistence, so the
+// cost scales with database size regardless of what changed.
+func (d *DB) Commit() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.commitLocked()
+}
+
+func (d *DB) commitLocked() error {
+	if d.path == "" || !d.dirty {
+		// Nothing changed since the last snapshot: an image system
+		// only saves when the image is dirty.
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d.img); err != nil {
+		return fmt.Errorf("memdb: encode image: %w", err)
+	}
+	tmp := d.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("memdb: write image: %w", err)
+	}
+	if err := os.Rename(tmp, d.path); err != nil {
+		return fmt.Errorf("memdb: install image: %w", err)
+	}
+	d.dirty = false
+	return nil
+}
+
+// DropCaches reloads the image from the snapshot file: the image
+// system's "cold start" is rereading everything.
+func (d *DB) DropCaches() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(d.path)
+	if os.IsNotExist(err) {
+		d.img = newImage()
+		d.dirty = false
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("memdb: reload: %w", err)
+	}
+	img, err := decodeImage(data)
+	if err != nil {
+		return fmt.Errorf("memdb: reload: %w", err)
+	}
+	d.img = img
+	d.dirty = false
+	return nil
+}
+
+// Abort discards uncommitted changes by reloading the last snapshot —
+// the image system's rollback. A volatile database (no snapshot path)
+// cannot roll back; Abort is then a no-op.
+func (d *DB) Abort() error { return d.DropCaches() }
+
+// Close writes the final snapshot.
+func (d *DB) Close() error { return d.Commit() }
+
+// NodeCount reports the number of nodes in the image (diagnostics).
+func (d *DB) NodeCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.img.Nodes)
+}
+
+// AddClass registers a dynamic node class (R4).
+func (d *DB) AddClass(name string) (hyper.Kind, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	if k, ok := d.img.Classes[name]; ok {
+		return k, fmt.Errorf("memdb: class %q already exists", name)
+	}
+	k := d.img.NextKind
+	d.img.NextKind++
+	d.img.Classes[name] = k
+	return k, nil
+}
+
+// Classes lists the dynamic classes.
+func (d *DB) Classes() (map[string]hyper.Kind, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]hyper.Kind, len(d.img.Classes))
+	for n, k := range d.img.Classes {
+		out[n] = k
+	}
+	return out, nil
+}
+
+// AddAttribute declares a dynamic attribute on a class.
+func (d *DB) AddAttribute(class hyper.Kind, attr string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	for _, a := range d.img.ClassAttr[class] {
+		if a == attr {
+			return fmt.Errorf("memdb: attribute %q already declared", attr)
+		}
+	}
+	d.img.ClassAttr[class] = append(d.img.ClassAttr[class], attr)
+	return nil
+}
+
+// SetAttr stores a dynamic attribute value.
+func (d *DB) SetAttr(id hyper.NodeID, attr string, v int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dirty = true
+	if _, err := d.getNode(id); err != nil {
+		return err
+	}
+	m := d.img.UserAttrs[id]
+	if m == nil {
+		m = make(map[string]int64)
+		d.img.UserAttrs[id] = m
+	}
+	m[attr] = v
+	return nil
+}
+
+// Attr reads a dynamic attribute value.
+func (d *DB) Attr(id hyper.NodeID, attr string) (int64, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.getNode(id); err != nil {
+		return 0, false, err
+	}
+	v, ok := d.img.UserAttrs[id][attr]
+	return v, ok, nil
+}

@@ -1,0 +1,79 @@
+package memdb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/backend/backendtest"
+	"hypermodel/internal/hyper"
+)
+
+func TestConformance(t *testing.T) {
+	backendtest.Run(t, backendtest.Config{
+		Open: func(t *testing.T) hyper.Backend {
+			db, err := Open(filepath.Join(t.TempDir(), "image.gob"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return db
+		},
+		Reopen: func(t *testing.T, b hyper.Backend) hyper.Backend {
+			db := b.(*DB)
+			path := db.path
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return db2
+		},
+	})
+}
+
+func TestVolatileDatabase(t *testing.T) {
+	db, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateNode(hyper.Node{ID: 1, Hundred: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	// A volatile image keeps its contents: there is no snapshot to
+	// reload from.
+	if h, err := db.Hundred(1); err != nil || h != 5 {
+		t.Fatalf("volatile db lost data: %d %v", h, err)
+	}
+}
+
+func TestSnapshotDiscardUncommitted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "image.gob")
+	db, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateNode(hyper.Node{ID: 1, Hundred: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetHundred(1, 99); err != nil {
+		t.Fatal(err)
+	}
+	// DropCaches without commit reloads the last snapshot: the image
+	// system's transaction semantics.
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := db.Hundred(1); h != 5 {
+		t.Fatalf("uncommitted update survived image reload: %d", h)
+	}
+}

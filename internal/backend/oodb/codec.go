@@ -1,0 +1,201 @@
+package oodb
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hypermodel/internal/hyper"
+)
+
+// object is the decoded form of one persistent node object. Like a
+// real OODB object it holds its attributes and its relationship
+// collections directly; each entry carries both the target's OID (for
+// physical traversal) and its uniqueId (the reference currency of the
+// Backend interface), so a group lookup activates only one object.
+type object struct {
+	node      hyper.Node
+	parentOID uint64
+	parentID  hyper.NodeID
+	children  []ref
+	parts     []ref
+	partOf    []ref
+	refsTo    []edgeRef
+	refsFrom  []edgeRef
+	text      []byte
+	form      []byte
+}
+
+// ref points at another object.
+type ref struct {
+	oid uint64
+	id  hyper.NodeID
+}
+
+// edgeRef is one stored refTo/refFrom association endpoint.
+type edgeRef struct {
+	oid     uint64 // the other endpoint's OID
+	id      hyper.NodeID
+	offFrom int32
+	offTo   int32
+}
+
+const objVersion = 1
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// encodeObject serializes an object.
+func encodeObject(o *object) []byte {
+	size := 1 + 1 + 8 + 4*4 + 8 + 8 +
+		2 + 16*len(o.children) +
+		2 + 16*len(o.parts) +
+		2 + 16*len(o.partOf) +
+		2 + 24*len(o.refsTo) +
+		2 + 24*len(o.refsFrom) +
+		4 + len(o.text) +
+		4 + len(o.form)
+	b := make([]byte, 0, size)
+	b = append(b, objVersion, byte(o.node.Kind))
+	b = appendU64(b, uint64(o.node.ID))
+	b = appendU32(b, uint32(o.node.Ten))
+	b = appendU32(b, uint32(o.node.Hundred))
+	b = appendU32(b, uint32(o.node.Thousand))
+	b = appendU32(b, uint32(o.node.Million))
+	b = appendU64(b, o.parentOID)
+	b = appendU64(b, uint64(o.parentID))
+	appendRefs := func(rs []ref) {
+		b = appendU16(b, uint16(len(rs)))
+		for _, r := range rs {
+			b = appendU64(b, r.oid)
+			b = appendU64(b, uint64(r.id))
+		}
+	}
+	appendRefs(o.children)
+	appendRefs(o.parts)
+	appendRefs(o.partOf)
+	appendEdges := func(es []edgeRef) {
+		b = appendU16(b, uint16(len(es)))
+		for _, e := range es {
+			b = appendU64(b, e.oid)
+			b = appendU64(b, uint64(e.id))
+			b = appendU32(b, uint32(e.offFrom))
+			b = appendU32(b, uint32(e.offTo))
+		}
+	}
+	appendEdges(o.refsTo)
+	appendEdges(o.refsFrom)
+	b = appendU32(b, uint32(len(o.text)))
+	b = append(b, o.text...)
+	b = appendU32(b, uint32(len(o.form)))
+	b = append(b, o.form...)
+	return b
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("oodb: truncated object (%d+%d > %d)", r.off, n, len(r.b))
+		return nil
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() byte {
+	b := r.need(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.need(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.need(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.need(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// decodeObject parses encodeObject's format.
+func decodeObject(data []byte) (*object, error) {
+	r := &reader{b: data}
+	if v := r.u8(); r.err == nil && v != objVersion {
+		return nil, fmt.Errorf("oodb: unsupported object version %d", v)
+	}
+	o := &object{}
+	o.node.Kind = hyper.Kind(r.u8())
+	o.node.ID = hyper.NodeID(r.u64())
+	o.node.Ten = int32(r.u32())
+	o.node.Hundred = int32(r.u32())
+	o.node.Thousand = int32(r.u32())
+	o.node.Million = int32(r.u32())
+	o.parentOID = r.u64()
+	o.parentID = hyper.NodeID(r.u64())
+	readRefs := func() []ref {
+		n := int(r.u16())
+		if r.err != nil || n == 0 {
+			return nil
+		}
+		rs := make([]ref, n)
+		for i := range rs {
+			rs[i] = ref{r.u64(), hyper.NodeID(r.u64())}
+		}
+		return rs
+	}
+	o.children = readRefs()
+	o.parts = readRefs()
+	o.partOf = readRefs()
+	readEdges := func() []edgeRef {
+		n := int(r.u16())
+		if r.err != nil || n == 0 {
+			return nil
+		}
+		es := make([]edgeRef, n)
+		for i := range es {
+			es[i] = edgeRef{r.u64(), hyper.NodeID(r.u64()), int32(r.u32()), int32(r.u32())}
+		}
+		return es
+	}
+	o.refsTo = readEdges()
+	o.refsFrom = readEdges()
+	if n := int(r.u32()); r.err == nil && n > 0 {
+		o.text = append([]byte(nil), r.need(n)...)
+	}
+	if n := int(r.u32()); r.err == nil && n > 0 {
+		o.form = append([]byte(nil), r.need(n)...)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("oodb: %d trailing bytes in object", len(data)-r.off)
+	}
+	return o, nil
+}

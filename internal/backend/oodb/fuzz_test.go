@@ -1,0 +1,32 @@
+package oodb
+
+import (
+	"bytes"
+	"testing"
+
+	"hypermodel/internal/hyper"
+)
+
+// FuzzDecodeObject feeds arbitrary bytes to the object decoder: it
+// must reject or accept without panicking, and anything it accepts
+// must re-encode to the same bytes (canonical encoding).
+func FuzzDecodeObject(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeObject(&object{node: hyper.Node{ID: 1}}))
+	f.Add(encodeObject(&object{
+		node:     hyper.Node{ID: 7, Kind: hyper.KindText, Hundred: 50},
+		children: []ref{{1, 2}},
+		refsTo:   []edgeRef{{3, 4, 5, 6}},
+		text:     []byte("version1"),
+	}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, err := decodeObject(data)
+		if err != nil {
+			return
+		}
+		re := encodeObject(o)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted object is not canonical: %x -> %x", data, re)
+		}
+	})
+}

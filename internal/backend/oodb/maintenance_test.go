@@ -1,0 +1,138 @@
+package oodb
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/objstore"
+)
+
+// TestGarbageCollect creates orphan objects (as a crash between object
+// creation and index insert would) and verifies GC removes exactly
+// them.
+func TestGarbageCollect(t *testing.T) {
+	db, err := Open(filepath.Join(t.TempDir(), "db"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.PutBlob("keep", []byte("live blob")); err != nil {
+		t.Fatal(err)
+	}
+	live, err := db.objs.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate orphans: objects with no index entry.
+	for i := 0; i < 7; i++ {
+		if _, err := db.objs.Put(bytes.Repeat([]byte("junk"), 50), objstore.InvalidOID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	freed, err := db.GarbageCollect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed != 7 {
+		t.Fatalf("GC freed %d objects, want 7", freed)
+	}
+	after, err := db.objs.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != live {
+		t.Fatalf("object count %d after GC, want %d", after, live)
+	}
+	// Every node and the blob survive.
+	nodes, err := hyper.Closure1N(db, lay.FirstID())
+	if err != nil || len(nodes) != lay.Total() {
+		t.Fatalf("structure damaged by GC: %d nodes (%v)", len(nodes), err)
+	}
+	if _, err := db.GetBlob("keep"); err != nil {
+		t.Fatalf("blob lost by GC: %v", err)
+	}
+	// A second pass finds nothing.
+	freed, err = db.GarbageCollect()
+	if err != nil || freed != 0 {
+		t.Fatalf("second GC freed %d (%v)", freed, err)
+	}
+}
+
+// TestBackupRestores verifies the R10 backup: the copy opens as a
+// database with identical contents, independent of the original.
+func TestBackupRestores(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(filepath.Join(dir, "main.db"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	backupPath := filepath.Join(dir, "backup.db")
+	if err := db.Backup(backupPath); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the original after the backup.
+	if err := db.SetHundred(3, 99); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	origVal, err := db.Hundred(3)
+	if err != nil || origVal != 99 {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := Open(backupPath, DefaultOptions())
+	if err != nil {
+		t.Fatalf("open backup: %v", err)
+	}
+	defer restored.Close()
+	nodes, err := hyper.Closure1N(restored, lay.FirstID())
+	if err != nil || len(nodes) != lay.Total() {
+		t.Fatalf("backup structure: %d nodes (%v)", len(nodes), err)
+	}
+	h, err := restored.Hundred(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == 99 {
+		t.Fatal("backup contains post-backup mutation")
+	}
+}
+
+func TestBackupRejectsNonEmptyTarget(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(filepath.Join(dir, "main.db"), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	target := filepath.Join(dir, "exists.db")
+	if err := db.Backup(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Backup(target); err == nil {
+		t.Fatal("backup onto an existing database succeeded")
+	}
+}

@@ -1,0 +1,88 @@
+package btree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/storage/store"
+)
+
+func benchTree(b *testing.B) (*Tree, *store.Store) {
+	b.Helper()
+	s, err := store.Open(filepath.Join(b.TempDir(), "db"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	tr, err := Open(s, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, s
+}
+
+func BenchmarkPutSequential(b *testing.B) {
+	tr, _ := benchTree(b)
+	val := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(U64Key(uint64(i)), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutRandom(b *testing.B) {
+	tr, _ := benchTree(b)
+	rng := rand.New(rand.NewSource(1))
+	val := make([]byte, 16)
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = U64Key(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Put(keys[i], val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetWarm(b *testing.B) {
+	tr, _ := benchTree(b)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(U64Key(uint64(i)), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tr.Get(U64Key(uint64(rng.Intn(n)))); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	tr, _ := benchTree(b)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if err := tr.Put(U64Key(uint64(i)), []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := tr.Scan(nil, nil, func(_, _ []byte) (bool, error) {
+			count++
+			return true, nil
+		}); err != nil || count != n {
+			b.Fatalf("scan %d (%v)", count, err)
+		}
+	}
+	b.ReportMetric(float64(n), "entries/op")
+}

@@ -1,0 +1,74 @@
+package btree
+
+import "encoding/binary"
+
+// Key construction helpers. Integer components are encoded big-endian
+// so that bytes.Compare order equals numeric order (for unsigned
+// values, which is all the HyperModel schema needs: uniqueIds, OIDs and
+// attribute values are non-negative).
+
+// U64Key encodes a uint64 as an 8-byte big-endian key.
+func U64Key(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// U64FromKey decodes an 8-byte big-endian key.
+func U64FromKey(b []byte) uint64 { return binary.BigEndian.Uint64(b) }
+
+// U32U64Key encodes a composite (uint32, uint64) key, e.g. a secondary
+// index entry (attributeValue, uniqueId). Ordering is attribute-major.
+func U32U64Key(a uint32, b uint64) []byte {
+	var k [12]byte
+	binary.BigEndian.PutUint32(k[:4], a)
+	binary.BigEndian.PutUint64(k[4:], b)
+	return k[:]
+}
+
+// U32U64FromKey decodes a key built by U32U64Key.
+func U32U64FromKey(k []byte) (uint32, uint64) {
+	return binary.BigEndian.Uint32(k[:4]), binary.BigEndian.Uint64(k[4:12])
+}
+
+// U64U64Key encodes a composite (uint64, uint64) key, e.g. a
+// relationship edge (fromId, toId).
+func U64U64Key(a, b uint64) []byte {
+	var k [16]byte
+	binary.BigEndian.PutUint64(k[:8], a)
+	binary.BigEndian.PutUint64(k[8:], b)
+	return k[:]
+}
+
+// U64U64FromKey decodes a key built by U64U64Key.
+func U64U64FromKey(k []byte) (uint64, uint64) {
+	return binary.BigEndian.Uint64(k[:8]), binary.BigEndian.Uint64(k[8:16])
+}
+
+// U64U32Key encodes a composite (uint64, uint32) key, e.g. an ordered
+// relationship entry (ownerId, sequence).
+func U64U32Key(a uint64, b uint32) []byte {
+	var k [12]byte
+	binary.BigEndian.PutUint64(k[:8], a)
+	binary.BigEndian.PutUint32(k[8:], b)
+	return k[:]
+}
+
+// U64U32FromKey decodes a key built by U64U32Key.
+func U64U32FromKey(k []byte) (uint64, uint32) {
+	return binary.BigEndian.Uint64(k[:8]), binary.BigEndian.Uint32(k[8:12])
+}
+
+// PrefixEnd returns the smallest key greater than every key with the
+// given prefix, for use as a Scan upper bound. It returns nil if no
+// such key exists (prefix is all 0xFF).
+func PrefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] < 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

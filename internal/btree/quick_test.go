@@ -1,0 +1,211 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hypermodel/internal/storage/store"
+)
+
+// TestQuickModelEquivalence drives the tree with a random operation
+// sequence and checks it against a map+sorted-slice model: the classic
+// model-based property test.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := store.Open(filepath.Join(t.TempDir(), "db"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		tr, err := Open(s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		model := map[string][]byte{}
+		const keySpace = 200
+		for step := 0; step < 1200; step++ {
+			k := U64Key(uint64(rng.Intn(keySpace)))
+			switch rng.Intn(10) {
+			case 0, 1: // delete
+				ok, err := tr.Delete(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, want := model[string(k)]
+				if ok != want {
+					t.Errorf("seed %d step %d: delete ok=%v want=%v", seed, step, ok, want)
+					return false
+				}
+				delete(model, string(k))
+			case 2: // lookup
+				v, ok, err := tr.Get(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wantOK := model[string(k)]
+				if ok != wantOK || (ok && !bytes.Equal(v, want)) {
+					t.Errorf("seed %d step %d: get mismatch", seed, step)
+					return false
+				}
+			default: // insert/update
+				v := make([]byte, rng.Intn(60))
+				rng.Read(v)
+				if err := tr.Put(k, v); err != nil {
+					t.Fatal(err)
+				}
+				model[string(k)] = v
+			}
+		}
+		// Final full comparison via scan.
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		err = tr.Scan(nil, nil, func(k, v []byte) (bool, error) {
+			if i >= len(keys) || string(k) != keys[i] || !bytes.Equal(v, model[keys[i]]) {
+				t.Errorf("seed %d: final scan diverges at %d", seed, i)
+				return false, nil
+			}
+			i++
+			return true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeScanMatchesModel checks arbitrary [from,to) scans
+// against the model.
+func TestQuickRangeScanMatchesModel(t *testing.T) {
+	s, err := store.Open(filepath.Join(t.TempDir(), "db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tr, err := Open(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := map[uint64]bool{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		k := uint64(rng.Intn(5000))
+		present[k] = true
+		if err := tr.Put(U64Key(k), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for k := range present {
+			if k >= lo && k < hi {
+				want++
+			}
+		}
+		got := 0
+		err := tr.Scan(U64Key(lo), U64Key(hi), func(k, v []byte) (bool, error) {
+			x := U64FromKey(k)
+			if x < lo || x >= hi {
+				t.Errorf("scan [%d,%d) returned %d", lo, hi, x)
+			}
+			got++
+			return true, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPrefixEnd verifies that PrefixEnd is a correct exclusive
+// upper bound for prefix scans.
+func TestQuickPrefixEnd(t *testing.T) {
+	f := func(prefix, suffix []byte) bool {
+		if len(prefix) == 0 {
+			return true
+		}
+		end := PrefixEnd(prefix)
+		withPrefix := append(append([]byte(nil), prefix...), suffix...)
+		if end == nil {
+			// All-0xFF prefix: every extension is "below infinity".
+			for _, c := range prefix {
+				if c != 0xFF {
+					return false
+				}
+			}
+			return true
+		}
+		// Every key starting with prefix must be < end, and end itself
+		// must not start with prefix.
+		return bytes.Compare(withPrefix, end) < 0 && !bytes.HasPrefix(end, prefix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickKeyCodecs round-trips the composite key encoders and checks
+// that byte order equals numeric order.
+func TestQuickKeyCodecs(t *testing.T) {
+	roundtrip := func(a uint32, b, c, d uint64) bool {
+		ga, gb := U32U64FromKey(U32U64Key(a, b))
+		gc, gd := U64U64FromKey(U64U64Key(c, d))
+		return ga == a && gb == b && gc == c && gd == d && U64FromKey(U64Key(b)) == b
+	}
+	if err := quick.Check(roundtrip, nil); err != nil {
+		t.Fatal(err)
+	}
+	ordered := func(a, b uint64) bool {
+		cmp := bytes.Compare(U64Key(a), U64Key(b))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(ordered, nil); err != nil {
+		t.Fatal(err)
+	}
+	compositeOrdered := func(a1, a2 uint32, b1, b2 uint64) bool {
+		cmp := bytes.Compare(U32U64Key(a1, b1), U32U64Key(a2, b2))
+		switch {
+		case a1 != a2:
+			return (cmp < 0) == (a1 < a2)
+		default:
+			switch {
+			case b1 < b2:
+				return cmp < 0
+			case b1 > b2:
+				return cmp > 0
+			default:
+				return cmp == 0
+			}
+		}
+	}
+	if err := quick.Check(compositeOrdered, nil); err != nil {
+		t.Fatal(err)
+	}
+}

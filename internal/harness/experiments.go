@@ -1,0 +1,584 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"hypermodel/internal/acl"
+	"hypermodel/internal/backend/memdb"
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/backend/reldb"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/remote"
+	"hypermodel/internal/stats"
+	"hypermodel/internal/storage/store"
+	"hypermodel/internal/txn"
+	"hypermodel/internal/version"
+)
+
+// BackendKind names one of the three mappings.
+type BackendKind string
+
+// The backend axis of experiment E12.
+const (
+	KindOODB  BackendKind = "oodb"
+	KindRelDB BackendKind = "reldb"
+	KindMemDB BackendKind = "memdb"
+)
+
+// AllBackends lists the E12 comparison axis.
+var AllBackends = []BackendKind{KindOODB, KindRelDB, KindMemDB}
+
+// OpenBackend creates an empty backend of the given kind under dir.
+func OpenBackend(kind BackendKind, dir string) (hyper.Backend, error) {
+	switch kind {
+	case KindOODB:
+		return oodb.Open(filepath.Join(dir, "oodb.db"), oodb.DefaultOptions())
+	case KindRelDB:
+		return reldb.Open(filepath.Join(dir, "reldb.db"), reldb.Options{})
+	case KindMemDB:
+		return memdb.Open(filepath.Join(dir, "memdb.gob"))
+	default:
+		return nil, fmt.Errorf("harness: unknown backend %q", kind)
+	}
+}
+
+// Build generates the level-sized test database on a fresh backend of
+// the given kind and returns the open backend, its layout and the E1
+// creation timings.
+func Build(kind BackendKind, dir string, level int, seed int64) (hyper.Backend, hyper.Layout, *hyper.GenTimings, error) {
+	b, err := OpenBackend(kind, dir)
+	if err != nil {
+		return nil, hyper.Layout{}, nil, err
+	}
+	lay, tm, err := hyper.Generate(b, hyper.GenConfig{LeafLevel: level, Seed: seed})
+	if err != nil {
+		b.Close()
+		return nil, hyper.Layout{}, nil, err
+	}
+	return b, lay, tm, nil
+}
+
+// TimeOpen measures the "database open" operation — the seventh of the
+// simple operations the HyperModel incorporates from /RUBE87/ — on an
+// already-generated database: open plus the first node access.
+func TimeOpen(kind BackendKind, dir string) (time.Duration, error) {
+	start := time.Now()
+	b, err := OpenBackend(kind, dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := b.Node(1); err != nil {
+		b.Close()
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	return elapsed, b.Close()
+}
+
+// --- E11: clustering ablation ---
+
+// ClusterResult is one configuration of the clustering ablation.
+type ClusterResult struct {
+	Config      string // "clustered (DFS + near hints)" etc.
+	Closure1N   OpResult
+	ClosureMN   OpResult
+	Reads1NCold uint64 // disk reads issued by the cold closure1N pass
+	ReadsMNCold uint64
+}
+
+// RunClusterAblation builds the same database with clustering on and
+// off and measures the closure traversals on both — the paper's
+// prediction is closure1N ≪ closureMN cold only when clustering
+// follows the 1-N hierarchy.
+func RunClusterAblation(dir string, level int, seed int64, cfg Config) ([]ClusterResult, error) {
+	type variant struct {
+		name       string
+		clustering bool
+		scatter    bool
+		order      hyper.Order
+	}
+	variants := []variant{
+		{"clustered (DFS + near hints)", true, false, hyper.OrderDFS},
+		{"unclustered (scattered)", false, true, hyper.OrderBFS},
+	}
+	var out []ClusterResult
+	for i, v := range variants {
+		db, err := oodb.Open(filepath.Join(dir, fmt.Sprintf("cluster%d.db", i)), oodb.Options{Clustering: v.clustering, Scatter: v.scatter})
+		if err != nil {
+			return nil, err
+		}
+		lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: level, Seed: seed, Order: v.order})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		run := func(opID string) (OpResult, uint64, error) {
+			_, _, before := db.CacheStats()
+			res, err := Run(db, lay, Config{Iterations: cfg.Iterations, Seed: cfg.Seed, Depth: cfg.Depth, Ops: []string{opID}})
+			if err != nil {
+				return OpResult{}, 0, err
+			}
+			_, _, after := db.CacheStats()
+			return res[0], after - before, nil
+		}
+		r1, reads1, err := run("O10")
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		rm, readsM, err := run("O14")
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		out = append(out, ClusterResult{
+			Config: v.name, Closure1N: r1, ClosureMN: rm,
+			Reads1NCold: reads1, ReadsMNCold: readsM,
+		})
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RenderClusterAblation writes the E11 table.
+func RenderClusterAblation(w io.Writer, results []ClusterResult) {
+	title := "E11: clustering along the 1-N hierarchy (oodb)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-30s %14s %14s %10s %10s %10s\n",
+		"configuration", "closure1N cold", "closureMN cold", "MN/1N", "1N reads", "MN reads")
+	for _, r := range results {
+		c1 := r.Closure1N.Cold.MsPerNode()
+		cm := r.ClosureMN.Cold.MsPerNode()
+		ratio := "-"
+		if c1 > 0 {
+			ratio = fmt.Sprintf("%.1fx", cm/c1)
+		}
+		fmt.Fprintf(w, "%-30s %14s %14s %10s %10d %10d\n",
+			r.Config, stats.FormatMs(c1), stats.FormatMs(cm), ratio, r.Reads1NCold, r.ReadsMNCold)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- E16: cache-size sensitivity ---
+
+// CacheSweepResult is one buffer pool configuration.
+type CacheSweepResult struct {
+	PoolPages int
+	SeqScan   OpResult // O9: whole-structure working set
+	Closure   OpResult // O10: small working set
+	HitRate   float64  // pool hits / (hits+misses) across the runs
+}
+
+// RunCacheSweep measures how the buffer pool size changes warm-run
+// behaviour (the paper's R7 discussion: "parts of the database have to
+// be cached/checked-out to main memory in the workstations"). A pool
+// smaller than the structure makes even the warm sequential scan
+// re-read pages; small traversals stay cached much longer.
+func RunCacheSweep(dir string, level int, seed int64, poolSizes []int, cfg Config) ([]CacheSweepResult, error) {
+	var out []CacheSweepResult
+	for i, pool := range poolSizes {
+		db, err := oodb.Open(
+			filepath.Join(dir, fmt.Sprintf("cache%d.db", i)),
+			oodb.Options{Clustering: true, Store: store.Options{PoolPages: pool}},
+		)
+		if err != nil {
+			return nil, err
+		}
+		lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: level, Seed: seed})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		h0, m0, _ := db.CacheStats()
+		results, err := Run(db, lay, Config{
+			Iterations: cfg.Iterations, Seed: cfg.Seed, Depth: cfg.Depth,
+			Ops: []string{"O9", "O10"},
+		})
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		h1, m1, _ := db.CacheStats()
+		res := CacheSweepResult{PoolPages: pool}
+		for _, r := range results {
+			switch r.ID {
+			case "O9":
+				res.SeqScan = r
+			case "O10":
+				res.Closure = r
+			}
+		}
+		if tot := float64((h1 - h0) + (m1 - m0)); tot > 0 {
+			res.HitRate = float64(h1-h0) / tot
+		}
+		out = append(out, res)
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RenderCacheSweep writes the E16 table.
+func RenderCacheSweep(w io.Writer, level int, results []CacheSweepResult) {
+	title := fmt.Sprintf("E16: buffer pool size vs warm behaviour (oodb, level %d)", level)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %14s %9s\n",
+		"pool pages", "seqScan cold", "seqScan warm", "closure cold", "closure warm", "hit rate")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-12d %14s %14s %14s %14s %8.1f%%\n",
+			r.PoolPages,
+			stats.FormatMs(r.SeqScan.Cold.MsPerNode()), stats.FormatMs(r.SeqScan.Warm.MsPerNode()),
+			stats.FormatMs(r.Closure.Cold.MsPerNode()), stats.FormatMs(r.Closure.Warm.MsPerNode()),
+			r.HitRate*100)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- E13: workstation/server ---
+
+// RemoteResult compares the same operations local vs over the page
+// server, plus the R7 objects-per-second gate.
+type RemoteResult struct {
+	Setting      string
+	Results      []OpResult
+	WarmObjsPerS float64
+	ColdObjsPerS float64
+}
+
+// RunRemote builds a database behind a page server, runs a traversal-
+// heavy subset of the benchmark through a workstation client, and runs
+// the identical subset on a local oodb for contrast.
+func RunRemote(dir string, level int, seed int64, cfg Config) ([]RemoteResult, error) {
+	subset := []string{"O1", "O5A", "O9", "O10", "O14"}
+
+	// Local configuration.
+	local, lay, _, err := Build(KindOODB, dir, level, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer local.Close()
+	localRes, err := Run(local, lay, Config{Iterations: cfg.Iterations, Seed: cfg.Seed, Depth: cfg.Depth, Ops: subset})
+	if err != nil {
+		return nil, err
+	}
+
+	// Server-backed configuration.
+	st, err := store.Open(filepath.Join(dir, "remote.db"), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	client, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	rdb, err := oodb.New(client, oodb.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	defer rdb.Close()
+	rlay, _, err := hyper.Generate(rdb, hyper.GenConfig{LeafLevel: level, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	remoteRes, err := Run(rdb, rlay, Config{Iterations: cfg.Iterations, Seed: cfg.Seed, Depth: cfg.Depth, Ops: subset})
+	if err != nil {
+		return nil, err
+	}
+
+	out := []RemoteResult{
+		{Setting: "local (DBMS on workstation)", Results: localRes},
+		{Setting: "remote (DBMS on page server)", Results: remoteRes},
+	}
+	for i := range out {
+		// R7: objects per second from the closure1N row (one object
+		// activation per node).
+		for _, r := range out[i].Results {
+			if r.ID == "O10" {
+				if msgo := r.Warm.MsPerNode(); msgo > 0 {
+					out[i].WarmObjsPerS = 1000 / msgo
+				}
+				if msgo := r.Cold.MsPerNode(); msgo > 0 {
+					out[i].ColdObjsPerS = 1000 / msgo
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderRemote writes the E13 tables.
+func RenderRemote(w io.Writer, results []RemoteResult) {
+	for _, r := range results {
+		RenderOperations(w, "E13: "+r.Setting, r.Results)
+		fmt.Fprintf(w, "R7 gate (100–10,000 objects/s): cold %.0f obj/s, warm %.0f obj/s\n\n",
+			r.ColdObjsPerS, r.WarmObjsPerS)
+	}
+}
+
+// --- E14: extensions (R4, R5, R11) ---
+
+// ExtensionResult is one timed §6.8 extension exercise.
+type ExtensionResult struct {
+	Name    string
+	PerOpMs float64
+	Note    string
+}
+
+// RunExtensions times the three §6.8 extension exercises on an oodb
+// database.
+func RunExtensions(dir string, level int, seed int64) ([]ExtensionResult, error) {
+	db, lay, _, err := Build(KindOODB, dir, level, seed)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(seed))
+	var out []ExtensionResult
+	timeIt := func(name, note string, n int, fn func(i int) error) error {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		if err := db.Commit(); err != nil {
+			return err
+		}
+		out = append(out, ExtensionResult{
+			Name:    name,
+			PerOpMs: float64(time.Since(start).Nanoseconds()) / 1e6 / float64(n),
+			Note:    note,
+		})
+		return nil
+	}
+
+	// (1) Schema modification: add DrawNode, an attribute, and values.
+	sm := db.(hyper.SchemaModifier)
+	kind, err := sm.AddClass("DrawNode")
+	if err != nil {
+		return nil, err
+	}
+	if err := sm.AddAttribute(kind, "circles"); err != nil {
+		return nil, err
+	}
+	if err := timeIt("R4: set dynamic attribute", "new attribute on existing nodes", 50, func(i int) error {
+		return sm.SetAttr(lay.RandomNode(rng), "circles", int64(i))
+	}); err != nil {
+		return nil, err
+	}
+
+	// (2) Versions: capture, previous, snapshot-at-time.
+	vs := version.New(db)
+	targets := make([]hyper.NodeID, 50)
+	for i := range targets {
+		targets[i] = lay.RandomNode(rng)
+	}
+	if err := timeIt("R5: create new version", "capture node state", 50, func(i int) error {
+		_, err := vs.Capture(targets[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := timeIt("R5: find previous version", "read back the chain head", 50, func(i int) error {
+		_, _, err := vs.Previous(targets[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// (3) Access control: protect a document, verify enforcement.
+	doc := lay.RandomAtLevel(rng, 1)
+	if err := timeIt("R11: set document policy", "public read-only subtree", 1, func(int) error {
+		return acl.SetPolicy(db, doc, acl.Policy{Public: acl.Read})
+	}); err != nil {
+		return nil, err
+	}
+	guard := acl.NewGuard(db, "public")
+	kids, err := db.Children(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := timeIt("R11: guarded read", "read inside protected document", 50, func(i int) error {
+		_, err := guard.Hundred(kids[i%len(kids)])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	denied := 0
+	if err := timeIt("R11: guarded write (denied)", "write must be rejected", 50, func(i int) error {
+		if err := guard.SetHundred(kids[i%len(kids)], 1); err != nil {
+			denied++
+			return nil
+		}
+		return fmt.Errorf("acl: write was not denied")
+	}); err != nil {
+		return nil, err
+	}
+	if denied != 50 {
+		return nil, fmt.Errorf("harness: expected 50 denials, got %d", denied)
+	}
+	return out, nil
+}
+
+// RenderExtensions writes the E14 table.
+func RenderExtensions(w io.Writer, results []ExtensionResult) {
+	title := "E14: §6.8 extension operations (oodb)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-32s %10s  %s\n", "exercise", "ms/op", "note")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-32s %10s  %s\n", r.Name, stats.FormatMs(r.PerOpMs), r.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- E15: multi-user ---
+
+// MultiUserResult is one concurrency configuration.
+type MultiUserResult struct {
+	Users       int
+	Conflicting bool
+	Ops         int
+	Elapsed     time.Duration
+	Aborts      uint64
+}
+
+// RunMultiUser runs the §7 future-work experiment: several HyperModel
+// applications against one server, first updating disjoint subtrees
+// (cooperation, R9), then hammering one node (contention). Optimistic
+// validation aborts and retries make both terminate correctly.
+func RunMultiUser(dir string, level int, seed int64, users, opsPerUser int) ([]MultiUserResult, error) {
+	st, err := store.Open(filepath.Join(dir, "multi.db"), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	boot, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	bdb, err := oodb.New(boot, oodb.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := hyper.Generate(bdb, hyper.GenConfig{LeafLevel: level, Seed: seed}); err != nil {
+		return nil, err
+	}
+	if err := bdb.Commit(); err != nil {
+		return nil, err
+	}
+	bdb.Close()
+
+	runConfig := func(conflicting bool) (MultiUserResult, error) {
+		_, abortsBefore, _ := srv.Stats()
+		var wg sync.WaitGroup
+		errs := make(chan error, users)
+		start := time.Now()
+		for u := 0; u < users; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				client, err := remote.Dial(addr.String(), remote.ClientOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				db, err := oodb.New(client, oodb.DefaultOptions())
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer db.Close()
+				rng := rand.New(rand.NewSource(seed + int64(u)))
+				for i := 0; i < opsPerUser; i++ {
+					var target hyper.NodeID
+					if conflicting {
+						target = 1 // everyone updates the root
+					} else {
+						// Disjoint level-1 subtrees per user.
+						first, _ := hyper.LevelIDs(1)
+						target = first + hyper.NodeID(u%hyper.FanOut)
+					}
+					err := txn.RunN(db, 300, func() error {
+						h, err := db.Hundred(target)
+						if err != nil {
+							return err
+						}
+						return db.SetHundred(target, (h+1)%100)
+					})
+					if err != nil {
+						errs <- fmt.Errorf("user %d: %w", u, err)
+						return
+					}
+					_ = rng
+				}
+				errs <- nil
+			}(u)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return MultiUserResult{}, err
+			}
+		}
+		_, abortsAfter, _ := srv.Stats()
+		return MultiUserResult{
+			Users:       users,
+			Conflicting: conflicting,
+			Ops:         users * opsPerUser,
+			Elapsed:     time.Since(start),
+			Aborts:      abortsAfter - abortsBefore,
+		}, nil
+	}
+
+	coop, err := runConfig(false)
+	if err != nil {
+		return nil, err
+	}
+	contended, err := runConfig(true)
+	if err != nil {
+		return nil, err
+	}
+	return []MultiUserResult{coop, contended}, nil
+}
+
+// RenderMultiUser writes the E15 table.
+func RenderMultiUser(w io.Writer, results []MultiUserResult) {
+	title := "E15: multi-user (optimistic concurrency over the page server)"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-12s %-28s %8s %10s %10s %8s\n",
+		"users", "workload", "txns", "elapsed", "txn/s", "aborts")
+	for _, r := range results {
+		kind := "disjoint subtrees (R9)"
+		if r.Conflicting {
+			kind = "single hot node (contended)"
+		}
+		rate := float64(r.Ops) / r.Elapsed.Seconds()
+		fmt.Fprintf(w, "%-12d %-28s %8d %9.0fms %10.0f %8d\n",
+			r.Users, kind, r.Ops, float64(r.Elapsed.Nanoseconds())/1e6, rate, r.Aborts)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,261 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hypermodel/internal/hyper"
+)
+
+// smallCfg keeps tests quick: 6 iterations instead of 50.
+var smallCfg = Config{Iterations: 6, Seed: 1, Depth: 25}
+
+func TestRunAllOperationsOnEveryBackend(t *testing.T) {
+	for _, kind := range AllBackends {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			b, lay, tm, err := Build(kind, t.TempDir(), 3, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b.Close()
+			if tm.InternalCount+tm.LeafCount != lay.Total() {
+				t.Fatalf("creation counted %d nodes, want %d", tm.InternalCount+tm.LeafCount, lay.Total())
+			}
+			results, err := Run(b, lay, smallCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != 20 {
+				t.Fatalf("got %d operation rows, want 20", len(results))
+			}
+			seen := map[string]bool{}
+			for _, r := range results {
+				seen[r.ID] = true
+				if r.NA {
+					if kind == KindRelDB && r.ID == "O2" {
+						continue // expected: no OIDs in the relational mapping
+					}
+					if r.ID == "O17" {
+						t.Fatalf("O17 n/a on a level-3 database (has one form node)")
+					}
+					t.Fatalf("%s unexpectedly n/a: %s", r.ID, r.Note)
+				}
+				if r.Cold.N() != smallCfg.Iterations || r.Warm.N() != smallCfg.Iterations {
+					t.Fatalf("%s ran %d/%d iterations", r.ID, r.Cold.N(), r.Warm.N())
+				}
+				if r.Cold.MsPerNode() < 0 || r.Warm.MsPerNode() < 0 {
+					t.Fatalf("%s negative timing", r.ID)
+				}
+			}
+			for _, want := range []string{"O1", "O2", "O3", "O4", "O5A", "O5B", "O6", "O7A", "O7B", "O8", "O9", "O10", "O11", "O12", "O13", "O14", "O15", "O16", "O17", "O18"} {
+				if !seen[want] {
+					t.Fatalf("operation %s missing from results", want)
+				}
+			}
+		})
+	}
+}
+
+func TestOpsFilter(t *testing.T) {
+	b, lay, _, err := Build(KindMemDB, t.TempDir(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := smallCfg
+	cfg.Ops = []string{"O1", "O10"}
+	results, err := Run(b, lay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].ID != "O1" || results[1].ID != "O10" {
+		t.Fatalf("filter returned %v", results)
+	}
+}
+
+// TestProtocolLeavesDatabaseStable verifies the update operations
+// restore state (O12 and O16 run in pairs), so repeated harness runs
+// see the same database.
+func TestProtocolLeavesDatabaseStable(t *testing.T) {
+	b, lay, _, err := Build(KindOODB, t.TempDir(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	sumBefore, _, err := hyper.Closure1NAttSum(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg
+	cfg.Ops = []string{"O12", "O16"}
+	if _, err := Run(b, lay, cfg); err != nil {
+		t.Fatal(err)
+	}
+	sumAfter, _, err := hyper.Closure1NAttSum(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumBefore != sumAfter {
+		t.Fatalf("update operations did not restore state: %d -> %d", sumBefore, sumAfter)
+	}
+}
+
+// TestColdReadsWarmDoesNot is the E10 sanity check via cache evidence
+// (wall time is too noisy at small scale): on the page-store backend
+// the cold pass must issue disk reads and the warm rerun of the same
+// inputs must not.
+func TestColdReadsWarmDoesNot(t *testing.T) {
+	b, lay, _, err := Build(KindOODB, t.TempDir(), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{Iterations: 10, Seed: 2, Depth: 25, Ops: []string{"O10"}}
+	results, err := Run(b, lay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.ColdReads == 0 {
+		t.Fatal("cold pass issued no disk reads")
+	}
+	if r.WarmReads != 0 {
+		t.Fatalf("warm pass issued %d disk reads (working set fits the pool)", r.WarmReads)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	b, lay, tm, err := Build(KindMemDB, t.TempDir(), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := smallCfg
+	cfg.Ops = []string{"O1", "O16"}
+	results, err := Run(b, lay, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	RenderOperations(&buf, "test table", results)
+	out := buf.String()
+	if !strings.Contains(out, "nameLookup") || !strings.Contains(out, "ms/op") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	buf.Reset()
+	RenderCSV(&buf, "memdb", 2, results)
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 { // header + 2 rows
+		t.Fatalf("csv has %d lines:\n%s", lines, buf.String())
+	}
+	buf.Reset()
+	RenderCreation(&buf, "creation", tm)
+	if !strings.Contains(buf.String(), "create internal nodes") {
+		t.Fatal("creation table missing phases")
+	}
+}
+
+func TestClusterAblationShape(t *testing.T) {
+	results, err := RunClusterAblation(t.TempDir(), 4, 5, Config{Iterations: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d variants", len(results))
+	}
+	clustered, scattered := results[0], results[1]
+	// The headline effect: the clustered cold 1-N closure touches
+	// fewer pages than the unclustered one.
+	if clustered.Reads1NCold >= scattered.Reads1NCold {
+		t.Fatalf("clustering did not reduce cold reads: %d vs %d",
+			clustered.Reads1NCold, scattered.Reads1NCold)
+	}
+	var buf bytes.Buffer
+	RenderClusterAblation(&buf, results)
+	if !strings.Contains(buf.String(), "clustered") {
+		t.Fatal("ablation table empty")
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	results, err := RunExtensions(t.TempDir(), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d extension rows, want 6", len(results))
+	}
+	var buf bytes.Buffer
+	RenderExtensions(&buf, results)
+	for _, want := range []string{"R4", "R5", "R11"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("extensions table missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestMultiUser(t *testing.T) {
+	results, err := RunMultiUser(t.TempDir(), 2, 5, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d configurations", len(results))
+	}
+	coop, contended := results[0], results[1]
+	if coop.Conflicting || !contended.Conflicting {
+		t.Fatal("configuration order wrong")
+	}
+	if contended.Aborts == 0 {
+		t.Fatal("contended workload produced no optimistic aborts")
+	}
+	var buf bytes.Buffer
+	RenderMultiUser(&buf, results)
+	if !strings.Contains(buf.String(), "disjoint subtrees") {
+		t.Fatal("multiuser table empty")
+	}
+}
+
+func TestRemoteExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results, err := RunRemote(t.TempDir(), 3, 6, Config{Iterations: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d settings", len(results))
+	}
+	var buf bytes.Buffer
+	RenderRemote(&buf, results)
+	if !strings.Contains(buf.String(), "page server") {
+		t.Fatal("remote table empty")
+	}
+}
+
+func TestCacheSweep(t *testing.T) {
+	results, err := RunCacheSweep(t.TempDir(), 3, 8, []int{16, 2048}, Config{Iterations: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d pool configurations", len(results))
+	}
+	small, big := results[0], results[1]
+	if small.PoolPages != 16 || big.PoolPages != 2048 {
+		t.Fatalf("pool sizes wrong: %d %d", small.PoolPages, big.PoolPages)
+	}
+	// A pool big enough for the whole database must have the better
+	// hit rate.
+	if big.HitRate <= small.HitRate {
+		t.Fatalf("hit rates: small pool %.3f, big pool %.3f", small.HitRate, big.HitRate)
+	}
+	var buf bytes.Buffer
+	RenderCacheSweep(&buf, 3, results)
+	if !strings.Contains(buf.String(), "pool pages") {
+		t.Fatal("cache sweep table empty")
+	}
+}

@@ -1,0 +1,84 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/stats"
+)
+
+// RenderOperations writes the §6 result matrix as a text table: one
+// row per operation, cold and warm ms/node, and the cold/warm ratio
+// (the cacheing effect the protocol isolates).
+func RenderOperations(w io.Writer, title string, results []OpResult) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-5s %-22s %12s %12s %8s %10s %10s  %s\n",
+		"op", "name", "cold", "warm", "ratio", "coldreads", "warmreads", "unit")
+	for _, r := range results {
+		if r.NA {
+			fmt.Fprintf(w, "%-5s %-22s %12s %12s %8s %10s %10s  n/a: %s\n",
+				r.ID, r.Name, "-", "-", "-", "-", "-", r.Note)
+			continue
+		}
+		unit := "ms/node"
+		cold, warm := r.Cold.MsPerNode(), r.Warm.MsPerNode()
+		if r.PerOp {
+			unit = "ms/op"
+			cold, warm = r.Cold.MsPerOp(), r.Warm.MsPerOp()
+		}
+		ratio := "-"
+		if warm > 0 {
+			ratio = fmt.Sprintf("%.1fx", cold/warm)
+		}
+		fmt.Fprintf(w, "%-5s %-22s %12s %12s %8s %10d %10d  %s\n",
+			r.ID, r.Name, stats.FormatMs(cold), stats.FormatMs(warm), ratio,
+			r.ColdReads, r.WarmReads, unit)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderCSV writes the matrix as CSV for downstream plotting.
+func RenderCSV(w io.Writer, backend string, level int, results []OpResult) {
+	fmt.Fprintln(w, "backend,level,op,name,unit,cold_ms,warm_ms,cold_samples,warm_samples")
+	for _, r := range results {
+		if r.NA {
+			continue
+		}
+		unit := "ms/node"
+		cold, warm := r.Cold.MsPerNode(), r.Warm.MsPerNode()
+		if r.PerOp {
+			unit = "ms/op"
+			cold, warm = r.Cold.MsPerOp(), r.Warm.MsPerOp()
+		}
+		fmt.Fprintf(w, "%s,%d,%s,%s,%s,%.6f,%.6f,%d,%d\n",
+			backend, level, r.ID, r.Name, unit, cold, warm, r.Cold.N(), r.Warm.N())
+	}
+}
+
+// RenderCreation writes the §5.3 database-creation table from the
+// generator's timings.
+func RenderCreation(w io.Writer, title string, tm *hyper.GenTimings) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-28s %10s %10s %14s\n", "phase", "count", "total", "ms/item")
+	row := func(name string, count int, d float64) {
+		per := 0.0
+		if count > 0 {
+			per = d / float64(count)
+		}
+		fmt.Fprintf(w, "%-28s %10d %9.1fms %14s\n", name, count, d, stats.FormatMs(per))
+	}
+	row("create internal nodes", tm.InternalCount, ms(tm.InternalNodes))
+	row("create leaf nodes", tm.LeafCount, ms(tm.LeafNodes))
+	row("create 1-N relationships", tm.ChildRelCount, ms(tm.ChildRels))
+	row("create M-N relationships", tm.PartRelCount, ms(tm.PartRels))
+	row("create M-N att relationships", tm.RefRelCount, ms(tm.RefRels))
+	fmt.Fprintf(w, "%-28s %10s %9.1fms\n", "final commit", "", ms(tm.Commit))
+	fmt.Fprintf(w, "%-28s %10s %9.1fms\n", "total", "", ms(tm.Total))
+	fmt.Fprintln(w)
+}
+
+func ms(d interface{ Nanoseconds() int64 }) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

@@ -1,0 +1,148 @@
+package hyper
+
+import "errors"
+
+// OID is a backend-assigned object identifier, the "system-generated
+// identifier" of operation O2 (nameOIDLookup). Backends without object
+// identity (the relational mapping) may return ErrNoOIDs.
+type OID uint64
+
+// ErrNoOIDs is returned by backends that do not expose system object
+// identifiers (O2 is then reported as not applicable, as the paper
+// allows: "both kinds of lookup should be measured if applicable").
+var ErrNoOIDs = errors.New("hyper: backend does not expose object identifiers")
+
+// ErrNotFound is returned for lookups of nodes, blobs or edges that do
+// not exist.
+var ErrNotFound = errors.New("hyper: not found")
+
+// ErrWrongKind is returned when a content operation targets a node of
+// the wrong class (e.g. Text on a FormNode).
+var ErrWrongKind = errors.New("hyper: wrong node kind")
+
+// Backend is the mapping of the HyperModel conceptual schema onto one
+// concrete database system. The twenty benchmark operations (ops.go)
+// and the test-database generator (generate.go) are written against
+// this interface; internal/backend provides the object-oriented,
+// relational and in-memory realizations.
+//
+// Backends are not safe for concurrent use; the transaction layer and
+// the page server serialize access.
+type Backend interface {
+	// Name identifies the mapping ("oodb", "reldb", "memdb", ...).
+	Name() string
+
+	// CreateNode stores an interior node. near, when non-zero, is a
+	// physical placement hint: cluster the new node with near. Systems
+	// that support clustering use it along the 1-N hierarchy (§5.2).
+	CreateNode(n Node, near NodeID) error
+	// CreateTextNode stores a TextNode leaf with its text content.
+	CreateTextNode(n Node, text string, near NodeID) error
+	// CreateFormNode stores a FormNode leaf with its bitmap content.
+	CreateFormNode(n Node, bm Bitmap, near NodeID) error
+	// AddChild appends child to parent's ordered children list (the
+	// 1-N aggregation parent/children).
+	AddChild(parent, child NodeID) error
+	// AddPart relates part to whole (the M-N aggregation partOf/parts).
+	AddPart(whole, part NodeID) error
+	// AddRef stores one refTo/refFrom association with its offset
+	// attributes.
+	AddRef(e Edge) error
+
+	// Node returns a node's attributes.
+	Node(id NodeID) (Node, error)
+	// Hundred returns just the hundred attribute (O1's payload).
+	Hundred(id NodeID) (int32, error)
+	// SetHundred updates the hundred attribute, maintaining indexes.
+	SetHundred(id NodeID, v int32) error
+	// OIDOf translates a uniqueId to the backend's object identifier.
+	OIDOf(id NodeID) (OID, error)
+	// HundredByOID is O2: attribute access through the object
+	// identifier, bypassing the key index.
+	HundredByOID(oid OID) (int32, error)
+
+	// RangeHundred returns the nodes with lo <= hundred <= hi (O3).
+	RangeHundred(lo, hi int32) ([]NodeID, error)
+	// RangeMillion returns the nodes with lo <= million <= hi (O4).
+	RangeMillion(lo, hi int32) ([]NodeID, error)
+
+	// Children returns the ordered children of id (O5A). The returned
+	// order must be insertion order.
+	Children(id NodeID) ([]NodeID, error)
+	// Parts returns the parts of id (O5B); order is unspecified.
+	Parts(id NodeID) ([]NodeID, error)
+	// RefsTo returns the edges leaving id (O6).
+	RefsTo(id NodeID) ([]Edge, error)
+
+	// Parent returns id's parent in the 1-N hierarchy (O7A); ok is
+	// false for the root.
+	Parent(id NodeID) (parent NodeID, ok bool, err error)
+	// PartOf returns the wholes id is part of (O7B).
+	PartOf(id NodeID) ([]NodeID, error)
+	// RefsFrom returns the edges arriving at id (O8).
+	RefsFrom(id NodeID) ([]Edge, error)
+
+	// ScanTen visits the ten attribute of every node with uniqueId in
+	// [first, last] (O9). The range replaces "all instances of Node":
+	// the paper forbids using the class extension because the database
+	// may hold other node structures.
+	ScanTen(first, last NodeID, visit func(id NodeID, ten int32) bool) error
+
+	// Text returns a TextNode's content.
+	Text(id NodeID) (string, error)
+	// SetText replaces a TextNode's content (O16).
+	SetText(id NodeID, text string) error
+	// Form returns a FormNode's bitmap.
+	Form(id NodeID) (Bitmap, error)
+	// SetForm replaces a FormNode's bitmap (O17).
+	SetForm(id NodeID, bm Bitmap) error
+
+	// PutBlob/GetBlob/DeleteBlob store uninterpreted named values in
+	// the database. Closure results ("the list should be storable in
+	// the database", §6.5), version chains and access-control lists
+	// build on them.
+	PutBlob(key string, data []byte) error
+	GetBlob(key string) ([]byte, error)
+	DeleteBlob(key string) error
+
+	// Commit makes all changes durable (the protocol's step (c)).
+	Commit() error
+	// DropCaches empties every cache the backend controls, so the next
+	// operation sequence runs cold (the protocol's step (e), "close the
+	// database").
+	DropCaches() error
+	// Close commits and releases the backend.
+	Close() error
+}
+
+// SchemaModifier is the optional dynamic-schema extension (R4, §6.8
+// extension 1): add a class like DrawNode at runtime and attach new
+// attributes to it.
+type SchemaModifier interface {
+	// AddClass registers a new node class under the given name and
+	// returns its kind.
+	AddClass(name string) (Kind, error)
+	// Classes lists the registered dynamic classes.
+	Classes() (map[string]Kind, error)
+	// AddAttribute declares a new attribute on a class.
+	AddAttribute(class Kind, attr string) error
+	// SetAttr stores a dynamic attribute value on a node.
+	SetAttr(id NodeID, attr string, v int64) error
+	// Attr reads a dynamic attribute value from a node.
+	Attr(id NodeID, attr string) (int64, bool, error)
+}
+
+// Aborter is the optional rollback extension: discard all uncommitted
+// changes instead of committing them. Backends over the page store
+// support it natively (no-steal buffering makes rollback a cache
+// drop); the image backend realizes it by reloading the snapshot.
+type Aborter interface {
+	Abort() error
+}
+
+// StatsReporter is an optional diagnostic interface: backends that sit
+// on the page store expose cache-level counters so the harness can show
+// the cold/warm evidence (disk reads per run).
+type StatsReporter interface {
+	CacheStats() (hits, misses, diskReads uint64)
+}

@@ -1,0 +1,106 @@
+package hyper
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Bitmap is a FormNode's content: a 1-bit-per-pixel image, initially
+// all white (all zero bits), between 100×100 and 400×400 pixels. At one
+// bit per pixel an average 250×250 bitmap is ≈7.8 kB, matching the
+// paper's "7800 bytes per FormNode".
+type Bitmap struct {
+	W, H int
+	bits []byte // row-major, rows padded to whole bytes
+}
+
+// NewBitmap returns an all-white (all zero) bitmap.
+func NewBitmap(w, h int) Bitmap {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("hyper: invalid bitmap size %d×%d", w, h))
+	}
+	return Bitmap{W: w, H: h, bits: make([]byte, ((w+7)/8)*h)}
+}
+
+func (b Bitmap) rowBytes() int { return (b.W + 7) / 8 }
+
+// Get reports the pixel at (x, y); true is black.
+func (b Bitmap) Get(x, y int) bool {
+	idx := y*b.rowBytes() + x/8
+	return b.bits[idx]&(1<<(x%8)) != 0
+}
+
+// Set writes the pixel at (x, y).
+func (b Bitmap) Set(x, y int, black bool) {
+	idx := y*b.rowBytes() + x/8
+	if black {
+		b.bits[idx] |= 1 << (x % 8)
+	} else {
+		b.bits[idx] &^= 1 << (x % 8)
+	}
+}
+
+// InvertRect inverts the pixels of r (clipped to the bitmap). This is
+// the formNodeEdit operation's mutation (O17): invert a subrectangle
+// between 25×25 and 50×50 pixels.
+func (b Bitmap) InvertRect(r Rect) {
+	x1, y1 := r.X, r.Y
+	x2, y2 := r.X+r.W, r.Y+r.H
+	if x1 < 0 {
+		x1 = 0
+	}
+	if y1 < 0 {
+		y1 = 0
+	}
+	if x2 > b.W {
+		x2 = b.W
+	}
+	if y2 > b.H {
+		y2 = b.H
+	}
+	for y := y1; y < y2; y++ {
+		row := y * b.rowBytes()
+		for x := x1; x < x2; x++ {
+			b.bits[row+x/8] ^= 1 << (x % 8)
+		}
+	}
+}
+
+// CountBlack returns the number of black pixels (tests, invariants).
+func (b Bitmap) CountBlack() int {
+	n := 0
+	for y := 0; y < b.H; y++ {
+		for x := 0; x < b.W; x++ {
+			if b.Get(x, y) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// EncodeBitmap serializes a bitmap: width u16, height u16, bits.
+func EncodeBitmap(b Bitmap) []byte {
+	out := make([]byte, 4+len(b.bits))
+	binary.LittleEndian.PutUint16(out[0:2], uint16(b.W))
+	binary.LittleEndian.PutUint16(out[2:4], uint16(b.H))
+	copy(out[4:], b.bits)
+	return out
+}
+
+// DecodeBitmap parses the EncodeBitmap format.
+func DecodeBitmap(data []byte) (Bitmap, error) {
+	if len(data) < 4 {
+		return Bitmap{}, fmt.Errorf("hyper: bitmap too short (%d bytes)", len(data))
+	}
+	w := int(binary.LittleEndian.Uint16(data[0:2]))
+	h := int(binary.LittleEndian.Uint16(data[2:4]))
+	if w <= 0 || h <= 0 {
+		return Bitmap{}, fmt.Errorf("hyper: bitmap has invalid size %d×%d", w, h)
+	}
+	want := ((w + 7) / 8) * h
+	if len(data)-4 != want {
+		return Bitmap{}, fmt.Errorf("hyper: bitmap size %d×%d needs %d bytes, have %d", w, h, want, len(data)-4)
+	}
+	return Bitmap{W: w, H: h, bits: append([]byte(nil), data[4:]...)}, nil
+}

@@ -1,0 +1,152 @@
+package hyper
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBitmapIsWhite(t *testing.T) {
+	bm := NewBitmap(100, 100)
+	if bm.CountBlack() != 0 {
+		t.Fatal("fresh bitmap not all white")
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	bm := NewBitmap(37, 21) // deliberately not byte-aligned width
+	bm.Set(36, 20, true)
+	bm.Set(0, 0, true)
+	if !bm.Get(36, 20) || !bm.Get(0, 0) || bm.Get(1, 0) {
+		t.Fatal("pixel get/set broken")
+	}
+	bm.Set(0, 0, false)
+	if bm.Get(0, 0) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestRowIsolation(t *testing.T) {
+	// With a width that is not a multiple of 8, setting the last pixel
+	// of a row must not bleed into the next row.
+	bm := NewBitmap(9, 4)
+	bm.Set(8, 1, true)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 9; x++ {
+			want := x == 8 && y == 1
+			if bm.Get(x, y) != want {
+				t.Fatalf("pixel (%d,%d) = %v", x, y, !want)
+			}
+		}
+	}
+}
+
+func TestInvertRectTwiceIsIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bm := NewBitmap(100+rng.Intn(60), 100+rng.Intn(60))
+		// Pre-mark some random pixels.
+		for i := 0; i < 50; i++ {
+			bm.Set(rng.Intn(bm.W), rng.Intn(bm.H), true)
+		}
+		before := append([]byte(nil), EncodeBitmap(bm)...)
+		r := Rect{X: rng.Intn(bm.W), Y: rng.Intn(bm.H), W: 25 + rng.Intn(26), H: 25 + rng.Intn(26)}
+		bm.InvertRect(r)
+		bm.InvertRect(r)
+		after := EncodeBitmap(bm)
+		if len(before) != len(after) {
+			return false
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertRectCounts(t *testing.T) {
+	bm := NewBitmap(200, 200)
+	bm.InvertRect(Rect{X: 10, Y: 10, W: 25, H: 50})
+	if got := bm.CountBlack(); got != 25*50 {
+		t.Fatalf("inverted %d pixels, want %d", got, 25*50)
+	}
+	// Overlapping invert flips back the intersection.
+	bm.InvertRect(Rect{X: 10, Y: 10, W: 25, H: 25})
+	if got := bm.CountBlack(); got != 25*25 {
+		t.Fatalf("after overlap: %d, want %d", got, 25*25)
+	}
+}
+
+func TestInvertRectClipped(t *testing.T) {
+	bm := NewBitmap(100, 100)
+	bm.InvertRect(Rect{X: 90, Y: 95, W: 50, H: 50})
+	if got := bm.CountBlack(); got != 10*5 {
+		t.Fatalf("clipped invert flipped %d, want %d", got, 50)
+	}
+	bm.InvertRect(Rect{X: -10, Y: -10, W: 20, H: 20})
+	if got := bm.CountBlack(); got != 50+10*10 {
+		t.Fatalf("negative-origin invert flipped to %d", got)
+	}
+}
+
+func TestBitmapCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bm := NewBitmap(1+rng.Intn(400), 1+rng.Intn(400))
+		for i := 0; i < 100; i++ {
+			bm.Set(rng.Intn(bm.W), rng.Intn(bm.H), rng.Intn(2) == 0)
+		}
+		got, err := DecodeBitmap(EncodeBitmap(bm))
+		if err != nil || got.W != bm.W || got.H != bm.H {
+			return false
+		}
+		for y := 0; y < bm.H; y++ {
+			for x := 0; x < bm.W; x++ {
+				if got.Get(x, y) != bm.Get(x, y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeBitmapRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBitmap([]byte{1, 2}); err == nil {
+		t.Fatal("short input accepted")
+	}
+	if _, err := DecodeBitmap([]byte{0, 0, 0, 0}); err == nil {
+		t.Fatal("zero-size bitmap accepted")
+	}
+	bm := NewBitmap(16, 16)
+	enc := EncodeBitmap(bm)
+	if _, err := DecodeBitmap(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated bitmap accepted")
+	}
+}
+
+func TestBitmapAverageSizeMatchesPaper(t *testing.T) {
+	// The paper budgets ≈7800 bytes per FormNode; the average of our
+	// encoding over the uniform size distribution must be in that
+	// ballpark (±25%).
+	rng := rand.New(rand.NewSource(99))
+	totalBytes := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		w := BitmapMinSide + rng.Intn(BitmapMaxSide-BitmapMinSide+1)
+		h := BitmapMinSide + rng.Intn(BitmapMaxSide-BitmapMinSide+1)
+		totalBytes += len(EncodeBitmap(NewBitmap(w, h)))
+	}
+	avg := totalBytes / n
+	if avg < 5800 || avg > 9800 {
+		t.Fatalf("average FormNode size %d bytes, paper says ≈7800", avg)
+	}
+}

@@ -1,0 +1,45 @@
+package hyper
+
+import "testing"
+
+// FuzzDecodeBitmap: arbitrary bytes must never panic the bitmap
+// decoder, and accepted bitmaps must round-trip.
+func FuzzDecodeBitmap(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeBitmap(NewBitmap(100, 100)))
+	f.Add(EncodeBitmap(NewBitmap(1, 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		bm, err := DecodeBitmap(data)
+		if err != nil {
+			return
+		}
+		re := EncodeBitmap(bm)
+		if len(re) != len(data) {
+			t.Fatalf("round trip changed size: %d -> %d", len(data), len(re))
+		}
+		// Pixel access over the whole surface must stay in bounds.
+		for y := 0; y < bm.H; y += 7 {
+			for x := 0; x < bm.W; x += 7 {
+				bm.Get(x, y)
+			}
+		}
+	})
+}
+
+// FuzzDecodeNodeList: stored closure results parse or error, never
+// panic.
+func FuzzDecodeNodeList(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeNodeList([]NodeID{1, 2, 3}))
+	f.Add([]byte{1, 2, 3}) // not a multiple of 8
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, err := DecodeNodeList(data)
+		if err != nil {
+			return
+		}
+		re := EncodeNodeList(ids)
+		if len(re) != len(data) {
+			t.Fatal("node list round trip changed size")
+		}
+	})
+}

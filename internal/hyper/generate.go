@@ -1,0 +1,365 @@
+package hyper
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Order selects the creation order of the 1-N tree.
+type Order int
+
+const (
+	// OrderDFS creates each subtree completely before its siblings,
+	// which maximizes the effect of the clustering near-hint: children
+	// are created while their parent's page still has room.
+	OrderDFS Order = iota
+	// OrderBFS creates the tree level by level; with sequential
+	// placement this clusters by level instead of by subtree.
+	OrderBFS
+)
+
+// GenConfig parameterizes test-database generation (§5.2).
+type GenConfig struct {
+	// LeafLevel is the level of the leaf nodes: the paper's three
+	// database sizes are 4, 5 and 6 (781 / 3 906 / 19 531 nodes).
+	// Smaller levels are allowed for tests.
+	LeafLevel int
+	// Seed drives the uniform random generator. Equal seeds produce
+	// identical databases.
+	Seed int64
+	// Order is the creation order; OrderDFS is the default and the one
+	// the clustering experiment relies on.
+	Order Order
+	// CommitEvery inserts a database commit after every n node
+	// creations during the load (0 = commit only at phase ends).
+	CommitEvery int
+	// BaseID is the uniqueId of the structure's root (default 1).
+	// Distinct bases let several independent test structures share one
+	// database, which §6.4.1 explicitly allows ("the database should
+	// be allowed to have other instances of class Node, e.g. a second
+	// copy of the test-database"); operations on one structure must
+	// not touch the other.
+	BaseID NodeID
+}
+
+// GenTimings reports the database-creation measurements of §5.3
+// ("Operations for Database Creation"): per-phase wall time, node and
+// relationship counts, and the closing commit.
+type GenTimings struct {
+	InternalNodes time.Duration
+	InternalCount int
+	LeafNodes     time.Duration
+	LeafCount     int
+	ChildRels     time.Duration
+	ChildRelCount int
+	PartRels      time.Duration
+	PartRelCount  int
+	RefRels       time.Duration
+	RefRelCount   int
+	Commit        time.Duration
+	Total         time.Duration
+}
+
+// Layout describes the generated structure so the benchmark driver can
+// draw inputs ("a random node on level three", "a random text node").
+// Everything is derived from the level-major uniqueId numbering; the
+// schema and the operations never consult it.
+type Layout struct {
+	LeafLevel int
+	Seed      int64
+	// Base is the structure's root uniqueId (1 unless the structure
+	// was generated with a BaseID offset to share the database).
+	Base NodeID
+}
+
+// base returns the root id, defaulting the zero value to 1.
+func (l Layout) base() NodeID {
+	if l.Base == 0 {
+		return 1
+	}
+	return l.Base
+}
+
+// Total returns the structure's node count.
+func (l Layout) Total() int { return TotalNodes(l.LeafLevel) }
+
+// FirstID and LastID bound the structure's uniqueIds (inclusive).
+func (l Layout) FirstID() NodeID { return l.base() }
+
+// LastID returns the largest uniqueId in the structure.
+func (l Layout) LastID() NodeID { return l.base() + NodeID(l.Total()) - 1 }
+
+// LevelIDs returns the structure's inclusive id range on one level.
+func (l Layout) LevelIDs(level int) (first, last NodeID) {
+	first, last = LevelIDs(level)
+	return first + l.base() - 1, last + l.base() - 1
+}
+
+// LevelOf returns the level holding the given uniqueId, or -1 if the
+// id is outside the structure.
+func (l Layout) LevelOf(id NodeID) int {
+	if id < l.FirstID() || id > l.LastID() {
+		return -1
+	}
+	rel := id - l.base() + 1
+	for lvl := 0; lvl <= l.LeafLevel; lvl++ {
+		_, last := LevelIDs(lvl)
+		if rel <= last {
+			return lvl
+		}
+	}
+	return -1
+}
+
+// RandomNode draws a uniform node from the whole structure.
+func (l Layout) RandomNode(rng *rand.Rand) NodeID {
+	return l.base() + NodeID(rng.Intn(l.Total()))
+}
+
+// RandomNonRoot draws a uniform node excluding the root.
+func (l Layout) RandomNonRoot(rng *rand.Rand) NodeID {
+	return l.base() + 1 + NodeID(rng.Intn(l.Total()-1))
+}
+
+// RandomInternal draws a uniform non-leaf node.
+func (l Layout) RandomInternal(rng *rand.Rand) NodeID {
+	return l.base() + NodeID(rng.Intn(TotalNodes(l.LeafLevel-1)))
+}
+
+// RandomAtLevel draws a uniform node from one level.
+func (l Layout) RandomAtLevel(rng *rand.Rand, level int) NodeID {
+	first, _ := l.LevelIDs(level)
+	return first + NodeID(rng.Intn(NodesAtLevel(level)))
+}
+
+// ClosureStartLevel is the level closures start from: level 3 per §6.5
+// (n = 6, 31, 156 for the three paper databases), clamped to one level
+// above the leaves for miniature test databases.
+func (l Layout) ClosureStartLevel() int {
+	if l.LeafLevel-1 < 3 {
+		return l.LeafLevel - 1
+	}
+	return 3
+}
+
+// RandomClosureStart draws a closure start node (level 3 in the paper's
+// databases).
+func (l Layout) RandomClosureStart(rng *rand.Rand) NodeID {
+	return l.RandomAtLevel(rng, l.ClosureStartLevel())
+}
+
+// IsFormLeaf reports whether the leaf with the given zero-based leaf
+// index is a FormNode: the last of every group of 125 leaves, which
+// yields exactly the paper's counts (125 FormNodes and 15 500 TextNodes
+// among the 15 625 leaves of the level-6 database).
+func IsFormLeaf(leafIndex int) bool { return leafIndex%TextPerForm == TextPerForm-1 }
+
+// RandomTextNode draws a uniform TextNode.
+func (l Layout) RandomTextNode(rng *rand.Rand) NodeID {
+	first, _ := l.LevelIDs(l.LeafLevel)
+	for {
+		j := rng.Intn(NodesAtLevel(l.LeafLevel))
+		if !IsFormLeaf(j) {
+			return first + NodeID(j)
+		}
+	}
+}
+
+// RandomFormNode draws a uniform FormNode. Databases smaller than 125
+// leaves have none; ok reports availability.
+func (l Layout) RandomFormNode(rng *rand.Rand) (NodeID, bool) {
+	nForms := l.FormCount()
+	if nForms == 0 {
+		return 0, false
+	}
+	first, _ := l.LevelIDs(l.LeafLevel)
+	j := rng.Intn(nForms)*TextPerForm + TextPerForm - 1
+	return first + NodeID(j), true
+}
+
+// FormCount returns the number of FormNode leaves.
+func (l Layout) FormCount() int { return NodesAtLevel(l.LeafLevel) / TextPerForm }
+
+// nodeID computes the level-major uniqueId of the j-th node (0-based)
+// on a level.
+func nodeID(level, j int) NodeID { return FirstIDAtLevel(level) + NodeID(j) }
+
+// nodeIDAt is nodeID shifted to the structure's base.
+func (l Layout) nodeIDAt(level, j int) NodeID { return nodeID(level, j) + l.base() - 1 }
+
+// Generate builds the test database of §5.2 into the backend:
+//
+//   - the 1-N tree with fan-out 5 down to cfg.LeafLevel, leaves being
+//     TextNodes except every 126th, which is a FormNode;
+//   - the M-N aggregation: every non-leaf node related to 5 uniformly
+//     random nodes of the next level;
+//   - the M-N association with attributes: every node referencing one
+//     uniformly random node, offsets uniform in [0,10).
+//
+// All attribute values are uniform in their intervals. The timings of
+// each phase (the §5.3 creation measurements) are returned.
+func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
+	if cfg.LeafLevel < 1 {
+		return Layout{}, nil, fmt.Errorf("hyper: leaf level %d out of range", cfg.LeafLevel)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lay := Layout{LeafLevel: cfg.LeafLevel, Seed: cfg.Seed, Base: cfg.BaseID}
+	if lay.Base == 0 {
+		lay.Base = 1
+	}
+	tm := &GenTimings{}
+	startAll := time.Now()
+
+	sinceCommit := 0
+	maybeCommit := func() error {
+		sinceCommit++
+		if cfg.CommitEvery > 0 && sinceCommit >= cfg.CommitEvery {
+			sinceCommit = 0
+			return b.Commit()
+		}
+		return nil
+	}
+
+	newNode := func(id NodeID, kind Kind) Node {
+		return Node{
+			ID:       id,
+			Kind:     kind,
+			Ten:      int32(rng.Intn(TenRange)),
+			Hundred:  int32(rng.Intn(HundredRange)),
+			Thousand: int32(rng.Intn(ThousandRange)),
+			Million:  int32(rng.Intn(MillionRange)),
+		}
+	}
+
+	createOne := func(level, j int, parent NodeID) error {
+		id := lay.nodeIDAt(level, j)
+		if level == cfg.LeafLevel {
+			leafStart := time.Now()
+			var err error
+			if IsFormLeaf(j) {
+				side := func() int { return BitmapMinSide + rng.Intn(BitmapMaxSide-BitmapMinSide+1) }
+				err = b.CreateFormNode(newNode(id, KindForm), NewBitmap(side(), side()), parent)
+			} else {
+				err = b.CreateTextNode(newNode(id, KindText), GenText(rng), parent)
+			}
+			tm.LeafNodes += time.Since(leafStart)
+			tm.LeafCount++
+			if err != nil {
+				return err
+			}
+		} else {
+			intStart := time.Now()
+			err := b.CreateNode(newNode(id, KindInternal), parent)
+			tm.InternalNodes += time.Since(intStart)
+			tm.InternalCount++
+			if err != nil {
+				return err
+			}
+		}
+		if parent != 0 {
+			relStart := time.Now()
+			err := b.AddChild(parent, id)
+			tm.ChildRels += time.Since(relStart)
+			tm.ChildRelCount++
+			if err != nil {
+				return err
+			}
+		}
+		return maybeCommit()
+	}
+
+	// Phase 1+2: nodes and 1-N relationships.
+	switch cfg.Order {
+	case OrderDFS:
+		var walk func(level, j int, parent NodeID) error
+		walk = func(level, j int, parent NodeID) error {
+			if err := createOne(level, j, parent); err != nil {
+				return err
+			}
+			if level == cfg.LeafLevel {
+				return nil
+			}
+			id := lay.nodeIDAt(level, j)
+			for c := 0; c < FanOut; c++ {
+				if err := walk(level+1, j*FanOut+c, id); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := walk(0, 0, 0); err != nil {
+			return lay, nil, err
+		}
+	case OrderBFS:
+		if err := createOne(0, 0, 0); err != nil {
+			return lay, nil, err
+		}
+		for level := 1; level <= cfg.LeafLevel; level++ {
+			for j := 0; j < NodesAtLevel(level); j++ {
+				if err := createOne(level, j, lay.nodeIDAt(level-1, j/FanOut)); err != nil {
+					return lay, nil, err
+				}
+			}
+		}
+	default:
+		return lay, nil, fmt.Errorf("hyper: unknown creation order %d", cfg.Order)
+	}
+	if err := b.Commit(); err != nil {
+		return lay, nil, err
+	}
+
+	// Phase 3: the M-N aggregation. Each non-leaf node gets 5 uniform
+	// random parts from the next level (Figure 3).
+	for level := 0; level < cfg.LeafLevel; level++ {
+		for j := 0; j < NodesAtLevel(level); j++ {
+			whole := lay.nodeIDAt(level, j)
+			for c := 0; c < FanOut; c++ {
+				part := lay.RandomAtLevel(rng, level+1)
+				relStart := time.Now()
+				err := b.AddPart(whole, part)
+				tm.PartRels += time.Since(relStart)
+				tm.PartRelCount++
+				if err != nil {
+					return lay, nil, err
+				}
+			}
+			if err := maybeCommit(); err != nil {
+				return lay, nil, err
+			}
+		}
+	}
+	if err := b.Commit(); err != nil {
+		return lay, nil, err
+	}
+
+	// Phase 4: the M-N association with attributes. Each node, visited
+	// once, references one uniform random node (Figure 4).
+	total := lay.Total()
+	for i := 0; i < total; i++ {
+		e := Edge{
+			From:       lay.FirstID() + NodeID(i),
+			To:         lay.RandomNode(rng),
+			OffsetFrom: int32(rng.Intn(10)),
+			OffsetTo:   int32(rng.Intn(10)),
+		}
+		relStart := time.Now()
+		err := b.AddRef(e)
+		tm.RefRels += time.Since(relStart)
+		tm.RefRelCount++
+		if err != nil {
+			return lay, nil, err
+		}
+		if err := maybeCommit(); err != nil {
+			return lay, nil, err
+		}
+	}
+
+	commitStart := time.Now()
+	if err := b.Commit(); err != nil {
+		return lay, nil, err
+	}
+	tm.Commit = time.Since(commitStart)
+	tm.Total = time.Since(startAll)
+	return lay, tm, nil
+}

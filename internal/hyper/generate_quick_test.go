@@ -1,0 +1,241 @@
+package hyper
+
+import (
+	"testing"
+	"testing/quick"
+
+	// The generator is exercised against the in-memory backend; using
+	// a tiny local fake here would duplicate memdb, so these tests
+	// live on the real interface via a minimal stub.
+	"math/rand"
+)
+
+// stubBackend records creations without storing content — enough to
+// check generator-side invariants (counts, ranges, determinism)
+// without a database.
+type stubBackend struct {
+	nodes   map[NodeID]Node
+	parents map[NodeID]NodeID
+	childN  map[NodeID]int
+	partN   map[NodeID]int
+	refN    map[NodeID]int
+	texts   map[NodeID]string
+	forms   map[NodeID]Bitmap
+	edges   []Edge
+	commits int
+}
+
+func newStub() *stubBackend {
+	return &stubBackend{
+		nodes:   map[NodeID]Node{},
+		parents: map[NodeID]NodeID{},
+		childN:  map[NodeID]int{},
+		partN:   map[NodeID]int{},
+		refN:    map[NodeID]int{},
+		texts:   map[NodeID]string{},
+		forms:   map[NodeID]Bitmap{},
+	}
+}
+
+func (s *stubBackend) Name() string { return "stub" }
+func (s *stubBackend) CreateNode(n Node, _ NodeID) error {
+	s.nodes[n.ID] = n
+	return nil
+}
+func (s *stubBackend) CreateTextNode(n Node, text string, _ NodeID) error {
+	s.nodes[n.ID] = n
+	s.texts[n.ID] = text
+	return nil
+}
+func (s *stubBackend) CreateFormNode(n Node, bm Bitmap, _ NodeID) error {
+	s.nodes[n.ID] = n
+	s.forms[n.ID] = bm
+	return nil
+}
+func (s *stubBackend) AddChild(p, c NodeID) error {
+	s.childN[p]++
+	s.parents[c] = p
+	return nil
+}
+func (s *stubBackend) AddPart(w, p NodeID) error { s.partN[w]++; return nil }
+func (s *stubBackend) AddRef(e Edge) error {
+	s.refN[e.From]++
+	s.edges = append(s.edges, e)
+	return nil
+}
+func (s *stubBackend) Node(id NodeID) (Node, error)                           { return s.nodes[id], nil }
+func (s *stubBackend) Hundred(id NodeID) (int32, error)                       { return s.nodes[id].Hundred, nil }
+func (s *stubBackend) SetHundred(NodeID, int32) error                         { return nil }
+func (s *stubBackend) OIDOf(NodeID) (OID, error)                              { return 0, ErrNoOIDs }
+func (s *stubBackend) HundredByOID(OID) (int32, error)                        { return 0, ErrNoOIDs }
+func (s *stubBackend) RangeHundred(int32, int32) ([]NodeID, error)            { return nil, nil }
+func (s *stubBackend) RangeMillion(int32, int32) ([]NodeID, error)            { return nil, nil }
+func (s *stubBackend) Children(NodeID) ([]NodeID, error)                      { return nil, nil }
+func (s *stubBackend) Parts(NodeID) ([]NodeID, error)                         { return nil, nil }
+func (s *stubBackend) RefsTo(NodeID) ([]Edge, error)                          { return nil, nil }
+func (s *stubBackend) Parent(NodeID) (NodeID, bool, error)                    { return 0, false, nil }
+func (s *stubBackend) PartOf(NodeID) ([]NodeID, error)                        { return nil, nil }
+func (s *stubBackend) RefsFrom(NodeID) ([]Edge, error)                        { return nil, nil }
+func (s *stubBackend) ScanTen(NodeID, NodeID, func(NodeID, int32) bool) error { return nil }
+func (s *stubBackend) Text(id NodeID) (string, error)                         { return s.texts[id], nil }
+func (s *stubBackend) SetText(NodeID, string) error                           { return nil }
+func (s *stubBackend) Form(id NodeID) (Bitmap, error)                         { return s.forms[id], nil }
+func (s *stubBackend) SetForm(NodeID, Bitmap) error                           { return nil }
+func (s *stubBackend) PutBlob(string, []byte) error                           { return nil }
+func (s *stubBackend) GetBlob(string) ([]byte, error)                         { return nil, ErrNotFound }
+func (s *stubBackend) DeleteBlob(string) error                                { return nil }
+func (s *stubBackend) Commit() error                                          { s.commits++; return nil }
+func (s *stubBackend) DropCaches() error                                      { return nil }
+func (s *stubBackend) Close() error                                           { return nil }
+
+// TestQuickGeneratorInvariants checks, for random seeds and levels,
+// the §5.2 count identities: N-1 child relationships, N-1 part
+// relationships, N reference relationships, attribute ranges, and the
+// creation-order independence of the structure.
+func TestQuickGeneratorInvariants(t *testing.T) {
+	f := func(seed int64, levelPick uint8, orderPick bool) bool {
+		level := 1 + int(levelPick%3) // 1..3
+		order := OrderDFS
+		if orderPick {
+			order = OrderBFS
+		}
+		st := newStub()
+		lay, tm, err := Generate(st, GenConfig{LeafLevel: level, Seed: seed, Order: order})
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		total := lay.Total()
+		if len(st.nodes) != total {
+			t.Errorf("seed %d: %d nodes, want %d", seed, len(st.nodes), total)
+			return false
+		}
+		childEdges, partEdges, refEdges := 0, 0, 0
+		for _, n := range st.childN {
+			childEdges += n
+		}
+		for _, n := range st.partN {
+			partEdges += n
+		}
+		for _, n := range st.refN {
+			refEdges += n
+		}
+		if childEdges != total-1 || partEdges != total-1 || refEdges != total {
+			t.Errorf("seed %d: edges %d/%d/%d, want %d/%d/%d",
+				seed, childEdges, partEdges, refEdges, total-1, total-1, total)
+			return false
+		}
+		for id, n := range st.nodes {
+			if n.ID != id || n.Ten < 0 || n.Ten >= 10 || n.Hundred < 0 || n.Hundred >= 100 ||
+				n.Thousand < 0 || n.Thousand >= 1000 || n.Million < 0 || n.Million >= 1000000 {
+				t.Errorf("seed %d: bad node %+v", seed, n)
+				return false
+			}
+		}
+		for _, e := range st.edges {
+			if e.OffsetFrom < 0 || e.OffsetFrom > 9 || e.OffsetTo < 0 || e.OffsetTo > 9 {
+				t.Errorf("seed %d: bad edge %+v", seed, e)
+				return false
+			}
+		}
+		if tm.InternalCount+tm.LeafCount != total {
+			t.Errorf("seed %d: timings count %d nodes", seed, tm.InternalCount+tm.LeafCount)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGeneratorDeterministic: equal seeds produce byte-identical
+// structures and contents.
+func TestGeneratorDeterministic(t *testing.T) {
+	gen := func() *stubBackend {
+		st := newStub()
+		if _, _, err := Generate(st, GenConfig{LeafLevel: 3, Seed: 123}); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := gen(), gen()
+	if len(a.nodes) != len(b.nodes) {
+		t.Fatal("node counts differ")
+	}
+	for id, na := range a.nodes {
+		if nb := b.nodes[id]; na != nb {
+			t.Fatalf("node %d differs: %+v vs %+v", id, na, nb)
+		}
+	}
+	for id, ta := range a.texts {
+		if tb := b.texts[id]; ta != tb {
+			t.Fatalf("text %d differs", id)
+		}
+	}
+	for i := range a.edges {
+		if a.edges[i] != b.edges[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+	// Different seeds diverge.
+	c := newStub()
+	if _, _, err := Generate(c, GenConfig{LeafLevel: 3, Seed: 124}); err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for id, n := range a.nodes {
+		if c.nodes[id].Million == n.Million {
+			same++
+		}
+	}
+	if same == len(a.nodes) {
+		t.Fatal("different seeds produced identical attributes")
+	}
+}
+
+// TestGeneratorRejectsBadConfig covers the error paths.
+func TestGeneratorRejectsBadConfig(t *testing.T) {
+	if _, _, err := Generate(newStub(), GenConfig{LeafLevel: 0}); err == nil {
+		t.Fatal("level 0 accepted")
+	}
+	if _, _, err := Generate(newStub(), GenConfig{LeafLevel: 2, Order: Order(9)}); err == nil {
+		t.Fatal("bogus order accepted")
+	}
+}
+
+// TestCommitEvery verifies incremental commits fire.
+func TestCommitEvery(t *testing.T) {
+	st := newStub()
+	if _, _, err := Generate(st, GenConfig{LeafLevel: 2, Seed: 1, CommitEvery: 10}); err != nil {
+		t.Fatal(err)
+	}
+	// 31 nodes + 31 part-adds + 31 refs with a commit each 10 items,
+	// plus the phase commits: expect well over 3.
+	if st.commits < 6 {
+		t.Fatalf("only %d commits with CommitEvery=10", st.commits)
+	}
+}
+
+// TestAttributeUniformity is a coarse distribution check: over many
+// nodes the hundred attribute must cover its range roughly uniformly
+// (the paper demands uniform draws; a skew would distort the 10%
+// selectivity of O3).
+func TestAttributeUniformity(t *testing.T) {
+	st := newStub()
+	if _, _, err := Generate(st, GenConfig{LeafLevel: 4, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var buckets [10]int
+	for _, n := range st.nodes {
+		buckets[n.Hundred/10]++
+	}
+	total := len(st.nodes)
+	for i, c := range buckets {
+		frac := float64(c) / float64(total)
+		if frac < 0.05 || frac > 0.15 { // expected 0.10
+			t.Fatalf("hundred decile %d holds %.0f%% of nodes", i, frac*100)
+		}
+	}
+	_ = rand.Int // keep math/rand imported for the stub docs
+}

@@ -1,0 +1,165 @@
+// Package hyper implements the HyperModel benchmark's conceptual level:
+// the schema (Figure 1), the test-database generator (§5.2), and the
+// twenty benchmark operations (§6) expressed against an abstract
+// Backend so they can be mapped onto different database systems — the
+// paper's stated methodology ("a high-level description which can be
+// mapped into a realization on different database-systems").
+package hyper
+
+import "fmt"
+
+// NodeID is the uniqueId attribute: a dense, unique numbering of the
+// test database's nodes starting at 1. Zero is never a valid NodeID.
+//
+// Per §5.2, nothing in the schema or the operations may exploit the
+// uniqueId to infer a node's position in the structure; only the
+// benchmark driver (which generated the database) uses the numbering to
+// draw inputs.
+type NodeID uint64
+
+// Kind is the node's class in the generalization hierarchy of Figure 1.
+type Kind uint8
+
+// Node classes. Additional classes (e.g. DrawNode, the R4 schema-
+// modification exercise) are registered dynamically through the
+// backend's catalog and receive kinds >= KindUser.
+const (
+	KindInternal Kind = iota // plain Node: interior of the hierarchy
+	KindText                 // TextNode leaf
+	KindForm                 // FormNode (bitmap) leaf
+	KindUser                 // first dynamically-added class
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindInternal:
+		return "Node"
+	case KindText:
+		return "TextNode"
+	case KindForm:
+		return "FormNode"
+	default:
+		return fmt.Sprintf("UserKind(%d)", uint8(k))
+	}
+}
+
+// Node carries the attributes every node owns (Figure 1): the dense
+// uniqueId plus the ten/hundred/thousand/million attributes drawn
+// uniformly from [0,10), [0,100), [0,1000) and [0,1e6).
+//
+// The intervals are zero-based (the paper's prose says 1..max, but its
+// own closure1NAttSet operation computes 99−hundred, which requires
+// hundred ∈ [0,99]; see DESIGN.md §2).
+type Node struct {
+	ID       NodeID
+	Kind     Kind
+	Ten      int32
+	Hundred  int32
+	Thousand int32
+	Million  int32
+}
+
+// Edge is one refTo/refFrom association (Figure 4): a directed link
+// between two arbitrary nodes carrying the offsetFrom/offsetTo
+// attributes (each uniform in [0,10)), usable as a weighted graph.
+type Edge struct {
+	From       NodeID
+	To         NodeID
+	OffsetFrom int32
+	OffsetTo   int32
+}
+
+// Rect is a pixel-aligned rectangle inside a FormNode bitmap, used by
+// the formNodeEdit operation (O17): invert the subrectangle at (X,Y)
+// with the given width and height.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// FanOut is the tree fan-out of the test database: every interior node
+// has exactly five children (§5.2).
+const FanOut = 5
+
+// TextPerForm is the ratio of text leaves to form leaves: one FormNode
+// per 125 TextNodes (§5.2).
+const TextPerForm = 125
+
+// NodesAtLevel returns the number of nodes on a single level of the 1-N
+// hierarchy: 5^level.
+func NodesAtLevel(level int) int {
+	n := 1
+	for i := 0; i < level; i++ {
+		n *= FanOut
+	}
+	return n
+}
+
+// TotalNodes returns the number of nodes in a database whose leaves are
+// on the given level: (5^(level+1) − 1) / 4. The paper's sizes: level 4
+// → 781, level 5 → 3 906, level 6 → 19 531.
+func TotalNodes(leafLevel int) int {
+	return (NodesAtLevel(leafLevel+1) - 1) / (FanOut - 1)
+}
+
+// FirstIDAtLevel returns the uniqueId of the first node on the given
+// level under the generator's level-major numbering (level 0 is the
+// root, ID 1).
+func FirstIDAtLevel(level int) NodeID {
+	if level == 0 {
+		return 1
+	}
+	return NodeID(TotalNodes(level-1) + 1)
+}
+
+// LevelIDs returns the inclusive uniqueId range [first, last] of the
+// nodes on the given level.
+func LevelIDs(level int) (first, last NodeID) {
+	first = FirstIDAtLevel(level)
+	last = first + NodeID(NodesAtLevel(level)) - 1
+	return first, last
+}
+
+// ClosureSize returns the number of nodes in a full 1-N subtree rooted
+// at startLevel in a database with leaves on leafLevel — the paper's
+// per-operation n factors: 6 for level 4, 31 for level 5, 156 for
+// level 6 (closures start on level 3).
+func ClosureSize(startLevel, leafLevel int) int {
+	return TotalNodes(leafLevel - startLevel)
+}
+
+// Attribute intervals.
+const (
+	TenRange      = 10
+	HundredRange  = 100
+	ThousandRange = 1000
+	MillionRange  = 1000000
+)
+
+// Range-lookup selectivity windows (§6.2): the hundred window covers
+// 10 values (10% selectivity), the million window 10 000 values (1%).
+const (
+	HundredWindow = 10
+	MillionWindow = 10000
+)
+
+// Bitmap dimension bounds (§5.1): form nodes are white bitmaps with
+// each side uniform in [100,400].
+const (
+	BitmapMinSide = 100
+	BitmapMaxSide = 400
+)
+
+// Text generation bounds (§5.1): 10–100 words of 1–10 lowercase
+// letters; the first, middle and last words are "version1".
+const (
+	TextMinWords  = 10
+	TextMaxWords  = 100
+	WordMinLetter = 1
+	WordMaxLetter = 10
+)
+
+// The version marker substituted by textNodeEdit (O16).
+const (
+	VersionWord     = "version1"
+	VersionWordEdit = "version-2"
+)

@@ -1,0 +1,127 @@
+package hyper
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTotalNodesMatchesPaper(t *testing.T) {
+	// §5.2: "0(1), 1(5), 2(25), 3(125), 4(625), 5(3125), 6(15625), and
+	// a total of 19531 nodes for level 6, adding one level will give a
+	// total of 97656 nodes."
+	wantLevel := []int{1, 5, 25, 125, 625, 3125, 15625}
+	for lvl, want := range wantLevel {
+		if got := NodesAtLevel(lvl); got != want {
+			t.Fatalf("NodesAtLevel(%d) = %d, want %d", lvl, got, want)
+		}
+	}
+	wantTotal := map[int]int{4: 781, 5: 3906, 6: 19531, 7: 97656}
+	for lvl, want := range wantTotal {
+		if got := TotalNodes(lvl); got != want {
+			t.Fatalf("TotalNodes(%d) = %d, want %d", lvl, got, want)
+		}
+	}
+}
+
+func TestClosureSizeMatchesPaper(t *testing.T) {
+	// §6.5: "n-level4 = 6, n-level5 = 31 and n-level6 = 156."
+	want := map[int]int{4: 6, 5: 31, 6: 156}
+	for leaf, n := range want {
+		if got := ClosureSize(3, leaf); got != n {
+			t.Fatalf("ClosureSize(3, %d) = %d, want %d", leaf, got, n)
+		}
+	}
+}
+
+func TestLevelIDsArePartition(t *testing.T) {
+	const leaf = 6
+	next := NodeID(1)
+	for lvl := 0; lvl <= leaf; lvl++ {
+		first, last := LevelIDs(lvl)
+		if first != next {
+			t.Fatalf("level %d starts at %d, want %d", lvl, first, next)
+		}
+		if int(last-first)+1 != NodesAtLevel(lvl) {
+			t.Fatalf("level %d spans %d ids", lvl, last-first+1)
+		}
+		next = last + 1
+	}
+	if int(next-1) != TotalNodes(leaf) {
+		t.Fatalf("levels cover %d ids, want %d", next-1, TotalNodes(leaf))
+	}
+}
+
+func TestLayoutLevelOf(t *testing.T) {
+	lay := Layout{LeafLevel: 4}
+	cases := map[NodeID]int{1: 0, 2: 1, 6: 1, 7: 2, 31: 2, 32: 3, 156: 3, 157: 4, 781: 4}
+	for id, want := range cases {
+		if got := lay.LevelOf(id); got != want {
+			t.Fatalf("LevelOf(%d) = %d, want %d", id, got, want)
+		}
+	}
+	if got := lay.LevelOf(782); got != -1 {
+		t.Fatalf("LevelOf(out of range) = %d", got)
+	}
+}
+
+func TestLayoutRandomDraws(t *testing.T) {
+	lay := Layout{LeafLevel: 4}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		if id := lay.RandomNode(rng); id < 1 || int(id) > lay.Total() {
+			t.Fatalf("RandomNode out of range: %d", id)
+		}
+		if id := lay.RandomNonRoot(rng); id < 2 || int(id) > lay.Total() {
+			t.Fatalf("RandomNonRoot out of range: %d", id)
+		}
+		if id := lay.RandomInternal(rng); lay.LevelOf(id) >= lay.LeafLevel {
+			t.Fatalf("RandomInternal drew leaf %d", id)
+		}
+		if id := lay.RandomClosureStart(rng); lay.LevelOf(id) != 3 {
+			t.Fatalf("RandomClosureStart drew level %d", lay.LevelOf(id))
+		}
+		if id := lay.RandomTextNode(rng); lay.LevelOf(id) != lay.LeafLevel {
+			t.Fatalf("RandomTextNode drew level %d", lay.LevelOf(id))
+		}
+		first, _ := LevelIDs(lay.LeafLevel)
+		if id, ok := lay.RandomFormNode(rng); !ok || !IsFormLeaf(int(id-first)) {
+			t.Fatalf("RandomFormNode drew non-form %d", id)
+		}
+	}
+}
+
+func TestFormCountsMatchPaper(t *testing.T) {
+	// §5.2: 125 form nodes and 15 500 text nodes in the level-6
+	// database.
+	cases := map[int]int{4: 5, 5: 25, 6: 125}
+	for leaf, want := range cases {
+		lay := Layout{LeafLevel: leaf}
+		if got := lay.FormCount(); got != want {
+			t.Fatalf("FormCount(level %d) = %d, want %d", leaf, got, want)
+		}
+		forms := 0
+		for j := 0; j < NodesAtLevel(leaf); j++ {
+			if IsFormLeaf(j) {
+				forms++
+			}
+		}
+		if forms != want {
+			t.Fatalf("IsFormLeaf marks %d forms at level %d, want %d", forms, leaf, want)
+		}
+	}
+}
+
+func TestClosureStartLevelClamps(t *testing.T) {
+	for leaf, want := range map[int]int{2: 1, 3: 2, 4: 3, 5: 3, 6: 3} {
+		lay := Layout{LeafLevel: leaf}
+		if got := lay.ClosureStartLevel(); got != want {
+			t.Fatalf("ClosureStartLevel(leaf %d) = %d, want %d", leaf, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindInternal.String() != "Node" || KindText.String() != "TextNode" || KindForm.String() != "FormNode" {
+		t.Fatal("unexpected kind names")
+	}
+}

@@ -1,0 +1,398 @@
+package hyper
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the benchmark's operation set (§6) against the
+// Backend interface. Operation numbers follow the paper: O1–O18, with
+// the 5A/5B and 7A/7B variants.
+//
+// All operations return references (NodeIDs), never copies of nodes,
+// as §6 requires, and closure results can be stored in the database via
+// SaveNodeList.
+
+// NameLookup (O1) finds the node with the given uniqueId and returns
+// its hundred attribute.
+func NameLookup(b Backend, id NodeID) (int32, error) {
+	return b.Hundred(id)
+}
+
+// NameOIDLookup (O2) returns the hundred attribute of the node with the
+// given system object identifier.
+func NameOIDLookup(b Backend, oid OID) (int32, error) {
+	return b.HundredByOID(oid)
+}
+
+// RangeLookupHundred (O3) returns the set of nodes with hundred in
+// [x, x+9] — 10% selectivity.
+func RangeLookupHundred(b Backend, x int32) ([]NodeID, error) {
+	return b.RangeHundred(x, x+HundredWindow-1)
+}
+
+// RangeLookupMillion (O4) returns the set of nodes with million in
+// [x, x+9999] — 1% selectivity.
+func RangeLookupMillion(b Backend, x int32) ([]NodeID, error) {
+	return b.RangeMillion(x, x+MillionWindow-1)
+}
+
+// GroupLookup1N (O5A) returns the ordered children of a node.
+func GroupLookup1N(b Backend, id NodeID) ([]NodeID, error) {
+	return b.Children(id)
+}
+
+// GroupLookupMN (O5B) returns the parts of a node.
+func GroupLookupMN(b Backend, id NodeID) ([]NodeID, error) {
+	return b.Parts(id)
+}
+
+// GroupLookupMNAtt (O6) returns the node(s) referenced by a node
+// through the M-N attribute relation refsTo.
+func GroupLookupMNAtt(b Backend, id NodeID) ([]NodeID, error) {
+	edges, err := b.RefsTo(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeID, len(edges))
+	for i, e := range edges {
+		out[i] = e.To
+	}
+	return out, nil
+}
+
+// RefLookup1N (O7A) returns a set containing the node's parent.
+func RefLookup1N(b Backend, id NodeID) ([]NodeID, error) {
+	parent, ok, err := b.Parent(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return []NodeID{parent}, nil
+}
+
+// RefLookupMN (O7B) returns the set of nodes this node is part of.
+func RefLookupMN(b Backend, id NodeID) ([]NodeID, error) {
+	return b.PartOf(id)
+}
+
+// RefLookupMNAtt (O8) returns the (possibly empty) set of nodes that
+// reference the given node.
+func RefLookupMNAtt(b Backend, id NodeID) ([]NodeID, error) {
+	edges, err := b.RefsFrom(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeID, len(edges))
+	for i, e := range edges {
+		out[i] = e.From
+	}
+	return out, nil
+}
+
+// SeqScan (O9) visits the ten attribute of every node of the test
+// structure (uniqueIds [first, last]) and returns the number of nodes
+// visited. No result values are returned, per the specification — the
+// attribute is retrieved into a sink to ensure node access.
+func SeqScan(b Backend, first, last NodeID) (int, error) {
+	count := 0
+	var sink int32
+	err := b.ScanTen(first, last, func(_ NodeID, ten int32) bool {
+		sink = ten
+		count++
+		return true
+	})
+	_ = sink
+	return count, err
+}
+
+// Closure1N (O10) lists every node reachable from start through the
+// 1-N relationship, in pre-order, preserving the children ordering.
+// The start node itself heads the list (the paper's n factors — 6, 31,
+// 156 — count it).
+func Closure1N(b Backend, start NodeID) ([]NodeID, error) {
+	var out []NodeID
+	var walk func(id NodeID) error
+	walk = func(id NodeID) error {
+		out = append(out, id)
+		children, err := b.Children(id)
+		if err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Closure1NAttSum (O11) sums the hundred attribute over the 1-N closure
+// of start, returning the sum and the number of nodes visited.
+func Closure1NAttSum(b Backend, start NodeID) (sum int64, visited int, err error) {
+	var walk func(id NodeID) error
+	walk = func(id NodeID) error {
+		h, err := b.Hundred(id)
+		if err != nil {
+			return err
+		}
+		sum += int64(h)
+		visited++
+		children, err := b.Children(id)
+		if err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start); err != nil {
+		return 0, 0, err
+	}
+	return sum, visited, nil
+}
+
+// Closure1NAttSet (O12) sets hundred := 99 − hundred on every node of
+// the 1-N closure of start; running it twice restores the original
+// values. It returns the number of nodes updated.
+func Closure1NAttSet(b Backend, start NodeID) (updated int, err error) {
+	var walk func(id NodeID) error
+	walk = func(id NodeID) error {
+		h, err := b.Hundred(id)
+		if err != nil {
+			return err
+		}
+		if err := b.SetHundred(id, int32(HundredRange-1)-h); err != nil {
+			return err
+		}
+		updated++
+		children, err := b.Children(id)
+		if err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start); err != nil {
+		return 0, err
+	}
+	return updated, nil
+}
+
+// Closure1NPred (O13) returns the nodes reachable from start through
+// the 1-N relationship, excluding — and terminating the recursion at —
+// nodes whose million attribute lies in [x, x+9999].
+func Closure1NPred(b Backend, start NodeID, x int32) ([]NodeID, error) {
+	lo, hi := x, x+MillionWindow-1
+	var out []NodeID
+	var walk func(id NodeID) error
+	walk = func(id NodeID) error {
+		n, err := b.Node(id)
+		if err != nil {
+			return err
+		}
+		if n.Million >= lo && n.Million <= hi {
+			return nil // excluded, and the subtree below is pruned
+		}
+		out = append(out, id)
+		children, err := b.Children(id)
+		if err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ClosureMN (O14) lists every node reachable from start through the M-N
+// relationship, pre-order. Shared sub-parts are listed once. Because
+// clustering follows the 1-N hierarchy, the paper expects this to run
+// slower than Closure1N when cold.
+func ClosureMN(b Backend, start NodeID) ([]NodeID, error) {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	var walk func(id NodeID) error
+	walk = func(id NodeID) error {
+		if seen[id] {
+			return nil
+		}
+		seen[id] = true
+		out = append(out, id)
+		parts, err := b.Parts(id)
+		if err != nil {
+			return err
+		}
+		for _, p := range parts {
+			if err := walk(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ClosureMNAtt (O15) lists the nodes reachable from start through the
+// M-N attribute relationship to the given depth (25 at benchmark time).
+// The relation has no terminating condition — every node has an
+// outgoing reference — so the depth bound, plus cycle detection, ends
+// the traversal. The start node is not part of the result.
+func ClosureMNAtt(b Backend, start NodeID, depth int) ([]NodeID, error) {
+	seen := map[NodeID]bool{start: true}
+	var out []NodeID
+	var walk func(id NodeID, left int) error
+	walk = func(id NodeID, left int) error {
+		if left == 0 {
+			return nil
+		}
+		edges, err := b.RefsTo(id)
+		if err != nil {
+			return err
+		}
+		for _, e := range edges {
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			out = append(out, e.To)
+			if err := walk(e.To, left-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start, depth); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NodeDist pairs a node with its distance from a closure's start node,
+// measured by summing offsetTo along the path (O18).
+type NodeDist struct {
+	ID   NodeID
+	Dist int64
+}
+
+// ClosureMNAttLinkSum (O18) returns the nodes reachable from start
+// through the M-N attribute relationship to the given depth, each
+// paired with its total distance from start (the sum of the offsetTo
+// attributes along the path followed).
+func ClosureMNAttLinkSum(b Backend, start NodeID, depth int) ([]NodeDist, error) {
+	seen := map[NodeID]bool{start: true}
+	var out []NodeDist
+	var walk func(id NodeID, dist int64, left int) error
+	walk = func(id NodeID, dist int64, left int) error {
+		if left == 0 {
+			return nil
+		}
+		edges, err := b.RefsTo(id)
+		if err != nil {
+			return err
+		}
+		for _, e := range edges {
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			d := dist + int64(e.OffsetTo)
+			out = append(out, NodeDist{e.To, d})
+			if err := walk(e.To, d, left-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start, 0, depth); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TextNodeEdit (O16) substitutes "version1" → "version-2" in a
+// TextNode (forward), or back (reverse), retrieving and storing the
+// node. It returns ErrNotFound-wrapped errors for wrong targets.
+func TextNodeEdit(b Backend, id NodeID, forward bool) error {
+	text, err := b.Text(id)
+	if err != nil {
+		return err
+	}
+	edited, changed := EditText(text, forward)
+	if !changed {
+		return fmt.Errorf("hyper: textNodeEdit: node %d has no %q to substitute", id, VersionWord)
+	}
+	return b.SetText(id, edited)
+}
+
+// FormNodeEdit (O17) inverts the given subrectangle (between 25×25 and
+// 50×50 per the paper) of a FormNode's bitmap, retrieving and storing
+// the node.
+func FormNodeEdit(b Backend, id NodeID, r Rect) error {
+	bm, err := b.Form(id)
+	if err != nil {
+		return err
+	}
+	bm.InvertRect(r)
+	return b.SetForm(id, bm)
+}
+
+// EncodeNodeList serializes a closure result so it can be stored in the
+// database (§6.5: "the list should be storable in the database").
+func EncodeNodeList(ids []NodeID) []byte {
+	out := make([]byte, 8*len(ids))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(id))
+	}
+	return out
+}
+
+// DecodeNodeList parses EncodeNodeList's format.
+func DecodeNodeList(data []byte) ([]NodeID, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("hyper: node list length %d not a multiple of 8", len(data))
+	}
+	out := make([]NodeID, len(data)/8)
+	for i := range out {
+		out[i] = NodeID(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// SaveNodeList stores a closure result under a name.
+func SaveNodeList(b Backend, name string, ids []NodeID) error {
+	return b.PutBlob("list/"+name, EncodeNodeList(ids))
+}
+
+// LoadNodeList retrieves a stored closure result.
+func LoadNodeList(b Backend, name string) ([]NodeID, error) {
+	data, err := b.GetBlob("list/" + name)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeNodeList(data)
+}

@@ -1,0 +1,42 @@
+package hyper
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// GenText produces a TextNode's initial content (§5.1): 10–100 words
+// separated by single spaces, each word 1–10 random lowercase letters,
+// with the first, middle and last words replaced by "version1". The
+// average result is ≈300 bytes, matching the paper's "380 bytes per
+// TextNode" including the node overhead.
+func GenText(rng *rand.Rand) string {
+	n := TextMinWords + rng.Intn(TextMaxWords-TextMinWords+1)
+	words := make([]string, n)
+	for i := range words {
+		wl := WordMinLetter + rng.Intn(WordMaxLetter-WordMinLetter+1)
+		var sb strings.Builder
+		for j := 0; j < wl; j++ {
+			sb.WriteByte(byte('a' + rng.Intn(26)))
+		}
+		words[i] = sb.String()
+	}
+	words[0] = VersionWord
+	words[n/2] = VersionWord
+	words[n-1] = VersionWord
+	return strings.Join(words, " ")
+}
+
+// EditText performs the textNodeEdit substitution (O16). Forward
+// replaces every "version1" with "version-2" (one character longer);
+// backward restores it. It reports whether any substitution happened.
+func EditText(text string, forward bool) (string, bool) {
+	from, to := VersionWord, VersionWordEdit
+	if !forward {
+		from, to = to, from
+	}
+	if !strings.Contains(text, from) {
+		return text, false
+	}
+	return strings.ReplaceAll(text, from, to), true
+}

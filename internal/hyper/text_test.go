@@ -1,0 +1,74 @@
+package hyper
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGenTextShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		text := GenText(rng)
+		words := strings.Split(text, " ")
+		if len(words) < TextMinWords || len(words) > TextMaxWords {
+			t.Fatalf("text has %d words", len(words))
+		}
+		if words[0] != VersionWord || words[len(words)/2] != VersionWord || words[len(words)-1] != VersionWord {
+			t.Fatal("version1 markers misplaced")
+		}
+		for _, w := range words {
+			if len(w) < WordMinLetter || len(w) > WordMaxLetter {
+				t.Fatalf("word %q has bad length", w)
+			}
+			for _, c := range w {
+				if (c < 'a' || c > 'z') && !strings.ContainsRune(VersionWord, c) {
+					t.Fatalf("word %q has non-lowercase char", w)
+				}
+			}
+		}
+	}
+}
+
+func TestGenTextAverageSizeMatchesPaper(t *testing.T) {
+	// ≈55 words × ≈6.5 bytes ≈ 360 bytes of content budgeted as "380
+	// bytes per TextNode". Accept a generous band.
+	rng := rand.New(rand.NewSource(2))
+	total := 0
+	const n = 500
+	for i := 0; i < n; i++ {
+		total += len(GenText(rng))
+	}
+	avg := total / n
+	if avg < 250 || avg > 450 {
+		t.Fatalf("average text size %d bytes, expected ≈360", avg)
+	}
+}
+
+func TestEditTextRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		orig := GenText(rng)
+		fwd, changed := EditText(orig, true)
+		if !changed {
+			t.Fatal("forward edit found nothing to change")
+		}
+		if strings.Contains(fwd, VersionWord+" ") || strings.HasSuffix(fwd, " "+VersionWord) {
+			t.Fatal("forward edit left version1 markers")
+		}
+		if len(fwd) != len(orig)+3 {
+			t.Fatalf("forward edit length %d -> %d (three markers, +1 char each)", len(orig), len(fwd))
+		}
+		back, changed := EditText(fwd, false)
+		if !changed || back != orig {
+			t.Fatal("backward edit did not restore the original")
+		}
+	}
+}
+
+func TestEditTextNoMarker(t *testing.T) {
+	out, changed := EditText("plain words only", true)
+	if changed || out != "plain words only" {
+		t.Fatal("edit of marker-free text reported a change")
+	}
+}

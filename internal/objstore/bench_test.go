@@ -1,0 +1,98 @@
+package objstore
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/storage/store"
+)
+
+func benchStore(b *testing.B, opts Options) *Store {
+	b.Helper()
+	st, err := store.Open(filepath.Join(b.TempDir(), "db"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	os, err := Open(st, 0, 1, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return os
+}
+
+func BenchmarkPut100B(b *testing.B) {
+	os := benchStore(b, Options{})
+	data := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := os.Put(data, InvalidOID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutClusteredNear(b *testing.B) {
+	os := benchStore(b, Options{Clustering: true})
+	data := make([]byte, 100)
+	anchor, err := os.Put(data, InvalidOID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := os.Put(data, anchor); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetWarm(b *testing.B) {
+	os := benchStore(b, Options{})
+	const n = 5000
+	oids := make([]OID, n)
+	data := make([]byte, 100)
+	for i := range oids {
+		oid, err := os.Put(data, InvalidOID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := os.Get(oids[rng.Intn(n)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateInPlace(b *testing.B) {
+	os := benchStore(b, Options{})
+	oid, err := os.Put(make([]byte, 200), InvalidOID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[0] = byte(i)
+		if err := os.Update(oid, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutLargeOverflow(b *testing.B) {
+	os := benchStore(b, Options{})
+	data := make([]byte, 20000) // a FormNode-sized object
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := os.Put(data, InvalidOID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+}

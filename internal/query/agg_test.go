@@ -1,0 +1,169 @@
+package query
+
+import (
+	"math"
+	"testing"
+
+	"hypermodel/internal/hyper"
+)
+
+func TestCount(t *testing.T) {
+	db, lay := setup(t)
+	agg, plan := runAgg(t, db, lay.Total(), "select count")
+	if agg.Count != lay.Total() {
+		t.Fatalf("count = %d, want %d", agg.Count, lay.Total())
+	}
+	if plan.Access != FullScan {
+		t.Fatalf("plan = %s", plan)
+	}
+	agg2, plan2 := runAgg(t, db, lay.Total(), "select count where hundred between 10 and 19")
+	want := brute(t, db, lay.Total(), func(n hyper.Node, _ string) bool {
+		return n.Hundred >= 10 && n.Hundred <= 19
+	})
+	if agg2.Count != len(want) {
+		t.Fatalf("filtered count = %d, want %d", agg2.Count, len(want))
+	}
+	if plan2.Access != IndexHundred {
+		t.Fatalf("filtered count plan = %s", plan2)
+	}
+}
+
+func TestSumMinMaxAvg(t *testing.T) {
+	db, lay := setup(t)
+	var sum, minV, maxV int64
+	n := 0
+	for id := hyper.NodeID(1); id <= hyper.NodeID(lay.Total()); id++ {
+		node, err := db.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := int64(node.Thousand)
+		if n == 0 || v < minV {
+			minV = v
+		}
+		if n == 0 || v > maxV {
+			maxV = v
+		}
+		sum += v
+		n++
+	}
+	agg, _ := runAgg(t, db, lay.Total(), "select sum thousand")
+	if agg.Sum != sum {
+		t.Fatalf("sum = %d, want %d", agg.Sum, sum)
+	}
+	agg, _ = runAgg(t, db, lay.Total(), "select min thousand")
+	if agg.Min != minV || agg.Value() != float64(minV) {
+		t.Fatalf("min = %d, want %d", agg.Min, minV)
+	}
+	agg, _ = runAgg(t, db, lay.Total(), "select max thousand")
+	if agg.Max != maxV {
+		t.Fatalf("max = %d, want %d", agg.Max, maxV)
+	}
+	agg, _ = runAgg(t, db, lay.Total(), "select avg thousand")
+	if math.Abs(agg.Value()-float64(sum)/float64(n)) > 1e-9 {
+		t.Fatalf("avg = %v, want %v", agg.Value(), float64(sum)/float64(n))
+	}
+}
+
+func TestAggregateOverEmptySet(t *testing.T) {
+	db, lay := setup(t)
+	agg, _ := runAgg(t, db, lay.Total(), "select count where hundred > 40 and hundred < 40")
+	if agg.Count != 0 {
+		t.Fatalf("count over empty set = %d", agg.Count)
+	}
+	agg, _ = runAgg(t, db, lay.Total(), "select avg ten where hundred > 40 and hundred < 40")
+	if agg.Value() != 0 || agg.String() == "" {
+		t.Fatalf("avg over empty set = %v", agg.Value())
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	db, lay := setup(t)
+	ids, _ := runQ(t, db, lay.Total(), "select where ten = 3 order by thousand")
+	if len(ids) < 2 {
+		t.Skip("too few matches to check ordering")
+	}
+	var prev int32 = -1
+	for _, id := range ids {
+		n, err := db.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Thousand < prev {
+			t.Fatalf("order by thousand violated: %d after %d", n.Thousand, prev)
+		}
+		prev = n.Thousand
+	}
+	// Descending.
+	ids, _ = runQ(t, db, lay.Total(), "select where ten = 3 order by thousand desc")
+	prev = math.MaxInt32
+	for _, id := range ids {
+		n, err := db.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Thousand > prev {
+			t.Fatalf("desc order violated: %d after %d", n.Thousand, prev)
+		}
+		prev = n.Thousand
+	}
+}
+
+func TestOrderByWithLimitIsTopK(t *testing.T) {
+	db, lay := setup(t)
+	// limit after ordering must give the k smallest, not the first k
+	// in id order.
+	ids, _ := runQ(t, db, lay.Total(), "select order by million limit 3")
+	if len(ids) != 3 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	got0, err := db.Node(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute-force global minimum of million.
+	minV := int32(math.MaxInt32)
+	for id := hyper.NodeID(1); id <= hyper.NodeID(lay.Total()); id++ {
+		n, err := db.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Million < minV {
+			minV = n.Million
+		}
+	}
+	if got0.Million != minV {
+		t.Fatalf("order by million limit 3 starts at %d, global min is %d", got0.Million, minV)
+	}
+}
+
+func TestAggregateParseErrors(t *testing.T) {
+	bad := []string{
+		"select sum",                       // missing field
+		"select sum bogus",                 // unknown field
+		"select count order by ten",        // order by with aggregate
+		"select avg ten order by thousand", // same
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Fatalf("parse accepted %q", q)
+		}
+	}
+}
+
+func TestAggregateStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"select count where ten = 1",
+		"select sum hundred where kind = text limit 4",
+		"select where ten = 1 order by million desc limit 2",
+	} {
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		q2, err := Parse(q.String())
+		if err != nil || q2.String() != q.String() {
+			t.Fatalf("round trip of %q → %q failed (%v)", s, q.String(), err)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"hypermodel/internal/hyper"
+)
+
+// Field names an attribute usable in comparisons.
+type Field int
+
+// Queryable fields.
+const (
+	FieldTen Field = iota
+	FieldHundred
+	FieldThousand
+	FieldMillion
+	FieldID
+)
+
+func (f Field) String() string {
+	switch f {
+	case FieldTen:
+		return "ten"
+	case FieldHundred:
+		return "hundred"
+	case FieldThousand:
+		return "thousand"
+	case FieldMillion:
+		return "million"
+	case FieldID:
+		return "id"
+	default:
+		return fmt.Sprintf("field(%d)", int(f))
+	}
+}
+
+func (f Field) valueOf(n hyper.Node) int64 {
+	switch f {
+	case FieldTen:
+		return int64(n.Ten)
+	case FieldHundred:
+		return int64(n.Hundred)
+	case FieldThousand:
+		return int64(n.Thousand)
+	case FieldMillion:
+		return int64(n.Million)
+	case FieldID:
+		return int64(n.ID)
+	default:
+		return 0
+	}
+}
+
+// Expr is a boolean predicate over a node.
+type Expr interface {
+	fmt.Stringer
+	// eval decides the predicate; text access is lazy through ctx.
+	eval(ctx *evalCtx) (bool, error)
+}
+
+type evalCtx struct {
+	b    hyper.Backend
+	node hyper.Node
+	// text memoizes the node's content for "text contains".
+	text       string
+	textLoaded bool
+}
+
+func (c *evalCtx) loadText() (string, error) {
+	if c.textLoaded {
+		return c.text, nil
+	}
+	c.textLoaded = true
+	if c.node.Kind != hyper.KindText {
+		c.text = ""
+		return "", nil
+	}
+	t, err := c.b.Text(c.node.ID)
+	if err != nil {
+		return "", err
+	}
+	c.text = t
+	return t, nil
+}
+
+// andExpr / orExpr / notExpr compose predicates.
+type andExpr struct{ l, r Expr }
+
+func (e andExpr) String() string { return fmt.Sprintf("(%s and %s)", e.l, e.r) }
+func (e andExpr) eval(ctx *evalCtx) (bool, error) {
+	ok, err := e.l.eval(ctx)
+	if err != nil || !ok {
+		return false, err
+	}
+	return e.r.eval(ctx)
+}
+
+type orExpr struct{ l, r Expr }
+
+func (e orExpr) String() string { return fmt.Sprintf("(%s or %s)", e.l, e.r) }
+func (e orExpr) eval(ctx *evalCtx) (bool, error) {
+	ok, err := e.l.eval(ctx)
+	if err != nil || ok {
+		return ok, err
+	}
+	return e.r.eval(ctx)
+}
+
+type notExpr struct{ x Expr }
+
+func (e notExpr) String() string { return fmt.Sprintf("(not %s)", e.x) }
+func (e notExpr) eval(ctx *evalCtx) (bool, error) {
+	ok, err := e.x.eval(ctx)
+	return !ok, err
+}
+
+// cmpExpr compares a field with a constant.
+type cmpExpr struct {
+	field Field
+	op    string // = != < <= > >=
+	val   int64
+}
+
+func (e cmpExpr) String() string { return fmt.Sprintf("%s %s %d", e.field, e.op, e.val) }
+func (e cmpExpr) eval(ctx *evalCtx) (bool, error) {
+	v := e.field.valueOf(ctx.node)
+	switch e.op {
+	case "=":
+		return v == e.val, nil
+	case "!=":
+		return v != e.val, nil
+	case "<":
+		return v < e.val, nil
+	case "<=":
+		return v <= e.val, nil
+	case ">":
+		return v > e.val, nil
+	case ">=":
+		return v >= e.val, nil
+	default:
+		return false, fmt.Errorf("query: unknown operator %q", e.op)
+	}
+}
+
+// betweenExpr is an inclusive range predicate.
+type betweenExpr struct {
+	field  Field
+	lo, hi int64
+}
+
+func (e betweenExpr) String() string {
+	return fmt.Sprintf("%s between %d and %d", e.field, e.lo, e.hi)
+}
+func (e betweenExpr) eval(ctx *evalCtx) (bool, error) {
+	v := e.field.valueOf(ctx.node)
+	return v >= e.lo && v <= e.hi, nil
+}
+
+// kindExpr tests the node's class.
+type kindExpr struct {
+	kind hyper.Kind
+	neg  bool
+}
+
+func (e kindExpr) String() string {
+	op := "="
+	if e.neg {
+		op = "!="
+	}
+	return fmt.Sprintf("kind %s %s", op, strings.ToLower(e.kind.String()))
+}
+func (e kindExpr) eval(ctx *evalCtx) (bool, error) {
+	return (ctx.node.Kind == e.kind) != e.neg, nil
+}
+
+// containsExpr tests text content.
+type containsExpr struct{ needle string }
+
+// quoteQueryString renders s in the lexer's own quoting (backslash
+// escapes only for '"' and '\'); fmt's %q would emit Go escape
+// sequences like \x16 that the lexer reads as literal characters.
+func quoteQueryString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '"' || c == '\\' {
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		} else {
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func (e containsExpr) String() string { return "text contains " + quoteQueryString(e.needle) }
+func (e containsExpr) eval(ctx *evalCtx) (bool, error) {
+	if ctx.node.Kind != hyper.KindText {
+		return false, nil
+	}
+	text, err := ctx.loadText()
+	if err != nil {
+		return false, err
+	}
+	return strings.Contains(text, e.needle), nil
+}
+
+// Aggregate selects a reduction over the matching nodes instead of the
+// node list itself.
+type Aggregate int
+
+// Aggregates.
+const (
+	AggNone Aggregate = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (a Aggregate) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	default:
+		return ""
+	}
+}
+
+// Query is a parsed select statement.
+type Query struct {
+	Agg      Aggregate // AggNone = return the node set
+	AggField Field     // operand of sum/min/max/avg
+	Where    Expr      // nil = all nodes
+	OrderBy  Field     // meaningful when Ordered
+	Ordered  bool
+	Desc     bool
+	Limit    int // 0 = unlimited
+}
+
+func (q Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("select")
+	switch q.Agg {
+	case AggNone:
+	case AggCount:
+		sb.WriteString(" count")
+	default:
+		fmt.Fprintf(&sb, " %s %s", q.Agg, q.AggField)
+	}
+	if q.Where != nil {
+		fmt.Fprintf(&sb, " where %s", q.Where)
+	}
+	if q.Ordered {
+		fmt.Fprintf(&sb, " order by %s", q.OrderBy)
+		if q.Desc {
+			sb.WriteString(" desc")
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " limit %d", q.Limit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/hyper"
+)
+
+func benchDB(b *testing.B) (*oodb.DB, hyper.Layout) {
+	b.Helper()
+	db, err := oodb.Open(filepath.Join(b.TempDir(), "db"), oodb.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, lay
+}
+
+// BenchmarkIndexedRange vs BenchmarkForcedScan quantify what the R12
+// planner buys: the same 1%-selectivity predicate through the million
+// index and through a sequential scan.
+func BenchmarkIndexedRange(b *testing.B) {
+	db, lay := benchDB(b)
+	q, err := Parse("select where million between 100000 and 109999")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := Compile(q)
+	if plan.Access != IndexMillion {
+		b.Fatalf("plan = %s", plan)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(db, 1, hyper.NodeID(lay.Total()), plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForcedScan(b *testing.B) {
+	db, lay := benchDB(b)
+	q, err := Parse("select where million between 100000 and 109999")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := Compile(q)
+	plan.Access = FullScan // planner override: pay the sequential scan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(db, 1, hyper.NodeID(lay.Total()), plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregateCount(b *testing.B) {
+	db, lay := benchDB(b)
+	q, err := Parse("select count where hundred between 10 and 19")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := Compile(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(db, 1, hyper.NodeID(lay.Total()), plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	const q = `select where (ten = 1 or kind = text) and text contains "version1" order by million desc limit 10`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzParse: arbitrary query text must parse or error, never panic,
+// and whatever parses must round-trip through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"select",
+		"select where hundred between 10 and 19 limit 5",
+		`select where kind = text and text contains "version1"`,
+		"select count where ten = 1",
+		"select avg million order by ten desc",
+		"select where (ten = 1 or ten = 2) and not hundred < 50",
+		"select where ten !! 1",
+		`select where text contains "\"escaped\""`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		s := q.String()
+		q2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("String() of accepted query does not reparse: %q -> %q: %v", input, s, err)
+		}
+		if q2.String() != s {
+			t.Fatalf("String() unstable: %q -> %q", s, q2.String())
+		}
+		// Planning must never panic either.
+		_ = Compile(q)
+	})
+}

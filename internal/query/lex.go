@@ -1,0 +1,124 @@
+// Package query implements requirement R12: an ad-hoc query language
+// over the HyperModel schema, with a planner that uses the hundred and
+// million secondary indexes when a predicate permits and falls back to
+// a sequential scan otherwise.
+//
+// Grammar:
+//
+//	query      = "select" [ aggregate ] [ "where" expr ]
+//	             [ "order" "by" field [ "desc" ] ] [ "limit" number ]
+//	aggregate  = "count" | ("sum" | "min" | "max" | "avg") field
+//	expr       = andExpr { "or" andExpr }
+//	andExpr    = unary { "and" unary }
+//	unary      = "not" unary | "(" expr ")" | comparison
+//	comparison = field cmpOp number
+//	           | field "between" number "and" number
+//	           | "kind" ( "=" | "!=" ) kindName
+//	           | "text" "contains" string
+//	field      = "ten" | "hundred" | "thousand" | "million" | "id"
+//	cmpOp      = "=" | "!=" | "<" | "<=" | ">" | ">="
+//	kindName   = "node" | "text" | "form"
+//
+// Example: select where hundred between 10 and 19 and kind = text limit 5
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // = != < <= > >=
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. Identifiers and keywords are
+// lower-cased; strings use double quotes with backslash escapes.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokOp, "=", i})
+			i++
+		case c == '!':
+			if i+1 >= len(input) || input[i+1] != '=' {
+				return nil, fmt.Errorf("query: stray '!' at %d", i)
+			}
+			toks = append(toks, token{tokOp, "!=", i})
+			i += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{tokOp, op, i})
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(input) && input[j] != '"' {
+				if input[j] == '\\' && j+1 < len(input) {
+					j++
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("query: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(input) && input[j] >= '0' && input[j] <= '9' {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(input[i:j]), i})
+			i = j
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

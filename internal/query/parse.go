@@ -1,0 +1,276 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+
+	"hypermodel/internal/hyper"
+)
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse compiles a query string into a Query.
+func Parse(input string) (Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return Query{}, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return Query{}, err
+	}
+	if !p.at(tokEOF, "") {
+		return Query{}, fmt.Errorf("query: unexpected %s after query", p.peek())
+	}
+	return q, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text, what string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, fmt.Errorf("query: expected %s, got %s", what, p.peek())
+	}
+	return p.next(), nil
+}
+
+var aggregates = map[string]Aggregate{
+	"count": AggCount,
+	"sum":   AggSum,
+	"min":   AggMin,
+	"max":   AggMax,
+	"avg":   AggAvg,
+}
+
+func (p *parser) query() (Query, error) {
+	if _, err := p.expect(tokIdent, "select", `"select"`); err != nil {
+		return Query{}, err
+	}
+	var q Query
+	if t := p.peek(); t.kind == tokIdent {
+		if agg, ok := aggregates[t.text]; ok {
+			p.next()
+			q.Agg = agg
+			if agg != AggCount {
+				ft, err := p.expect(tokIdent, "", "a field name for the aggregate")
+				if err != nil {
+					return Query{}, err
+				}
+				field, ok := fields[ft.text]
+				if !ok {
+					return Query{}, fmt.Errorf("query: unknown field %q", ft.text)
+				}
+				q.AggField = field
+			}
+		}
+	}
+	if p.accept(tokIdent, "where") {
+		e, err := p.orExpr()
+		if err != nil {
+			return Query{}, err
+		}
+		q.Where = e
+	}
+	if p.accept(tokIdent, "order") {
+		if _, err := p.expect(tokIdent, "by", `"by"`); err != nil {
+			return Query{}, err
+		}
+		ft, err := p.expect(tokIdent, "", "a field name to order by")
+		if err != nil {
+			return Query{}, err
+		}
+		field, ok := fields[ft.text]
+		if !ok {
+			return Query{}, fmt.Errorf("query: unknown field %q", ft.text)
+		}
+		q.OrderBy = field
+		q.Ordered = true
+		q.Desc = p.accept(tokIdent, "desc")
+		if q.Agg != AggNone {
+			return Query{}, fmt.Errorf("query: order by is meaningless with %s", q.Agg)
+		}
+	}
+	if p.accept(tokIdent, "limit") {
+		t, err := p.expect(tokNumber, "", "limit count")
+		if err != nil {
+			return Query{}, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return Query{}, fmt.Errorf("query: bad limit %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = orExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokIdent, "and") {
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = andExpr{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(tokIdent, "not") {
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{x}, nil
+	}
+	if p.accept(tokLParen, "") {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "", `")"`); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.comparison()
+}
+
+var fields = map[string]Field{
+	"ten":      FieldTen,
+	"hundred":  FieldHundred,
+	"thousand": FieldThousand,
+	"million":  FieldMillion,
+	"id":       FieldID,
+	"uniqueid": FieldID,
+}
+
+var kinds = map[string]hyper.Kind{
+	"node":     hyper.KindInternal,
+	"internal": hyper.KindInternal,
+	"text":     hyper.KindText,
+	"textnode": hyper.KindText,
+	"form":     hyper.KindForm,
+	"formnode": hyper.KindForm,
+}
+
+func (p *parser) comparison() (Expr, error) {
+	t, err := p.expect(tokIdent, "", "a field name")
+	if err != nil {
+		return nil, err
+	}
+	switch t.text {
+	case "kind":
+		op, err := p.expect(tokOp, "", `"=" or "!="`)
+		if err != nil {
+			return nil, err
+		}
+		if op.text != "=" && op.text != "!=" {
+			return nil, fmt.Errorf("query: kind supports = and != only, got %q", op.text)
+		}
+		kt, err := p.expect(tokIdent, "", "a kind name (node, text, form)")
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := kinds[kt.text]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown kind %q", kt.text)
+		}
+		return kindExpr{kind: kind, neg: op.text == "!="}, nil
+	case "text":
+		if _, err := p.expect(tokIdent, "contains", `"contains"`); err != nil {
+			return nil, err
+		}
+		st, err := p.expect(tokString, "", "a quoted string")
+		if err != nil {
+			return nil, err
+		}
+		return containsExpr{needle: st.text}, nil
+	}
+	field, ok := fields[t.text]
+	if !ok {
+		return nil, fmt.Errorf("query: unknown field %q", t.text)
+	}
+	if p.accept(tokIdent, "between") {
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokIdent, "and", `"and"`); err != nil {
+			return nil, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("query: between bounds reversed (%d > %d)", lo, hi)
+		}
+		return betweenExpr{field: field, lo: lo, hi: hi}, nil
+	}
+	op, err := p.expect(tokOp, "", "a comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{field: field, op: op.text, val: v}, nil
+}
+
+func (p *parser) number() (int64, error) {
+	t, err := p.expect(tokNumber, "", "a number")
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %q", t.text)
+	}
+	return v, nil
+}

@@ -1,0 +1,327 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"hypermodel/internal/hyper"
+)
+
+// AccessPath selects how candidate nodes are produced.
+type AccessPath int
+
+// Access paths.
+const (
+	FullScan AccessPath = iota
+	IndexHundred
+	IndexMillion
+)
+
+func (a AccessPath) String() string {
+	switch a {
+	case IndexHundred:
+		return "index scan (hundred)"
+	case IndexMillion:
+		return "index scan (million)"
+	default:
+		return "sequential scan"
+	}
+}
+
+// Plan is a compiled query: an access path plus the full predicate as
+// a residual filter.
+type Plan struct {
+	Access AccessPath
+	Lo, Hi int32 // index bounds, inclusive (index paths only)
+	Query  Query
+}
+
+func (p Plan) String() string {
+	s := p.Access.String()
+	if p.Access != FullScan {
+		s += fmt.Sprintf(" [%d,%d]", p.Lo, p.Hi)
+	}
+	if p.Query.Where != nil {
+		s += fmt.Sprintf(", filter: %s", p.Query.Where)
+	}
+	if p.Query.Limit > 0 {
+		s += fmt.Sprintf(", limit %d", p.Query.Limit)
+	}
+	return s
+}
+
+// bounds accumulates [lo, hi] constraints for one field.
+type bounds struct {
+	lo, hi int64
+	any    bool
+}
+
+func (b *bounds) narrowLo(v int64) {
+	if !b.any || v > b.lo {
+		b.lo = v
+	}
+	b.any = true
+}
+
+func (b *bounds) narrowHi(v int64) {
+	if !b.any || v < b.hi {
+		b.hi = v
+	}
+	b.any = true
+}
+
+// collectBounds walks the AND-spine of the predicate, gathering range
+// constraints on indexable fields. OR and NOT nodes stop the walk —
+// their constraints are not conjunctive.
+func collectBounds(e Expr, h, m *bounds) {
+	switch x := e.(type) {
+	case andExpr:
+		collectBounds(x.l, h, m)
+		collectBounds(x.r, h, m)
+	case cmpExpr:
+		var b *bounds
+		switch x.field {
+		case FieldHundred:
+			b = h
+		case FieldMillion:
+			b = m
+		default:
+			return
+		}
+		switch x.op {
+		case "=":
+			b.narrowLo(x.val)
+			b.narrowHi(x.val)
+		case "<":
+			b.narrowHi(x.val - 1)
+		case "<=":
+			b.narrowHi(x.val)
+		case ">":
+			b.narrowLo(x.val + 1)
+		case ">=":
+			b.narrowLo(x.val)
+		}
+	case betweenExpr:
+		switch x.field {
+		case FieldHundred:
+			h.narrowLo(x.lo)
+			h.narrowHi(x.hi)
+		case FieldMillion:
+			m.narrowLo(x.lo)
+			m.narrowHi(x.hi)
+		}
+	}
+}
+
+// clamp materializes bounds against a field's domain, returning
+// inclusive bounds and the fraction of the domain covered (the
+// planner's selectivity estimate).
+func clamp(b bounds, domain int64) (lo, hi int64, frac float64, usable bool) {
+	if !b.any {
+		return 0, 0, 1, false
+	}
+	lo, hi = b.lo, b.hi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > domain-1 {
+		hi = domain - 1
+	}
+	if lo > hi {
+		return lo, hi, 0, true // provably empty
+	}
+	return lo, hi, float64(hi-lo+1) / float64(domain), true
+}
+
+// Compile builds an execution plan: the tighter usable index range
+// wins; with no conjunctive range on hundred or million the plan falls
+// back to a sequential scan.
+func Compile(q Query) Plan {
+	p := Plan{Access: FullScan, Query: q}
+	if q.Where == nil {
+		return p
+	}
+	var h, m bounds
+	// Initialize to full domains so narrowing works from both ends.
+	h.lo, h.hi = 0, hyper.HundredRange-1
+	m.lo, m.hi = 0, hyper.MillionRange-1
+	collectBounds(q.Where, &h, &m)
+
+	hLo, hHi, hFrac, hOK := clamp(h, hyper.HundredRange)
+	mLo, mHi, mFrac, mOK := clamp(m, hyper.MillionRange)
+	switch {
+	case hOK && (!mOK || hFrac <= mFrac):
+		p.Access, p.Lo, p.Hi = IndexHundred, int32(hLo), int32(hHi)
+	case mOK:
+		p.Access, p.Lo, p.Hi = IndexMillion, int32(mLo), int32(mHi)
+	}
+	return p
+}
+
+// AggValue is the outcome of an aggregate query.
+type AggValue struct {
+	Agg   Aggregate
+	Field Field
+	Count int
+	Sum   int64
+	Min   int64
+	Max   int64
+}
+
+// Value renders the aggregate's principal number.
+func (a AggValue) Value() float64 {
+	switch a.Agg {
+	case AggCount:
+		return float64(a.Count)
+	case AggSum:
+		return float64(a.Sum)
+	case AggMin:
+		return float64(a.Min)
+	case AggMax:
+		return float64(a.Max)
+	case AggAvg:
+		if a.Count == 0 {
+			return 0
+		}
+		return float64(a.Sum) / float64(a.Count)
+	default:
+		return 0
+	}
+}
+
+func (a AggValue) String() string {
+	if a.Count == 0 && a.Agg != AggCount {
+		return fmt.Sprintf("%s(%s) over empty set", a.Agg, a.Field)
+	}
+	switch a.Agg {
+	case AggCount:
+		return fmt.Sprintf("count = %d", a.Count)
+	case AggAvg:
+		return fmt.Sprintf("avg(%s) = %.3f over %d nodes", a.Field, a.Value(), a.Count)
+	default:
+		return fmt.Sprintf("%s(%s) = %.0f over %d nodes", a.Agg, a.Field, a.Value(), a.Count)
+	}
+}
+
+// Result is a query outcome: a node set, or an aggregate.
+type Result struct {
+	IDs []hyper.NodeID // node queries (Agg == AggNone)
+	Agg *AggValue      // aggregate queries
+}
+
+// Run parses, plans and executes a query against the test structure
+// whose uniqueIds span [first, last]. Node results come back in
+// ascending uniqueId order unless the query orders by a field.
+func Run(b hyper.Backend, first, last hyper.NodeID, input string) (Result, Plan, error) {
+	q, err := Parse(input)
+	if err != nil {
+		return Result{}, Plan{}, err
+	}
+	plan := Compile(q)
+	res, err := Execute(b, first, last, plan)
+	return res, plan, err
+}
+
+// Execute runs a compiled plan.
+func Execute(b hyper.Backend, first, last hyper.NodeID, plan Plan) (Result, error) {
+	q := plan.Query
+	var candidates []hyper.NodeID
+	switch plan.Access {
+	case IndexHundred:
+		if plan.Lo > plan.Hi {
+			return emptyResult(q), nil
+		}
+		ids, err := b.RangeHundred(plan.Lo, plan.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		candidates = ids
+	case IndexMillion:
+		if plan.Lo > plan.Hi {
+			return emptyResult(q), nil
+		}
+		ids, err := b.RangeMillion(plan.Lo, plan.Hi)
+		if err != nil {
+			return Result{}, err
+		}
+		candidates = ids
+	default:
+		err := b.ScanTen(first, last, func(id hyper.NodeID, _ int32) bool {
+			candidates = append(candidates, id)
+			return true
+		})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	// Early exit on limit is only sound for plain unordered node
+	// queries.
+	earlyLimit := q.Limit > 0 && q.Agg == AggNone && !q.Ordered
+
+	var matched []hyper.Node
+	for _, id := range candidates {
+		if id < first || id > last {
+			continue
+		}
+		n, err := b.Node(id)
+		if err != nil {
+			return Result{}, err
+		}
+		if q.Where != nil {
+			ctx := &evalCtx{b: b, node: n}
+			ok, err := q.Where.eval(ctx)
+			if err != nil {
+				return Result{}, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		matched = append(matched, n)
+		if earlyLimit && len(matched) >= q.Limit {
+			break
+		}
+	}
+
+	if q.Agg != AggNone {
+		agg := &AggValue{Agg: q.Agg, Field: q.AggField, Count: len(matched)}
+		for i, n := range matched {
+			v := q.AggField.valueOf(n)
+			agg.Sum += v
+			if i == 0 || v < agg.Min {
+				agg.Min = v
+			}
+			if i == 0 || v > agg.Max {
+				agg.Max = v
+			}
+		}
+		return Result{Agg: agg}, nil
+	}
+
+	if q.Ordered {
+		sort.SliceStable(matched, func(i, j int) bool {
+			vi, vj := q.OrderBy.valueOf(matched[i]), q.OrderBy.valueOf(matched[j])
+			if q.Desc {
+				return vi > vj
+			}
+			return vi < vj
+		})
+	}
+	if q.Limit > 0 && len(matched) > q.Limit {
+		matched = matched[:q.Limit]
+	}
+	ids := make([]hyper.NodeID, len(matched))
+	for i, n := range matched {
+		ids[i] = n.ID
+	}
+	return Result{IDs: ids}, nil
+}
+
+func emptyResult(q Query) Result {
+	if q.Agg != AggNone {
+		return Result{Agg: &AggValue{Agg: q.Agg, Field: q.AggField}}
+	}
+	return Result{}
+}

@@ -1,0 +1,287 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"hypermodel/internal/backend/memdb"
+	"hypermodel/internal/hyper"
+)
+
+func setup(t *testing.T) (*memdb.DB, hyper.Layout) {
+	t.Helper()
+	db, err := memdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, lay
+}
+
+// brute evaluates a predicate function over every node.
+func brute(t *testing.T, db *memdb.DB, total int, pred func(hyper.Node, string) bool) []hyper.NodeID {
+	t.Helper()
+	var out []hyper.NodeID
+	for id := hyper.NodeID(1); id <= hyper.NodeID(total); id++ {
+		n, err := db.Node(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := ""
+		if n.Kind == hyper.KindText {
+			if text, err = db.Text(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if pred(n, text) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func runQ(t *testing.T, db *memdb.DB, total int, q string) ([]hyper.NodeID, Plan) {
+	t.Helper()
+	res, plan, err := Run(db, 1, hyper.NodeID(total), q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	if res.Agg != nil {
+		t.Fatalf("query %q: unexpected aggregate result", q)
+	}
+	return res.IDs, plan
+}
+
+func runAgg(t *testing.T, db *memdb.DB, total int, q string) (*AggValue, Plan) {
+	t.Helper()
+	res, plan, err := Run(db, 1, hyper.NodeID(total), q)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	if res.Agg == nil {
+		t.Fatalf("query %q: expected an aggregate result", q)
+	}
+	return res.Agg, plan
+}
+
+func sameIDs(a, b []hyper.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSelectAll(t *testing.T) {
+	db, lay := setup(t)
+	ids, plan := runQ(t, db, lay.Total(), "select")
+	if len(ids) != lay.Total() {
+		t.Fatalf("select returned %d, want %d", len(ids), lay.Total())
+	}
+	if plan.Access != FullScan {
+		t.Fatalf("plan = %s", plan)
+	}
+}
+
+func TestHundredRangeUsesIndex(t *testing.T) {
+	db, lay := setup(t)
+	ids, plan := runQ(t, db, lay.Total(), "select where hundred between 10 and 19")
+	if plan.Access != IndexHundred || plan.Lo != 10 || plan.Hi != 19 {
+		t.Fatalf("plan = %s", plan)
+	}
+	want := brute(t, db, lay.Total(), func(n hyper.Node, _ string) bool {
+		return n.Hundred >= 10 && n.Hundred <= 19
+	})
+	if !sameIDs(ids, want) {
+		t.Fatalf("got %d ids, want %d", len(ids), len(want))
+	}
+}
+
+func TestComparisonOperators(t *testing.T) {
+	db, lay := setup(t)
+	cases := []struct {
+		q    string
+		pred func(hyper.Node, string) bool
+	}{
+		{"select where ten = 3", func(n hyper.Node, _ string) bool { return n.Ten == 3 }},
+		{"select where ten != 3", func(n hyper.Node, _ string) bool { return n.Ten != 3 }},
+		{"select where thousand < 100", func(n hyper.Node, _ string) bool { return n.Thousand < 100 }},
+		{"select where thousand >= 900", func(n hyper.Node, _ string) bool { return n.Thousand >= 900 }},
+		{"select where id <= 6", func(n hyper.Node, _ string) bool { return n.ID <= 6 }},
+		{"select where million > 500000", func(n hyper.Node, _ string) bool { return n.Million > 500000 }},
+	}
+	for _, c := range cases {
+		ids, _ := runQ(t, db, lay.Total(), c.q)
+		want := brute(t, db, lay.Total(), c.pred)
+		if !sameIDs(ids, want) {
+			t.Fatalf("%q: got %d, want %d", c.q, len(ids), len(want))
+		}
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	db, lay := setup(t)
+	q := "select where (ten = 1 or ten = 2) and not hundred < 50"
+	ids, _ := runQ(t, db, lay.Total(), q)
+	want := brute(t, db, lay.Total(), func(n hyper.Node, _ string) bool {
+		return (n.Ten == 1 || n.Ten == 2) && !(n.Hundred < 50)
+	})
+	if !sameIDs(ids, want) {
+		t.Fatalf("%q: got %d, want %d", q, len(ids), len(want))
+	}
+}
+
+func TestKindAndContains(t *testing.T) {
+	db, lay := setup(t)
+	ids, _ := runQ(t, db, lay.Total(), `select where kind = text and text contains "version1"`)
+	want := brute(t, db, lay.Total(), func(n hyper.Node, text string) bool {
+		return n.Kind == hyper.KindText && strings.Contains(text, "version1")
+	})
+	if !sameIDs(ids, want) {
+		t.Fatalf("got %d, want %d (every text node contains version1)", len(ids), len(want))
+	}
+	if len(ids) == 0 {
+		t.Fatal("no text nodes matched")
+	}
+	ids2, _ := runQ(t, db, lay.Total(), "select where kind != form")
+	want2 := brute(t, db, lay.Total(), func(n hyper.Node, _ string) bool { return n.Kind != hyper.KindForm })
+	if !sameIDs(ids2, want2) {
+		t.Fatal("kind != form mismatch")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db, lay := setup(t)
+	ids, _ := runQ(t, db, lay.Total(), "select where ten >= 0 limit 7")
+	if len(ids) != 7 {
+		t.Fatalf("limit returned %d", len(ids))
+	}
+}
+
+func TestPlannerPrefersTighterIndex(t *testing.T) {
+	// A 1%-selectivity million range must beat a 50% hundred range.
+	q, err := Parse("select where hundred >= 50 and million between 0 and 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Compile(q)
+	if plan.Access != IndexMillion || plan.Lo != 0 || plan.Hi != 9999 {
+		t.Fatalf("plan = %s", plan)
+	}
+	// And the reverse.
+	q2, err := Parse("select where hundred = 7 and million >= 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2 := Compile(q2)
+	if plan2.Access != IndexHundred || plan2.Lo != 7 || plan2.Hi != 7 {
+		t.Fatalf("plan = %s", plan2)
+	}
+}
+
+func TestPlannerIgnoresDisjunctiveBounds(t *testing.T) {
+	q, err := Parse("select where hundred = 7 or ten = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := Compile(q); plan.Access != FullScan {
+		t.Fatalf("OR predicate must not use an index: %s", plan)
+	}
+	qn, err := Parse("select where not hundred = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := Compile(qn); plan.Access != FullScan {
+		t.Fatalf("NOT predicate must not use an index: %s", plan)
+	}
+}
+
+func TestProvablyEmptyRange(t *testing.T) {
+	db, lay := setup(t)
+	ids, plan := runQ(t, db, lay.Total(), "select where hundred > 50 and hundred < 40")
+	if len(ids) != 0 {
+		t.Fatalf("contradictory range returned %d ids", len(ids))
+	}
+	if plan.Access == FullScan {
+		t.Fatalf("contradiction not detected by planner: %s", plan)
+	}
+}
+
+func TestIndexAndResidualAgree(t *testing.T) {
+	db, lay := setup(t)
+	q := "select where hundred between 20 and 39 and kind = text"
+	ids, plan := runQ(t, db, lay.Total(), q)
+	if plan.Access != IndexHundred {
+		t.Fatalf("plan = %s", plan)
+	}
+	want := brute(t, db, lay.Total(), func(n hyper.Node, _ string) bool {
+		return n.Hundred >= 20 && n.Hundred <= 39 && n.Kind == hyper.KindText
+	})
+	if !sameIDs(ids, want) {
+		t.Fatalf("got %d, want %d", len(ids), len(want))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"delete where ten = 1",
+		"select where",
+		"select where ten",
+		"select where ten = ",
+		"select where bogus = 1",
+		"select where kind = spaceship",
+		"select where kind < node",
+		"select where ten between 5 and 1",
+		"select where text contains version1",
+		"select limit 0",
+		"select where ten = 1 garbage",
+		`select where text contains "unterminated`,
+		"select where ten ! 1",
+		"select where (ten = 1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Fatalf("parse accepted %q", q)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	q, err := Parse(`select where (ten = 1 or kind = form) and text contains "x" limit 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", s, err)
+	}
+	if q2.String() != s {
+		t.Fatalf("unstable round trip: %q vs %q", s, q2.String())
+	}
+}
+
+func TestUniverseBounds(t *testing.T) {
+	// Nodes outside [first, last] must not leak into results even via
+	// index paths (a second structure may share the database).
+	db, lay := setup(t)
+	// Add an out-of-universe node with an extreme attribute.
+	extra := hyper.Node{ID: hyper.NodeID(lay.Total() + 500), Hundred: 42}
+	if err := db.CreateNode(extra, 0); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := runQ(t, db, lay.Total(), "select where hundred = 42")
+	for _, id := range ids {
+		if id == extra.ID {
+			t.Fatal("query leaked a node outside the test structure")
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"hypermodel/internal/storage/buffer"
+	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/store"
+)
+
+// Client is the workstation side of the page-server architecture. It
+// satisfies the backends' Space interface: pages are cached in a local
+// buffer pool, misses are fetched from the server, and Commit ships
+// the transaction's read set (for optimistic validation) and write set
+// to the server atomically.
+type Client struct {
+	mu       sync.Mutex
+	conn     net.Conn
+	pool     *buffer.Pool
+	versions map[page.ID]uint64 // version of each cached page as fetched
+	readSet  map[page.ID]uint64 // pages read since the last commit
+	frees    []page.ID
+
+	roots      [store.NumRoots]page.ID
+	rootsVer   uint64
+	rootsRead  bool
+	rootsDirty map[int]page.ID
+
+	hits, misses, fetches uint64
+}
+
+// ClientOptions configure a workstation client.
+type ClientOptions struct {
+	// PoolPages is the size of the workstation page cache (default
+	// 1024 pages = 4 MiB).
+	PoolPages int
+}
+
+// Dial connects to a page server and loads the root directory.
+func Dial(addr string, opts ClientOptions) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	poolPages := opts.PoolPages
+	if poolPages <= 0 {
+		poolPages = 1024
+	}
+	c := &Client{
+		conn:       conn,
+		pool:       buffer.New(poolPages),
+		versions:   make(map[page.ID]uint64),
+		readSet:    make(map[page.ID]uint64),
+		rootsDirty: make(map[int]page.ID),
+	}
+	if err := c.fetchRoots(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// call performs one request/response round trip. Callers hold c.mu.
+func (c *Client) call(req []byte) ([]byte, error) {
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, fmt.Errorf("remote: send: %w", err)
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("remote: receive: %w", err)
+	}
+	if len(resp) == 0 {
+		return nil, errors.New("remote: empty response")
+	}
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusConflict:
+		return nil, ErrConflict
+	default:
+		return nil, fmt.Errorf("remote: server error: %s", resp[1:])
+	}
+}
+
+func (c *Client) fetchRoots() error {
+	resp, err := c.call([]byte{opRoots})
+	if err != nil {
+		return err
+	}
+	if len(resp) != 8+8*store.NumRoots {
+		return errors.New("remote: bad roots response")
+	}
+	c.rootsVer = binary.LittleEndian.Uint64(resp)
+	for i := 0; i < store.NumRoots; i++ {
+		c.roots[i] = page.ID(binary.LittleEndian.Uint64(resp[8+8*i:]))
+	}
+	return nil
+}
+
+// handle implements store.Handle over the client pool.
+type handle struct {
+	c *Client
+	f *buffer.Frame
+}
+
+func (h *handle) Page() *page.Page { return h.f.Page }
+func (h *handle) MarkDirty()       { h.c.pool.MarkDirty(h.f) }
+func (h *handle) Release()         { h.c.pool.Release(h.f) }
+
+// Get pins the page, fetching it from the server on a cache miss, and
+// records it in the transaction's read set.
+func (c *Client) Get(id page.ID) (store.Handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f := c.pool.Get(id); f != nil {
+		c.hits++
+		c.readSet[id] = c.versions[id]
+		return &handle{c, f}, nil
+	}
+	c.misses++
+	req := append([]byte{opGetPage}, binary.LittleEndian.AppendUint64(nil, uint64(id))...)
+	resp, err := c.call(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) != 8+page.Size {
+		return nil, errors.New("remote: bad GetPage response")
+	}
+	c.fetches++
+	ver := binary.LittleEndian.Uint64(resp)
+	img := &page.Page{}
+	copy(img.Bytes(), resp[8:])
+	f := c.pool.Insert(id, img)
+	c.versions[id] = ver
+	c.readSet[id] = ver
+	return &handle{c, f}, nil
+}
+
+// Alloc asks the server for a fresh page and materializes it dirty in
+// the local cache; its contents travel with the next Commit.
+func (c *Client) Alloc(t page.Type) (page.ID, store.Handle, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.call([]byte{opAlloc, byte(t)})
+	if err != nil {
+		return page.Invalid, nil, err
+	}
+	if len(resp) != 16 {
+		return page.Invalid, nil, errors.New("remote: bad Alloc response")
+	}
+	id := page.ID(binary.LittleEndian.Uint64(resp))
+	img := page.New(t)
+	f := c.pool.Insert(id, img)
+	c.pool.MarkDirty(f)
+	c.versions[id] = binary.LittleEndian.Uint64(resp[8:])
+	return id, &handle{c, f}, nil
+}
+
+// Free queues the page for release at the next Commit.
+func (c *Client) Free(id page.ID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pool.Forget(id)
+	c.frees = append(c.frees, id)
+	return nil
+}
+
+// Root reads a root slot from the cached root directory.
+func (c *Client) Root(slot int) page.ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rootsRead = true
+	return c.roots[slot]
+}
+
+// SetRoot updates a root slot; the change ships with the next Commit.
+func (c *Client) SetRoot(slot int, id page.ID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.roots[slot] = id
+	c.rootsDirty[slot] = id
+}
+
+// Commit ships the transaction to the server. On ErrConflict the local
+// caches are already discarded and the root directory refreshed; the
+// caller re-runs its transaction.
+func (c *Client) Commit() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	dirty := c.pool.DirtyFrames()
+	if len(dirty) == 0 && len(c.rootsDirty) == 0 && len(c.frees) == 0 {
+		// Read-only transaction: nothing to validate or apply.
+		c.readSet = make(map[page.ID]uint64)
+		c.rootsRead = false
+		return nil
+	}
+
+	req := &commitReq{}
+	for id, ver := range c.readSet {
+		req.reads = append(req.reads, readEntry{id, ver})
+	}
+	if c.rootsRead || len(c.rootsDirty) > 0 {
+		req.reads = append(req.reads, readEntry{rootsVersionKey, c.rootsVer})
+	}
+	for _, f := range dirty {
+		f.Page.UpdateChecksum()
+		req.writes = append(req.writes, writeEntry{f.ID, f.Page.Bytes()})
+	}
+	for slot, id := range c.rootsDirty {
+		req.roots = append(req.roots, rootEntry{slot, id})
+	}
+	req.frees = c.frees
+
+	_, err := c.call(encodeCommit(req))
+	if errors.Is(err, ErrConflict) {
+		// Discard the failed transaction: local caches are stale.
+		c.pool.Drop()
+		c.versions = make(map[page.ID]uint64)
+		c.resetTxnLocked()
+		if rerr := c.fetchRoots(); rerr != nil {
+			return rerr
+		}
+		return ErrConflict
+	}
+	if err != nil {
+		return err
+	}
+
+	// Success: written pages advanced one version on the server.
+	for _, f := range dirty {
+		c.versions[f.ID]++
+	}
+	if len(c.rootsDirty) > 0 {
+		c.rootsVer++
+	}
+	c.pool.MarkAllClean()
+	c.resetTxnLocked()
+	return nil
+}
+
+func (c *Client) resetTxnLocked() {
+	c.readSet = make(map[page.ID]uint64)
+	c.rootsDirty = make(map[int]page.ID)
+	c.rootsRead = false
+	c.frees = nil
+}
+
+// Abort discards all uncommitted modifications: the entire workstation
+// cache is dropped (dirty pages never left the workstation) and the
+// root directory refreshed from the server.
+func (c *Client) Abort() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pool.Drop()
+	c.versions = make(map[page.ID]uint64)
+	c.resetTxnLocked()
+	return c.fetchRoots()
+}
+
+// DropCache empties the workstation cache so the next run fetches
+// every page from the server (the cold run). It refuses to discard
+// uncommitted work and refreshes the root directory.
+func (c *Client) DropCache() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pool.DirtyFrames()) > 0 {
+		return errors.New("remote: DropCache with uncommitted changes")
+	}
+	c.pool.Drop()
+	c.versions = make(map[page.ID]uint64)
+	c.readSet = make(map[page.ID]uint64)
+	return c.fetchRoots()
+}
+
+// CacheStats reports workstation cache hits/misses and server fetches.
+func (c *Client) CacheStats() (hits, misses, reads uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.fetches
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := c.call([]byte{opPing})
+	return err
+}
+
+// ServerStats fetches the server's commit/abort/fetch counters.
+func (c *Client) ServerStats() (commits, aborts, fetches uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, err := c.call([]byte{opStats})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(resp) != 24 {
+		return 0, 0, 0, errors.New("remote: bad Stats response")
+	}
+	return binary.LittleEndian.Uint64(resp), binary.LittleEndian.Uint64(resp[8:]), binary.LittleEndian.Uint64(resp[16:]), nil
+}
+
+// Close terminates the connection. Uncommitted local changes are
+// discarded, as when a workstation disconnects.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+var _ store.Space = (*Client)(nil)

@@ -1,0 +1,33 @@
+package remote
+
+import (
+	"testing"
+
+	"hypermodel/internal/storage/page"
+)
+
+// FuzzDecodeCommit: a hostile or corrupted client must not be able to
+// panic the server's commit decoder.
+func FuzzDecodeCommit(f *testing.F) {
+	f.Add([]byte{})
+	img := make([]byte, page.Size)
+	good := encodeCommit(&commitReq{
+		reads:  []readEntry{{1, 2}},
+		writes: []writeEntry{{3, img}},
+		roots:  []rootEntry{{0, 9}},
+		frees:  []page.ID{4},
+	})
+	f.Add(good[1:]) // decoder sees the body without the opcode
+	f.Add([]byte{255, 255, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeCommit(data)
+		if err != nil {
+			return
+		}
+		// Accepted requests re-encode to the same body.
+		re := encodeCommit(req)
+		if len(re)-1 != len(data) {
+			t.Fatalf("round trip changed size: %d -> %d", len(data), len(re)-1)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Package remote implements the workstation/server architecture of
+// requirement R6: a TCP page server in front of a local page store,
+// and a client that satisfies the same Space interface the backends
+// run on.
+//
+// The client keeps its own buffer pool — the "workstation memory" of
+// the paper. A cold run (client cache dropped) fetches every page from
+// the server, which is precisely the cold-run cost §6's protocol
+// isolates; warm runs never leave the workstation.
+//
+// Concurrency control is optimistic (R8), matching the systems the
+// paper measured: clients track the version of every page they read
+// and ship their read set with the commit; the server validates that
+// no read page changed and applies the write set atomically, or
+// rejects with ErrConflict and the client retries with fresh caches
+// (R9's cooperating-users model).
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"hypermodel/internal/storage/page"
+)
+
+// Protocol opcodes (client → server).
+const (
+	opGetPage  = 1 // pageID u64 → version u64, image
+	opAlloc    = 2 // pageType u8 → pageID u64
+	opRoots    = 3 // → NumRoots × u64
+	opCommit   = 4 // read set, write set, root updates, frees → ok/conflict
+	opDropDead = 5 // reserved
+	opStats    = 6 // → server stats
+	opPing     = 7 // → ok
+)
+
+// Response status codes (server → client).
+const (
+	statusOK       = 0
+	statusError    = 1
+	statusConflict = 2
+)
+
+// ErrConflict is returned by Client.Commit when optimistic validation
+// failed: some page the client read was modified by another committed
+// transaction. The caller drops its caches and retries.
+var ErrConflict = errors.New("remote: optimistic validation failed (read set stale)")
+
+const maxFrame = 64 << 20 // sanity bound on frame sizes
+
+// writeFrame sends one length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("remote: oversized frame (%d bytes)", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// commitReq is the decoded payload of an opCommit frame.
+type commitReq struct {
+	reads  []readEntry
+	writes []writeEntry
+	roots  []rootEntry
+	frees  []page.ID
+}
+
+type readEntry struct {
+	id      page.ID
+	version uint64
+}
+
+type writeEntry struct {
+	id    page.ID
+	image []byte // page.Size bytes
+}
+
+type rootEntry struct {
+	slot int
+	id   page.ID
+}
+
+func encodeCommit(req *commitReq) []byte {
+	size := 1 + 4 + 16*len(req.reads) + 4 + len(req.writes)*(8+page.Size) + 4 + 12*len(req.roots) + 4 + 8*len(req.frees)
+	b := make([]byte, 0, size)
+	b = append(b, opCommit)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.reads)))
+	for _, r := range req.reads {
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.id))
+		b = binary.LittleEndian.AppendUint64(b, r.version)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.writes)))
+	for _, w := range req.writes {
+		b = binary.LittleEndian.AppendUint64(b, uint64(w.id))
+		b = append(b, w.image...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.roots)))
+	for _, r := range req.roots {
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.slot))
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.id))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.frees)))
+	for _, id := range req.frees {
+		b = binary.LittleEndian.AppendUint64(b, uint64(id))
+	}
+	return b
+}
+
+func decodeCommit(b []byte) (*commitReq, error) {
+	req := &commitReq{}
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(b) {
+			return 0, errors.New("remote: truncated commit request")
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if off+8 > len(b) {
+			return 0, errors.New("remote: truncated commit request")
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v, nil
+	}
+	nr, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nr; i++ {
+		id, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		ver, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		req.reads = append(req.reads, readEntry{page.ID(id), ver})
+	}
+	nw, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nw; i++ {
+		id, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		if off+page.Size > len(b) {
+			return nil, errors.New("remote: truncated page image")
+		}
+		req.writes = append(req.writes, writeEntry{page.ID(id), b[off : off+page.Size]})
+		off += page.Size
+	}
+	nro, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nro; i++ {
+		slot, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		id, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		req.roots = append(req.roots, rootEntry{int(slot), page.ID(id)})
+	}
+	nf, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nf; i++ {
+		id, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		req.frees = append(req.frees, page.ID(id))
+	}
+	if off != len(b) {
+		return nil, errors.New("remote: trailing bytes in commit request")
+	}
+	return req, nil
+}

@@ -1,0 +1,300 @@
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/store"
+)
+
+// Server exposes a local page store to workstation clients over TCP.
+// All requests are serialized through one mutex: the server machine is
+// the coordination point, as in the centralized-control architectures
+// the paper discusses under R6.
+type Server struct {
+	mu       sync.Mutex
+	st       *store.Store
+	versions map[page.ID]uint64 // bumped on every committed write
+	ln       net.Listener
+	wg       sync.WaitGroup
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	closed   chan struct{}
+	commits  uint64
+	aborts   uint64
+	fetches  uint64
+	logf     func(format string, args ...any)
+}
+
+// rootsVersionKey is the pseudo-page whose version covers the root
+// directory, so root changes participate in optimistic validation.
+const rootsVersionKey = page.ID(0)
+
+// NewServer wraps an open store. The caller keeps ownership of the
+// store and closes it after the server stops.
+func NewServer(st *store.Store) *Server {
+	return &Server{
+		st:       st,
+		versions: make(map[page.ID]uint64),
+		conns:    make(map[net.Conn]struct{}),
+		closed:   make(chan struct{}),
+		logf:     func(string, ...any) {},
+	}
+}
+
+// SetLogf installs a logger for connection-level errors (the default
+// discards them; cmd/hyperserver passes log.Printf).
+func (s *Server) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	s.logf = f
+}
+
+// Serve starts accepting connections on ln and returns immediately.
+func (s *Server) Serve(ln net.Listener) {
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-s.closed:
+					return
+				default:
+					s.logf("remote: accept: %v", err)
+					return
+				}
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.handle(conn)
+			}()
+		}
+	}()
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close stops accepting connections, disconnects active clients and
+// waits for handlers to finish.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Stats reports commit/abort/fetch counters.
+func (s *Server) Stats() (commits, aborts, fetches uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commits, s.aborts, s.fetches
+}
+
+func (s *Server) handle(conn net.Conn) {
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			return // client went away
+		}
+		if len(req) == 0 {
+			s.respondErr(conn, errors.New("remote: empty request"))
+			continue
+		}
+		var resp []byte
+		var rerr error
+		conflict := false
+		switch req[0] {
+		case opGetPage:
+			resp, rerr = s.getPage(req[1:])
+		case opAlloc:
+			resp, rerr = s.alloc(req[1:])
+		case opRoots:
+			resp, rerr = s.roots()
+		case opCommit:
+			resp, conflict, rerr = s.commit(req[1:])
+		case opStats:
+			resp, rerr = s.statsResp()
+		case opPing:
+			resp = nil
+		default:
+			rerr = fmt.Errorf("remote: unknown opcode %d", req[0])
+		}
+		switch {
+		case conflict:
+			if err := writeFrame(conn, []byte{statusConflict}); err != nil {
+				return
+			}
+		case rerr != nil:
+			if !s.respondErr(conn, rerr) {
+				return
+			}
+		default:
+			if err := writeFrame(conn, append([]byte{statusOK}, resp...)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) respondErr(conn net.Conn, err error) bool {
+	s.logf("remote: request failed: %v", err)
+	return writeFrame(conn, append([]byte{statusError}, err.Error()...)) == nil
+}
+
+func (s *Server) getPage(body []byte) ([]byte, error) {
+	if len(body) != 8 {
+		return nil, errors.New("remote: bad GetPage request")
+	}
+	id := page.ID(binary.LittleEndian.Uint64(body))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, err := s.st.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	s.fetches++
+	resp := make([]byte, 8+page.Size)
+	binary.LittleEndian.PutUint64(resp, s.versions[id])
+	copy(resp[8:], h.Page().Bytes())
+	return resp, nil
+}
+
+func (s *Server) alloc(body []byte) ([]byte, error) {
+	if len(body) != 1 {
+		return nil, errors.New("remote: bad Alloc request")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, h, err := s.st.Alloc(page.Type(body[0]))
+	if err != nil {
+		return nil, err
+	}
+	h.Release()
+	// Reallocated pages keep their version history, so the client must
+	// learn the current version, not assume zero.
+	resp := binary.LittleEndian.AppendUint64(nil, uint64(id))
+	return binary.LittleEndian.AppendUint64(resp, s.versions[id]), nil
+}
+
+func (s *Server) roots() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := make([]byte, 8+8*store.NumRoots)
+	binary.LittleEndian.PutUint64(resp, s.versions[rootsVersionKey])
+	for i := 0; i < store.NumRoots; i++ {
+		binary.LittleEndian.PutUint64(resp[8+8*i:], uint64(s.st.Root(i)))
+	}
+	return resp, nil
+}
+
+func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
+	req, err := decodeCommit(body)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Optimistic validation: every page (and the root directory) the
+	// client read must still be at the version it saw.
+	for _, r := range req.reads {
+		if s.versions[r.id] != r.version {
+			s.aborts++
+			return nil, true, nil
+		}
+	}
+
+	for _, w := range req.writes {
+		h, err := s.st.Get(w.id)
+		if err != nil {
+			return nil, false, fmt.Errorf("remote: commit write page %d: %w", w.id, err)
+		}
+		copy(h.Page().Bytes(), w.image)
+		h.MarkDirty()
+		h.Release()
+		s.versions[w.id]++
+	}
+	for _, r := range req.roots {
+		s.st.SetRoot(r.slot, r.id)
+	}
+	if len(req.roots) > 0 {
+		s.versions[rootsVersionKey]++
+	}
+	for _, id := range req.frees {
+		if err := s.st.Free(id); err != nil {
+			return nil, false, fmt.Errorf("remote: commit free page %d: %w", id, err)
+		}
+		s.versions[id]++
+	}
+	if err := s.st.Commit(); err != nil {
+		return nil, false, err
+	}
+	s.commits++
+	return nil, false, nil
+}
+
+func (s *Server) statsResp() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := make([]byte, 24)
+	binary.LittleEndian.PutUint64(resp[0:], s.commits)
+	binary.LittleEndian.PutUint64(resp[8:], s.aborts)
+	binary.LittleEndian.PutUint64(resp[16:], s.fetches)
+	return resp, nil
+}
+
+// ListenAndServeStore is a convenience for cmd/hyperserver: open the
+// store at path, serve on addr, and block until the listener fails.
+func ListenAndServeStore(path, addr string, opts *store.Options) error {
+	st, err := store.Open(path, opts)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	srv := NewServer(st)
+	srv.SetLogf(log.Printf)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("hyperserver: serving %s on %s", path, ln.Addr())
+	srv.Serve(ln)
+	srv.wg.Wait()
+	return nil
+}

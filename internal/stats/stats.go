@@ -1,0 +1,118 @@
+// Package stats aggregates the benchmark's timing samples and
+// normalizes them the way §6 prescribes: milliseconds per node
+// returned/visited, reported separately for the cold and the warm run.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is one timed execution of an operation: its wall time and the
+// number of nodes the operation returned or visited (the normalization
+// divisor; 1 for per-operation metrics like the editing operations).
+type Sample struct {
+	Elapsed time.Duration
+	Nodes   int
+}
+
+// Series accumulates samples for one (operation, level, temperature)
+// cell of the result matrix.
+type Series struct {
+	samples []Sample
+}
+
+// Add records one sample.
+func (s *Series) Add(elapsed time.Duration, nodes int) {
+	if nodes < 1 {
+		nodes = 1
+	}
+	s.samples = append(s.samples, Sample{elapsed, nodes})
+}
+
+// N reports the number of samples.
+func (s *Series) N() int { return len(s.samples) }
+
+// TotalNodes reports the total normalization divisor across samples.
+func (s *Series) TotalNodes() int {
+	n := 0
+	for _, x := range s.samples {
+		n += x.Nodes
+	}
+	return n
+}
+
+// TotalTime reports the summed wall time.
+func (s *Series) TotalTime() time.Duration {
+	var d time.Duration
+	for _, x := range s.samples {
+		d += x.Elapsed
+	}
+	return d
+}
+
+// MsPerNode is the paper's reported metric: total time divided by
+// total nodes, in milliseconds.
+func (s *Series) MsPerNode() float64 {
+	nodes := s.TotalNodes()
+	if nodes == 0 {
+		return math.NaN()
+	}
+	return float64(s.TotalTime().Nanoseconds()) / 1e6 / float64(nodes)
+}
+
+// MsPerOp is the mean per-execution time in milliseconds (used for the
+// editing operations, reported per operation rather than per node).
+func (s *Series) MsPerOp() float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	return float64(s.TotalTime().Nanoseconds()) / 1e6 / float64(len(s.samples))
+}
+
+// perNode returns each sample's ns/node, sorted.
+func (s *Series) perNode() []float64 {
+	out := make([]float64, len(s.samples))
+	for i, x := range s.samples {
+		out[i] = float64(x.Elapsed.Nanoseconds()) / float64(x.Nodes)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Percentile returns the p-th percentile (0–100) of per-node times, in
+// milliseconds.
+func (s *Series) Percentile(p float64) float64 {
+	v := s.perNode()
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	rank := p / 100 * float64(len(v)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return v[lo] / 1e6
+	}
+	frac := rank - float64(lo)
+	return (v[lo]*(1-frac) + v[hi]*frac) / 1e6
+}
+
+// Median is the 50th percentile of per-node times in milliseconds.
+func (s *Series) Median() float64 { return s.Percentile(50) }
+
+// FormatMs renders a millisecond value with a sensible precision for
+// tables: three significant-ish decimal ranges.
+func FormatMs(ms float64) string {
+	switch {
+	case math.IsNaN(ms):
+		return "n/a"
+	case ms >= 100:
+		return fmt.Sprintf("%.0f", ms)
+	case ms >= 1:
+		return fmt.Sprintf("%.2f", ms)
+	default:
+		return fmt.Sprintf("%.4f", ms)
+	}
+}

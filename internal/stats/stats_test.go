@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMsPerNode(t *testing.T) {
+	var s Series
+	s.Add(10*time.Millisecond, 5)
+	s.Add(20*time.Millisecond, 10)
+	// 30ms over 15 nodes = 2 ms/node.
+	if got := s.MsPerNode(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("MsPerNode = %v", got)
+	}
+	if got := s.MsPerOp(); math.Abs(got-15.0) > 1e-9 {
+		t.Fatalf("MsPerOp = %v", got)
+	}
+	if s.N() != 2 || s.TotalNodes() != 15 || s.TotalTime() != 30*time.Millisecond {
+		t.Fatalf("aggregates wrong: %d %d %v", s.N(), s.TotalNodes(), s.TotalTime())
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.MsPerNode()) || !math.IsNaN(s.MsPerOp()) || !math.IsNaN(s.Median()) {
+		t.Fatal("empty series must report NaN")
+	}
+}
+
+func TestZeroNodesClampedToOne(t *testing.T) {
+	var s Series
+	s.Add(4*time.Millisecond, 0) // e.g. an empty refLookupMNAtt result
+	if got := s.MsPerNode(); math.Abs(got-4.0) > 1e-9 {
+		t.Fatalf("MsPerNode with zero nodes = %v", got)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(time.Duration(i)*time.Millisecond, 1)
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 0.01 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Percentile(0); math.Abs(got-1.0) > 0.01 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); math.Abs(got-100.0) > 0.01 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if p95 := s.Percentile(95); p95 < 95 || p95 > 96.1 {
+		t.Fatalf("p95 = %v", p95)
+	}
+}
+
+func TestFormatMs(t *testing.T) {
+	cases := map[float64]string{
+		250:    "250",
+		12.345: "12.35", // mid range: two decimals
+		0.1234: "0.1234",
+	}
+	for in, want := range cases {
+		if got := FormatMs(in); got != want {
+			t.Fatalf("FormatMs(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatMs(math.NaN()); got != "n/a" {
+		t.Fatalf("FormatMs(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,219 @@
+// Package buffer implements the page buffer pool.
+//
+// The pool caches page images in memory with LRU replacement. It is the
+// component that produces the HyperModel benchmark's cold/warm
+// distinction: a cold run starts with an empty pool (every access is a
+// disk or server fetch), a warm run finds the working set resident.
+//
+// The pool is no-steal: dirty frames are never evicted, because the
+// write-ahead log is redo-only and an early write-back of uncommitted
+// data could not be undone after a crash. If every frame is dirty or
+// pinned the pool grows past its nominal capacity; the store bounds
+// this by checkpointing.
+package buffer
+
+import (
+	"container/list"
+	"sync"
+
+	"hypermodel/internal/storage/page"
+)
+
+// Frame is a cached page together with its bookkeeping.
+type Frame struct {
+	ID    page.ID
+	Page  *page.Page
+	pins  int
+	dirty bool
+	// elem is the frame's position in the eviction list. Only clean,
+	// unpinned frames are listed; everything else is ineligible, which
+	// keeps eviction O(1) even when the pool is full of dirty pages
+	// (bulk loads under the no-steal policy).
+	elem *list.Element
+}
+
+// Dirty reports whether the frame has modifications that are not yet in
+// the main database file.
+func (f *Frame) Dirty() bool { return f.dirty }
+
+// Stats are cumulative buffer pool counters.
+type Stats struct {
+	Hits      uint64 // Get found the page resident
+	Misses    uint64 // Get did not find the page
+	Evictions uint64 // clean frames evicted to make room
+}
+
+// Pool is an LRU page cache.
+type Pool struct {
+	mu     sync.Mutex
+	cap    int
+	frames map[page.ID]*Frame
+	lru    *list.List // of evictable (clean, unpinned) *Frame; front = MRU
+	stats  Stats
+}
+
+// New returns a pool that aims to hold at most capacity pages.
+// Capacity must be at least 1.
+func New(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		cap:    capacity,
+		frames: make(map[page.ID]*Frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Get returns the resident frame for id, pinned, or nil if the page is
+// not cached.
+func (p *Pool) Get(id page.ID) *Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		p.stats.Misses++
+		return nil
+	}
+	p.stats.Hits++
+	p.pinLocked(f)
+	return f
+}
+
+// Insert adds a page image (typically just read from disk) to the pool
+// and returns its frame, pinned. Inserting a page that is already
+// resident is a programming error and panics.
+func (p *Pool) Insert(id page.ID, img *page.Page) *Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[id]; ok {
+		panic("buffer: Insert of already-resident page")
+	}
+	p.makeRoomLocked()
+	f := &Frame{ID: id, Page: img, pins: 1}
+	p.frames[id] = f
+	return f
+}
+
+func (p *Pool) pinLocked(f *Frame) {
+	p.unlistLocked(f)
+	f.pins++
+}
+
+func (p *Pool) unlistLocked(f *Frame) {
+	if f.elem != nil {
+		p.lru.Remove(f.elem)
+		f.elem = nil
+	}
+}
+
+// relistLocked makes f evictable if it is clean and unpinned.
+func (p *Pool) relistLocked(f *Frame) {
+	if f.elem == nil && f.pins == 0 && !f.dirty {
+		f.elem = p.lru.PushFront(f)
+	}
+}
+
+// Release unpins a frame previously returned by Get or Insert. When the
+// pin count drops to zero the frame becomes eligible for eviction (once
+// clean).
+func (p *Pool) Release(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.pins <= 0 {
+		panic("buffer: Release of unpinned frame")
+	}
+	f.pins--
+	p.relistLocked(f)
+}
+
+// makeRoomLocked evicts the least recently used evictable frames until
+// the pool is under capacity. With every frame dirty or pinned the
+// eviction list is empty and the pool grows instead (no-steal).
+func (p *Pool) makeRoomLocked() {
+	for len(p.frames) >= p.cap {
+		e := p.lru.Back()
+		if e == nil {
+			return // everything dirty or pinned: allow growth
+		}
+		f := e.Value.(*Frame)
+		p.lru.Remove(e)
+		f.elem = nil
+		delete(p.frames, f.ID)
+		p.stats.Evictions++
+	}
+}
+
+// MarkDirty flags a (pinned) frame as modified, removing it from the
+// eviction candidates until the next commit cleans it.
+func (p *Pool) MarkDirty(f *Frame) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f.dirty = true
+	p.unlistLocked(f)
+}
+
+// DirtyFrames returns the frames currently flagged dirty, in
+// unspecified order. The frames are not pinned; the caller must hold
+// the store's mutation lock while using them.
+func (p *Pool) DirtyFrames() []*Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*Frame
+	for _, f := range p.frames {
+		if f.dirty {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// MarkAllClean clears the dirty flag on every frame (after the images
+// have been made durable via the WAL or the main file), returning the
+// unpinned ones to the eviction candidates.
+func (p *Pool) MarkAllClean() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		f.dirty = false
+		p.relistLocked(f)
+	}
+}
+
+// Forget removes a page from the pool regardless of state. Used when a
+// page is freed.
+func (p *Pool) Forget(id page.ID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok {
+		return
+	}
+	p.unlistLocked(f)
+	delete(p.frames, id)
+}
+
+// Drop discards every frame. It is the in-process equivalent of closing
+// and reopening the database: the next access to any page is cold.
+// Dropping while dirty frames exist loses their modifications, so the
+// store only calls this after a commit or checkpoint.
+func (p *Pool) Drop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[page.ID]*Frame, p.cap)
+	p.lru.Init()
+}
+
+// Len reports the number of resident pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

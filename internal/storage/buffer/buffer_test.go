@@ -1,0 +1,158 @@
+package buffer
+
+import (
+	"testing"
+
+	"hypermodel/internal/storage/page"
+)
+
+func TestGetMissThenInsertHit(t *testing.T) {
+	p := New(4)
+	if f := p.Get(1); f != nil {
+		t.Fatal("hit on empty pool")
+	}
+	f := p.Insert(1, page.New(page.TypeSlotted))
+	p.Release(f)
+	if f := p.Get(1); f == nil {
+		t.Fatal("miss after insert")
+	} else {
+		p.Release(f)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	p := New(2)
+	for i := 1; i <= 3; i++ {
+		f := p.Insert(page.ID(i), page.New(page.TypeSlotted))
+		p.Release(f)
+	}
+	// Page 1 was least recently used and clean: it must be gone.
+	if f := p.Get(1); f != nil {
+		t.Fatal("LRU page not evicted")
+	}
+	if f := p.Get(3); f == nil {
+		t.Fatal("most recent page evicted")
+	} else {
+		p.Release(f)
+	}
+	if p.Stats().Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestPinnedPagesSurviveEviction(t *testing.T) {
+	p := New(1)
+	f1 := p.Insert(1, page.New(page.TypeSlotted)) // stays pinned
+	f2 := p.Insert(2, page.New(page.TypeSlotted))
+	p.Release(f2)
+	_ = f1
+	if f := p.Get(1); f == nil {
+		t.Fatal("pinned page evicted")
+	} else {
+		p.Release(f)
+	}
+}
+
+func TestDirtyPagesNotEvicted(t *testing.T) {
+	p := New(1)
+	f1 := p.Insert(1, page.New(page.TypeSlotted))
+	p.MarkDirty(f1)
+	p.Release(f1)
+	f2 := p.Insert(2, page.New(page.TypeSlotted))
+	p.Release(f2)
+	if f := p.Get(1); f == nil {
+		t.Fatal("dirty page evicted")
+	} else {
+		p.Release(f)
+	}
+}
+
+func TestDirtyFramesAndMarkAllClean(t *testing.T) {
+	p := New(8)
+	for i := 1; i <= 3; i++ {
+		f := p.Insert(page.ID(i), page.New(page.TypeSlotted))
+		if i != 2 {
+			p.MarkDirty(f)
+		}
+		p.Release(f)
+	}
+	if n := len(p.DirtyFrames()); n != 2 {
+		t.Fatalf("dirty frames = %d, want 2", n)
+	}
+	p.MarkAllClean()
+	if n := len(p.DirtyFrames()); n != 0 {
+		t.Fatalf("dirty frames after clean = %d", n)
+	}
+}
+
+func TestDropMakesPoolCold(t *testing.T) {
+	p := New(8)
+	f := p.Insert(1, page.New(page.TypeSlotted))
+	p.Release(f)
+	p.Drop()
+	if p.Len() != 0 {
+		t.Fatal("pool not empty after Drop")
+	}
+	if f := p.Get(1); f != nil {
+		t.Fatal("hit after Drop")
+	}
+}
+
+func TestForget(t *testing.T) {
+	p := New(8)
+	f := p.Insert(1, page.New(page.TypeSlotted))
+	p.MarkDirty(f)
+	p.Release(f)
+	p.Forget(1)
+	if f := p.Get(1); f != nil {
+		t.Fatal("forgotten page still resident")
+	}
+	if n := len(p.DirtyFrames()); n != 0 {
+		t.Fatal("forgotten page still dirty-listed")
+	}
+}
+
+func TestReleaseUnpinnedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	p := New(2)
+	f := p.Insert(1, page.New(page.TypeSlotted))
+	p.Release(f)
+	p.Release(f)
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double insert did not panic")
+		}
+	}()
+	p := New(2)
+	p.Insert(1, page.New(page.TypeSlotted))
+	p.Insert(1, page.New(page.TypeSlotted))
+}
+
+func TestRepinRemovesFromLRU(t *testing.T) {
+	p := New(2)
+	f := p.Insert(1, page.New(page.TypeSlotted))
+	p.Release(f)
+	g := p.Get(1) // repin
+	// Fill past capacity; page 1 is pinned so page 2 must be the victim.
+	h2 := p.Insert(2, page.New(page.TypeSlotted))
+	p.Release(h2)
+	h3 := p.Insert(3, page.New(page.TypeSlotted))
+	p.Release(h3)
+	if got := p.Get(1); got == nil {
+		t.Fatal("pinned page lost")
+	} else {
+		p.Release(got)
+	}
+	p.Release(g)
+}

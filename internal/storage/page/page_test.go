@@ -1,0 +1,77 @@
+package page
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumRoundTrip(t *testing.T) {
+	p := New(TypeBTree)
+	copy(p.Payload(), "hello hypermodel")
+	p.UpdateChecksum()
+	if !p.VerifyChecksum() {
+		t.Fatal("fresh checksum does not verify")
+	}
+	p.Payload()[0] ^= 0xFF
+	if p.VerifyChecksum() {
+		t.Fatal("corrupted page still verifies")
+	}
+}
+
+func TestValidateRejectsUnknownType(t *testing.T) {
+	p := New(TypeBTree)
+	p.Bytes()[4] = 200
+	p.UpdateChecksum()
+	if err := p.Validate(); err == nil {
+		t.Fatal("unknown page type accepted")
+	}
+}
+
+func TestValidateAcceptsAllKnownTypes(t *testing.T) {
+	for ty := TypeFree; ty < maxType; ty++ {
+		p := New(ty)
+		p.UpdateChecksum()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("type %s: %v", ty, err)
+		}
+		if p.Type() != ty {
+			t.Fatalf("type %s: round-trip got %s", ty, p.Type())
+		}
+	}
+}
+
+func TestLSNRoundTrip(t *testing.T) {
+	f := func(lsn uint64) bool {
+		p := New(TypeSlotted)
+		p.SetLSN(lsn)
+		return p.LSN() == lsn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyFromAndReset(t *testing.T) {
+	a := New(TypeSlotted)
+	copy(a.Payload(), "payload data")
+	b := New(TypeFree)
+	b.CopyFrom(a)
+	if b.Type() != TypeSlotted || string(b.Payload()[:12]) != "payload data" {
+		t.Fatal("CopyFrom did not copy the image")
+	}
+	b.Reset(TypeBTree)
+	if b.Type() != TypeBTree {
+		t.Fatalf("Reset type = %s", b.Type())
+	}
+	for _, c := range b.Payload() {
+		if c != 0 {
+			t.Fatal("Reset left non-zero payload bytes")
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeBTree.String() != "btree" || Type(99).String() != "type(99)" {
+		t.Fatal("unexpected Type.String output")
+	}
+}

@@ -1,0 +1,122 @@
+// Package pager performs page-granular file I/O for the database file.
+//
+// The pager is deliberately thin: it knows how to read, write and sync
+// fixed-size pages by ID and how big the file is. Allocation policy,
+// caching and logging live in the layers above (storage/store,
+// storage/buffer, storage/wal).
+package pager
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"hypermodel/internal/storage/page"
+)
+
+// Pager reads and writes pages of a single database file.
+type Pager struct {
+	mu    sync.Mutex
+	f     *os.File
+	count uint64 // number of pages in the file
+	reads uint64 // pages read from disk (statistics)
+	wr    uint64 // pages written to disk (statistics)
+}
+
+// Open opens (or creates) the database file at path.
+func Open(path string) (*Pager, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	}
+	if st.Size()%page.Size != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s: size %d is not a multiple of the page size", path, st.Size())
+	}
+	return &Pager{f: f, count: uint64(st.Size()) / page.Size}, nil
+}
+
+// PageCount reports the number of pages currently in the file.
+func (p *Pager) PageCount() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Extend grows the file by one zeroed page and returns its ID.
+func (p *Pager) Extend() (page.ID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := page.ID(p.count)
+	if err := p.f.Truncate(int64(p.count+1) * page.Size); err != nil {
+		return page.Invalid, fmt.Errorf("pager: extend: %w", err)
+	}
+	p.count++
+	return id, nil
+}
+
+// Read fills dst with the stored image of page id and validates its
+// checksum.
+func (p *Pager) Read(id page.ID, dst *page.Page) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if uint64(id) >= p.count {
+		return fmt.Errorf("pager: read page %d: beyond end of file (%d pages)", id, p.count)
+	}
+	if _, err := p.f.ReadAt(dst.Bytes(), int64(id)*page.Size); err != nil {
+		return fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	p.reads++
+	if err := dst.Validate(); err != nil {
+		return fmt.Errorf("pager: page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Write stores src as the image of page id, updating its checksum. The
+// file is extended if id is exactly one past the current end.
+func (p *Pager) Write(id page.ID, src *page.Page) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if uint64(id) > p.count {
+		return fmt.Errorf("pager: write page %d: beyond end of file (%d pages)", id, p.count)
+	}
+	src.UpdateChecksum()
+	if _, err := p.f.WriteAt(src.Bytes(), int64(id)*page.Size); err != nil {
+		return fmt.Errorf("pager: write page %d: %w", id, err)
+	}
+	if uint64(id) == p.count {
+		p.count++
+	}
+	p.wr++
+	return nil
+}
+
+// Sync flushes the file to stable storage.
+func (p *Pager) Sync() error {
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("pager: sync: %w", err)
+	}
+	return nil
+}
+
+// Stats reports cumulative disk reads and writes, in pages.
+func (p *Pager) Stats() (reads, writes uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reads, p.wr
+}
+
+// Close syncs and closes the file.
+func (p *Pager) Close() error {
+	if err := p.f.Sync(); err != nil {
+		p.f.Close()
+		return fmt.Errorf("pager: close: %w", err)
+	}
+	return p.f.Close()
+}

@@ -1,0 +1,123 @@
+package pager
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/storage/page"
+)
+
+func openTemp(t *testing.T) *Pager {
+	t.Helper()
+	p, err := Open(filepath.Join(t.TempDir(), "db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestExtendWriteRead(t *testing.T) {
+	p := openTemp(t)
+	if got := p.PageCount(); got != 0 {
+		t.Fatalf("fresh file has %d pages", got)
+	}
+	id, err := p.Extend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 || p.PageCount() != 1 {
+		t.Fatalf("extend: id=%d count=%d", id, p.PageCount())
+	}
+	img := page.New(page.TypeSlotted)
+	copy(img.Payload(), "persisted")
+	if err := p.Write(id, img); err != nil {
+		t.Fatal(err)
+	}
+	var back page.Page
+	if err := p.Read(id, &back); err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Payload()[:9]) != "persisted" {
+		t.Fatal("read back wrong data")
+	}
+}
+
+func TestWriteExtendsAtBoundary(t *testing.T) {
+	p := openTemp(t)
+	img := page.New(page.TypeSlotted)
+	if err := p.Write(0, img); err != nil {
+		t.Fatal(err)
+	}
+	if p.PageCount() != 1 {
+		t.Fatalf("count = %d", p.PageCount())
+	}
+	// Writing past the boundary is an error.
+	if err := p.Write(5, img); err == nil {
+		t.Fatal("write far past EOF accepted")
+	}
+}
+
+func TestReadBeyondEOF(t *testing.T) {
+	p := openTemp(t)
+	var img page.Page
+	if err := p.Read(0, &img); err == nil {
+		t.Fatal("read of empty file succeeded")
+	}
+}
+
+func TestReadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db")
+	p, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := page.New(page.TypeSlotted)
+	if err := p.Write(0, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the payload on disk.
+	corrupt(t, path, 100)
+	p2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	var back page.Page
+	if err := p2.Read(0, &back); err == nil {
+		t.Fatal("corrupted page read succeeded")
+	}
+}
+
+func TestOpenRejectsPartialPage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db")
+	writeFile(t, path, make([]byte, page.Size+100))
+	if _, err := Open(path); err == nil {
+		t.Fatal("open of misaligned file succeeded")
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	p := openTemp(t)
+	img := page.New(page.TypeSlotted)
+	for i := 0; i < 3; i++ {
+		if err := p.Write(page.ID(i), img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var back page.Page
+	for i := 0; i < 2; i++ {
+		if err := p.Read(page.ID(i), &back); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, w := p.Stats()
+	if r != 2 || w != 3 {
+		t.Fatalf("stats = %d reads, %d writes", r, w)
+	}
+}

@@ -1,0 +1,252 @@
+// Package slotted implements slotted record pages: variable-length
+// records addressed by a stable (page, slot) pair.
+//
+// The package manipulates a single page payload; allocation across
+// pages, overflow chains for large records and object identity are the
+// object store's job (internal/objstore).
+//
+// Payload layout:
+//
+//	0   uint16  nslots (length of the slot directory)
+//	2.. slot directory: nslots × {offset uint16, length uint16}
+//	... free space ...
+//	... record bytes, growing down from the end of the payload
+//
+// A slot with offset 0xFFFF is dead; dead slots are reused by Insert so
+// record addresses stay stable and small.
+package slotted
+
+import (
+	"encoding/binary"
+
+	"hypermodel/internal/storage/page"
+)
+
+const (
+	payloadSize = page.Size - page.HeaderSize
+	hdrSize     = 2
+	slotSize    = 4
+	deadOffset  = 0xFFFF
+)
+
+// MaxRecord is the largest record Insert accepts: one record must
+// always fit on an otherwise empty page.
+const MaxRecord = payloadSize - hdrSize - slotSize
+
+// Page wraps a page payload with slotted-record accessors. It holds no
+// state of its own; construct one freely around a pinned page.
+type Page struct{ p []byte }
+
+// Wrap returns slotted accessors for the given page's payload. The page
+// must have been initialized by Init (or be all zeroes, which is a
+// valid empty slotted page).
+func Wrap(pg *page.Page) Page { return Page{pg.Payload()} }
+
+// Init clears the payload into an empty slotted page.
+func Init(pg *page.Page) Page {
+	pg.Reset(page.TypeSlotted)
+	return Page{pg.Payload()}
+}
+
+func (s Page) nslots() int     { return int(binary.LittleEndian.Uint16(s.p)) }
+func (s Page) setNSlots(n int) { binary.LittleEndian.PutUint16(s.p, uint16(n)) }
+
+func (s Page) slotOff(i int) int { return int(binary.LittleEndian.Uint16(s.p[hdrSize+slotSize*i:])) }
+func (s Page) slotLen(i int) int {
+	return int(binary.LittleEndian.Uint16(s.p[hdrSize+slotSize*i+2:]))
+}
+
+func (s Page) setSlot(i, off, length int) {
+	binary.LittleEndian.PutUint16(s.p[hdrSize+slotSize*i:], uint16(off))
+	binary.LittleEndian.PutUint16(s.p[hdrSize+slotSize*i+2:], uint16(length))
+}
+
+// Count reports the number of live records.
+func (s Page) Count() int {
+	n := 0
+	for i := 0; i < s.nslots(); i++ {
+		if s.slotOff(i) != deadOffset {
+			n++
+		}
+	}
+	return n
+}
+
+// lowWater is the end of the slot directory.
+func (s Page) lowWater() int { return hdrSize + slotSize*s.nslots() }
+
+// minRecOff is the lowest byte used by any live record.
+func (s Page) minRecOff() int {
+	min := payloadSize
+	for i := 0; i < s.nslots(); i++ {
+		if off := s.slotOff(i); off != deadOffset && off < min {
+			min = off
+		}
+	}
+	return min
+}
+
+// FreeFor reports whether a record of the given length can be inserted,
+// possibly after compaction.
+func (s Page) FreeFor(length int) bool { return s.FreeForReserve(length, 0) }
+
+// FreeForReserve reports whether a record of the given length fits
+// while leaving at least reserve bytes free afterwards. Placement
+// policies use the reserve as a fill factor: pages loaded with slack
+// absorb later record growth without relocations, which is what keeps
+// clustering intact once relationships are added to stored objects.
+func (s Page) FreeForReserve(length, reserve int) bool {
+	if length > MaxRecord {
+		return false
+	}
+	free := s.freeTotal()
+	need := length + reserve
+	if !s.hasDeadSlot() {
+		need += slotSize
+	}
+	return free >= need
+}
+
+func (s Page) hasDeadSlot() bool {
+	for i := 0; i < s.nslots(); i++ {
+		if s.slotOff(i) == deadOffset {
+			return true
+		}
+	}
+	return false
+}
+
+// freeTotal is total reclaimable space (contiguous after compaction).
+func (s Page) freeTotal() int {
+	used := 0
+	for i := 0; i < s.nslots(); i++ {
+		if s.slotOff(i) != deadOffset {
+			used += s.slotLen(i)
+		}
+	}
+	return payloadSize - s.lowWater() - used
+}
+
+func (s Page) freeContiguous() int { return s.minRecOff() - s.lowWater() }
+
+// compact rewrites live records tightly against the end of the payload.
+func (s Page) compact() {
+	type rec struct {
+		slot int
+		data []byte
+	}
+	var recs []rec
+	for i := 0; i < s.nslots(); i++ {
+		if off := s.slotOff(i); off != deadOffset {
+			recs = append(recs, rec{i, append([]byte(nil), s.p[off:off+s.slotLen(i)]...)})
+		}
+	}
+	top := payloadSize
+	for _, r := range recs {
+		top -= len(r.data)
+		copy(s.p[top:], r.data)
+		s.setSlot(r.slot, top, len(r.data))
+	}
+}
+
+// Insert stores data and returns its slot number, or ok=false if the
+// page cannot hold it.
+func (s Page) Insert(data []byte) (slot int, ok bool) {
+	if !s.FreeFor(len(data)) {
+		return 0, false
+	}
+	slot = -1
+	for i := 0; i < s.nslots(); i++ {
+		if s.slotOff(i) == deadOffset {
+			slot = i
+			break
+		}
+	}
+	if slot == -1 {
+		// Growing the directory must not overwrite record bytes, and
+		// compact must never see an uninitialized slot entry: make
+		// room first, then append the slot as dead.
+		if s.freeContiguous() < slotSize+len(data) {
+			s.compact()
+		}
+		slot = s.nslots()
+		s.setNSlots(slot + 1)
+		s.setSlot(slot, deadOffset, 0)
+	}
+	if s.freeContiguous() < len(data) {
+		s.compact()
+	}
+	off := s.minRecOff() - len(data)
+	copy(s.p[off:], data)
+	s.setSlot(slot, off, len(data))
+	return slot, true
+}
+
+// Get returns the record in slot, or ok=false if the slot is dead or
+// out of range. The returned slice aliases page memory.
+func (s Page) Get(slot int) (data []byte, ok bool) {
+	if slot < 0 || slot >= s.nslots() || s.slotOff(slot) == deadOffset {
+		return nil, false
+	}
+	off := s.slotOff(slot)
+	return s.p[off : off+s.slotLen(slot)], true
+}
+
+// Update replaces the record in slot with data, keeping its address.
+// It reports false if the slot is dead or the new data does not fit on
+// the page (the caller must then relocate the record).
+func (s Page) Update(slot int, data []byte) bool {
+	old, ok := s.Get(slot)
+	if !ok {
+		return false
+	}
+	if len(data) <= len(old) {
+		off := s.slotOff(slot)
+		copy(s.p[off:], data)
+		s.setSlot(slot, off, len(data))
+		return true
+	}
+	// Free the old space first, then check the fit.
+	oldOff, oldLen := s.slotOff(slot), s.slotLen(slot)
+	s.setSlot(slot, deadOffset, 0)
+	if s.freeTotal() < len(data) {
+		s.setSlot(slot, oldOff, oldLen) // roll back
+		return false
+	}
+	if s.freeContiguous() < len(data) {
+		s.compact()
+	}
+	off := s.minRecOff() - len(data)
+	copy(s.p[off:], data)
+	s.setSlot(slot, off, len(data))
+	return true
+}
+
+// Delete marks slot dead. Deleting a dead or out-of-range slot is a
+// no-op returning false.
+func (s Page) Delete(slot int) bool {
+	if slot < 0 || slot >= s.nslots() || s.slotOff(slot) == deadOffset {
+		return false
+	}
+	s.setSlot(slot, deadOffset, 0)
+	// Trim trailing dead slots so long-lived pages do not accumulate
+	// directory entries.
+	n := s.nslots()
+	for n > 0 && s.slotOff(n-1) == deadOffset {
+		n--
+	}
+	s.setNSlots(n)
+	return true
+}
+
+// Slots calls fn for every live record in ascending slot order. The
+// data slice aliases page memory.
+func (s Page) Slots(fn func(slot int, data []byte) bool) {
+	for i := 0; i < s.nslots(); i++ {
+		if off := s.slotOff(i); off != deadOffset {
+			if !fn(i, s.p[off:off+s.slotLen(i)]) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package slotted
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hypermodel/internal/storage/page"
+)
+
+func TestInsertGet(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	slot, ok := s.Insert([]byte("record one"))
+	if !ok {
+		t.Fatal("insert failed on empty page")
+	}
+	got, ok := s.Get(slot)
+	if !ok || string(got) != "record one" {
+		t.Fatalf("get = %q %v", got, ok)
+	}
+	if s.Count() != 1 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}
+
+func TestZeroPageIsValidEmpty(t *testing.T) {
+	s := Wrap(page.New(page.TypeSlotted))
+	if s.Count() != 0 {
+		t.Fatal("zero page not empty")
+	}
+	if _, ok := s.Get(0); ok {
+		t.Fatal("get on zero page succeeded")
+	}
+}
+
+func TestDeleteReusesSlot(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	a, _ := s.Insert([]byte("aaa"))
+	b, _ := s.Insert([]byte("bbb"))
+	if !s.Delete(a) {
+		t.Fatal("delete failed")
+	}
+	if s.Delete(a) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := s.Get(a); ok {
+		t.Fatal("deleted record still readable")
+	}
+	c, _ := s.Insert([]byte("ccc"))
+	if c != a {
+		t.Fatalf("dead slot not reused: got %d want %d", c, a)
+	}
+	got, _ := s.Get(b)
+	if string(got) != "bbb" {
+		t.Fatal("unrelated record damaged")
+	}
+}
+
+func TestTrailingDeadSlotsTrimmed(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	a, _ := s.Insert([]byte("a"))
+	b, _ := s.Insert([]byte("b"))
+	s.Delete(b)
+	s.Delete(a)
+	if s.nslots() != 0 {
+		t.Fatalf("nslots = %d after deleting everything", s.nslots())
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	slot, _ := s.Insert([]byte("something long enough"))
+	if !s.Update(slot, []byte("short")) {
+		t.Fatal("shrinking update failed")
+	}
+	got, _ := s.Get(slot)
+	if string(got) != "short" {
+		t.Fatalf("got %q", got)
+	}
+	if !s.Update(slot, bytes.Repeat([]byte("x"), 300)) {
+		t.Fatal("growing update failed with free space available")
+	}
+	got, _ = s.Get(slot)
+	if len(got) != 300 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestUpdateTooBigRollsBack(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	slot, _ := s.Insert([]byte("keep me"))
+	// Fill the page so there is no room to grow.
+	for {
+		if _, ok := s.Insert(bytes.Repeat([]byte("f"), 512)); !ok {
+			break
+		}
+	}
+	if s.Update(slot, bytes.Repeat([]byte("g"), 2000)) {
+		t.Fatal("oversized update succeeded")
+	}
+	got, ok := s.Get(slot)
+	if !ok || string(got) != "keep me" {
+		t.Fatalf("record damaged by failed update: %q %v", got, ok)
+	}
+}
+
+func TestFillToCapacityAndCompaction(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	var slots []int
+	for i := 0; ; i++ {
+		slot, ok := s.Insert(bytes.Repeat([]byte{byte(i)}, 100))
+		if !ok {
+			break
+		}
+		slots = append(slots, slot)
+	}
+	if len(slots) < 35 {
+		t.Fatalf("only %d 100-byte records fit", len(slots))
+	}
+	// Delete every other record, then insert records that only fit
+	// after compaction.
+	for i := 0; i < len(slots); i += 2 {
+		s.Delete(slots[i])
+	}
+	n := 0
+	for {
+		if _, ok := s.Insert(bytes.Repeat([]byte("Z"), 150)); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no inserts possible after freeing half the page (compaction broken)")
+	}
+	// Survivors intact.
+	for i := 1; i < len(slots); i += 2 {
+		got, ok := s.Get(slots[i])
+		if !ok || len(got) != 100 || got[0] != byte(i) {
+			t.Fatalf("record %d damaged", i)
+		}
+	}
+}
+
+func TestMaxRecord(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	if _, ok := s.Insert(make([]byte, MaxRecord)); !ok {
+		t.Fatal("MaxRecord-sized insert failed on empty page")
+	}
+	s = Init(page.New(page.TypeSlotted))
+	if _, ok := s.Insert(make([]byte, MaxRecord+1)); ok {
+		t.Fatal("oversized insert succeeded")
+	}
+}
+
+func TestSlotsIteration(t *testing.T) {
+	s := Init(page.New(page.TypeSlotted))
+	a, _ := s.Insert([]byte("a"))
+	b, _ := s.Insert([]byte("b"))
+	c, _ := s.Insert([]byte("c"))
+	s.Delete(b)
+	var seen []int
+	s.Slots(func(slot int, data []byte) bool {
+		seen = append(seen, slot)
+		return true
+	})
+	if len(seen) != 2 || seen[0] != a || seen[1] != c {
+		t.Fatalf("seen = %v", seen)
+	}
+	// Early stop.
+	n := 0
+	s.Slots(func(int, []byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestQuickModel drives a page with random insert/update/delete against
+// a map model.
+func TestQuickModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Init(page.New(page.TypeSlotted))
+		model := map[int][]byte{}
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(4) {
+			case 0, 1: // insert
+				data := make([]byte, rng.Intn(200))
+				rng.Read(data)
+				if slot, ok := s.Insert(data); ok {
+					if _, exists := model[slot]; exists {
+						t.Errorf("seed %d: live slot %d reused", seed, slot)
+						return false
+					}
+					model[slot] = append([]byte(nil), data...)
+				}
+			case 2: // update random live slot
+				for slot := range model {
+					data := make([]byte, rng.Intn(200))
+					rng.Read(data)
+					if s.Update(slot, data) {
+						model[slot] = append([]byte(nil), data...)
+					}
+					break
+				}
+			case 3: // delete random live slot
+				for slot := range model {
+					if !s.Delete(slot) {
+						t.Errorf("seed %d: delete of live slot failed", seed)
+						return false
+					}
+					delete(model, slot)
+					break
+				}
+			}
+			if s.Count() != len(model) {
+				t.Errorf("seed %d step %d: count %d != model %d", seed, step, s.Count(), len(model))
+				return false
+			}
+		}
+		for slot, want := range model {
+			got, ok := s.Get(slot)
+			if !ok || !bytes.Equal(got, want) {
+				t.Errorf("seed %d: slot %d mismatch", seed, slot)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/storage/page"
+)
+
+func BenchmarkCommitOnePage(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "db"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	id, h, err := s.Alloc(page.TypeSlotted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Release()
+	if err := s.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := s.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Page().Payload()[0] = byte(i)
+		h.MarkDirty()
+		h.Release()
+		if err := s.Commit(); err != nil { // WAL append + fsync + write-back
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommitOnePageNoSync(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "db"), &Options{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	id, h, err := s.Alloc(page.TypeSlotted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Release()
+	if err := s.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := s.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Page().Payload()[0] = byte(i)
+		h.MarkDirty()
+		h.Release()
+		if err := s.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetWarm(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "db"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	id, h, err := s.Alloc(page.TypeSlotted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Release()
+	if err := s.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := s.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+}
+
+func BenchmarkGetColdRead(b *testing.B) {
+	s, err := Open(filepath.Join(b.TempDir(), "db"), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	// A spread of pages so each iteration reads a different one cold.
+	var ids []page.ID
+	for i := 0; i < 512; i++ {
+		id, h, err := s.Alloc(page.TypeSlotted)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+		ids = append(ids, id)
+	}
+	if err := s.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(ids) == 0 {
+			b.StopTimer()
+			if err := s.DropCache(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		h, err := s.Get(ids[i%len(ids)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Release()
+	}
+}

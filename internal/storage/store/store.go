@@ -1,0 +1,521 @@
+// Package store provides the transactional page store: a buffer pool
+// over a single database file, with redo write-ahead logging, crash
+// recovery, a page free list, and a small directory of named roots.
+//
+// Higher layers (B+trees, slotted record files, the object store)
+// operate against the Space interface so that the same code runs over a
+// local store or a remote page-server client.
+//
+// Durability protocol (redo-only, no-steal):
+//
+//  1. Mutations happen in pooled page images flagged dirty.
+//  2. Commit appends every dirty image to the WAL, appends a commit
+//     record, and fsyncs the log. Only then are the images written
+//     (without fsync) to the main file and marked clean.
+//  3. Checkpoint fsyncs the main file and truncates the WAL.
+//  4. Recovery at open replays committed WAL images into the main file,
+//     repairing any torn write-backs, then truncates the log.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hypermodel/internal/storage/buffer"
+	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/pager"
+	"hypermodel/internal/storage/wal"
+)
+
+// NumRoots is the number of named root slots in the meta page.
+const NumRoots = 16
+
+// Handle is a pinned reference to a cached page.
+type Handle interface {
+	// Page returns the page image. The image may be mutated only if
+	// MarkDirty is called before Release.
+	Page() *page.Page
+	// MarkDirty flags the page as modified so it is included in the
+	// next Commit.
+	MarkDirty()
+	// Release unpins the page. The handle must not be used afterwards.
+	Release()
+}
+
+// Space is the page-level storage abstraction consumed by the B+tree,
+// slotted-page and object-store layers. *Store implements it locally;
+// the remote package implements it over a TCP page server.
+type Space interface {
+	// Get pins the page with the given ID.
+	Get(id page.ID) (Handle, error)
+	// Alloc allocates a fresh zeroed page of the given type, pinned and
+	// already marked dirty.
+	Alloc(t page.Type) (page.ID, Handle, error)
+	// Free returns a page to the free list.
+	Free(id page.ID) error
+	// Root returns the page ID stored in a named root slot, or
+	// page.Invalid if the slot is unset.
+	Root(slot int) page.ID
+	// SetRoot updates a named root slot. The change is durable after
+	// the next Commit.
+	SetRoot(slot int, id page.ID)
+	// Commit makes all modifications since the previous Commit durable.
+	Commit() error
+}
+
+// Meta page payload layout (after the common page header).
+const (
+	metaMagicOff    = 0  // [8]byte
+	metaVersionOff  = 8  // uint32
+	metaFreeHeadOff = 12 // uint64 (page.ID)
+	metaSeqOff      = 20 // uint64 commit sequence
+	metaRootsOff    = 28 // NumRoots × uint64
+)
+
+var metaMagic = [8]byte{'H', 'Y', 'P', 'M', 'O', 'D', 'B', '1'}
+
+const formatVersion = 1
+
+// Options configure a Store.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages. Zero selects the
+	// default (1024 pages = 4 MiB).
+	PoolPages int
+	// CheckpointBytes triggers an automatic checkpoint when the WAL
+	// grows past this size. Zero selects the default (8 MiB).
+	// Negative disables automatic checkpoints.
+	CheckpointBytes int64
+	// NoSync makes commits skip the WAL fsync. Faster, not crash-safe;
+	// used by bulk loads that checkpoint at the end.
+	NoSync bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{PoolPages: 1024, CheckpointBytes: 8 << 20}
+	if o == nil {
+		return out
+	}
+	if o.PoolPages > 0 {
+		out.PoolPages = o.PoolPages
+	}
+	if o.CheckpointBytes != 0 {
+		out.CheckpointBytes = o.CheckpointBytes
+	}
+	out.NoSync = o.NoSync
+	return out
+}
+
+// Store is the local implementation of Space.
+type Store struct {
+	mu        sync.Mutex
+	pg        *pager.Pager
+	log       *wal.WAL
+	pool      *buffer.Pool
+	opts      Options
+	meta      *page.Page // always resident, never in the pool
+	metaDirty bool
+	seq       uint64 // commit sequence number
+	closed    bool
+	recovered bool // recovery ran at open (for tests/diagnostics)
+}
+
+// Stats is a snapshot of store activity counters.
+type Stats struct {
+	Pool       buffer.Stats
+	DiskReads  uint64
+	DiskWrites uint64
+	WALAppends uint64
+	WALSyncs   uint64
+	Commits    uint64
+}
+
+// Open opens (creating if necessary) the database at path. The WAL is
+// kept in path+".wal". Pending committed work is recovered.
+func Open(path string, opts *Options) (*Store, error) {
+	pg, err := pager.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(path + ".wal")
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	s := &Store{pg: pg, log: log, opts: opts.withDefaults()}
+	s.pool = buffer.New(s.opts.PoolPages)
+
+	if log.Size() > 0 {
+		if err := log.Replay(func(id page.ID, p *page.Page) error {
+			return pg.Write(id, p)
+		}); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("store: recovery: %w", err)
+		}
+		if err := pg.Sync(); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("store: recovery: %w", err)
+		}
+		if err := log.Truncate(); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("store: recovery: %w", err)
+		}
+		s.recovered = true
+	}
+
+	if pg.PageCount() == 0 {
+		if err := s.initFresh(); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	} else if err := s.loadMeta(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) closeFiles() {
+	s.log.Close()
+	s.pg.Close()
+}
+
+func (s *Store) initFresh() error {
+	if _, err := s.pg.Extend(); err != nil { // reserve page 0
+		return err
+	}
+	m := page.New(page.TypeMeta)
+	pl := m.Payload()
+	copy(pl[metaMagicOff:], metaMagic[:])
+	binary.LittleEndian.PutUint32(pl[metaVersionOff:], formatVersion)
+	binary.LittleEndian.PutUint64(pl[metaFreeHeadOff:], uint64(page.Invalid))
+	for i := 0; i < NumRoots; i++ {
+		binary.LittleEndian.PutUint64(pl[metaRootsOff+8*i:], uint64(page.Invalid))
+	}
+	s.meta = m
+	s.metaDirty = true
+	return s.Commit()
+}
+
+func (s *Store) loadMeta() error {
+	m := &page.Page{}
+	if err := s.pg.Read(0, m); err != nil {
+		return fmt.Errorf("store: load meta: %w", err)
+	}
+	pl := m.Payload()
+	if [8]byte(pl[metaMagicOff:metaMagicOff+8]) != metaMagic {
+		return errors.New("store: not a hypermodel database (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(pl[metaVersionOff:]); v != formatVersion {
+		return fmt.Errorf("store: unsupported format version %d", v)
+	}
+	s.meta = m
+	s.seq = binary.LittleEndian.Uint64(pl[metaSeqOff:])
+	return nil
+}
+
+// handle implements Handle for the local store.
+type handle struct {
+	s *Store
+	f *buffer.Frame
+}
+
+func (h *handle) Page() *page.Page { return h.f.Page }
+func (h *handle) MarkDirty()       { h.s.pool.MarkDirty(h.f) }
+func (h *handle) Release()         { h.s.pool.Release(h.f) }
+
+// Get pins the page with the given ID, reading it from disk on a miss.
+func (s *Store) Get(id page.ID) (Handle, error) {
+	if id == 0 || id == page.Invalid {
+		return nil, fmt.Errorf("store: get page %d: reserved page", id)
+	}
+	if f := s.pool.Get(id); f != nil {
+		return &handle{s, f}, nil
+	}
+	img := &page.Page{}
+	if err := s.pg.Read(id, img); err != nil {
+		return nil, err
+	}
+	// A racing Get may have inserted the page while we read; the store
+	// is externally serialized by its users (txn layer / server), so
+	// this double-read cannot happen in practice, but be defensive.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f := s.pool.Get(id); f != nil {
+		return &handle{s, f}, nil
+	}
+	return &handle{s, s.pool.Insert(id, img)}, nil
+}
+
+// Alloc allocates a fresh zeroed page of type t, pinned and dirty.
+func (s *Store) Alloc(t page.Type) (page.ID, Handle, error) {
+	s.mu.Lock()
+	head := s.freeHead()
+	s.mu.Unlock()
+
+	if head != page.Invalid {
+		h, err := s.Get(head)
+		if err != nil {
+			return page.Invalid, nil, fmt.Errorf("store: alloc from free list: %w", err)
+		}
+		next := page.ID(binary.LittleEndian.Uint64(h.Page().Payload()))
+		s.mu.Lock()
+		s.setFreeHead(next)
+		s.mu.Unlock()
+		h.Page().Reset(t)
+		h.MarkDirty()
+		return head, h, nil
+	}
+
+	id, err := s.pg.Extend()
+	if err != nil {
+		return page.Invalid, nil, err
+	}
+	img := page.New(t)
+	s.mu.Lock()
+	f := s.pool.Insert(id, img)
+	s.mu.Unlock()
+	h := &handle{s, f}
+	h.MarkDirty()
+	return id, h, nil
+}
+
+// Free pushes page id onto the free list.
+func (s *Store) Free(id page.ID) error {
+	if id == 0 || id == page.Invalid {
+		return fmt.Errorf("store: free page %d: reserved page", id)
+	}
+	h, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	p := h.Page()
+	p.Reset(page.TypeFree)
+	s.mu.Lock()
+	binary.LittleEndian.PutUint64(p.Payload(), uint64(s.freeHead()))
+	s.setFreeHead(id)
+	s.mu.Unlock()
+	h.MarkDirty()
+	return nil
+}
+
+// freeHead and setFreeHead require s.mu.
+func (s *Store) freeHead() page.ID {
+	return page.ID(binary.LittleEndian.Uint64(s.meta.Payload()[metaFreeHeadOff:]))
+}
+
+func (s *Store) setFreeHead(id page.ID) {
+	binary.LittleEndian.PutUint64(s.meta.Payload()[metaFreeHeadOff:], uint64(id))
+	s.metaDirty = true
+}
+
+// Root returns the page ID in root slot, or page.Invalid if unset.
+func (s *Store) Root(slot int) page.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return page.ID(binary.LittleEndian.Uint64(s.meta.Payload()[metaRootsOff+8*slot:]))
+}
+
+// SetRoot updates root slot; durable at the next Commit.
+func (s *Store) SetRoot(slot int, id page.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	binary.LittleEndian.PutUint64(s.meta.Payload()[metaRootsOff+8*slot:], uint64(id))
+	s.metaDirty = true
+}
+
+// Commit makes every modification since the last Commit durable: dirty
+// page images go to the WAL, a commit record is appended and synced,
+// then the images are written back to the main file (unsynced) and the
+// frames marked clean.
+func (s *Store) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitLocked()
+}
+
+func (s *Store) commitLocked() error {
+	dirty := s.pool.DirtyFrames()
+	if len(dirty) == 0 && !s.metaDirty {
+		return nil
+	}
+	s.seq++
+	binary.LittleEndian.PutUint64(s.meta.Payload()[metaSeqOff:], s.seq)
+	s.metaDirty = true
+
+	for _, f := range dirty {
+		if _, err := s.log.AppendPage(f.ID, f.Page); err != nil {
+			return err
+		}
+	}
+	if _, err := s.log.AppendPage(0, s.meta); err != nil {
+		return err
+	}
+	if s.opts.NoSync {
+		if _, err := s.log.AppendCommitNoSync(s.seq); err != nil {
+			return err
+		}
+	} else if _, err := s.log.AppendCommit(s.seq); err != nil {
+		return err
+	}
+
+	for _, f := range dirty {
+		if err := s.pg.Write(f.ID, f.Page); err != nil {
+			return err
+		}
+	}
+	if err := s.pg.Write(0, s.meta); err != nil {
+		return err
+	}
+	s.pool.MarkAllClean()
+	s.metaDirty = false
+
+	if s.opts.CheckpointBytes > 0 && s.log.Size() > s.opts.CheckpointBytes {
+		return s.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint fsyncs the main file and truncates the WAL. Implies Commit.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	if err := s.pg.Sync(); err != nil {
+		return err
+	}
+	return s.log.Truncate()
+}
+
+// DropCache empties the buffer pool, so the next access to every page
+// is cold (a disk read). It refuses to run with uncommitted changes.
+// The meta page stays resident; reopening a real database would reread
+// one page, which is negligible and keeps the API misuse-proof.
+func (s *Store) DropCache() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pool.DirtyFrames()) > 0 {
+		return errors.New("store: DropCache with uncommitted changes")
+	}
+	s.pool.Drop()
+	return nil
+}
+
+// Backup writes a consistent copy of the database to destPath (R10).
+// It checkpoints first, so the copy contains every committed change
+// and needs no WAL; the backup can be opened directly as a database.
+// The store is locked for the duration (the databases here are small;
+// a fuzzy ARIES-style backup would be overkill).
+func (s *Store) Backup(destPath string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	if err := s.checkpointLocked(); err != nil {
+		return err
+	}
+	dst, err := pager.Open(destPath)
+	if err != nil {
+		return fmt.Errorf("store: backup: %w", err)
+	}
+	if dst.PageCount() != 0 {
+		dst.Close()
+		return fmt.Errorf("store: backup target %s is not empty", destPath)
+	}
+	var img page.Page
+	for id := uint64(0); id < s.pg.PageCount(); id++ {
+		if err := s.pg.Read(page.ID(id), &img); err != nil {
+			// Never-written holes (allocated but uncommitted at a past
+			// crash) fail checksum validation; back them up as free
+			// pages.
+			img.Reset(page.TypeFree)
+		}
+		if err := dst.Write(page.ID(id), &img); err != nil {
+			dst.Close()
+			return fmt.Errorf("store: backup: %w", err)
+		}
+	}
+	if err := dst.Sync(); err != nil {
+		dst.Close()
+		return err
+	}
+	return dst.Close()
+}
+
+// Abort discards all uncommitted modifications: pooled dirty pages are
+// dropped and the meta page is reloaded from disk. Because the store
+// is no-steal (nothing reaches the WAL or the file before Commit),
+// dropping the cache is a complete rollback.
+func (s *Store) Abort() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.Drop()
+	s.metaDirty = false
+	if s.pg.PageCount() > 0 {
+		if err := s.loadMeta(); err != nil {
+			return fmt.Errorf("store: abort: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() Stats {
+	reads, writes := s.pg.Stats()
+	appends, syncs := s.log.Stats()
+	s.mu.Lock()
+	seq := s.seq
+	s.mu.Unlock()
+	return Stats{
+		Pool:       s.pool.Stats(),
+		DiskReads:  reads,
+		DiskWrites: writes,
+		WALAppends: appends,
+		WALSyncs:   syncs,
+		Commits:    seq,
+	}
+}
+
+// CacheStats reports buffer pool hits, misses and disk reads in the
+// shape shared with remote page-server clients.
+func (s *Store) CacheStats() (hits, misses, reads uint64) {
+	st := s.Stats()
+	return st.Pool.Hits, st.Pool.Misses, st.DiskReads
+}
+
+// Recovered reports whether crash recovery ran when the store was
+// opened.
+func (s *Store) Recovered() bool { return s.recovered }
+
+// PageCount reports the current size of the database file in pages.
+func (s *Store) PageCount() uint64 { return s.pg.PageCount() }
+
+// Close commits pending work, checkpoints, and closes the files.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	if err := s.checkpointLocked(); err != nil {
+		return err
+	}
+	if err := s.log.Close(); err != nil {
+		s.pg.Close()
+		return err
+	}
+	return s.pg.Close()
+}

@@ -1,0 +1,15 @@
+package store
+
+// CrashForTesting abandons the store without committing, checkpointing
+// or closing cleanly, simulating a process crash. The underlying file
+// descriptors are closed so tests can reopen the same paths; any
+// uncommitted buffered state is discarded, exactly as a crash would.
+func (s *Store) CrashForTesting() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.closeFiles()
+}
+
+// WALSizeForTesting reports the current WAL size in bytes.
+func (s *Store) WALSizeForTesting() int64 { return s.log.Size() }

@@ -1,0 +1,251 @@
+// Package wal implements a redo-only write-ahead log.
+//
+// The store appends the full after-image of every page dirtied by a
+// transaction, followed by a commit record, and syncs the log before
+// acknowledging the commit. Data pages are written back to the main
+// file lazily (at checkpoint or eviction), so after a crash the log is
+// replayed: page images belonging to committed transactions are applied
+// to the file, everything after the last valid commit record is
+// discarded.
+//
+// Record framing:
+//
+//	length  uint32   length of body
+//	crc     uint32   CRC-32C of body
+//	body    []byte   kind byte followed by kind-specific payload
+//
+// Kinds:
+//
+//	kindPage   (1): pageID uint64, image [page.Size]byte
+//	kindCommit (2): txn sequence number uint64
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"hypermodel/internal/storage/page"
+)
+
+const (
+	kindPage   = 1
+	kindCommit = 2
+
+	frameHeader = 8 // length + crc
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WAL is an append-only redo log.
+type WAL struct {
+	mu      sync.Mutex
+	f       *os.File
+	size    int64 // current log size = next LSN
+	pending int64 // bytes appended but not yet synced
+	syncs   uint64
+	appends uint64
+}
+
+// Open opens (or creates) the log file at path. The caller is expected
+// to run Replay before appending new records.
+func Open(path string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
+	}
+	return &WAL{f: f, size: st.Size()}, nil
+}
+
+func (w *WAL) appendFrame(body []byte) (lsn uint64, err error) {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	if _, err := w.f.WriteAt(hdr[:], w.size); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := w.f.WriteAt(body, w.size+frameHeader); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	lsn = uint64(w.size)
+	w.size += frameHeader + int64(len(body))
+	w.pending += frameHeader + int64(len(body))
+	w.appends++
+	return lsn, nil
+}
+
+// AppendPage logs the full after-image of page id and returns the LSN
+// of the record.
+func (w *WAL) AppendPage(id page.ID, p *page.Page) (lsn uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	body := make([]byte, 1+8+page.Size)
+	body[0] = kindPage
+	binary.LittleEndian.PutUint64(body[1:9], uint64(id))
+	p.UpdateChecksum()
+	copy(body[9:], p.Bytes())
+	return w.appendFrame(body)
+}
+
+// AppendCommit logs a commit record for the given transaction sequence
+// number and syncs the log to stable storage.
+func (w *WAL) AppendCommit(seq uint64) (lsn uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	body := make([]byte, 1+8)
+	body[0] = kindCommit
+	binary.LittleEndian.PutUint64(body[1:9], seq)
+	if lsn, err = w.appendFrame(body); err != nil {
+		return 0, err
+	}
+	if err := w.syncLocked(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendCommitNoSync logs a commit record without forcing the log to
+// stable storage. Used by bulk loads that accept losing the tail on a
+// crash and checkpoint at the end.
+func (w *WAL) AppendCommitNoSync(seq uint64) (lsn uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	body := make([]byte, 1+8)
+	body[0] = kindCommit
+	binary.LittleEndian.PutUint64(body[1:9], seq)
+	return w.appendFrame(body)
+}
+
+func (w *WAL) syncLocked() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	w.pending = 0
+	w.syncs++
+	return nil
+}
+
+// Sync forces buffered records to stable storage.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// Size reports the current log size in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Stats reports the cumulative number of appended records and syncs.
+func (w *WAL) Stats() (appends, syncs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appends, w.syncs
+}
+
+// Replay scans the log from the beginning and invokes apply for every
+// page image that belongs to a committed transaction, in log order.
+// Torn or corrupt tails are tolerated: scanning stops at the first
+// invalid frame and the log is truncated to the last committed point.
+func (w *WAL) Replay(apply func(id page.ID, p *page.Page) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	type pendingImage struct {
+		id page.ID
+		p  *page.Page
+	}
+	var pending []pendingImage
+	var off, committed int64
+	for off < w.size {
+		var hdr [frameHeader]byte
+		if _, err := io.ReadFull(io.NewSectionReader(w.f, off, frameHeader), hdr[:]); err != nil {
+			break // torn tail
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n <= 0 || off+frameHeader+n > w.size {
+			break
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(w.f, off+frameHeader, n), body); err != nil {
+			break
+		}
+		if crc32.Checksum(body, castagnoli) != want {
+			break
+		}
+		switch body[0] {
+		case kindPage:
+			if len(body) != 1+8+page.Size {
+				return fmt.Errorf("wal: malformed page record at offset %d", off)
+			}
+			img := &page.Page{}
+			copy(img.Bytes(), body[9:])
+			pending = append(pending, pendingImage{page.ID(binary.LittleEndian.Uint64(body[1:9])), img})
+		case kindCommit:
+			for _, pi := range pending {
+				if err := apply(pi.id, pi.p); err != nil {
+					return fmt.Errorf("wal: replay apply page %d: %w", pi.id, err)
+				}
+			}
+			pending = pending[:0]
+			committed = off + frameHeader + n
+		default:
+			return fmt.Errorf("wal: unknown record kind %d at offset %d", body[0], off)
+		}
+		off += frameHeader + n
+	}
+	// Drop any uncommitted or torn tail.
+	if committed < w.size {
+		if err := w.f.Truncate(committed); err != nil {
+			return fmt.Errorf("wal: truncate tail: %w", err)
+		}
+		w.size = committed
+	}
+	return nil
+}
+
+// Truncate discards the entire log (after a checkpoint has made the
+// main file durable).
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("wal: truncate sync: %w", err)
+	}
+	w.size = 0
+	w.pending = 0
+	return nil
+}
+
+// Close syncs and closes the log file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if cerr := w.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil && !errors.Is(err, os.ErrClosed) {
+		return err
+	}
+	return nil
+}

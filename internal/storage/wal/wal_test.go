@@ -1,0 +1,218 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/storage/page"
+)
+
+func openTemp(t *testing.T) (*WAL, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w, path
+}
+
+func mkPage(t *testing.T, fill byte) *page.Page {
+	t.Helper()
+	p := page.New(page.TypeSlotted)
+	pl := p.Payload()
+	for i := range pl {
+		pl[i] = fill
+	}
+	return p
+}
+
+func TestReplayAppliesCommittedOnly(t *testing.T) {
+	w, _ := openTemp(t)
+	if _, err := w.AppendPage(1, mkPage(t, 0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendPage(2, mkPage(t, 0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	// Uncommitted page after the commit: must not be applied.
+	if _, err := w.AppendPage(3, mkPage(t, 0xCC)); err != nil {
+		t.Fatal(err)
+	}
+
+	applied := map[page.ID]byte{}
+	if err := w.Replay(func(id page.ID, p *page.Page) error {
+		applied[id] = p.Payload()[0]
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 || applied[1] != 0xAA || applied[2] != 0xBB {
+		t.Fatalf("applied = %v", applied)
+	}
+	// The uncommitted tail must have been truncated away.
+	if err := w.Replay(func(id page.ID, p *page.Page) error {
+		applied[id]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if applied[1] != 0xAB || applied[2] != 0xBC {
+		t.Fatal("second replay did not re-apply exactly the committed prefix")
+	}
+}
+
+func TestReplayToleratesTornTail(t *testing.T) {
+	w, path := openTemp(t)
+	if _, err := w.AppendPage(7, mkPage(t, 0x77)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	goodSize := w.Size()
+	if _, err := w.AppendPage(8, mkPage(t, 0x88)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the second transaction in half.
+	if err := os.Truncate(path, goodSize+10); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var got []page.ID
+	if err := w2.Replay(func(id page.ID, p *page.Page) error {
+		got = append(got, id)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("replayed %v, want [7]", got)
+	}
+	if w2.Size() != goodSize {
+		t.Fatalf("log not truncated to last commit: size=%d want %d", w2.Size(), goodSize)
+	}
+}
+
+func TestReplayDetectsCorruptBody(t *testing.T) {
+	w, path := openTemp(t)
+	if _, err := w.AppendPage(1, mkPage(t, 0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendPage(2, mkPage(t, 0x22)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(2); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	// Corrupt a byte inside the second transaction's page image.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstTxnEnd := int64(frameHeader+1+8+page.Size) + frameHeader + 9
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], firstTxnEnd+100); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], firstTxnEnd+100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var got []page.ID
+	if err := w2.Replay(func(id page.ID, p *page.Page) error {
+		got = append(got, id)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("replayed %v, want just page 1", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	w, _ := openTemp(t)
+	if _, err := w.AppendPage(1, mkPage(t, 0x01)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() == 0 {
+		t.Fatal("log empty after append")
+	}
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Size() != 0 {
+		t.Fatal("log not empty after truncate")
+	}
+	n := 0
+	if err := w.Replay(func(page.ID, *page.Page) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatal("replay after truncate applied records")
+	}
+}
+
+func TestLSNMonotonic(t *testing.T) {
+	w, _ := openTemp(t)
+	var last uint64
+	for i := 0; i < 5; i++ {
+		lsn, err := w.AppendPage(page.ID(i), mkPage(t, byte(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && lsn <= last {
+			t.Fatalf("LSN not monotonic: %d after %d", lsn, last)
+		}
+		last = lsn
+	}
+}
+
+func TestAppendCommitNoSyncIsReplayable(t *testing.T) {
+	w, _ := openTemp(t)
+	if _, err := w.AppendPage(4, mkPage(t, 0x44)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommitNoSync(1); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	if err := w.Replay(func(page.ID, *page.Page) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d pages, want 1", n)
+	}
+}

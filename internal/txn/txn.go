@@ -1,0 +1,98 @@
+// Package txn provides the application-level transaction idioms on top
+// of the backends' commit semantics:
+//
+//   - Run: execute a mutation and commit it, retrying automatically
+//     when optimistic validation fails (R8). This is the loop every
+//     multi-user HyperModel application runs.
+//   - Workspace: the R9 cooperation model — a user works privately
+//     (uncommitted changes visible only through their own backend
+//     connection) and makes the work shareable by publishing it.
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/remote"
+)
+
+// DefaultRetries bounds Run's retry loop.
+const DefaultRetries = 10
+
+// ErrTooManyConflicts is returned when a transaction keeps failing
+// optimistic validation.
+var ErrTooManyConflicts = errors.New("txn: too many optimistic conflicts")
+
+// Run executes fn and commits the backend, retrying the whole
+// transaction when the commit fails optimistic validation. fn must be
+// idempotent from the database's point of view: after a conflict the
+// backend's caches have been refreshed and fn re-reads current state.
+func Run(b hyper.Backend, fn func() error) error {
+	return RunN(b, DefaultRetries, fn)
+}
+
+// RunN is Run with an explicit retry bound.
+func RunN(b hyper.Backend, retries int, fn func() error) error {
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := fn(); err != nil {
+			if errors.Is(err, remote.ErrConflict) {
+				continue // stale read surfaced mid-transaction
+			}
+			return err
+		}
+		err := b.Commit()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, remote.ErrConflict) {
+			return err
+		}
+	}
+	return fmt.Errorf("%w after %d attempts", ErrTooManyConflicts, retries+1)
+}
+
+// Workspace is a private working context for one user (R9): changes
+// stay invisible to other users until Publish. With the page-server
+// architecture each workspace is simply its own client connection —
+// uncommitted pages live in the workstation cache.
+type Workspace struct {
+	b         hyper.Backend
+	user      string
+	published int
+}
+
+// NewWorkspace wraps a backend connection as a user's private
+// workspace.
+func NewWorkspace(b hyper.Backend, user string) *Workspace {
+	return &Workspace{b: b, user: user}
+}
+
+// Backend exposes the workspace's private view for editing.
+func (w *Workspace) Backend() hyper.Backend { return w.b }
+
+// User returns the workspace owner.
+func (w *Workspace) User() string { return w.user }
+
+// Publish makes the workspace's accumulated changes shareable: they
+// commit to the database, where other users' next cold access sees
+// them. Conflicting concurrent publishes surface as ErrConflict.
+func (w *Workspace) Publish() error {
+	if err := w.b.Commit(); err != nil {
+		return err
+	}
+	w.published++
+	return nil
+}
+
+// Discard abandons the private changes, rolling the workspace back to
+// the shared database state.
+func (w *Workspace) Discard() error {
+	if a, ok := w.b.(hyper.Aborter); ok {
+		return a.Abort()
+	}
+	return w.b.DropCaches()
+}
+
+// Published reports how many times the workspace has published.
+func (w *Workspace) Published() int { return w.published }

@@ -1,0 +1,206 @@
+package txn
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/store"
+)
+
+// startStack brings up a server over a generated database and returns
+// its address.
+func startStack(t *testing.T) (string, hyper.Layout) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "srv.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	c, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := oodb.New(c, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	return addr.String(), lay
+}
+
+func connect(t *testing.T, addr string) *oodb.DB {
+	t.Helper()
+	c, err := remote.Dial(addr, remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := oodb.New(c, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestRunCommits(t *testing.T) {
+	addr, _ := startStack(t)
+	db := connect(t, addr)
+	if err := Run(db, func() error { return db.SetHundred(5, 42) }); err != nil {
+		t.Fatal(err)
+	}
+	check := connect(t, addr)
+	if h, err := check.Hundred(5); err != nil || h != 42 {
+		t.Fatalf("hundred = %d %v", h, err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	addr, _ := startStack(t)
+	db := connect(t, addr)
+	boom := errors.New("boom")
+	if err := Run(db, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestConcurrentIncrementsAllSurvive hammers one node from several
+// workers; Run's retry loop must serialize the increments so none are
+// lost (the classic optimistic-CC correctness test).
+func TestConcurrentIncrementsAllSurvive(t *testing.T) {
+	addr, _ := startStack(t)
+	base := connect(t, addr)
+	if err := Run(base, func() error { return base.SetHundred(7, 0) }); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 4, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := remote.Dial(addr, remote.ClientOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			db, err := oodb.New(c, oodb.DefaultOptions())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer db.Close()
+			for i := 0; i < perWorker; i++ {
+				err := RunN(db, 200, func() error {
+					h, err := db.Hundred(7)
+					if err != nil {
+						return err
+					}
+					return db.SetHundred(7, h+1)
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := connect(t, addr)
+	h, err := check.Hundred(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != workers*perWorker {
+		t.Fatalf("lost updates: hundred = %d, want %d", h, workers*perWorker)
+	}
+}
+
+// TestWorkspaceIsolationAndPublish is the R9 scenario: a user's edits
+// stay private until Publish, then become visible to others.
+func TestWorkspaceIsolationAndPublish(t *testing.T) {
+	addr, lay := startStack(t)
+	alice := NewWorkspace(connect(t, addr), "alice")
+	bob := connect(t, addr)
+
+	first, _ := hyper.LevelIDs(lay.LeafLevel)
+	tid := first // text node
+	origText, err := bob.Text(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alice edits privately.
+	if err := hyper.TextNodeEdit(alice.Backend(), tid, true); err != nil {
+		t.Fatal(err)
+	}
+	// Bob still sees the original (fresh read).
+	if err := bob.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bob.Text(tid)
+	if err != nil || got != origText {
+		t.Fatalf("private edit leaked: %v", err)
+	}
+	// Alice publishes; Bob's next cold read sees it.
+	if err := alice.Publish(); err != nil {
+		t.Fatal(err)
+	}
+	if alice.Published() != 1 {
+		t.Fatal("publish count wrong")
+	}
+	if err := bob.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = bob.Text(tid)
+	if err != nil || got == origText {
+		t.Fatalf("published edit not visible: %v", err)
+	}
+}
+
+func TestWorkspaceDiscard(t *testing.T) {
+	addr, _ := startStack(t)
+	ws := NewWorkspace(connect(t, addr), "carol")
+	b := ws.Backend()
+	orig, err := b.Hundred(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetHundred(9, orig+1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Hundred(9)
+	if err != nil || got != orig {
+		t.Fatalf("discard did not roll back: %d %v (want %d)", got, err, orig)
+	}
+}

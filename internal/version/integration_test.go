@@ -1,0 +1,90 @@
+package version
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/backend/reldb"
+	"hypermodel/internal/hyper"
+)
+
+// TestVersioningOverPersistentBackends runs the R5 flows over the
+// disk-backed mappings (the unit tests use the image backend), and
+// verifies version chains survive a database reopen.
+func TestVersioningOverPersistentBackends(t *testing.T) {
+	cases := []struct {
+		name string
+		open func(path string) (hyper.Backend, error)
+	}{
+		{"oodb", func(p string) (hyper.Backend, error) { return oodb.Open(p, oodb.DefaultOptions()) }},
+		{"reldb", func(p string) (hyper.Backend, error) { return reldb.Open(p, reldb.Options{}) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "db")
+			b, err := tc.open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lay, _, err := hyper.Generate(b, hyper.GenConfig{LeafLevel: 2, Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := New(b)
+			clock := time.Unix(5000, 0)
+			vs.SetClock(func() time.Time {
+				clock = clock.Add(time.Minute)
+				return clock
+			})
+
+			first, _ := lay.LevelIDs(lay.LeafLevel)
+			tid := first
+			origText, err := b.Text(tid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vs.Capture(tid); err != nil {
+				t.Fatal(err)
+			}
+			snapTime := clock
+			if err := hyper.TextNodeEdit(b, tid, true); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := vs.Capture(tid); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Version history must be durable.
+			b2, err := tc.open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer b2.Close()
+			vs2 := New(b2)
+			infos, err := vs2.Versions(tid)
+			if err != nil || len(infos) != 2 {
+				t.Fatalf("versions after reopen: %v (%v)", infos, err)
+			}
+			st, info, err := vs2.At(tid, snapTime)
+			if err != nil || info.Version != 1 {
+				t.Fatalf("At(snapTime) = v%d (%v)", info.Version, err)
+			}
+			if st.Text != origText {
+				t.Fatal("snapshot text diverged after reopen")
+			}
+			if err := vs2.Restore(tid, 1); err != nil {
+				t.Fatal(err)
+			}
+			got, err := b2.Text(tid)
+			if err != nil || got != origText {
+				t.Fatalf("restore after reopen failed (%v)", err)
+			}
+		})
+	}
+}

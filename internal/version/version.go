@@ -1,0 +1,317 @@
+// Package version implements requirement R5 and §6.8 extension 2:
+// versions and variants of nodes, with snapshot-at-time retrieval.
+//
+// Versioning is layered over any hyper.Backend through its blob
+// facility, so every backend (and the remote configuration) gains it
+// uniformly. Each captured version stores the node's attributes and
+// content under "ver/<id>/<n>"; a small head record tracks the count.
+// Variants are named versions branching from the main line.
+package version
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"hypermodel/internal/hyper"
+)
+
+// State is a node's captured state: attributes plus content.
+type State struct {
+	Node hyper.Node
+	Text string       // KindText only
+	Form hyper.Bitmap // KindForm only
+}
+
+// Info describes one stored version.
+type Info struct {
+	Version int
+	Variant string // empty for main-line versions
+	At      time.Time
+}
+
+// Store captures and restores node versions on a backend.
+type Store struct {
+	b   hyper.Backend
+	now func() time.Time
+}
+
+// New returns a version store over the backend.
+func New(b hyper.Backend) *Store {
+	return &Store{b: b, now: time.Now}
+}
+
+// SetClock injects a time source (tests).
+func (s *Store) SetClock(now func() time.Time) { s.now = now }
+
+// ErrNoVersions is returned when a node has no captured versions.
+var ErrNoVersions = errors.New("version: node has no captured versions")
+
+func headKey(id hyper.NodeID) string { return fmt.Sprintf("ver/%d/head", id) }
+func verKey(id hyper.NodeID, n int) string {
+	return fmt.Sprintf("ver/%d/%d", id, n)
+}
+
+// encodeState: node attrs, timestamp, variant, text, form.
+func encodeState(st State, at time.Time, variant string) []byte {
+	b := make([]byte, 0, 64+len(st.Text)+len(variant))
+	b = append(b, byte(st.Node.Kind))
+	b = binary.LittleEndian.AppendUint64(b, uint64(st.Node.ID))
+	for _, v := range []int32{st.Node.Ten, st.Node.Hundred, st.Node.Thousand, st.Node.Million} {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(at.UnixNano()))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(variant)))
+	b = append(b, variant...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.Text)))
+	b = append(b, st.Text...)
+	if st.Node.Kind == hyper.KindForm {
+		form := hyper.EncodeBitmap(st.Form)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(form)))
+		b = append(b, form...)
+	} else {
+		b = binary.LittleEndian.AppendUint32(b, 0)
+	}
+	return b
+}
+
+func decodeState(data []byte) (State, time.Time, string, error) {
+	var st State
+	if len(data) < 37 {
+		return st, time.Time{}, "", errors.New("version: truncated record")
+	}
+	off := 0
+	st.Node.Kind = hyper.Kind(data[off])
+	off++
+	st.Node.ID = hyper.NodeID(binary.LittleEndian.Uint64(data[off:]))
+	off += 8
+	vals := make([]int32, 4)
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	st.Node.Ten, st.Node.Hundred, st.Node.Thousand, st.Node.Million = vals[0], vals[1], vals[2], vals[3]
+	at := time.Unix(0, int64(binary.LittleEndian.Uint64(data[off:])))
+	off += 8
+	vlen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if off+vlen+4 > len(data) {
+		return st, time.Time{}, "", errors.New("version: truncated variant")
+	}
+	variant := string(data[off : off+vlen])
+	off += vlen
+	tlen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if off+tlen+4 > len(data) {
+		return st, time.Time{}, "", errors.New("version: truncated text")
+	}
+	st.Text = string(data[off : off+tlen])
+	off += tlen
+	flen := int(binary.LittleEndian.Uint32(data[off:]))
+	off += 4
+	if off+flen != len(data) {
+		return st, time.Time{}, "", errors.New("version: truncated form")
+	}
+	if flen > 0 {
+		bm, err := hyper.DecodeBitmap(data[off : off+flen])
+		if err != nil {
+			return st, time.Time{}, "", err
+		}
+		st.Form = bm
+	}
+	return st, at, variant, nil
+}
+
+func (s *Store) currentState(id hyper.NodeID) (State, error) {
+	n, err := s.b.Node(id)
+	if err != nil {
+		return State{}, err
+	}
+	st := State{Node: n}
+	switch n.Kind {
+	case hyper.KindText:
+		if st.Text, err = s.b.Text(id); err != nil {
+			return State{}, err
+		}
+	case hyper.KindForm:
+		if st.Form, err = s.b.Form(id); err != nil {
+			return State{}, err
+		}
+	}
+	return st, nil
+}
+
+func (s *Store) head(id hyper.NodeID) (int, error) {
+	data, err := s.b.GetBlob(headKey(id))
+	if errors.Is(err, hyper.ErrNotFound) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return int(binary.LittleEndian.Uint64(data)), nil
+}
+
+func (s *Store) setHead(id hyper.NodeID, n int) error {
+	return s.b.PutBlob(headKey(id), binary.LittleEndian.AppendUint64(nil, uint64(n)))
+}
+
+// Capture stores the node's current state as its next main-line
+// version and returns the version number (1-based).
+func (s *Store) Capture(id hyper.NodeID) (int, error) {
+	return s.capture(id, "")
+}
+
+// CaptureVariant stores the node's current state as a named variant —
+// a parallel version (R5).
+func (s *Store) CaptureVariant(id hyper.NodeID, variant string) (int, error) {
+	if variant == "" {
+		return 0, errors.New("version: variant name must not be empty")
+	}
+	return s.capture(id, variant)
+}
+
+func (s *Store) capture(id hyper.NodeID, variant string) (int, error) {
+	st, err := s.currentState(id)
+	if err != nil {
+		return 0, err
+	}
+	head, err := s.head(id)
+	if err != nil {
+		return 0, err
+	}
+	n := head + 1
+	if err := s.b.PutBlob(verKey(id, n), encodeState(st, s.now(), variant)); err != nil {
+		return 0, err
+	}
+	if err := s.setHead(id, n); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Versions lists a node's captured versions in ascending order.
+func (s *Store) Versions(id hyper.NodeID) ([]Info, error) {
+	head, err := s.head(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Info, 0, head)
+	for n := 1; n <= head; n++ {
+		data, err := s.b.GetBlob(verKey(id, n))
+		if err != nil {
+			return nil, err
+		}
+		_, at, variant, err := decodeState(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Info{Version: n, Variant: variant, At: at})
+	}
+	return out, nil
+}
+
+// Get returns a specific captured version's state.
+func (s *Store) Get(id hyper.NodeID, version int) (State, error) {
+	data, err := s.b.GetBlob(verKey(id, version))
+	if errors.Is(err, hyper.ErrNotFound) {
+		return State{}, fmt.Errorf("%w: node %d version %d", ErrNoVersions, id, version)
+	}
+	if err != nil {
+		return State{}, err
+	}
+	st, _, _, err := decodeState(data)
+	return st, err
+}
+
+// Previous returns the most recently captured version — "retrieve the
+// previous version of a node" (§3.1 R5).
+func (s *Store) Previous(id hyper.NodeID) (State, Info, error) {
+	head, err := s.head(id)
+	if err != nil {
+		return State{}, Info{}, err
+	}
+	if head == 0 {
+		return State{}, Info{}, fmt.Errorf("%w: node %d", ErrNoVersions, id)
+	}
+	data, err := s.b.GetBlob(verKey(id, head))
+	if err != nil {
+		return State{}, Info{}, err
+	}
+	st, at, variant, err := decodeState(data)
+	return st, Info{Version: head, Variant: variant, At: at}, err
+}
+
+// At returns the node's state as of the given time point: the newest
+// main-line version captured at or before t ("a snapshot can be
+// created for any time-point", R5).
+func (s *Store) At(id hyper.NodeID, t time.Time) (State, Info, error) {
+	head, err := s.head(id)
+	if err != nil {
+		return State{}, Info{}, err
+	}
+	for n := head; n >= 1; n-- {
+		data, err := s.b.GetBlob(verKey(id, n))
+		if err != nil {
+			return State{}, Info{}, err
+		}
+		st, at, variant, err := decodeState(data)
+		if err != nil {
+			return State{}, Info{}, err
+		}
+		if variant == "" && !at.After(t) {
+			return st, Info{Version: n, Variant: variant, At: at}, nil
+		}
+	}
+	return State{}, Info{}, fmt.Errorf("%w: node %d before %v", ErrNoVersions, id, t)
+}
+
+// Restore writes a captured version's attributes and content back into
+// the live database.
+func (s *Store) Restore(id hyper.NodeID, versionNum int) error {
+	st, err := s.Get(id, versionNum)
+	if err != nil {
+		return err
+	}
+	if err := s.b.SetHundred(id, st.Node.Hundred); err != nil {
+		return err
+	}
+	switch st.Node.Kind {
+	case hyper.KindText:
+		if err := s.b.SetText(id, st.Text); err != nil {
+			return err
+		}
+	case hyper.KindForm:
+		if err := s.b.SetForm(id, st.Form); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SubtreeAt materializes the 1-N structure below start as it was at
+// time t: the list of reachable nodes with their snapshot states where
+// versions exist (current state otherwise). This is the R5 exercise
+// "retrieve ... a node-structure as it was at a specific time-point".
+func (s *Store) SubtreeAt(start hyper.NodeID, t time.Time) ([]State, error) {
+	ids, err := hyper.Closure1N(s.b, start)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]State, 0, len(ids))
+	for _, id := range ids {
+		if st, _, err := s.At(id, t); err == nil {
+			out = append(out, st)
+			continue
+		} else if !errors.Is(err, ErrNoVersions) {
+			return nil, err
+		}
+		st, err := s.currentState(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,228 @@
+package version
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hypermodel/internal/backend/memdb"
+	"hypermodel/internal/hyper"
+)
+
+func setup(t *testing.T) (*memdb.DB, *Store, func() time.Time) {
+	t.Helper()
+	db, err := memdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := New(db)
+	clock := time.Unix(1000, 0)
+	vs.SetClock(func() time.Time {
+		clock = clock.Add(time.Second)
+		return clock
+	})
+	if _, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	return db, vs, func() time.Time { return clock }
+}
+
+func TestCaptureAndPrevious(t *testing.T) {
+	db, vs, _ := setup(t)
+	id := hyper.NodeID(3)
+	orig, _ := db.Hundred(id)
+
+	n, err := vs.Capture(id)
+	if err != nil || n != 1 {
+		t.Fatalf("capture = %d %v", n, err)
+	}
+	if err := db.SetHundred(id, 77); err != nil {
+		t.Fatal(err)
+	}
+	st, info, err := vs.Previous(id)
+	if err != nil || info.Version != 1 {
+		t.Fatalf("previous = %+v %v", info, err)
+	}
+	if st.Node.Hundred != orig {
+		t.Fatalf("previous hundred = %d, want %d", st.Node.Hundred, orig)
+	}
+}
+
+func TestNoVersions(t *testing.T) {
+	_, vs, _ := setup(t)
+	if _, _, err := vs.Previous(5); !errors.Is(err, ErrNoVersions) {
+		t.Fatalf("previous of unversioned = %v", err)
+	}
+	if _, err := vs.Get(5, 1); !errors.Is(err, ErrNoVersions) {
+		t.Fatalf("get of unversioned = %v", err)
+	}
+}
+
+func TestSnapshotAtTime(t *testing.T) {
+	db, vs, now := setup(t)
+	id := hyper.NodeID(4)
+
+	if err := db.SetHundred(id, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Capture(id); err != nil { // v1 at t+1s
+		t.Fatal(err)
+	}
+	t1 := now()
+	if err := db.SetHundred(id, 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Capture(id); err != nil { // v2 at t+2s
+		t.Fatal(err)
+	}
+	t2 := now()
+
+	st, info, err := vs.At(id, t1)
+	if err != nil || info.Version != 1 || st.Node.Hundred != 10 {
+		t.Fatalf("at t1: v%d hundred=%d (%v)", info.Version, st.Node.Hundred, err)
+	}
+	st, info, err = vs.At(id, t2)
+	if err != nil || info.Version != 2 || st.Node.Hundred != 20 {
+		t.Fatalf("at t2: v%d hundred=%d (%v)", info.Version, st.Node.Hundred, err)
+	}
+	if _, _, err := vs.At(id, t1.Add(-time.Hour)); !errors.Is(err, ErrNoVersions) {
+		t.Fatalf("at prehistoric time = %v", err)
+	}
+}
+
+func TestVariants(t *testing.T) {
+	db, vs, _ := setup(t)
+	id := hyper.NodeID(6)
+	if _, err := vs.Capture(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetHundred(id, 55); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.CaptureVariant(id, "draft-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.CaptureVariant(id, ""); err == nil {
+		t.Fatal("empty variant name accepted")
+	}
+	infos, err := vs.Versions(id)
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("versions = %v (%v)", infos, err)
+	}
+	if infos[0].Variant != "" || infos[1].Variant != "draft-b" {
+		t.Fatalf("variants = %q %q", infos[0].Variant, infos[1].Variant)
+	}
+	// At() skips variants: it follows the main line only.
+	st, info, err := vs.At(id, infos[1].At)
+	if err != nil || info.Version != 1 {
+		t.Fatalf("At over variant = v%d (%v)", info.Version, err)
+	}
+	_ = st
+}
+
+func TestRestore(t *testing.T) {
+	db, vs, _ := setup(t)
+	lay := hyper.Layout{LeafLevel: 2, Seed: 1}
+	first, _ := hyper.LevelIDs(lay.LeafLevel)
+	tid := first // leaf 0 is a text node (level-2 database has no form leaves)
+
+	origText, err := db.Text(tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Capture(tid); err != nil {
+		t.Fatal(err)
+	}
+	if err := hyper.TextNodeEdit(db, tid, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := vs.Restore(tid, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Text(tid)
+	if err != nil || got != origText {
+		t.Fatalf("restore did not bring back the text (%v)", err)
+	}
+}
+
+func TestFormVersioning(t *testing.T) {
+	db, err := memdb.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := New(db)
+	n := hyper.Node{ID: 1, Kind: hyper.KindForm}
+	if err := db.CreateFormNode(n, hyper.NewBitmap(100, 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.Capture(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := hyper.FormNodeEdit(db, 1, hyper.Rect{X: 0, Y: 0, W: 30, H: 30}); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := vs.Previous(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Form.CountBlack() != 0 {
+		t.Fatal("captured bitmap not white")
+	}
+	if err := vs.Restore(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := db.Form(1)
+	if err != nil || bm.CountBlack() != 0 {
+		t.Fatalf("restore did not bring back the white bitmap (%v)", err)
+	}
+}
+
+func TestSubtreeAt(t *testing.T) {
+	db, vs, now := setup(t)
+	start := hyper.NodeID(2) // level-1 node in a level-2 database
+	ids, err := hyper.Closure1N(db, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capture every node, then mutate everything.
+	orig := map[hyper.NodeID]int32{}
+	for _, id := range ids {
+		h, _ := db.Hundred(id)
+		orig[id] = h
+		if _, err := vs.Capture(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapTime := now()
+	for _, id := range ids {
+		if err := db.SetHundred(id, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	states, err := vs.SubtreeAt(start, snapTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != len(ids) {
+		t.Fatalf("subtree snapshot has %d nodes, want %d", len(states), len(ids))
+	}
+	for _, st := range states {
+		if st.Node.Hundred != orig[st.Node.ID] {
+			t.Fatalf("node %d snapshot hundred = %d, want %d", st.Node.ID, st.Node.Hundred, orig[st.Node.ID])
+		}
+	}
+}
+
+func TestCodecRejectsTruncated(t *testing.T) {
+	st := State{Node: hyper.Node{ID: 1, Kind: hyper.KindText}, Text: "hello"}
+	enc := encodeState(st, time.Unix(5, 0), "var")
+	for _, cut := range []int{1, 10, len(enc) - 1} {
+		if _, _, _, err := decodeState(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	got, at, variant, err := decodeState(enc)
+	if err != nil || got.Text != "hello" || variant != "var" || !at.Equal(time.Unix(5, 0)) {
+		t.Fatalf("round trip: %+v %v %q %v", got, at, variant, err)
+	}
+}

@@ -1,0 +1,91 @@
+package hypermodel_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hypermodel"
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/harness"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/storage/store"
+)
+
+// TestSoakLevel5 is the end-to-end soak: build the paper's mid-size
+// database (3 906 nodes), run the complete operation matrix under the
+// protocol, then exercise the maintenance surface (GC, backup, crash
+// recovery) on the same database and prove the structure survives it
+// all intact.
+func TestSoakLevel5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "oodb.db")
+	db, err := oodb.Open(path, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, tm, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.InternalCount+tm.LeafCount != 3906 {
+		t.Fatalf("generated %d nodes", tm.InternalCount+tm.LeafCount)
+	}
+
+	// The whole matrix, abbreviated iterations.
+	results, err := harness.Run(db, lay, harness.Config{Iterations: 8, Seed: 3, Depth: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 20 {
+		t.Fatalf("matrix has %d rows", len(results))
+	}
+	for _, r := range results {
+		if r.NA {
+			t.Fatalf("%s n/a on oodb: %s", r.ID, r.Note)
+		}
+	}
+
+	// Maintenance: GC finds nothing to free on a healthy database.
+	if freed, err := db.GarbageCollect(); err != nil || freed != 0 {
+		t.Fatalf("GC on healthy database freed %d (%v)", freed, err)
+	}
+	// Online backup while open.
+	backup := filepath.Join(dir, "backup.db")
+	if err := db.Backup(backup); err != nil {
+		t.Fatal(err)
+	}
+	// Crash and recover.
+	if err := db.SetHundred(5, 55); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Store().(*store.Store).CrashForTesting()
+
+	db2, err := oodb.Open(path, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer db2.Close()
+	if h, err := db2.Hundred(5); err != nil || h != 55 {
+		t.Fatalf("committed update lost in crash: %d (%v)", h, err)
+	}
+	nodes, err := hypermodel.Closure1N(db2, lay.FirstID())
+	if err != nil || len(nodes) != lay.Total() {
+		t.Fatalf("structure after crash: %d nodes (%v)", len(nodes), err)
+	}
+	// And the backup is a complete, independent database.
+	db3, err := oodb.Open(backup, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatalf("open backup: %v", err)
+	}
+	defer db3.Close()
+	n, err := hypermodel.SeqScan(db3, lay.FirstID(), lay.LastID())
+	if err != nil || n != lay.Total() {
+		t.Fatalf("backup scan: %d (%v)", n, err)
+	}
+}
