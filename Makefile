@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-paper fuzz vet fmt examples clean
+.PHONY: all build test test-race bench bench-paper fuzz vet fmt examples clean check
 
 all: build test
+
+# Pre-merge gate: static checks, the race detector, and a short fuzz
+# smoke of the wire-protocol decoder.
+check: vet test-race
+	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 5s ./internal/remote
 
 build:
 	$(GO) build ./...

@@ -34,6 +34,7 @@ import (
 	"hypermodel/internal/acl"
 	"hypermodel/internal/harness"
 	"hypermodel/internal/hyper"
+	"hypermodel/internal/remote"
 	"hypermodel/internal/txn"
 	"hypermodel/internal/version"
 )
@@ -318,6 +319,109 @@ func BenchmarkClosureMNAtt(b *testing.B) {
 	})
 }
 
+// closure1NPerNode is the seed's per-node recursive closure, kept as
+// the baseline the frontier-batched Closure1N is measured against.
+func closure1NPerNode(db hyper.Backend, start hypermodel.NodeID) ([]hypermodel.NodeID, error) {
+	var out []hypermodel.NodeID
+	var walk func(id hypermodel.NodeID) error
+	walk = func(id hypermodel.NodeID) error {
+		out = append(out, id)
+		kids, err := db.Children(id)
+		if err != nil {
+			return err
+		}
+		for _, k := range kids {
+			if err := walk(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// closureMNPerNode is the seed's per-node M-N closure baseline.
+func closureMNPerNode(db hyper.Backend, start hypermodel.NodeID) ([]hypermodel.NodeID, error) {
+	seen := map[hypermodel.NodeID]bool{}
+	var out []hypermodel.NodeID
+	var walk func(id hypermodel.NodeID) error
+	walk = func(id hypermodel.NodeID) error {
+		if seen[id] {
+			return nil
+		}
+		seen[id] = true
+		out = append(out, id)
+		parts, err := db.Parts(id)
+		if err != nil {
+			return err
+		}
+		for _, p := range parts {
+			if err := walk(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BenchmarkClosure1NBatch runs the frontier-batched closure over the
+// whole test tree; BenchmarkClosure1NPerNode runs the per-node
+// baseline on the identical workload. The gap is the batching win.
+func BenchmarkClosure1NBatch(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.Closure1N(db, lay.FirstID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(lay.Total()), "nodes/op")
+	})
+}
+
+func BenchmarkClosure1NPerNode(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := closure1NPerNode(db, lay.FirstID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(lay.Total()), "nodes/op")
+	})
+}
+
+// BenchmarkClosureMNBatch / PerNode: the same pair for the M-N
+// closure, whose frontier-batched form BFS-dedups before fetching.
+func BenchmarkClosureMNBatch(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := hypermodel.ClosureMN(db, lay.FirstID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkClosureMNPerNode(b *testing.B) {
+	perBackend(b, func(b *testing.B, db hyper.Backend, lay hyper.Layout) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := closureMNPerNode(db, lay.FirstID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkColdClosure1N measures the cold path (E10): every iteration
 // drops the caches first, so the closure pays disk or image reloads.
 func BenchmarkColdClosure1N(b *testing.B) {
@@ -553,6 +657,48 @@ func BenchmarkRemote(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+	// Round-trip accounting for the cold full-tree closure: frames/op
+	// is the number of protocol round trips each closure costs, and
+	// batchframes/op how many of them were opGetPages (one per BFS
+	// frontier with any missing pages). The per-node baseline instead
+	// pays roughly one frame per page it touches.
+	b.Run("coldClosure1NRoundTrips", func(b *testing.B) {
+		client, ok := db.Store().(*remote.Client)
+		if !ok {
+			b.Skip("store is not a remote client")
+		}
+		b.ResetTimer()
+		startTotal, startBatched := client.FrameStats()
+		for i := 0; i < b.N; i++ {
+			if err := db.DropCaches(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := hypermodel.Closure1N(db, lay.FirstID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		total, batched := client.FrameStats()
+		b.ReportMetric(float64(total-startTotal)/float64(b.N), "frames/op")
+		b.ReportMetric(float64(batched-startBatched)/float64(b.N), "batchframes/op")
+	})
+	b.Run("coldClosure1NPerNodeRoundTrips", func(b *testing.B) {
+		client, ok := db.Store().(*remote.Client)
+		if !ok {
+			b.Skip("store is not a remote client")
+		}
+		b.ResetTimer()
+		startTotal, _ := client.FrameStats()
+		for i := 0; i < b.N; i++ {
+			if err := db.DropCaches(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := closure1NPerNode(db, lay.FirstID()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		total, _ := client.FrameStats()
+		b.ReportMetric(float64(total-startTotal)/float64(b.N), "frames/op")
 	})
 }
 

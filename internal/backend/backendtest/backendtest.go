@@ -54,6 +54,7 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("NameLookup", func(t *testing.T) { testNameLookup(t, cfg) })
 	t.Run("RangeLookup", func(t *testing.T) { testRangeLookup(t, cfg) })
 	t.Run("GroupAndRefLookup", func(t *testing.T) { testGroupRef(t, cfg) })
+	t.Run("BatchReads", func(t *testing.T) { testBatchReads(t, cfg) })
 	t.Run("SeqScan", func(t *testing.T) { testSeqScan(t, cfg) })
 	t.Run("Closure1N", func(t *testing.T) { testClosure1N(t, cfg) })
 	t.Run("ClosureAttOps", func(t *testing.T) { testClosureAttOps(t, cfg) })

@@ -1,0 +1,118 @@
+package backendtest
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hypermodel/internal/hyper"
+)
+
+// noBatch hides a backend's native BatchReader implementation, so the
+// suite can exercise the generic per-item fallback on every backend.
+// Embedding the interface promotes only the Backend methods: the
+// wrapper never satisfies hyper.BatchReader, whatever it wraps.
+type noBatch struct{ hyper.Backend }
+
+// testBatchReads checks the BatchReader contract on both dispatch
+// paths: a batch equals N single calls item-for-item (children keep
+// their order, duplicates are allowed), an empty batch is a no-op, and
+// a partial miss fails the whole batch with a *hyper.BatchError whose
+// Index names the offending item and which unwraps to ErrNotFound.
+func testBatchReads(t *testing.T, cfg Config) {
+	b, lay := cfg.generate(t)
+	defer b.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	ids := []hyper.NodeID{lay.FirstID()}
+	for i := 0; i < 25; i++ {
+		ids = append(ids, lay.RandomNode(rng))
+	}
+	ids = append(ids, ids[1]) // a duplicate must be served twice
+	missing := lay.LastID() + 1000
+
+	paths := []struct {
+		name string
+		b    hyper.Backend
+	}{
+		{"dispatch", b}, // native implementation when the backend has one
+		{"fallback", noBatch{b}},
+	}
+	for _, p := range paths {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			checkBatch(t, "NodesBatch", ids, missing,
+				func(in []hyper.NodeID) ([]hyper.Node, error) { return hyper.NodesBatch(p.b, in) },
+				b.Node)
+			checkBatch(t, "HundredBatch", ids, missing,
+				func(in []hyper.NodeID) ([]int32, error) { return hyper.HundredBatch(p.b, in) },
+				b.Hundred)
+			checkBatch(t, "ChildrenBatch", ids, missing,
+				func(in []hyper.NodeID) ([][]hyper.NodeID, error) { return hyper.ChildrenBatch(p.b, in) },
+				b.Children)
+			checkBatch(t, "PartsBatch", ids, missing,
+				func(in []hyper.NodeID) ([][]hyper.NodeID, error) { return hyper.PartsBatch(p.b, in) },
+				b.Parts)
+			checkBatch(t, "RefsToBatch", ids, missing,
+				func(in []hyper.NodeID) ([][]hyper.Edge, error) { return hyper.RefsToBatch(p.b, in) },
+				b.RefsTo)
+		})
+	}
+
+	// The frontier-batched closure operations must agree across the two
+	// dispatch paths (native batching vs per-item fallback).
+	wantClosure, err := hyper.Closure1N(noBatch{b}, lay.FirstID())
+	if err != nil {
+		t.Fatalf("Closure1N over fallback: %v", err)
+	}
+	gotClosure, err := hyper.Closure1N(b, lay.FirstID())
+	if err != nil {
+		t.Fatalf("Closure1N over dispatch: %v", err)
+	}
+	if !reflect.DeepEqual(gotClosure, wantClosure) {
+		t.Fatalf("Closure1N differs between native batching and fallback")
+	}
+}
+
+// checkBatch verifies one batch helper against its single-item method.
+func checkBatch[T any](t *testing.T, name string, ids []hyper.NodeID, missing hyper.NodeID,
+	batch func([]hyper.NodeID) ([]T, error), single func(hyper.NodeID) (T, error)) {
+	t.Helper()
+
+	got, err := batch(ids)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("%s returned %d items for %d ids", name, len(got), len(ids))
+	}
+	for i, id := range ids {
+		want, err := single(id)
+		if err != nil {
+			t.Fatalf("%s: single call for node %d: %v", name, id, err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("%s[%d] (node %d) = %v, want %v", name, i, id, got[i], want)
+		}
+	}
+
+	if out, err := batch(nil); err != nil || out != nil {
+		t.Fatalf("%s(empty) = %v, %v; want nil, nil", name, out, err)
+	}
+
+	_, err = batch([]hyper.NodeID{ids[0], missing, ids[1]})
+	if err == nil {
+		t.Fatalf("%s with missing node succeeded", name)
+	}
+	if !errors.Is(err, hyper.ErrNotFound) {
+		t.Fatalf("%s miss error = %v, want ErrNotFound", name, err)
+	}
+	var be *hyper.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("%s miss error %v is not a *hyper.BatchError", name, err)
+	}
+	if be.Index != 1 {
+		t.Fatalf("%s miss index = %d, want 1", name, be.Index)
+	}
+}

@@ -1,0 +1,57 @@
+package memdb
+
+import "hypermodel/internal/hyper"
+
+// Batched reads (hyper.BatchReader): the image backend's per-call cost
+// is the mutex round, so each batch method takes the lock once for the
+// whole frontier instead of once per node.
+
+// batchLocked serves one batch under a single lock acquisition. get
+// runs with d.mu held and must copy anything it returns.
+func batchLocked[T any](d *DB, ids []hyper.NodeID, get func(*node) T) ([]T, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]T, len(ids))
+	for i, id := range ids {
+		n, err := d.getNode(id)
+		if err != nil {
+			return nil, &hyper.BatchError{Index: i, Err: err}
+		}
+		out[i] = get(n)
+	}
+	return out, nil
+}
+
+// NodesBatch returns the attributes of each listed node.
+func (d *DB) NodesBatch(ids []hyper.NodeID) ([]hyper.Node, error) {
+	return batchLocked(d, ids, func(n *node) hyper.Node { return n.Attrs })
+}
+
+// HundredBatch returns the hundred attribute of each listed node.
+func (d *DB) HundredBatch(ids []hyper.NodeID) ([]int32, error) {
+	return batchLocked(d, ids, func(n *node) int32 { return n.Attrs.Hundred })
+}
+
+// ChildrenBatch returns each node's ordered children.
+func (d *DB) ChildrenBatch(ids []hyper.NodeID) ([][]hyper.NodeID, error) {
+	return batchLocked(d, ids, func(n *node) []hyper.NodeID {
+		return append([]hyper.NodeID(nil), n.Children...)
+	})
+}
+
+// PartsBatch returns each node's M-N parts.
+func (d *DB) PartsBatch(ids []hyper.NodeID) ([][]hyper.NodeID, error) {
+	return batchLocked(d, ids, func(n *node) []hyper.NodeID {
+		return append([]hyper.NodeID(nil), n.Parts...)
+	})
+}
+
+// RefsToBatch returns each node's outgoing association edges.
+func (d *DB) RefsToBatch(ids []hyper.NodeID) ([][]hyper.Edge, error) {
+	return batchLocked(d, ids, func(n *node) []hyper.Edge {
+		return append([]hyper.Edge(nil), n.RefsTo...)
+	})
+}

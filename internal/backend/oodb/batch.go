@@ -1,0 +1,130 @@
+package oodb
+
+import (
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/objstore"
+)
+
+// Batched reads (hyper.BatchReader): the object store's GetBatch visits
+// a frontier's objects grouped by data page, so each page is fetched
+// and decoded from the buffer pool once per batch — and over the page
+// server, all of a frontier's missing pages arrive in one framed round
+// trip instead of one per object.
+
+// loadBatch activates every listed node's object, objs[i] for ids[i].
+func (d *DB) loadBatch(ids []hyper.NodeID) ([]*object, error) {
+	oids := make([]objstore.OID, len(ids))
+	for i, id := range ids {
+		oid, err := d.oidOf(id)
+		if err != nil {
+			return nil, &hyper.BatchError{Index: i, Err: err}
+		}
+		oids[i] = oid
+	}
+	datas, err := d.objs.GetBatch(oids)
+	if err != nil {
+		return nil, err
+	}
+	objs := make([]*object, len(ids))
+	for i, data := range datas {
+		o, err := decodeObject(data)
+		if err != nil {
+			return nil, &hyper.BatchError{Index: i, Err: err}
+		}
+		d.noteObject(oids[i], o)
+		objs[i] = o
+	}
+	return objs, nil
+}
+
+// NodesBatch returns the attributes of each listed node.
+func (d *DB) NodesBatch(ids []hyper.NodeID) ([]hyper.Node, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	objs, err := d.loadBatch(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]hyper.Node, len(ids))
+	for i, o := range objs {
+		out[i] = o.node
+	}
+	return out, nil
+}
+
+// HundredBatch returns the hundred attribute of each listed node.
+func (d *DB) HundredBatch(ids []hyper.NodeID) ([]int32, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	objs, err := d.loadBatch(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, len(ids))
+	for i, o := range objs {
+		out[i] = o.node.Hundred
+	}
+	return out, nil
+}
+
+// ChildrenBatch returns each node's ordered children.
+func (d *DB) ChildrenBatch(ids []hyper.NodeID) ([][]hyper.NodeID, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	objs, err := d.loadBatch(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]hyper.NodeID, len(ids))
+	for i, o := range objs {
+		kids := make([]hyper.NodeID, len(o.children))
+		for j, r := range o.children {
+			kids[j] = r.id
+		}
+		out[i] = kids
+	}
+	return out, nil
+}
+
+// PartsBatch returns each node's M-N parts.
+func (d *DB) PartsBatch(ids []hyper.NodeID) ([][]hyper.NodeID, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	objs, err := d.loadBatch(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]hyper.NodeID, len(ids))
+	for i, o := range objs {
+		parts := make([]hyper.NodeID, len(o.parts))
+		for j, r := range o.parts {
+			parts[j] = r.id
+		}
+		out[i] = parts
+	}
+	return out, nil
+}
+
+// RefsToBatch returns each node's outgoing association edges.
+func (d *DB) RefsToBatch(ids []hyper.NodeID) ([][]hyper.Edge, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	objs, err := d.loadBatch(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]hyper.Edge, len(ids))
+	for i, o := range objs {
+		edges := make([]hyper.Edge, len(o.refsTo))
+		for j, e := range o.refsTo {
+			edges[j] = hyper.Edge{From: ids[i], To: e.id, OffsetFrom: e.offFrom, OffsetTo: e.offTo}
+		}
+		out[i] = edges
+	}
+	return out, nil
+}

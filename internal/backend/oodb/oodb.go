@@ -74,6 +74,16 @@ type DB struct {
 	midx  *btree.Tree // (million, uniqueId) → nil
 	blobs *btree.Tree // blob name → blob OID
 	cat   *btree.Tree // dynamic schema catalog
+
+	// oidCache short-circuits uniqueId → OID resolution with mappings
+	// learned from activated objects, whose relationship collections
+	// already carry the target OIDs — navigating a loaded object's refs
+	// skips the uniq index entirely, like a real OODB's pointer
+	// traversal. Nodes are never deleted, so committed mappings cannot
+	// go stale; the cache is dropped whenever a transaction's reads may
+	// have been invalid (Abort, failed Commit) and on DropCaches, which
+	// promises a genuinely cold next run.
+	oidCache map[hyper.NodeID]uint64
 }
 
 var (
@@ -136,6 +146,9 @@ func (d *DB) Name() string { return "oodb" }
 func (d *DB) Store() Space { return d.st }
 
 func (d *DB) oidOf(id hyper.NodeID) (objstore.OID, error) {
+	if oid, ok := d.oidCache[id]; ok {
+		return objstore.OID(oid), nil
+	}
 	v, ok, err := d.uniq.Get(btree.U64Key(uint64(id)))
 	if err != nil {
 		return 0, err
@@ -144,6 +157,35 @@ func (d *DB) oidOf(id hyper.NodeID) (objstore.OID, error) {
 		return 0, fmt.Errorf("%w: node %d", hyper.ErrNotFound, id)
 	}
 	return objstore.OID(btree.U64FromKey(v)), nil
+}
+
+// noteObject records the id→OID mappings an activated object carries:
+// its own identity plus every relationship target. Only decoded
+// storage bytes feed the cache, so a hit is as authoritative as a uniq
+// index probe.
+func (d *DB) noteObject(oid objstore.OID, o *object) {
+	if d.oidCache == nil {
+		d.oidCache = make(map[hyper.NodeID]uint64, 256)
+	}
+	d.oidCache[o.node.ID] = uint64(oid)
+	if o.parentOID != 0 {
+		d.oidCache[o.parentID] = o.parentOID
+	}
+	for _, r := range o.children {
+		d.oidCache[r.id] = r.oid
+	}
+	for _, r := range o.parts {
+		d.oidCache[r.id] = r.oid
+	}
+	for _, r := range o.partOf {
+		d.oidCache[r.id] = r.oid
+	}
+	for _, e := range o.refsTo {
+		d.oidCache[e.id] = e.oid
+	}
+	for _, e := range o.refsFrom {
+		d.oidCache[e.id] = e.oid
+	}
 }
 
 func (d *DB) load(id hyper.NodeID) (objstore.OID, *object, error) {
@@ -163,7 +205,12 @@ func (d *DB) loadByOID(oid objstore.OID) (*object, error) {
 		}
 		return nil, err
 	}
-	return decodeObject(data)
+	o, err := decodeObject(data)
+	if err != nil {
+		return nil, err
+	}
+	d.noteObject(oid, o)
+	return o, nil
 }
 
 func (d *DB) storeObj(oid objstore.OID, o *object) error {
@@ -535,19 +582,35 @@ func (d *DB) DeleteBlob(key string) error {
 	return err
 }
 
-// Commit makes all changes durable through the WAL.
-func (d *DB) Commit() error { return d.st.Commit() }
-
-// DropCaches empties the buffer pool: the next run is cold.
-func (d *DB) DropCaches() error {
+// Commit makes all changes durable through the WAL. A failed commit
+// (e.g. an optimistic-concurrency conflict over the page server) means
+// the transaction's reads may have been invalid, so the OID cache they
+// populated is dropped with it.
+func (d *DB) Commit() error {
 	if err := d.st.Commit(); err != nil {
+		d.oidCache = nil
 		return err
 	}
+	return nil
+}
+
+// DropCaches empties the buffer pool and the OID cache: the next run
+// is cold.
+func (d *DB) DropCaches() error {
+	if err := d.st.Commit(); err != nil {
+		d.oidCache = nil
+		return err
+	}
+	d.oidCache = nil
 	return d.st.DropCache()
 }
 
-// Abort discards all uncommitted changes (rollback).
-func (d *DB) Abort() error { return d.st.Abort() }
+// Abort discards all uncommitted changes (rollback), including any OID
+// mappings learned from the transaction's possibly-invalid reads.
+func (d *DB) Abort() error {
+	d.oidCache = nil
+	return d.st.Abort()
+}
 
 // Close commits, checkpoints and closes the store.
 func (d *DB) Close() error { return d.st.Close() }

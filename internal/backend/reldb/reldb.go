@@ -381,6 +381,13 @@ func (d *DB) scanOwned(t *btree.Tree, owner hyper.NodeID) ([]hyper.NodeID, error
 	if err := d.mustExist(owner); err != nil {
 		return nil, err
 	}
+	return d.scanOwnedRows(t, owner)
+}
+
+// scanOwnedRows is scanOwned without the owner existence check (batch
+// reads verify existence separately, probing the NODE table once per
+// distinct id).
+func (d *DB) scanOwnedRows(t *btree.Tree, owner hyper.NodeID) ([]hyper.NodeID, error) {
 	var out []hyper.NodeID
 	err := t.Scan(btree.U64U32Key(uint64(owner), 0), btree.U64Key(uint64(owner)+1),
 		func(_, v []byte) (bool, error) {
@@ -404,6 +411,11 @@ func (d *DB) scanEdges(t *btree.Tree, owner hyper.NodeID, outgoing bool) ([]hype
 	if err := d.mustExist(owner); err != nil {
 		return nil, err
 	}
+	return d.scanEdgeRows(t, owner, outgoing)
+}
+
+// scanEdgeRows is scanEdges without the owner existence check.
+func (d *DB) scanEdgeRows(t *btree.Tree, owner hyper.NodeID, outgoing bool) ([]hyper.Edge, error) {
 	var out []hyper.Edge
 	err := t.Scan(btree.U64U32Key(uint64(owner), 0), btree.U64Key(uint64(owner)+1),
 		func(_, v []byte) (bool, error) {

@@ -115,6 +115,34 @@ type Backend interface {
 	Close() error
 }
 
+// BatchReader is the optional batched-read capability. The closure
+// operations (O10–O15, O18) traverse the database one BFS frontier at
+// a time and hand every frontier to these methods in one call, so a
+// backend that implements them can amortize per-call overheads across
+// the whole frontier: memdb takes its mutex once per frontier, oodb
+// fetches each data page once per frontier (and, over the page-server
+// client, fetches all of a frontier's missing pages in a single framed
+// round trip), reldb probes its B+tree tables in one sorted pass.
+//
+// Semantics mirror N single calls item-for-item: result i corresponds
+// to ids[i] (children keep their insertion order), duplicates in ids
+// are allowed, an empty batch is a no-op, and a missing node fails the
+// whole batch with a *BatchError carrying the offending index and
+// wrapping ErrNotFound. Backends without the interface are served by
+// the generic per-item fallbacks in batch.go.
+type BatchReader interface {
+	// NodesBatch returns the attributes of each listed node.
+	NodesBatch(ids []NodeID) ([]Node, error)
+	// HundredBatch returns the hundred attribute of each listed node.
+	HundredBatch(ids []NodeID) ([]int32, error)
+	// ChildrenBatch returns each node's ordered children.
+	ChildrenBatch(ids []NodeID) ([][]NodeID, error)
+	// PartsBatch returns each node's M-N parts.
+	PartsBatch(ids []NodeID) ([][]NodeID, error)
+	// RefsToBatch returns each node's outgoing association edges.
+	RefsToBatch(ids []NodeID) ([][]Edge, error)
+}
+
 // SchemaModifier is the optional dynamic-schema extension (R4, §6.8
 // extension 1): add a class like DrawNode at runtime and attach new
 // attributes to it.

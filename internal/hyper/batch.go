@@ -1,0 +1,99 @@
+package hyper
+
+import "fmt"
+
+// This file provides the uniform entry points for batched reads. Each
+// helper dispatches to the backend's native BatchReader implementation
+// when present and otherwise falls back to one single-item call per
+// id, so the batched closure operations in ops.go run unchanged on any
+// Backend.
+
+// BatchError reports the first failing item of a batched read. It
+// wraps the underlying per-item error, so errors.Is(err, ErrNotFound)
+// keeps working across the batch boundary.
+type BatchError struct {
+	// Index is the position in the request slice of the item that
+	// failed.
+	Index int
+	// Err is the underlying single-item error.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("hyper: batch item %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// batchFallback serves a batch with one single-item call per id,
+// preserving the batch contract (item order, no-op on empty, first
+// failure wrapped in *BatchError).
+func batchFallback[T any](ids []NodeID, get func(NodeID) (T, error)) ([]T, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	out := make([]T, len(ids))
+	for i, id := range ids {
+		v, err := get(id)
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// NodesBatch returns the attributes of each listed node.
+func NodesBatch(b Backend, ids []NodeID) ([]Node, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if br, ok := b.(BatchReader); ok {
+		return br.NodesBatch(ids)
+	}
+	return batchFallback(ids, b.Node)
+}
+
+// HundredBatch returns the hundred attribute of each listed node.
+func HundredBatch(b Backend, ids []NodeID) ([]int32, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if br, ok := b.(BatchReader); ok {
+		return br.HundredBatch(ids)
+	}
+	return batchFallback(ids, b.Hundred)
+}
+
+// ChildrenBatch returns each listed node's ordered children.
+func ChildrenBatch(b Backend, ids []NodeID) ([][]NodeID, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if br, ok := b.(BatchReader); ok {
+		return br.ChildrenBatch(ids)
+	}
+	return batchFallback(ids, b.Children)
+}
+
+// PartsBatch returns each listed node's M-N parts.
+func PartsBatch(b Backend, ids []NodeID) ([][]NodeID, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if br, ok := b.(BatchReader); ok {
+		return br.PartsBatch(ids)
+	}
+	return batchFallback(ids, b.Parts)
+}
+
+// RefsToBatch returns each listed node's outgoing association edges.
+func RefsToBatch(b Backend, ids []NodeID) ([][]Edge, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	if br, ok := b.(BatchReader); ok {
+		return br.RefsToBatch(ids)
+	}
+	return batchFallback(ids, b.RefsTo)
+}

@@ -47,6 +47,21 @@ func GroupLookupMN(b Backend, id NodeID) ([]NodeID, error) {
 	return b.Parts(id)
 }
 
+// projectEdges projects one endpoint out of an edge list. Empty edge
+// lists (leaves, unreferenced nodes) are the common case on the test
+// database, so they return nil instead of allocating an empty slice
+// the caller immediately discards.
+func projectEdges(edges []Edge, pick func(Edge) NodeID) []NodeID {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]NodeID, len(edges))
+	for i, e := range edges {
+		out[i] = pick(e)
+	}
+	return out
+}
+
 // GroupLookupMNAtt (O6) returns the node(s) referenced by a node
 // through the M-N attribute relation refsTo.
 func GroupLookupMNAtt(b Backend, id NodeID) ([]NodeID, error) {
@@ -54,11 +69,7 @@ func GroupLookupMNAtt(b Backend, id NodeID) ([]NodeID, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]NodeID, len(edges))
-	for i, e := range edges {
-		out[i] = e.To
-	}
-	return out, nil
+	return projectEdges(edges, func(e Edge) NodeID { return e.To }), nil
 }
 
 // RefLookup1N (O7A) returns a set containing the node's parent.
@@ -85,11 +96,7 @@ func RefLookupMNAtt(b Backend, id NodeID) ([]NodeID, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]NodeID, len(edges))
-	for i, e := range edges {
-		out[i] = e.From
-	}
-	return out, nil
+	return projectEdges(edges, func(e Edge) NodeID { return e.From }), nil
 }
 
 // SeqScan (O9) visits the ten attribute of every node of the test
@@ -108,56 +115,90 @@ func SeqScan(b Backend, first, last NodeID) (int, error) {
 	return count, err
 }
 
+// The closure operations below traverse the database one BFS frontier
+// at a time through the batch API (hyper.ChildrenBatch etc.), so a
+// BatchReader backend pays its per-call overhead — lock round, page
+// lookup, network round trip — once per level instead of once per
+// node. The paper mandates the *result* order (pre-order, children
+// ordering preserved), not the *fetch* order, so each operation
+// fetches level by level into a cache and then assembles the pre-order
+// listing from the cache, byte-identical to a per-node depth-first
+// walk.
+
+// childrenLevels BFS-fetches the children list of every node reachable
+// from start through the 1-N relationship, one batched call per level.
+// levels[k][i] is the children of the i'th node of the level-k
+// frontier; total is the exact closure size, used to preallocate
+// results. No id → children map is needed: the 1-N hierarchy is a
+// tree, and a pre-order walk visits each level's nodes in frontier
+// (left-to-right) order, so per-level cursors recover every node's
+// children list during assembly.
+func childrenLevels(b Backend, start NodeID) (levels [][][]NodeID, total int, err error) {
+	frontier := []NodeID{start}
+	for len(frontier) > 0 {
+		lists, err := ChildrenBatch(b, frontier)
+		if err != nil {
+			return nil, 0, err
+		}
+		levels = append(levels, lists)
+		total += len(frontier)
+		width := 0
+		for _, l := range lists {
+			width += len(l)
+		}
+		next := make([]NodeID, 0, width)
+		for _, l := range lists {
+			next = append(next, l...)
+		}
+		frontier = next
+	}
+	return levels, total, nil
+}
+
 // Closure1N (O10) lists every node reachable from start through the
 // 1-N relationship, in pre-order, preserving the children ordering.
 // The start node itself heads the list (the paper's n factors — 6, 31,
 // 156 — count it).
 func Closure1N(b Backend, start NodeID) ([]NodeID, error) {
-	var out []NodeID
-	var walk func(id NodeID) error
-	walk = func(id NodeID) error {
-		out = append(out, id)
-		children, err := b.Children(id)
-		if err != nil {
-			return err
-		}
-		for _, c := range children {
-			if err := walk(c); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := walk(start); err != nil {
+	levels, total, err := childrenLevels(b, start)
+	if err != nil {
 		return nil, err
 	}
+	out := make([]NodeID, 0, total)
+	cursors := make([]int, len(levels))
+	var emit func(level int, id NodeID)
+	emit = func(level int, id NodeID) {
+		out = append(out, id)
+		kids := levels[level][cursors[level]]
+		cursors[level]++
+		for _, c := range kids {
+			emit(level+1, c)
+		}
+	}
+	emit(0, start)
 	return out, nil
 }
 
 // Closure1NAttSum (O11) sums the hundred attribute over the 1-N closure
 // of start, returning the sum and the number of nodes visited.
 func Closure1NAttSum(b Backend, start NodeID) (sum int64, visited int, err error) {
-	var walk func(id NodeID) error
-	walk = func(id NodeID) error {
-		h, err := b.Hundred(id)
+	frontier := []NodeID{start}
+	for len(frontier) > 0 {
+		hs, err := HundredBatch(b, frontier)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
-		sum += int64(h)
-		visited++
-		children, err := b.Children(id)
+		lists, err := ChildrenBatch(b, frontier)
 		if err != nil {
-			return err
+			return 0, 0, err
 		}
-		for _, c := range children {
-			if err := walk(c); err != nil {
-				return err
-			}
+		var next []NodeID
+		for i := range frontier {
+			sum += int64(hs[i])
+			visited++
+			next = append(next, lists[i]...)
 		}
-		return nil
-	}
-	if err := walk(start); err != nil {
-		return 0, 0, err
+		frontier = next
 	}
 	return sum, visited, nil
 }
@@ -166,29 +207,27 @@ func Closure1NAttSum(b Backend, start NodeID) (sum int64, visited int, err error
 // the 1-N closure of start; running it twice restores the original
 // values. It returns the number of nodes updated.
 func Closure1NAttSet(b Backend, start NodeID) (updated int, err error) {
-	var walk func(id NodeID) error
-	walk = func(id NodeID) error {
-		h, err := b.Hundred(id)
+	frontier := []NodeID{start}
+	for len(frontier) > 0 {
+		hs, err := HundredBatch(b, frontier)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		if err := b.SetHundred(id, int32(HundredRange-1)-h); err != nil {
-			return err
-		}
-		updated++
-		children, err := b.Children(id)
-		if err != nil {
-			return err
-		}
-		for _, c := range children {
-			if err := walk(c); err != nil {
-				return err
+		for i, id := range frontier {
+			if err := b.SetHundred(id, int32(HundredRange-1)-hs[i]); err != nil {
+				return 0, err
 			}
+			updated++
 		}
-		return nil
-	}
-	if err := walk(start); err != nil {
-		return 0, err
+		lists, err := ChildrenBatch(b, frontier)
+		if err != nil {
+			return 0, err
+		}
+		var next []NodeID
+		for _, l := range lists {
+			next = append(next, l...)
+		}
+		frontier = next
 	}
 	return updated, nil
 }
@@ -198,31 +237,72 @@ func Closure1NAttSet(b Backend, start NodeID) (updated int, err error) {
 // nodes whose million attribute lies in [x, x+9999].
 func Closure1NPred(b Backend, start NodeID, x int32) ([]NodeID, error) {
 	lo, hi := x, x+MillionWindow-1
-	var out []NodeID
-	var walk func(id NodeID) error
-	walk = func(id NodeID) error {
-		n, err := b.Node(id)
+	// BFS with per-level predicate filtering. flags[k][i] records
+	// whether the i'th node of the level-k frontier passed; lists[k][j]
+	// is the children of the j'th *kept* node. The next frontier holds
+	// only kept nodes' children, so pruned subtrees are never fetched.
+	var flags [][]bool
+	var lists [][][]NodeID
+	total := 0
+	frontier := []NodeID{start}
+	for len(frontier) > 0 {
+		nodes, err := NodesBatch(b, frontier)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if n.Million >= lo && n.Million <= hi {
-			return nil // excluded, and the subtree below is pruned
+		keep := make([]bool, len(frontier))
+		kept := make([]NodeID, 0, len(frontier))
+		for i, id := range frontier {
+			if nodes[i].Million >= lo && nodes[i].Million <= hi {
+				continue // excluded, and the subtree below is pruned
+			}
+			keep[i] = true
+			kept = append(kept, id)
 		}
+		level, err := ChildrenBatch(b, kept)
+		if err != nil {
+			return nil, err
+		}
+		flags = append(flags, keep)
+		lists = append(lists, level)
+		total += len(kept)
+		width := 0
+		for _, l := range level {
+			width += len(l)
+		}
+		next := make([]NodeID, 0, width)
+		for _, l := range level {
+			next = append(next, l...)
+		}
+		frontier = next
+	}
+	if total == 0 {
+		return nil, nil
+	}
+	// Assemble pre-order: kept nodes of each level are visited in
+	// frontier order, so one children cursor (kc) and one flag cursor
+	// (fc) per level walk the BFS data in step with the DFS.
+	out := make([]NodeID, 0, total)
+	kc := make([]int, len(lists))
+	fc := make([]int, len(flags))
+	var emit func(level int, id NodeID)
+	emit = func(level int, id NodeID) {
 		out = append(out, id)
-		children, err := b.Children(id)
-		if err != nil {
-			return err
-		}
-		for _, c := range children {
-			if err := walk(c); err != nil {
-				return err
+		kids := lists[level][kc[level]]
+		kc[level]++
+		for _, c := range kids {
+			i := fc[level+1]
+			fc[level+1]++
+			if flags[level+1][i] {
+				emit(level+1, c)
 			}
 		}
-		return nil
 	}
-	if err := walk(start); err != nil {
-		return nil, err
+	fc[0] = 1 // start's own flag, consumed here
+	if !flags[0][0] {
+		return nil, nil
 	}
+	emit(0, start)
 	return out, nil
 }
 
@@ -231,30 +311,100 @@ func Closure1NPred(b Backend, start NodeID, x int32) ([]NodeID, error) {
 // clustering follows the 1-N hierarchy, the paper expects this to run
 // slower than Closure1N when cold.
 func ClosureMN(b Backend, start NodeID) ([]NodeID, error) {
-	seen := map[NodeID]bool{}
-	var out []NodeID
-	var walk func(id NodeID) error
-	walk = func(id NodeID) error {
-		if seen[id] {
-			return nil
-		}
-		seen[id] = true
-		out = append(out, id)
-		parts, err := b.Parts(id)
+	// One map assigns each reachable node a dense discovery index. The
+	// BFS resolves every part reference to its index as it is fetched
+	// and packs the lists into one flat arena (offs[i]..offs[i+1] bounds
+	// node i's parts), so the replay below runs on plain slices with no
+	// hashing at all. ids doubles as the BFS queue: each round's
+	// frontier is the still-unfetched suffix of the discovery order.
+	idx := map[NodeID]int32{start: 0}
+	ids := []NodeID{start}
+	offs := make([]int32, 1, 16)
+	var arena []int32
+	for fetched := 0; fetched < len(ids); {
+		frontier := ids[fetched:]
+		pls, err := PartsBatch(b, frontier)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, p := range parts {
-			if err := walk(p); err != nil {
-				return err
+		fetched = len(ids)
+		for _, pl := range pls {
+			for _, p := range pl {
+				j, ok := idx[p]
+				if !ok {
+					j = int32(len(ids))
+					idx[p] = j
+					ids = append(ids, p)
+				}
+				arena = append(arena, j)
 			}
+			offs = append(offs, int32(len(arena)))
 		}
-		return nil
 	}
-	if err := walk(start); err != nil {
-		return nil, err
+	// Replay the depth-first walk from the cache: the BFS above visited
+	// exactly the reachable set, so every parts list the walk needs is
+	// present, and the emitted order matches a per-node DFS.
+	out := make([]NodeID, 0, len(ids))
+	visited := make([]bool, len(ids))
+	var emit func(i int32)
+	emit = func(i int32) {
+		if visited[i] {
+			return
+		}
+		visited[i] = true
+		out = append(out, ids[i])
+		for _, j := range arena[offs[i]:offs[i+1]] {
+			emit(j)
+		}
 	}
+	emit(0)
 	return out, nil
+}
+
+// mnRef is a resolved association edge: the target's discovery index
+// plus the offsetTo attribute O18 sums along the path.
+type mnRef struct {
+	to  int32
+	off int32
+}
+
+// refsToClosure BFS-prefetches the outgoing edges of every node within
+// depth−1 hops of start, one batched call per level. A depth-bounded
+// DFS can only ever ask for the edges of a node it reached over a path
+// of at most depth−1 edges, and such a node's BFS level (its shortest
+// distance) is no larger, so the cache is complete for the replay.
+// ids[i] is the i'th discovered node (start = 0); its edges live in
+// arena[offs[i]:offs[i+1]], each resolved to the target's discovery
+// index so the replay runs on plain slices with no hashing. ids
+// doubles as the BFS queue. Nodes first seen on the last level have an
+// index but no offs entry — the replay never dereferences them,
+// because it stops one hop earlier.
+func refsToClosure(b Backend, start NodeID, depth int) (ids []NodeID, offs []int32, arena []mnRef, err error) {
+	idx := map[NodeID]int32{start: 0}
+	ids = []NodeID{start}
+	offs = make([]int32, 1, 16)
+	fetched := 0
+	for level := 0; level < depth && fetched < len(ids); level++ {
+		frontier := ids[fetched:]
+		els, err := RefsToBatch(b, frontier)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		fetched = len(ids)
+		for _, el := range els {
+			for _, e := range el {
+				j, ok := idx[e.To]
+				if !ok {
+					j = int32(len(ids))
+					idx[e.To] = j
+					ids = append(ids, e.To)
+				}
+				arena = append(arena, mnRef{to: j, off: e.OffsetTo})
+			}
+			offs = append(offs, int32(len(arena)))
+		}
+	}
+	return ids, offs, arena, nil
 }
 
 // ClosureMNAtt (O15) lists the nodes reachable from start through the
@@ -263,31 +413,37 @@ func ClosureMN(b Backend, start NodeID) ([]NodeID, error) {
 // outgoing reference — so the depth bound, plus cycle detection, ends
 // the traversal. The start node is not part of the result.
 func ClosureMNAtt(b Backend, start NodeID, depth int) ([]NodeID, error) {
-	seen := map[NodeID]bool{start: true}
-	var out []NodeID
-	var walk func(id NodeID, left int) error
-	walk = func(id NodeID, left int) error {
+	ids, offs, arena, err := refsToClosure(b, start, depth)
+	if err != nil {
+		return nil, err
+	}
+	bound := len(ids) - 1 // distinct nodes beyond start
+	if bound == 0 {
+		return nil, nil
+	}
+	// Replay the seed's depth-first walk from the cache. The walk order
+	// decides which nodes the depth bound cuts off, so it must be the
+	// DFS order, not the BFS fetch order.
+	visited := make([]bool, len(ids))
+	visited[0] = true
+	out := make([]NodeID, 0, bound)
+	var walk func(i int32, left int)
+	walk = func(i int32, left int) {
 		if left == 0 {
-			return nil
+			return
 		}
-		edges, err := b.RefsTo(id)
-		if err != nil {
-			return err
-		}
-		for _, e := range edges {
-			if seen[e.To] {
+		for _, r := range arena[offs[i]:offs[i+1]] {
+			if visited[r.to] {
 				continue
 			}
-			seen[e.To] = true
-			out = append(out, e.To)
-			if err := walk(e.To, left-1); err != nil {
-				return err
-			}
+			visited[r.to] = true
+			out = append(out, ids[r.to])
+			walk(r.to, left-1)
 		}
-		return nil
 	}
-	if err := walk(start, depth); err != nil {
-		return nil, err
+	walk(0, depth)
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }
@@ -304,32 +460,35 @@ type NodeDist struct {
 // paired with its total distance from start (the sum of the offsetTo
 // attributes along the path followed).
 func ClosureMNAttLinkSum(b Backend, start NodeID, depth int) ([]NodeDist, error) {
-	seen := map[NodeID]bool{start: true}
-	var out []NodeDist
-	var walk func(id NodeID, dist int64, left int) error
-	walk = func(id NodeID, dist int64, left int) error {
+	ids, offs, arena, err := refsToClosure(b, start, depth)
+	if err != nil {
+		return nil, err
+	}
+	bound := len(ids) - 1
+	if bound == 0 {
+		return nil, nil
+	}
+	visited := make([]bool, len(ids))
+	visited[0] = true
+	out := make([]NodeDist, 0, bound)
+	var walk func(i int32, dist int64, left int)
+	walk = func(i int32, dist int64, left int) {
 		if left == 0 {
-			return nil
+			return
 		}
-		edges, err := b.RefsTo(id)
-		if err != nil {
-			return err
-		}
-		for _, e := range edges {
-			if seen[e.To] {
+		for _, r := range arena[offs[i]:offs[i+1]] {
+			if visited[r.to] {
 				continue
 			}
-			seen[e.To] = true
-			d := dist + int64(e.OffsetTo)
-			out = append(out, NodeDist{e.To, d})
-			if err := walk(e.To, d, left-1); err != nil {
-				return err
-			}
+			visited[r.to] = true
+			d := dist + int64(r.off)
+			out = append(out, NodeDist{ids[r.to], d})
+			walk(r.to, d, left-1)
 		}
-		return nil
 	}
-	if err := walk(start, 0, depth); err != nil {
-		return nil, err
+	walk(0, 0, depth)
+	if len(out) == 0 {
+		return nil, nil
 	}
 	return out, nil
 }

@@ -1,0 +1,121 @@
+package remote
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/storage/store"
+)
+
+// TestBatchedClosureRoundTrips measures the client/server round-trip
+// amplification the batched closures remove: a cold per-node closure
+// pays one opGetPage frame per page miss, while the frontier-batched
+// closure fetches each BFS level's missing pages in one opGetPages
+// frame. The database is generated locally (generation over the wire
+// is slow and irrelevant here) and then served from the same file.
+func TestBatchedClosureRoundTrips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	path := filepath.Join(t.TempDir(), "batch.db")
+	local, err := oodb.Open(path, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, _, err := hyper.Generate(local, hyper.GenConfig{LeafLevel: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+
+	c, err := Dial(addr.String(), ClientOptions{PoolPages: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := oodb.New(c, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Reference: the seed's per-node closure, cold.
+	var perNode func(id hyper.NodeID) (int, error)
+	perNode = func(id hyper.NodeID) (int, error) {
+		total := 1
+		kids, err := db.Children(id)
+		if err != nil {
+			return 0, err
+		}
+		for _, k := range kids {
+			n, err := perNode(k)
+			if err != nil {
+				return 0, err
+			}
+			total += n
+		}
+		return total, nil
+	}
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	refBase, _ := c.FrameStats()
+	count, err := perNode(lay.FirstID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != lay.Total() {
+		t.Fatalf("per-node closure visited %d nodes, want %d", count, lay.Total())
+	}
+	refTotal, _ := c.FrameStats()
+	refFrames := refTotal - refBase
+
+	// Frontier-batched closure, cold again.
+	if err := db.DropCaches(); err != nil {
+		t.Fatal(err)
+	}
+	base, baseBatched := c.FrameStats()
+	nodes, err := hyper.Closure1N(db, lay.FirstID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != lay.Total() {
+		t.Fatalf("batched closure visited %d nodes, want %d", len(nodes), lay.Total())
+	}
+	total, batched := c.FrameStats()
+	batchFrames := batched - baseBatched
+	batchTotal := total - base
+
+	// At most one opGetPages frame per BFS level (a level whose pages
+	// are all resident sends none), plus lockstep generations for the
+	// rare overflow chains.
+	levels := lay.LeafLevel + 1
+	if batchFrames == 0 {
+		t.Fatalf("batched closure sent no opGetPages frames")
+	}
+	if batchFrames > uint64(4*levels) {
+		t.Errorf("batched closure sent %d opGetPages frames for %d frontier levels", batchFrames, levels)
+	}
+	if batchTotal*5 > refFrames {
+		t.Errorf("round-trip reduction %d → %d is below 5x", refFrames, batchTotal)
+	}
+	t.Logf("per-node: %d frames; batched: %d frames (%d opGetPages) over %d levels; reduction %.1fx",
+		refFrames, batchTotal, batchFrames, levels, float64(refFrames)/float64(batchTotal))
+}

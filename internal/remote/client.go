@@ -30,7 +30,13 @@ type Client struct {
 	rootsRead  bool
 	rootsDirty map[int]page.ID
 
+	// reqBuf is the grow-only request buffer: every outgoing frame is
+	// assembled in it (length header included) and sent with a single
+	// write, so steady-state requests allocate nothing.
+	reqBuf []byte
+
 	hits, misses, fetches uint64
+	frames, batchFrames   uint64
 }
 
 // ClientOptions configure a workstation client.
@@ -64,9 +70,21 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	return c, nil
 }
 
-// call performs one request/response round trip. Callers hold c.mu.
-func (c *Client) call(req []byte) ([]byte, error) {
-	if err := writeFrame(c.conn, req); err != nil {
+// newReq starts a request frame in the reusable buffer, reserving the
+// four length-header bytes. Callers append the payload and hand the
+// frame to call. Callers hold c.mu.
+func (c *Client) newReq() []byte {
+	return append(c.reqBuf[:0], 0, 0, 0, 0)
+}
+
+// call fills in the frame header, performs one request/response round
+// trip, and keeps the (possibly grown) frame buffer for reuse. framed
+// must come from newReq. Callers hold c.mu.
+func (c *Client) call(framed []byte) ([]byte, error) {
+	c.reqBuf = framed
+	binary.LittleEndian.PutUint32(framed[:4], uint32(len(framed)-4))
+	c.frames++
+	if _, err := c.conn.Write(framed); err != nil {
 		return nil, fmt.Errorf("remote: send: %w", err)
 	}
 	resp, err := readFrame(c.conn)
@@ -87,7 +105,7 @@ func (c *Client) call(req []byte) ([]byte, error) {
 }
 
 func (c *Client) fetchRoots() error {
-	resp, err := c.call([]byte{opRoots})
+	resp, err := c.call(append(c.newReq(), opRoots))
 	if err != nil {
 		return err
 	}
@@ -122,7 +140,7 @@ func (c *Client) Get(id page.ID) (store.Handle, error) {
 		return &handle{c, f}, nil
 	}
 	c.misses++
-	req := append([]byte{opGetPage}, binary.LittleEndian.AppendUint64(nil, uint64(id))...)
+	req := binary.LittleEndian.AppendUint64(append(c.newReq(), opGetPage), uint64(id))
 	resp, err := c.call(req)
 	if err != nil {
 		return nil, err
@@ -140,12 +158,93 @@ func (c *Client) Get(id page.ID) (store.Handle, error) {
 	return &handle{c, f}, nil
 }
 
+// Prefetch warms the workstation cache with every listed page that is
+// not already resident, fetching all of them from the server in a
+// single opGetPages round trip (chunked only past maxBatchPages).
+// Prefetched pages enter the pool and the version table but not the
+// read set: optimistic validation covers exactly the pages the
+// transaction actually reads, and a prefetched page only joins the
+// read set when a later Get touches it.
+func (c *Client) Prefetch(ids []page.ID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var missing []page.ID
+	var seen map[page.ID]bool
+	for _, id := range ids {
+		if f := c.pool.Get(id); f != nil {
+			c.pool.Release(f)
+			continue
+		}
+		if seen == nil {
+			seen = make(map[page.ID]bool, len(ids))
+		}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		missing = append(missing, id)
+	}
+	for len(missing) > 0 {
+		n := len(missing)
+		if n > maxBatchPages {
+			n = maxBatchPages
+		}
+		if err := c.fetchPagesLocked(missing[:n]); err != nil {
+			return err
+		}
+		missing = missing[n:]
+	}
+	return nil
+}
+
+// fetchPagesLocked requests one chunk of pages in a single frame and
+// inserts them into the pool. Callers hold c.mu.
+func (c *Client) fetchPagesLocked(ids []page.ID) error {
+	req := append(c.newReq(), opGetPages)
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(ids)))
+	for _, id := range ids {
+		req = binary.LittleEndian.AppendUint64(req, uint64(id))
+	}
+	c.batchFrames++
+	resp, err := c.call(req)
+	if err != nil {
+		return err
+	}
+	if len(resp) != len(ids)*(8+page.Size) {
+		return errors.New("remote: bad GetPages response")
+	}
+	off := 0
+	for _, id := range ids {
+		ver := binary.LittleEndian.Uint64(resp[off:])
+		img := &page.Page{}
+		copy(img.Bytes(), resp[off+8:off+8+page.Size])
+		off += 8 + page.Size
+		if f := c.pool.Get(id); f != nil {
+			// Already resident (Insert would refuse a duplicate).
+			c.pool.Release(f)
+			continue
+		}
+		c.fetches++
+		c.pool.Release(c.pool.Insert(id, img))
+		c.versions[id] = ver
+	}
+	return nil
+}
+
+// FrameStats reports how many frames the client has sent in total and
+// how many of them were batched page fetches (opGetPages).
+func (c *Client) FrameStats() (total, batched uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames, c.batchFrames
+}
+
 // Alloc asks the server for a fresh page and materializes it dirty in
 // the local cache; its contents travel with the next Commit.
 func (c *Client) Alloc(t page.Type) (page.ID, store.Handle, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.call([]byte{opAlloc, byte(t)})
+	resp, err := c.call(append(c.newReq(), opAlloc, byte(t)))
 	if err != nil {
 		return page.Invalid, nil, err
 	}
@@ -216,7 +315,7 @@ func (c *Client) Commit() error {
 	}
 	req.frees = c.frees
 
-	_, err := c.call(encodeCommit(req))
+	_, err := c.call(appendCommit(c.newReq(), req))
 	if errors.Is(err, ErrConflict) {
 		// Discard the failed transaction: local caches are stale.
 		c.pool.Drop()
@@ -288,7 +387,7 @@ func (c *Client) CacheStats() (hits, misses, reads uint64) {
 func (c *Client) Ping() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, err := c.call([]byte{opPing})
+	_, err := c.call(append(c.newReq(), opPing))
 	return err
 }
 
@@ -296,7 +395,7 @@ func (c *Client) Ping() error {
 func (c *Client) ServerStats() (commits, aborts, fetches uint64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.call([]byte{opStats})
+	resp, err := c.call(append(c.newReq(), opStats))
 	if err != nil {
 		return 0, 0, 0, err
 	}

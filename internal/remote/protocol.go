@@ -34,6 +34,7 @@ const (
 	opDropDead = 5 // reserved
 	opStats    = 6 // → server stats
 	opPing     = 7 // → ok
+	opGetPages = 8 // count u32, count × pageID u64 → count × (version u64, image)
 )
 
 // Response status codes (server → client).
@@ -49,6 +50,11 @@ const (
 var ErrConflict = errors.New("remote: optimistic validation failed (read set stale)")
 
 const maxFrame = 64 << 20 // sanity bound on frame sizes
+
+// maxBatchPages bounds one opGetPages request so its response — one
+// version and one page image per id, plus the status byte — always
+// fits a frame. Clients chunk larger prefetches.
+const maxBatchPages = (maxFrame - 8) / (8 + page.Size)
 
 // writeFrame sends one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {
@@ -103,7 +109,12 @@ type rootEntry struct {
 
 func encodeCommit(req *commitReq) []byte {
 	size := 1 + 4 + 16*len(req.reads) + 4 + len(req.writes)*(8+page.Size) + 4 + 12*len(req.roots) + 4 + 8*len(req.frees)
-	b := make([]byte, 0, size)
+	return appendCommit(make([]byte, 0, size), req)
+}
+
+// appendCommit appends the opCommit payload to b (the client reuses
+// one grow-only request buffer across calls).
+func appendCommit(b []byte, req *commitReq) []byte {
 	b = append(b, opCommit)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.reads)))
 	for _, r := range req.reads {

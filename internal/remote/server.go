@@ -141,6 +141,8 @@ func (s *Server) handle(conn net.Conn) {
 		switch req[0] {
 		case opGetPage:
 			resp, rerr = s.getPage(req[1:])
+		case opGetPages:
+			resp, rerr = s.getPages(req[1:])
 		case opAlloc:
 			resp, rerr = s.alloc(req[1:])
 		case opRoots:
@@ -192,6 +194,33 @@ func (s *Server) getPage(body []byte) ([]byte, error) {
 	resp := make([]byte, 8+page.Size)
 	binary.LittleEndian.PutUint64(resp, s.versions[id])
 	copy(resp[8:], h.Page().Bytes())
+	return resp, nil
+}
+
+func (s *Server) getPages(body []byte) ([]byte, error) {
+	if len(body) < 4 {
+		return nil, errors.New("remote: bad GetPages request")
+	}
+	n := int(binary.LittleEndian.Uint32(body))
+	if n > maxBatchPages || len(body) != 4+8*n {
+		return nil, errors.New("remote: bad GetPages request")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := make([]byte, n*(8+page.Size))
+	off := 0
+	for i := 0; i < n; i++ {
+		id := page.ID(binary.LittleEndian.Uint64(body[4+8*i:]))
+		h, err := s.st.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("remote: GetPages item %d (page %d): %w", i, id, err)
+		}
+		s.fetches++
+		binary.LittleEndian.PutUint64(resp[off:], s.versions[id])
+		copy(resp[off+8:], h.Page().Bytes())
+		h.Release()
+		off += 8 + page.Size
+	}
 	return resp, nil
 }
 
