@@ -2,14 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-paper fuzz vet fmt examples clean check
+.PHONY: all build test test-race bench bench-paper fuzz vet fmt examples clean check chaos
 
 all: build test
 
-# Pre-merge gate: static checks, the race detector, and a short fuzz
-# smoke of the wire-protocol decoder.
-check: vet test-race
+# Pre-merge gate: static checks, the race detector, the chaos soak,
+# and a short fuzz smoke of the wire-protocol decoder.
+check: vet test-race chaos
 	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 5s ./internal/remote
+
+# Fault-injection soak: the full benchmark matrix over the page server
+# behind a proxy dropping, delaying and mid-frame-cutting transfers;
+# results must match a fault-free run and commits apply exactly once.
+chaos:
+	$(GO) test -race -run 'TestChaosRemoteMatrix|TestClientThroughFlakyProxy' -count=1 -v . ./internal/remote
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,166 @@
+package hypermodel_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/fault"
+	"hypermodel/internal/harness"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/store"
+)
+
+// chaosOps is the O1–O15 matrix (the retrieval and update operations;
+// the editing/extension rows O16–O18 are measured elsewhere).
+var chaosOps = []string{
+	"O1", "O2", "O3", "O4", "O5A", "O5B", "O6", "O7A", "O7B",
+	"O8", "O9", "O10", "O11", "O12", "O13", "O14", "O15",
+}
+
+// chaosRun is one complete benchmark pass over the page server, with
+// or without a fault proxy in the network path.
+type chaosRun struct {
+	results    []harness.OpResult
+	retry      remote.RetryStats
+	commits    uint64
+	dupCommits uint64
+	faults     fault.Stats
+}
+
+func runChaosMatrix(t *testing.T, faulty bool) chaosRun {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "chaos.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dialAddr := addr.String()
+	var px *fault.Proxy
+	if faulty {
+		// ≥1% of transfers dropped, delayed, or cut mid-frame.
+		// Corruption stays off: commit frames carry no end-to-end
+		// checksum, so flipped bits could be applied undetectably —
+		// that failure mode has its own test in internal/fault.
+		px, err = fault.NewProxy(dialAddr, fault.Config{
+			Seed:        42,
+			DropProb:    0.01,
+			DelayProb:   0.02,
+			MaxDelay:    2 * time.Millisecond,
+			PartialProb: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer px.Close()
+		px.SetEnabled(false) // generation runs fault-free
+		dialAddr = px.Addr()
+	}
+
+	client, err := remote.Dial(dialAddr, remote.ClientOptions{
+		RequestTimeout: 10 * time.Second,
+		BackoffBase:    200 * time.Microsecond,
+		BackoffMax:     5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := oodb.New(client, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	lay, _, err := hyper.Generate(db, hyper.GenConfig{LeafLevel: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if faulty {
+		px.SetEnabled(true)
+	}
+	results, err := harness.Run(db, lay, harness.Config{
+		Iterations: 4, Seed: 9, Depth: 25, Ops: chaosOps,
+	})
+	if err != nil {
+		t.Fatalf("matrix under faults: %v", err)
+	}
+
+	out := chaosRun{results: results, retry: client.RetryStats()}
+	out.commits, _, _ = srv.Stats()
+	out.dupCommits, _ = srv.FaultStats()
+	if faulty {
+		px.SetEnabled(false) // the final Close need not fight the proxy
+		out.faults = px.Stats()
+	}
+	return out
+}
+
+// TestChaosRemoteMatrix is the fault-injection soak: the full O1–O15
+// matrix runs against the page server twice — once over a clean
+// network, once through a proxy dropping, delaying and mid-frame-
+// cutting ≥1% of transfers — and must produce identical results, with
+// every commit applied exactly once and none abandoned as unknown.
+func TestChaosRemoteMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	control := runChaosMatrix(t, false)
+	chaos := runChaosMatrix(t, true)
+
+	if chaos.faults.Total() == 0 {
+		t.Fatal("proxy injected no faults; the soak exercised nothing")
+	}
+	t.Logf("faults injected: %+v", chaos.faults)
+	t.Logf("client recovery: %+v", chaos.retry)
+
+	// The control run must not have needed the fault machinery.
+	if control.retry.Reconnects != 0 || control.retry.Retries != 0 {
+		t.Fatalf("clean run used retries: %+v", control.retry)
+	}
+
+	// Identical matrix: same rows, same applicability, same node
+	// counts cold and warm. Node counts are the benchmark's results —
+	// a lost page or a doubled commit would change them.
+	if len(chaos.results) != len(control.results) {
+		t.Fatalf("row count %d vs %d", len(chaos.results), len(control.results))
+	}
+	for i, want := range control.results {
+		got := chaos.results[i]
+		if got.ID != want.ID || got.NA != want.NA {
+			t.Fatalf("row %d: %s/NA=%v vs %s/NA=%v", i, got.ID, got.NA, want.ID, want.NA)
+		}
+		if got.Cold.TotalNodes() != want.Cold.TotalNodes() ||
+			got.Warm.TotalNodes() != want.Warm.TotalNodes() {
+			t.Fatalf("%s: node counts diverged under faults: cold %d/%d warm %d/%d",
+				got.ID, got.Cold.TotalNodes(), want.Cold.TotalNodes(),
+				got.Warm.TotalNodes(), want.Warm.TotalNodes())
+		}
+	}
+
+	// Exactly-once commits: the faulted server applied precisely as
+	// many transactions as the clean one — duplicates were absorbed by
+	// the token ring, not applied — and the client never blindly
+	// resent: every resend was preceded by a verified-not-applied
+	// probe, and no commit outcome was left unknown.
+	if chaos.commits != control.commits {
+		t.Fatalf("faulted run applied %d commits, clean run %d", chaos.commits, control.commits)
+	}
+	if chaos.retry.CommitUnknowns != 0 {
+		t.Fatalf("%d commits left unresolved", chaos.retry.CommitUnknowns)
+	}
+	if chaos.retry.CommitResends > chaos.retry.CommitChecks {
+		t.Fatalf("resends (%d) not covered by verification probes (%d)",
+			chaos.retry.CommitResends, chaos.retry.CommitChecks)
+	}
+}

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	hyperserver -db ./data/shared.db -addr 127.0.0.1:7077
+//
+// Robustness knobs: -idle-timeout reaps connections that sit silent
+// between requests, -max-conns refuses clients beyond a concurrency
+// limit with a clean "server busy" error.
 package main
 
 import (
@@ -19,11 +23,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperserver: ")
 	var (
-		db   = flag.String("db", "hypermodel.db", "database file to serve")
-		addr = flag.String("addr", "127.0.0.1:7077", "listen address")
+		db          = flag.String("db", "hypermodel.db", "database file to serve")
+		addr        = flag.String("addr", "127.0.0.1:7077", "listen address")
+		idleTimeout = flag.Duration("idle-timeout", 0, "disconnect clients idle this long (0 = never)")
+		maxConns    = flag.Int("max-conns", 0, "refuse connections beyond this many (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := remote.ListenAndServeStore(*db, *addr, nil); err != nil {
+	if err := remote.ListenAndServeStore(*db, *addr, nil, *idleTimeout, *maxConns); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -87,6 +87,10 @@ var (
 	ErrWrongKind = hyper.ErrWrongKind
 	// ErrConflict reports failed optimistic validation (multi-user).
 	ErrConflict = remote.ErrConflict
+	// ErrCommitUnknown reports a commit whose outcome could not be
+	// re-verified after the connection to the page server died
+	// mid-commit (the client never blindly resends a commit).
+	ErrCommitUnknown = remote.ErrCommitUnknown
 )
 
 // Generation (§5.2).
@@ -145,12 +149,29 @@ func OpenMemDB(path string) (*memdb.DB, error) {
 	return memdb.Open(path)
 }
 
+// ClientOptions configure the workstation client: cache size, the
+// per-request deadline (RequestTimeout), and the reconnect/retry
+// policy (RetryLimit, BackoffBase, BackoffMax). The zero value uses
+// sensible defaults: no deadline, 8 retries, 2ms–250ms backoff.
+type ClientOptions = remote.ClientOptions
+
+// ClientRetryStats are the workstation client's fault-tolerance
+// counters: reconnects, idempotent retries, batch downgrades, and the
+// commit-uncertainty resolution counts.
+type ClientRetryStats = remote.RetryStats
+
 // DialServer connects to a hyperserver page server and returns the
 // object-database mapping running over the workstation client — the
 // paper's R6 architecture. Cold runs fetch pages from the server; the
 // warm working set lives in the workstation cache.
 func DialServer(addr string) (*oodb.DB, error) {
-	c, err := remote.Dial(addr, remote.ClientOptions{})
+	return DialServerWith(addr, ClientOptions{})
+}
+
+// DialServerWith is DialServer with explicit client options — request
+// deadlines and reconnect backoff for flaky networks.
+func DialServerWith(addr string, opts ClientOptions) (*oodb.DB, error) {
+	c, err := remote.Dial(addr, opts)
 	if err != nil {
 		return nil, err
 	}

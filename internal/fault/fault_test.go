@@ -1,0 +1,219 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestInjectorDeterminism: the same seed must yield the same fault
+// schedule — the whole point of seedable injection.
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, DropProb: 0.1, DelayProb: 0.1, PartialProb: 0.1, CorruptProb: 0.1, MaxDelay: time.Microsecond}
+	a, b := NewInjector(cfg), NewInjector(cfg)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.decide(100), b.decide(100)
+		if va != vb {
+			t.Fatalf("schedule diverged at step %d: %+v vs %+v", i, va, vb)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Total() == 0 {
+		t.Fatal("schedule injected nothing at 10% rates over 1000 transfers")
+	}
+}
+
+// pipePair returns two ends of an in-process TCP connection.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ch := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			ch <- c
+		}
+	}()
+	a, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := <-ch
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+// TestConnDropAndCorrupt: a wrapped connection with certain faults
+// must close on drops and flip exactly one byte on corruption.
+func TestConnDropAndCorrupt(t *testing.T) {
+	a, b := pipePair(t)
+	wrapped := WrapConn(a, NewInjector(Config{Seed: 3, CorruptProb: 1}))
+	msg := []byte("the quick brown fox")
+	if _, err := wrapped.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range msg {
+		if msg[i] != got[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want 1", diff)
+	}
+
+	dropped := WrapConn(a, NewInjector(Config{Seed: 3, DropProb: 1}))
+	if _, err := dropped.Write(msg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("drop returned %v, want ErrInjected", err)
+	}
+	if _, err := io.ReadAll(b); err != nil && !errors.Is(err, net.ErrClosed) {
+		// the peer observes a clean close, not a protocol error
+		t.Fatalf("peer read after drop: %v", err)
+	}
+}
+
+// TestConnPartialWrite: a mid-frame close delivers a strict prefix.
+func TestConnPartialWrite(t *testing.T) {
+	a, b := pipePair(t)
+	wrapped := WrapConn(a, NewInjector(Config{Seed: 5, PartialProb: 1}))
+	msg := bytes.Repeat([]byte{0xAB}, 256)
+	n, err := wrapped.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partial write returned %v, want ErrInjected", err)
+	}
+	if n <= 0 || n >= len(msg) {
+		t.Fatalf("partial write passed %d of %d bytes, want strict prefix", n, len(msg))
+	}
+	got, _ := io.ReadAll(b)
+	if len(got) != n {
+		t.Fatalf("peer received %d bytes, writer claims %d", len(got), n)
+	}
+}
+
+// TestProxyTransparentWhenDisabled: a disabled proxy must forward
+// bytes unmodified in both directions.
+func TestProxyTransparentWhenDisabled(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c) // echo
+		c.Close()
+	}()
+
+	px, err := NewProxy(ln.Addr().String(), Config{Seed: 9, DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	px.SetEnabled(false)
+
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("echo through the middlebox")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+	if px.Stats().Total() != 0 {
+		t.Fatalf("disabled proxy injected faults: %+v", px.Stats())
+	}
+	if px.Accepted() != 1 {
+		t.Fatalf("accepted = %d connections, want 1", px.Accepted())
+	}
+}
+
+// TestProxyDropSeversConnection: with injection enabled, a certain
+// drop kills the forwarded connection and the client sees EOF.
+func TestProxyDropSeversConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) { io.Copy(c, c); c.Close() }(c)
+		}
+	}()
+
+	px, err := NewProxy(ln.Addr().String(), Config{Seed: 2, DropProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("doomed"))
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 16)); err == nil {
+		t.Fatal("read succeeded through a certain-drop proxy")
+	}
+	if px.Stats().Drops == 0 {
+		t.Fatal("proxy counted no drops")
+	}
+}
+
+// TestLimitConn: the byte budget cuts a write at an exact offset.
+func TestLimitConn(t *testing.T) {
+	for _, limit := range []int{0, 1, 5, 9, 10} {
+		a, b := pipePair(t)
+		lc := NewLimitConn(a, limit)
+		msg := []byte("0123456789")
+		n, err := lc.Write(msg)
+		if limit >= len(msg) {
+			if err != nil || n != len(msg) {
+				t.Fatalf("limit %d: full write got n=%d err=%v", limit, n, err)
+			}
+			a.Close()
+		} else {
+			if !errors.Is(err, ErrInjected) || n != limit {
+				t.Fatalf("limit %d: got n=%d err=%v", limit, n, err)
+			}
+		}
+		got, _ := io.ReadAll(b)
+		want := limit
+		if want > len(msg) {
+			want = len(msg)
+		}
+		if len(got) != want {
+			t.Fatalf("limit %d: peer received %d bytes", limit, len(got))
+		}
+	}
+}

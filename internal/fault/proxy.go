@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP middlebox: clients dial the proxy's
+// address, the proxy dials the upstream server, and bytes are pumped
+// in both directions through one shared fault schedule. Disabling the
+// proxy (SetEnabled(false)) makes it a transparent forwarder, so a
+// test can build its database fault-free and then turn the weather bad
+// for the measured run.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+	inj      *Injector
+	enabled  atomic.Bool
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	accepted uint64 // client connections accepted (atomic)
+}
+
+// NewProxy starts a proxy in front of the upstream address, listening
+// on a fresh loopback port. Fault injection starts enabled.
+func NewProxy(upstream string, cfg Config) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		inj:      NewInjector(cfg),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	p.enabled.Store(true)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address clients dial instead of the upstream server.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetEnabled turns fault injection on or off; the proxy keeps
+// forwarding either way.
+func (p *Proxy) SetEnabled(on bool) { p.enabled.Store(on) }
+
+// Stats snapshots the injector's fault counters.
+func (p *Proxy) Stats() Stats { return p.inj.Stats() }
+
+// Accepted reports how many client connections the proxy has seen —
+// reconnects after injected drops show up here.
+func (p *Proxy) Accepted() uint64 { return atomic.LoadUint64(&p.accepted) }
+
+// Close stops the listener, severs active connections and waits for
+// the pumps to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		atomic.AddUint64(&p.accepted, 1)
+		up, err := net.Dial("tcp", p.upstream)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		if !p.track(down) || !p.track(up) {
+			down.Close()
+			up.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.pump(up, down)
+		go p.pump(down, up)
+	}
+}
+
+// pump copies src to dst until a fault or a real error severs the
+// pair. A drop or mid-frame close kills both directions: TCP has no
+// half-broken connections at the frame protocol's level of concern.
+func (p *Proxy) pump(dst, src net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		dst.Close()
+		src.Close()
+		p.untrack(dst)
+		p.untrack(src)
+	}()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			data := buf[:n]
+			if p.enabled.Load() {
+				act := p.inj.decide(n)
+				if act.delay > 0 {
+					time.Sleep(act.delay)
+				}
+				if act.drop {
+					return
+				}
+				if act.truncate >= 0 {
+					dst.Write(data[:act.truncate])
+					return
+				}
+				if act.corruptAt >= 0 {
+					data[act.corruptAt] ^= 0x80
+				}
+			}
+			if _, werr := dst.Write(data); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

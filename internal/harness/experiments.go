@@ -246,12 +246,21 @@ func RenderCacheSweep(w io.Writer, level int, results []CacheSweepResult) {
 // --- E13: workstation/server ---
 
 // RemoteResult compares the same operations local vs over the page
-// server, plus the R7 objects-per-second gate.
+// server, plus the R7 objects-per-second gate and (for the remote
+// setting) the client's transport and fault-tolerance counters.
 type RemoteResult struct {
 	Setting      string
 	Results      []OpResult
 	WarmObjsPerS float64
 	ColdObjsPerS float64
+
+	// Client counters, remote setting only.
+	HasClientStats bool
+	Hits, Misses   uint64 // workstation cache
+	Fetches        uint64 // pages fetched from the server
+	Frames         uint64 // request frames sent (retries included)
+	BatchFrames    uint64 // of which batched page fetches
+	Retry          remote.RetryStats
 }
 
 // RunRemote builds a database behind a page server, runs a traversal-
@@ -283,7 +292,9 @@ func RunRemote(dir string, level int, seed int64, cfg Config) ([]RemoteResult, e
 		return nil, err
 	}
 	defer srv.Close()
-	client, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	client, err := remote.Dial(addr.String(), remote.ClientOptions{
+		RequestTimeout: 30 * time.Second,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -301,9 +312,15 @@ func RunRemote(dir string, level int, seed int64, cfg Config) ([]RemoteResult, e
 		return nil, err
 	}
 
+	remoteRow := RemoteResult{
+		Setting: "remote (DBMS on page server)", Results: remoteRes,
+		HasClientStats: true, Retry: client.RetryStats(),
+	}
+	remoteRow.Hits, remoteRow.Misses, remoteRow.Fetches = client.CacheStats()
+	remoteRow.Frames, remoteRow.BatchFrames = client.FrameStats()
 	out := []RemoteResult{
 		{Setting: "local (DBMS on workstation)", Results: localRes},
-		{Setting: "remote (DBMS on page server)", Results: remoteRes},
+		remoteRow,
 	}
 	for i := range out {
 		// R7: objects per second from the closure1N row (one object
@@ -326,8 +343,18 @@ func RunRemote(dir string, level int, seed int64, cfg Config) ([]RemoteResult, e
 func RenderRemote(w io.Writer, results []RemoteResult) {
 	for _, r := range results {
 		RenderOperations(w, "E13: "+r.Setting, r.Results)
-		fmt.Fprintf(w, "R7 gate (100–10,000 objects/s): cold %.0f obj/s, warm %.0f obj/s\n\n",
+		fmt.Fprintf(w, "R7 gate (100–10,000 objects/s): cold %.0f obj/s, warm %.0f obj/s\n",
 			r.ColdObjsPerS, r.WarmObjsPerS)
+		if r.HasClientStats {
+			fmt.Fprintf(w, "workstation cache: %d hits, %d misses, %d server fetches\n",
+				r.Hits, r.Misses, r.Fetches)
+			fmt.Fprintf(w, "transport: %d frames (%d batched)\n", r.Frames, r.BatchFrames)
+			fmt.Fprintf(w, "fault tolerance: %d reconnects, %d retries, %d downgrades, "+
+				"%d commit checks, %d commit resends, %d commit unknowns\n",
+				r.Retry.Reconnects, r.Retry.Retries, r.Retry.Downgrades,
+				r.Retry.CommitChecks, r.Retry.CommitResends, r.Retry.CommitUnknowns)
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"hypermodel/internal/storage/buffer"
 	"hypermodel/internal/storage/page"
@@ -17,13 +19,33 @@ import (
 // buffer pool, misses are fetched from the server, and Commit ships
 // the transaction's read set (for optimistic validation) and write set
 // to the server atomically.
+//
+// The client survives a flaky network. Transport failures on
+// idempotent requests (page fetches, roots, stats) redial with capped
+// exponential backoff and resend; a failure with a commit in flight is
+// resolved through the commit token (see Commit) so a transaction is
+// applied at most once. Reconnecting invalidates the session's cached
+// clean pages — they may be stale by the time the connection is back —
+// while dirty pages stay resident: under the no-steal policy they
+// exist nowhere else, and the read set still guards their validity at
+// commit time.
 type Client struct {
 	mu       sync.Mutex
-	conn     net.Conn
 	pool     *buffer.Pool
 	versions map[page.ID]uint64 // version of each cached page as fetched
 	readSet  map[page.ID]uint64 // pages read since the last commit
 	frees    []page.ID
+
+	addr string
+	opts ClientOptions
+	rng  *rand.Rand // backoff jitter and commit tokens; guarded by mu
+
+	// connMu guards the connection separately from mu so Close never
+	// waits behind an in-flight request (and can interrupt one).
+	connMu   sync.Mutex
+	conn     net.Conn
+	closed   bool
+	closedCh chan struct{}
 
 	roots      [store.NumRoots]page.ID
 	rootsVer   uint64
@@ -35,8 +57,18 @@ type Client struct {
 	// write, so steady-state requests allocate nothing.
 	reqBuf []byte
 
+	// batchOK clears when the server refuses opGetPages; the client
+	// then degrades to per-page fetches for the rest of its life.
+	batchOK bool
+
 	hits, misses, fetches uint64
 	frames, batchFrames   uint64
+	reconnects            uint64
+	retries               uint64
+	downgrades            uint64
+	commitChecks          uint64
+	commitResends         uint64
+	commitUnknowns        uint64
 }
 
 // ClientOptions configure a workstation client.
@@ -44,27 +76,78 @@ type ClientOptions struct {
 	// PoolPages is the size of the workstation page cache (default
 	// 1024 pages = 4 MiB).
 	PoolPages int
+	// RequestTimeout bounds one request/response round trip. A request
+	// that exceeds it fails like any other transport error (and is
+	// retried if idempotent). Zero means no deadline.
+	RequestTimeout time.Duration
+	// RetryLimit is how many redial-and-resend attempts a failed
+	// request gets before its transport error surfaces (default 8;
+	// negative disables retries entirely).
+	RetryLimit int
+	// BackoffBase and BackoffMax shape the capped exponential redial
+	// backoff (defaults 2ms and 250ms). Each wait is drawn uniformly
+	// from (0, cap] — full jitter, so a herd of reconnecting clients
+	// spreads out.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Dialer overrides how connections are made (tests route through
+	// fault injectors). Default: net.Dial("tcp", addr).
+	Dialer func(addr string) (net.Conn, error)
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.PoolPages <= 0 {
+		o.PoolPages = 1024
+	}
+	switch {
+	case o.RetryLimit == 0:
+		o.RetryLimit = 8
+	case o.RetryLimit < 0:
+		o.RetryLimit = 0
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 2 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 250 * time.Millisecond
+	}
+	if o.Dialer == nil {
+		o.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return o
+}
+
+// RetryStats are the client's fault-tolerance counters.
+type RetryStats struct {
+	Reconnects     uint64 // sessions re-established after a transport failure
+	Retries        uint64 // idempotent requests resent after reconnecting
+	Downgrades     uint64 // batched fetches degraded to per-page fetches
+	CommitChecks   uint64 // commit-token probes after a mid-commit disconnect
+	CommitResends  uint64 // commits resent after the server confirmed non-application
+	CommitUnknowns uint64 // commits whose outcome could not be re-verified
 }
 
 // Dial connects to a page server and loads the root directory.
 func Dial(addr string, opts ClientOptions) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	opts = opts.withDefaults()
+	conn, err := opts.Dialer(addr)
 	if err != nil {
 		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
 	}
-	poolPages := opts.PoolPages
-	if poolPages <= 0 {
-		poolPages = 1024
-	}
 	c := &Client{
+		addr:       addr,
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(rand.Int63())),
 		conn:       conn,
-		pool:       buffer.New(poolPages),
+		closedCh:   make(chan struct{}),
+		pool:       buffer.New(opts.PoolPages),
 		versions:   make(map[page.ID]uint64),
 		readSet:    make(map[page.ID]uint64),
 		rootsDirty: make(map[int]page.ID),
+		batchOK:    true,
 	}
 	if err := c.fetchRoots(); err != nil {
-		conn.Close()
+		c.Close()
 		return nil, err
 	}
 	return c, nil
@@ -77,21 +160,92 @@ func (c *Client) newReq() []byte {
 	return append(c.reqBuf[:0], 0, 0, 0, 0)
 }
 
-// call fills in the frame header, performs one request/response round
-// trip, and keeps the (possibly grown) frame buffer for reuse. framed
-// must come from newReq. Callers hold c.mu.
-func (c *Client) call(framed []byte) ([]byte, error) {
+// errNotConnected marks the window between a dropped connection and
+// the redial; it is transport-class (retriable).
+var errNotConnected = errors.New("remote: not connected")
+
+// currentConn snapshots the live connection.
+func (c *Client) currentConn() (net.Conn, error) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.conn == nil {
+		return nil, errNotConnected
+	}
+	return c.conn, nil
+}
+
+// dropConn retires a connection after a transport failure, unless a
+// newer one has already replaced it.
+func (c *Client) dropConn(conn net.Conn) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn == conn {
+		conn.Close()
+		c.conn = nil
+	}
+}
+
+// transient reports whether err is a transport-class failure — the
+// request may never have reached the server, so reconnecting and
+// retrying can help. Definite outcomes (server replies, conflicts,
+// Close) are final.
+func transient(err error) bool {
+	if err == nil || errors.Is(err, ErrConflict) || errors.Is(err, ErrClosed) {
+		return false
+	}
+	var se *ServerError
+	return !errors.As(err, &se)
+}
+
+// idempotentOp reports whether a request may be resent blindly after a
+// transport failure. Fetches and probes are read-only. Alloc is
+// retriable too: a lost Alloc response can at worst leave an
+// unreferenced page allocated server-side (reclaimable by GC), never
+// an inconsistency. Commits are the exception — they go through the
+// token-resolution path instead.
+func idempotentOp(op byte) bool {
+	switch op {
+	case opGetPage, opGetPages, opRoots, opPing, opStats, opAlloc, opCommitCheck:
+		return true
+	}
+	return false
+}
+
+// seal fills in the frame's length header and keeps the (possibly
+// grown) buffer for reuse.
+func (c *Client) seal(framed []byte) {
 	c.reqBuf = framed
 	binary.LittleEndian.PutUint32(framed[:4], uint32(len(framed)-4))
+}
+
+// callOnce performs one request/response round trip on the current
+// connection, under the per-request deadline. Transport failures
+// retire the connection.
+func (c *Client) callOnce(framed []byte) ([]byte, error) {
+	conn, err := c.currentConn()
+	if err != nil {
+		return nil, err
+	}
+	if d := c.opts.RequestTimeout; d > 0 {
+		conn.SetDeadline(time.Now().Add(d))
+		defer conn.SetDeadline(time.Time{})
+	}
 	c.frames++
-	if _, err := c.conn.Write(framed); err != nil {
+	if _, err := conn.Write(framed); err != nil {
+		c.dropConn(conn)
 		return nil, fmt.Errorf("remote: send: %w", err)
 	}
-	resp, err := readFrame(c.conn)
+	resp, err := readFrame(conn)
 	if err != nil {
+		c.dropConn(conn)
 		return nil, fmt.Errorf("remote: receive: %w", err)
 	}
 	if len(resp) == 0 {
+		// Protocol desync: retire the connection rather than guess.
+		c.dropConn(conn)
 		return nil, errors.New("remote: empty response")
 	}
 	switch resp[0] {
@@ -99,9 +253,120 @@ func (c *Client) call(framed []byte) ([]byte, error) {
 		return resp[1:], nil
 	case statusConflict:
 		return nil, ErrConflict
+	case statusBadRequest:
+		return nil, &ServerError{BadRequest: true, Msg: string(resp[1:])}
 	default:
-		return nil, fmt.Errorf("remote: server error: %s", resp[1:])
+		return nil, &ServerError{Msg: string(resp[1:])}
 	}
+}
+
+// call performs one request/response round trip. Transport failures on
+// idempotent requests redial with backoff and resend the same frame;
+// non-idempotent requests surface the failure to their caller (Commit
+// resolves it through the commit token). framed must come from newReq.
+// Callers hold c.mu.
+func (c *Client) call(framed []byte) ([]byte, error) {
+	c.seal(framed)
+	resp, err := c.callOnce(framed)
+	if !transient(err) || !idempotentOp(framed[4]) {
+		return resp, err
+	}
+	return c.retryCall(framed, err)
+}
+
+// retryCall redials and resends an idempotent frame until it gets a
+// definite answer or the retry budget runs out.
+func (c *Client) retryCall(framed []byte, first error) ([]byte, error) {
+	lastErr := first
+	for attempt := 0; attempt < c.opts.RetryLimit; attempt++ {
+		if err := c.redial(attempt); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		c.retries++
+		resp, err := c.callOnce(framed)
+		if !transient(err) {
+			return resp, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("remote: request failed after %d attempts: %w", c.opts.RetryLimit+1, lastErr)
+}
+
+// redial re-establishes the server session: capped exponential backoff
+// with full jitter, a fresh connection, and session invalidation.
+// Callers hold c.mu.
+func (c *Client) redial(attempt int) error {
+	if err := c.backoff(attempt); err != nil {
+		return err
+	}
+	conn, err := c.opts.Dialer(c.addr)
+	if err != nil {
+		return fmt.Errorf("remote: redial %s: %w", c.addr, err)
+	}
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	c.connMu.Unlock()
+	c.reconnects++
+	c.invalidateSessionLocked()
+	return nil
+}
+
+// backoff sleeps before redial attempt n (the first attempt is
+// immediate), or returns early when the client closes.
+func (c *Client) backoff(attempt int) error {
+	if attempt == 0 {
+		return nil
+	}
+	cap := c.opts.BackoffBase << (attempt - 1)
+	if cap > c.opts.BackoffMax || cap <= 0 {
+		cap = c.opts.BackoffMax
+	}
+	d := time.Duration(1 + c.rng.Int63n(int64(cap)))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-c.closedCh:
+		return ErrClosed
+	}
+}
+
+// invalidateSessionLocked discards session state a reconnect makes
+// untrustworthy: clean cached pages (the server may have moved on
+// while we were gone) and their version records. Dirty frames and the
+// read set survive — the dirty images exist nowhere else under
+// no-steal, and the read set is the transaction's evidence, which
+// optimistic validation checks at commit regardless of how often the
+// connection bounced.
+func (c *Client) invalidateSessionLocked() {
+	c.pool.DropClean()
+	keep := make(map[page.ID]uint64)
+	for _, id := range c.pool.ResidentIDs() {
+		if v, ok := c.versions[id]; ok {
+			keep[id] = v
+		}
+	}
+	c.versions = keep
+}
+
+// conflictResetLocked discards the failed transaction — local caches
+// are stale — and refreshes the root directory.
+func (c *Client) conflictResetLocked() error {
+	c.pool.Drop()
+	c.versions = make(map[page.ID]uint64)
+	c.resetTxnLocked()
+	return c.fetchRoots()
 }
 
 func (c *Client) fetchRoots() error {
@@ -129,6 +394,39 @@ func (h *handle) Page() *page.Page { return h.f.Page }
 func (h *handle) MarkDirty()       { h.c.pool.MarkDirty(h.f) }
 func (h *handle) Release()         { h.c.pool.Release(h.f) }
 
+// fetchPageLocked fetches one page image from the server. Callers hold
+// c.mu.
+func (c *Client) fetchPageLocked(id page.ID) (uint64, *page.Page, error) {
+	req := binary.LittleEndian.AppendUint64(append(c.newReq(), opGetPage), uint64(id))
+	resp, err := c.call(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(resp) != 8+page.Size {
+		return 0, nil, errors.New("remote: bad GetPage response")
+	}
+	c.fetches++
+	img := &page.Page{}
+	copy(img.Bytes(), resp[8:])
+	return binary.LittleEndian.Uint64(resp), img, nil
+}
+
+// checkReadVersionLocked guards snapshot consistency: if the
+// transaction already read this page at a different version (the frame
+// has since been evicted or invalidated and the server moved on), any
+// commit would mix two snapshots while validating only the newer one.
+// Surface the conflict immediately, exactly like a commit-time abort.
+func (c *Client) checkReadVersionLocked(id page.ID, ver uint64) error {
+	prev, ok := c.readSet[id]
+	if !ok || prev == ver {
+		return nil
+	}
+	if err := c.conflictResetLocked(); err != nil {
+		return err
+	}
+	return ErrConflict
+}
+
 // Get pins the page, fetching it from the server on a cache miss, and
 // records it in the transaction's read set.
 func (c *Client) Get(id page.ID) (store.Handle, error) {
@@ -140,18 +438,13 @@ func (c *Client) Get(id page.ID) (store.Handle, error) {
 		return &handle{c, f}, nil
 	}
 	c.misses++
-	req := binary.LittleEndian.AppendUint64(append(c.newReq(), opGetPage), uint64(id))
-	resp, err := c.call(req)
+	ver, img, err := c.fetchPageLocked(id)
 	if err != nil {
 		return nil, err
 	}
-	if len(resp) != 8+page.Size {
-		return nil, errors.New("remote: bad GetPage response")
+	if err := c.checkReadVersionLocked(id, ver); err != nil {
+		return nil, err
 	}
-	c.fetches++
-	ver := binary.LittleEndian.Uint64(resp)
-	img := &page.Page{}
-	copy(img.Bytes(), resp[8:])
 	f := c.pool.Insert(id, img)
 	c.versions[id] = ver
 	c.readSet[id] = ver
@@ -197,9 +490,42 @@ func (c *Client) Prefetch(ids []page.ID) error {
 	return nil
 }
 
-// fetchPagesLocked requests one chunk of pages in a single frame and
-// inserts them into the pool. Callers hold c.mu.
+// fetchPagesLocked brings one chunk of pages into the pool, batched
+// when the server supports it. When the server refuses opGetPages (an
+// older server, or a policy rejection) the client records the
+// downgrade and degrades gracefully to per-page fetches — slower, but
+// the traversal completes. Callers hold c.mu.
 func (c *Client) fetchPagesLocked(ids []page.ID) error {
+	if c.batchOK {
+		err := c.fetchPageBatchLocked(ids)
+		var se *ServerError
+		if err == nil || !errors.As(err, &se) {
+			return err // success, or transport retries exhausted
+		}
+		c.batchOK = false
+		c.downgrades++
+	}
+	for _, id := range ids {
+		if f := c.pool.Get(id); f != nil {
+			c.pool.Release(f)
+			continue
+		}
+		ver, img, err := c.fetchPageLocked(id)
+		if err != nil {
+			return err
+		}
+		if err := c.checkReadVersionLocked(id, ver); err != nil {
+			return err
+		}
+		c.pool.Release(c.pool.Insert(id, img))
+		c.versions[id] = ver
+	}
+	return nil
+}
+
+// fetchPageBatchLocked requests one chunk of pages in a single frame
+// and inserts them into the pool. Callers hold c.mu.
+func (c *Client) fetchPageBatchLocked(ids []page.ID) error {
 	req := append(c.newReq(), opGetPages)
 	req = binary.LittleEndian.AppendUint32(req, uint32(len(ids)))
 	for _, id := range ids {
@@ -224,6 +550,9 @@ func (c *Client) fetchPagesLocked(ids []page.ID) error {
 			c.pool.Release(f)
 			continue
 		}
+		if err := c.checkReadVersionLocked(id, ver); err != nil {
+			return err
+		}
 		c.fetches++
 		c.pool.Release(c.pool.Insert(id, img))
 		c.versions[id] = ver
@@ -231,12 +560,27 @@ func (c *Client) fetchPagesLocked(ids []page.ID) error {
 	return nil
 }
 
-// FrameStats reports how many frames the client has sent in total and
-// how many of them were batched page fetches (opGetPages).
+// FrameStats reports how many frames the client has sent in total
+// (retries included) and how many of them were batched page fetches
+// (opGetPages).
 func (c *Client) FrameStats() (total, batched uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.frames, c.batchFrames
+}
+
+// RetryStats reports the client's fault-tolerance counters.
+func (c *Client) RetryStats() RetryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return RetryStats{
+		Reconnects:     c.reconnects,
+		Retries:        c.retries,
+		Downgrades:     c.downgrades,
+		CommitChecks:   c.commitChecks,
+		CommitResends:  c.commitResends,
+		CommitUnknowns: c.commitUnknowns,
+	}
 }
 
 // Alloc asks the server for a fresh page and materializes it dirty in
@@ -284,9 +628,26 @@ func (c *Client) SetRoot(slot int, id page.ID) {
 	c.rootsDirty[slot] = id
 }
 
+// newCommitToken draws a fresh nonzero commit token.
+func (c *Client) newCommitToken() uint64 {
+	for {
+		if tok := c.rng.Uint64(); tok != 0 {
+			return tok
+		}
+	}
+}
+
 // Commit ships the transaction to the server. On ErrConflict the local
 // caches are already discarded and the root directory refreshed; the
 // caller re-runs its transaction.
+//
+// Commits are never blindly retried. Each carries a unique token the
+// server remembers; if the connection dies with the commit in flight,
+// the client reconnects and asks whether the token was applied. Only a
+// confirmed non-application is resent (and the token still guards the
+// resend against races). When certainty cannot be restored within the
+// retry budget, the typed ErrCommitUnknown surfaces so the caller can
+// re-verify application state itself.
 func (c *Client) Commit() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -299,7 +660,7 @@ func (c *Client) Commit() error {
 		return nil
 	}
 
-	req := &commitReq{}
+	req := &commitReq{token: c.newCommitToken()}
 	for id, ver := range c.readSet {
 		req.reads = append(req.reads, readEntry{id, ver})
 	}
@@ -315,13 +676,14 @@ func (c *Client) Commit() error {
 	}
 	req.frees = c.frees
 
-	_, err := c.call(appendCommit(c.newReq(), req))
+	framed := appendCommit(c.newReq(), req)
+	c.seal(framed)
+	_, err := c.callOnce(framed)
+	if transient(err) {
+		_, err = c.resolveCommit(framed, req.token, err)
+	}
 	if errors.Is(err, ErrConflict) {
-		// Discard the failed transaction: local caches are stale.
-		c.pool.Drop()
-		c.versions = make(map[page.ID]uint64)
-		c.resetTxnLocked()
-		if rerr := c.fetchRoots(); rerr != nil {
+		if rerr := c.conflictResetLocked(); rerr != nil {
 			return rerr
 		}
 		return ErrConflict
@@ -340,6 +702,52 @@ func (c *Client) Commit() error {
 	c.pool.MarkAllClean()
 	c.resetTxnLocked()
 	return nil
+}
+
+// resolveCommit restores certainty about a commit whose connection
+// died mid-flight: reconnect, ask the server whether the token was
+// applied, and resend the frame only on a confirmed non-application.
+// Callers hold c.mu; framed stays valid in c.reqBuf throughout.
+func (c *Client) resolveCommit(framed []byte, token uint64, cause error) ([]byte, error) {
+	var check []byte
+	for attempt := 0; attempt < c.opts.RetryLimit; attempt++ {
+		if err := c.redial(attempt); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			cause = err
+			continue
+		}
+		check = binary.LittleEndian.AppendUint64(append(check[:0], 0, 0, 0, 0, opCommitCheck), token)
+		binary.LittleEndian.PutUint32(check[:4], uint32(len(check)-4))
+		c.commitChecks++
+		resp, err := c.callOnce(check)
+		if transient(err) {
+			cause = err
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(resp) != 1 {
+			return nil, errors.New("remote: bad CommitCheck response")
+		}
+		if resp[0] == 1 {
+			// The commit landed before the connection died; the lost
+			// frame was only the acknowledgement.
+			return nil, nil
+		}
+		// Confirmed not applied: resending is safe, and the token
+		// still deduplicates against any race.
+		c.commitResends++
+		resp, err = c.callOnce(framed)
+		if !transient(err) {
+			return resp, err
+		}
+		cause = err
+	}
+	c.commitUnknowns++
+	return nil, fmt.Errorf("%w: %v", ErrCommitUnknown, cause)
 }
 
 func (c *Client) resetTxnLocked() {
@@ -406,11 +814,24 @@ func (c *Client) ServerStats() (commits, aborts, fetches uint64, err error) {
 }
 
 // Close terminates the connection. Uncommitted local changes are
-// discarded, as when a workstation disconnects.
+// discarded, as when a workstation disconnects. Close is idempotent
+// and safe to call concurrently with an in-flight request: the request
+// is interrupted and fails with ErrClosed instead of being retried.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn.Close()
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.closedCh)
+	conn := c.conn
+	c.conn = nil
+	c.connMu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
 
 var _ store.Space = (*Client)(nil)

@@ -1,0 +1,205 @@
+package remote
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hypermodel/internal/fault"
+	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/store"
+)
+
+// startServerWith opens a fresh store, applies cfg to the server
+// before it starts listening, and returns its address.
+func startServerWith(t *testing.T, cfg func(*Server)) (string, *Server) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "server.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	if cfg != nil {
+		cfg(srv)
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	return addr.String(), srv
+}
+
+// TestServerSurvivesTruncatedRequests sends a valid GetPage request
+// truncated at every byte offset — header included — each followed by
+// an abrupt close. The server must shrug off every one of them and
+// keep serving well-formed clients.
+func TestServerSurvivesTruncatedRequests(t *testing.T) {
+	addr, _ := startServerWith(t, nil)
+	// A full opGetPage request frame: header + opcode + pageID.
+	payload := binary.LittleEndian.AppendUint64([]byte{opGetPage}, 1)
+	framed := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	framed = append(framed, payload...)
+
+	for k := 0; k < len(framed); k++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("truncate at %d: dial: %v", k, err)
+		}
+		if _, err := conn.Write(framed[:k]); err != nil {
+			t.Fatalf("truncate at %d: write: %v", k, err)
+		}
+		conn.Close()
+	}
+
+	// The server is still healthy after 13 mangled connections.
+	c := dial(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after truncated-request barrage: %v", err)
+	}
+}
+
+// TestServerIdleTimeout: a connection that never sends a request is
+// reaped; a live client doing requests is not.
+func TestServerIdleTimeout(t *testing.T) {
+	addr, _ := startServerWith(t, func(s *Server) { s.SetIdleTimeout(100 * time.Millisecond) })
+
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	idle.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := idle.Read(make([]byte, 1)); err == nil {
+		t.Fatal("idle connection was not closed by the server")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server kept the idle connection past its idle timeout")
+	}
+
+	// An active client outlives many idle windows.
+	c := dial(t, addr)
+	for i := 0; i < 5; i++ {
+		if err := c.Ping(); err != nil {
+			t.Fatalf("active client ping %d: %v", i, err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+}
+
+// TestServerMaxConns: connections beyond the cap are refused with a
+// clean error frame, and capacity frees up when a client leaves.
+func TestServerMaxConns(t *testing.T) {
+	addr, srv := startServerWith(t, func(s *Server) { s.SetMaxConns(1) })
+
+	c1, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr, ClientOptions{}); err == nil {
+		t.Fatal("second client admitted past max-conns=1")
+	} else if !strings.Contains(err.Error(), "server busy") {
+		t.Fatalf("refusal error = %v, want a clean 'server busy'", err)
+	}
+	if _, refused := srv.FaultStats(); refused == 0 {
+		t.Fatal("server counted no refused connections")
+	}
+
+	c1.Close()
+	// The slot frees asynchronously as the handler unwinds.
+	var c2 *Client
+	for i := 0; i < 100; i++ {
+		if c2, err = Dial(addr, ClientOptions{}); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("slot never freed after first client closed: %v", err)
+	}
+	c2.Close()
+}
+
+// TestServerPanicIsolation: a panic inside one request's storage
+// operation must be confined to that request — the connection, the
+// server, and subsequent requests all survive.
+func TestServerPanicIsolation(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "panicky.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	// Every 3rd storage operation panics.
+	srv := NewServer(fault.NewSpace(st, 0, 3))
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := dial(t, addr.String())
+	sawPanic := false
+	for i := 0; i < 9; i++ {
+		_, h, err := c.Alloc(page.TypeSlotted)
+		if err != nil {
+			if !strings.Contains(err.Error(), "panic") {
+				t.Fatalf("alloc %d: %v, want a recovered-panic server error", i, err)
+			}
+			sawPanic = true
+			continue
+		}
+		h.Release()
+	}
+	if !sawPanic {
+		t.Fatal("fault space injected no panics; test exercised nothing")
+	}
+	// Same connection, same server: still alive.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after recovered panics: %v", err)
+	}
+}
+
+// TestServerStorageFaultKeepsConnection: a storage error is answered
+// as a server fault (statusError, not statusBadRequest) and does not
+// cost the client its connection.
+func TestServerStorageFaultKeepsConnection(t *testing.T) {
+	st, err := store.Open(filepath.Join(t.TempDir(), "faulty.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := NewServer(fault.NewSpace(st, 2, 0)) // every 2nd op errors
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := dial(t, addr.String())
+	var serverErrs, ok int
+	for i := 0; i < 6; i++ {
+		_, h, err := c.Alloc(page.TypeSlotted)
+		if err != nil {
+			var se *ServerError
+			if !errors.As(err, &se) || se.BadRequest {
+				t.Fatalf("alloc %d: %v, want a non-BadRequest ServerError", i, err)
+			}
+			serverErrs++
+			continue
+		}
+		h.Release()
+		ok++
+	}
+	if serverErrs == 0 || ok == 0 {
+		t.Fatalf("errs=%d ok=%d: expected a mix of faults and successes", serverErrs, ok)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after storage faults: %v", err)
+	}
+}

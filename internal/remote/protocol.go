@@ -27,27 +27,58 @@ import (
 
 // Protocol opcodes (client → server).
 const (
-	opGetPage  = 1 // pageID u64 → version u64, image
-	opAlloc    = 2 // pageType u8 → pageID u64
-	opRoots    = 3 // → NumRoots × u64
-	opCommit   = 4 // read set, write set, root updates, frees → ok/conflict
-	opDropDead = 5 // reserved
-	opStats    = 6 // → server stats
-	opPing     = 7 // → ok
-	opGetPages = 8 // count u32, count × pageID u64 → count × (version u64, image)
+	opGetPage     = 1 // pageID u64 → version u64, image
+	opAlloc       = 2 // pageType u8 → pageID u64
+	opRoots       = 3 // → NumRoots × u64
+	opCommit      = 4 // token u64, read set, write set, root updates, frees → ok/conflict
+	opDropDead    = 5 // reserved
+	opStats       = 6 // → server stats
+	opPing        = 7 // → ok
+	opGetPages    = 8 // count u32, count × pageID u64 → count × (version u64, image)
+	opCommitCheck = 9 // token u64 → applied u8 (commit-uncertainty resolution)
 )
 
 // Response status codes (server → client).
 const (
-	statusOK       = 0
-	statusError    = 1
-	statusConflict = 2
+	statusOK         = 0
+	statusError      = 1 // server-side fault while executing the request
+	statusConflict   = 2
+	statusBadRequest = 3 // client-caused: malformed frame or unknown opcode
 )
 
 // ErrConflict is returned by Client.Commit when optimistic validation
 // failed: some page the client read was modified by another committed
 // transaction. The caller drops its caches and retries.
 var ErrConflict = errors.New("remote: optimistic validation failed (read set stale)")
+
+// ErrCommitUnknown is returned by Client.Commit when the connection
+// died with a commit in flight and the outcome could not be
+// re-verified within the retry budget: the server may or may not have
+// applied the transaction. The caller must treat the commit as
+// uncertain and re-verify application state before resubmitting —
+// blind resubmission could apply the transaction twice.
+var ErrCommitUnknown = errors.New("remote: commit outcome unknown (connection lost mid-commit)")
+
+// ErrClosed is returned from operations on a Client after Close.
+var ErrClosed = errors.New("remote: client is closed")
+
+// ServerError is a failure reported by the server itself: the request
+// crossed the network, the server executed (or rejected) it, and sent
+// this answer back. Server errors are definite outcomes and are never
+// retried, unlike transport errors.
+type ServerError struct {
+	// BadRequest marks client-caused failures (malformed frame,
+	// unknown opcode) as opposed to server-side faults.
+	BadRequest bool
+	Msg        string
+}
+
+func (e *ServerError) Error() string {
+	if e.BadRequest {
+		return "remote: server rejected request: " + e.Msg
+	}
+	return "remote: server error: " + e.Msg
+}
 
 const maxFrame = 64 << 20 // sanity bound on frame sizes
 
@@ -86,6 +117,10 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // commitReq is the decoded payload of an opCommit frame.
 type commitReq struct {
+	// token identifies this commit attempt so a resend after a lost
+	// response is recognized and applied at most once. Zero means
+	// untokened (no dedup, legacy framing).
+	token  uint64
 	reads  []readEntry
 	writes []writeEntry
 	roots  []rootEntry
@@ -108,7 +143,7 @@ type rootEntry struct {
 }
 
 func encodeCommit(req *commitReq) []byte {
-	size := 1 + 4 + 16*len(req.reads) + 4 + len(req.writes)*(8+page.Size) + 4 + 12*len(req.roots) + 4 + 8*len(req.frees)
+	size := 1 + 8 + 4 + 16*len(req.reads) + 4 + len(req.writes)*(8+page.Size) + 4 + 12*len(req.roots) + 4 + 8*len(req.frees)
 	return appendCommit(make([]byte, 0, size), req)
 }
 
@@ -116,6 +151,7 @@ func encodeCommit(req *commitReq) []byte {
 // one grow-only request buffer across calls).
 func appendCommit(b []byte, req *commitReq) []byte {
 	b = append(b, opCommit)
+	b = binary.LittleEndian.AppendUint64(b, req.token)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.reads)))
 	for _, r := range req.reads {
 		b = binary.LittleEndian.AppendUint64(b, uint64(r.id))
@@ -157,6 +193,11 @@ func decodeCommit(b []byte) (*commitReq, error) {
 		off += 8
 		return v, nil
 	}
+	tok, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	req.token = tok
 	nr, err := u32()
 	if err != nil {
 		return nil, err

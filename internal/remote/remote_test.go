@@ -325,8 +325,8 @@ func TestServerRejectsGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp[0] != statusError {
-		t.Fatalf("unknown opcode got status %d", resp[0])
+	if resp[0] != statusBadRequest {
+		t.Fatalf("unknown opcode got status %d, want statusBadRequest", resp[0])
 	}
 	// The connection stays usable.
 	if err := writeFrame(conn, []byte{opPing}); err != nil {

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"hypermodel/internal/storage/page"
 	"hypermodel/internal/storage/store"
@@ -16,9 +17,16 @@ import (
 // All requests are serialized through one mutex: the server machine is
 // the coordination point, as in the centralized-control architectures
 // the paper discusses under R6.
+//
+// The server is hardened against misbehaving clients and networks: a
+// malformed frame gets a statusBadRequest answer (and the connection
+// survives), a panic while executing one request is confined to that
+// request, idle connections are reaped by a read deadline, and a
+// max-connection limit refuses excess clients cleanly instead of
+// accepting work it cannot serve.
 type Server struct {
 	mu       sync.Mutex
-	st       *store.Store
+	st       store.Space
 	versions map[page.ID]uint64 // bumped on every committed write
 	ln       net.Listener
 	wg       sync.WaitGroup
@@ -28,21 +36,42 @@ type Server struct {
 	commits  uint64
 	aborts   uint64
 	fetches  uint64
-	logf     func(format string, args ...any)
+
+	// Commit-token dedup ring: the tokens of the most recent applied
+	// commits, so a commit resent after a lost acknowledgement is
+	// recognized and answered OK without being applied twice.
+	tokens     map[uint64]struct{}
+	tokenLog   []uint64 // insertion order; oldest evicted past tokenRingSize
+	dupCommits uint64
+
+	idleTimeout time.Duration
+	maxConns    int
+	refused     uint64
+
+	logf func(format string, args ...any)
 }
+
+// tokenRingSize bounds the commit-token dedup memory. A client
+// resolves commit uncertainty immediately after reconnecting, so only
+// the last few commits ever need to be recognized; 4096 leaves orders
+// of magnitude of slack.
+const tokenRingSize = 4096
 
 // rootsVersionKey is the pseudo-page whose version covers the root
 // directory, so root changes participate in optimistic validation.
 const rootsVersionKey = page.ID(0)
 
-// NewServer wraps an open store. The caller keeps ownership of the
-// store and closes it after the server stops.
-func NewServer(st *store.Store) *Server {
+// NewServer wraps an open page space. The caller keeps ownership and
+// closes it after the server stops. Taking the Space interface (rather
+// than *store.Store) lets tests interpose fault injection between the
+// server and its storage.
+func NewServer(st store.Space) *Server {
 	return &Server{
 		st:       st,
 		versions: make(map[page.ID]uint64),
 		conns:    make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
+		tokens:   make(map[uint64]struct{}),
 		logf:     func(string, ...any) {},
 	}
 }
@@ -55,6 +84,16 @@ func (s *Server) SetLogf(f func(format string, args ...any)) {
 	}
 	s.logf = f
 }
+
+// SetIdleTimeout bounds how long a connection may sit idle between
+// requests before the server reaps it (zero, the default, means
+// forever). Must be set before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
+
+// SetMaxConns caps concurrent client connections; excess connections
+// are refused with a "server busy" error frame and closed (zero, the
+// default, means unlimited). Must be set before Serve.
+func (s *Server) SetMaxConns(n int) { s.maxConns = n }
 
 // Serve starts accepting connections on ln and returns immediately.
 func (s *Server) Serve(ln net.Listener) {
@@ -73,6 +112,9 @@ func (s *Server) Serve(ln net.Listener) {
 					return
 				}
 			}
+			if !s.admit(conn) {
+				continue
+			}
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -80,6 +122,26 @@ func (s *Server) Serve(ln net.Listener) {
 			}()
 		}
 	}()
+}
+
+// admit registers the connection, or refuses it cleanly when the
+// server is at its connection limit.
+func (s *Server) admit(conn net.Conn) bool {
+	s.connMu.Lock()
+	if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+		s.refused++
+		s.connMu.Unlock()
+		s.logf("remote: refusing %s: connection limit (%d) reached", conn.RemoteAddr(), s.maxConns)
+		// A well-formed refusal frame, so the client's first request
+		// fails with a ServerError instead of a silent close.
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		writeFrame(conn, append([]byte{statusError}, "server busy"...))
+		conn.Close()
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	return true
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -116,10 +178,31 @@ func (s *Server) Stats() (commits, aborts, fetches uint64) {
 	return s.commits, s.aborts, s.fetches
 }
 
-func (s *Server) handle(conn net.Conn) {
+// FaultStats reports the fault-tolerance counters: duplicate commits
+// absorbed by the token ring, and connections refused at the limit.
+func (s *Server) FaultStats() (dupCommits, refused uint64) {
+	s.mu.Lock()
+	dup := s.dupCommits
+	s.mu.Unlock()
 	s.connMu.Lock()
-	s.conns[conn] = struct{}{}
+	ref := s.refused
 	s.connMu.Unlock()
+	return dup, ref
+}
+
+// badRequestError marks a failure the client caused (malformed frame,
+// unknown opcode) as opposed to a server-side fault. The distinction
+// drives both the response status and the logging: a bad request is
+// the client's bug, a server fault is ours.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badReq(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.connMu.Lock()
 		delete(s.conns, conn)
@@ -127,35 +210,14 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		req, err := readFrame(conn)
 		if err != nil {
-			return // client went away
+			return // client went away (or idled out)
 		}
-		if len(req) == 0 {
-			s.respondErr(conn, errors.New("remote: empty request"))
-			continue
-		}
-		var resp []byte
-		var rerr error
-		conflict := false
-		switch req[0] {
-		case opGetPage:
-			resp, rerr = s.getPage(req[1:])
-		case opGetPages:
-			resp, rerr = s.getPages(req[1:])
-		case opAlloc:
-			resp, rerr = s.alloc(req[1:])
-		case opRoots:
-			resp, rerr = s.roots()
-		case opCommit:
-			resp, conflict, rerr = s.commit(req[1:])
-		case opStats:
-			resp, rerr = s.statsResp()
-		case opPing:
-			resp = nil
-		default:
-			rerr = fmt.Errorf("remote: unknown opcode %d", req[0])
-		}
+		resp, conflict, rerr := s.dispatch(req)
 		switch {
 		case conflict:
 			if err := writeFrame(conn, []byte{statusConflict}); err != nil {
@@ -173,14 +235,59 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// dispatch executes one request frame. A panic while executing it is
+// confined to the request — the handler recovers, answers with a
+// server error, and the connection (and server) live on.
+func (s *Server) dispatch(req []byte) (resp []byte, conflict bool, rerr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, conflict = nil, false
+			rerr = fmt.Errorf("remote: panic while serving request: %v", r)
+		}
+	}()
+	if len(req) == 0 {
+		return nil, false, badReq("remote: empty request")
+	}
+	switch req[0] {
+	case opGetPage:
+		resp, rerr = s.getPage(req[1:])
+	case opGetPages:
+		resp, rerr = s.getPages(req[1:])
+	case opAlloc:
+		resp, rerr = s.alloc(req[1:])
+	case opRoots:
+		resp, rerr = s.roots()
+	case opCommit:
+		resp, conflict, rerr = s.commit(req[1:])
+	case opCommitCheck:
+		resp, rerr = s.commitCheck(req[1:])
+	case opStats:
+		resp, rerr = s.statsResp()
+	case opPing:
+		resp = nil
+	default:
+		rerr = badReq("remote: unknown opcode %d", req[0])
+	}
+	return resp, conflict, rerr
+}
+
+// respondErr answers a failed request, distinguishing client-caused
+// errors (statusBadRequest, the client's bug) from server faults
+// (statusError, ours — logged with the peer's address so an operator
+// can correlate).
 func (s *Server) respondErr(conn net.Conn, err error) bool {
-	s.logf("remote: request failed: %v", err)
+	var br *badRequestError
+	if errors.As(err, &br) {
+		s.logf("remote: bad request from %s: %v", conn.RemoteAddr(), err)
+		return writeFrame(conn, append([]byte{statusBadRequest}, err.Error()...)) == nil
+	}
+	s.logf("remote: server fault serving %s: %v", conn.RemoteAddr(), err)
 	return writeFrame(conn, append([]byte{statusError}, err.Error()...)) == nil
 }
 
 func (s *Server) getPage(body []byte) ([]byte, error) {
 	if len(body) != 8 {
-		return nil, errors.New("remote: bad GetPage request")
+		return nil, badReq("remote: bad GetPage request")
 	}
 	id := page.ID(binary.LittleEndian.Uint64(body))
 	s.mu.Lock()
@@ -199,11 +306,11 @@ func (s *Server) getPage(body []byte) ([]byte, error) {
 
 func (s *Server) getPages(body []byte) ([]byte, error) {
 	if len(body) < 4 {
-		return nil, errors.New("remote: bad GetPages request")
+		return nil, badReq("remote: bad GetPages request")
 	}
 	n := int(binary.LittleEndian.Uint32(body))
 	if n > maxBatchPages || len(body) != 4+8*n {
-		return nil, errors.New("remote: bad GetPages request")
+		return nil, badReq("remote: bad GetPages request")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -226,7 +333,7 @@ func (s *Server) getPages(body []byte) ([]byte, error) {
 
 func (s *Server) alloc(body []byte) ([]byte, error) {
 	if len(body) != 1 {
-		return nil, errors.New("remote: bad Alloc request")
+		return nil, badReq("remote: bad Alloc request")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -252,13 +359,38 @@ func (s *Server) roots() ([]byte, error) {
 	return resp, nil
 }
 
+// tokenSeenLocked reports whether a commit token is in the applied
+// ring. Callers hold s.mu.
+func (s *Server) tokenSeenLocked(tok uint64) bool {
+	_, ok := s.tokens[tok]
+	return ok
+}
+
+// recordTokenLocked remembers an applied commit token, evicting the
+// oldest past the ring size. Callers hold s.mu.
+func (s *Server) recordTokenLocked(tok uint64) {
+	if len(s.tokenLog) >= tokenRingSize {
+		delete(s.tokens, s.tokenLog[0])
+		s.tokenLog = s.tokenLog[1:]
+	}
+	s.tokens[tok] = struct{}{}
+	s.tokenLog = append(s.tokenLog, tok)
+}
+
 func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
 	req, err := decodeCommit(body)
 	if err != nil {
-		return nil, false, err
+		return nil, false, badReq("%v", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// A token we have already applied means the client lost our
+	// acknowledgement and resent: answer OK again, apply nothing.
+	if req.token != 0 && s.tokenSeenLocked(req.token) {
+		s.dupCommits++
+		return nil, false, nil
+	}
 
 	// Optimistic validation: every page (and the root directory) the
 	// client read must still be at the version it saw.
@@ -294,8 +426,26 @@ func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
 	if err := s.st.Commit(); err != nil {
 		return nil, false, err
 	}
+	if req.token != 0 {
+		s.recordTokenLocked(req.token)
+	}
 	s.commits++
 	return nil, false, nil
+}
+
+// commitCheck answers whether a commit token has been applied — the
+// resolution step for a client whose connection died mid-commit.
+func (s *Server) commitCheck(body []byte) ([]byte, error) {
+	if len(body) != 8 {
+		return nil, badReq("remote: bad CommitCheck request")
+	}
+	tok := binary.LittleEndian.Uint64(body)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tokenSeenLocked(tok) {
+		return []byte{1}, nil
+	}
+	return []byte{0}, nil
 }
 
 func (s *Server) statsResp() ([]byte, error) {
@@ -310,7 +460,7 @@ func (s *Server) statsResp() ([]byte, error) {
 
 // ListenAndServeStore is a convenience for cmd/hyperserver: open the
 // store at path, serve on addr, and block until the listener fails.
-func ListenAndServeStore(path, addr string, opts *store.Options) error {
+func ListenAndServeStore(path, addr string, opts *store.Options, idleTimeout time.Duration, maxConns int) error {
 	st, err := store.Open(path, opts)
 	if err != nil {
 		return err
@@ -318,6 +468,8 @@ func ListenAndServeStore(path, addr string, opts *store.Options) error {
 	defer st.Close()
 	srv := NewServer(st)
 	srv.SetLogf(log.Printf)
+	srv.SetIdleTimeout(idleTimeout)
+	srv.SetMaxConns(maxConns)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -107,10 +107,16 @@ func (p *Pool) unlistLocked(f *Frame) {
 	}
 }
 
-// relistLocked makes f evictable if it is clean and unpinned.
+// relistLocked makes f evictable if it is clean, unpinned, and still
+// the pool's frame for its page. The residency check matters after
+// Drop/DropClean/Forget: a handle released later must not re-enter the
+// eviction list as a zombie, where its eventual eviction would delete
+// whatever fresh frame now holds the same page ID.
 func (p *Pool) relistLocked(f *Frame) {
 	if f.elem == nil && f.pins == 0 && !f.dirty {
-		f.elem = p.lru.PushFront(f)
+		if cur, ok := p.frames[f.ID]; ok && cur == f {
+			f.elem = p.lru.PushFront(f)
+		}
 	}
 }
 
@@ -202,6 +208,34 @@ func (p *Pool) Drop() {
 	defer p.mu.Unlock()
 	p.frames = make(map[page.ID]*Frame, p.cap)
 	p.lru.Init()
+}
+
+// DropClean discards every clean, unpinned frame. This is the remote
+// client's reconnect invalidation: pages fetched over a dead session
+// may be stale by the time the connection is back, but dirty frames
+// exist nowhere else (no-steal) and pinned frames are still in use by
+// a caller, so both stay resident.
+func (p *Pool) DropClean() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, f := range p.frames {
+		if !f.dirty && f.pins == 0 {
+			p.unlistLocked(f)
+			delete(p.frames, id)
+		}
+	}
+}
+
+// ResidentIDs lists the pages currently in the pool, in unspecified
+// order.
+func (p *Pool) ResidentIDs() []page.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]page.ID, 0, len(p.frames))
+	for id := range p.frames {
+		out = append(out, id)
+	}
+	return out
 }
 
 // Len reports the number of resident pages.

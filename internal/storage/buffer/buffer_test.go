@@ -156,3 +156,79 @@ func TestRepinRemovesFromLRU(t *testing.T) {
 	}
 	p.Release(g)
 }
+
+func TestDropCleanKeepsDirtyAndPinned(t *testing.T) {
+	p := New(8)
+	clean := p.Insert(1, page.New(page.TypeSlotted))
+	p.Release(clean)
+	dirty := p.Insert(2, page.New(page.TypeSlotted))
+	p.MarkDirty(dirty)
+	p.Release(dirty)
+	pinned := p.Insert(3, page.New(page.TypeSlotted))
+
+	p.DropClean()
+
+	if got := p.Get(1); got != nil {
+		t.Fatal("clean unpinned frame survived DropClean")
+	}
+	if got := p.Get(2); got == nil {
+		t.Fatal("dirty frame lost by DropClean (no-steal violated)")
+	} else {
+		p.Release(got)
+	}
+	if got := p.Get(3); got == nil {
+		t.Fatal("pinned frame lost by DropClean")
+	} else {
+		p.Release(got)
+	}
+	p.Release(pinned)
+}
+
+// TestZombieFrameNotRelisted: a handle released after its page was
+// dropped from the pool must not re-enter the eviction list — its
+// eviction would delete whatever fresh frame now holds the same ID.
+func TestZombieFrameNotRelisted(t *testing.T) {
+	p := New(2)
+	old := p.Insert(1, page.New(page.TypeSlotted))
+	p.Drop() // page 1 forgotten while still pinned
+
+	fresh := p.Insert(1, page.New(page.TypeSlotted))
+	p.Release(fresh)
+	p.Release(old) // zombie release: must NOT list old for eviction
+
+	// Force evictions; if the zombie was listed, its eviction deletes
+	// the fresh frame's map entry.
+	a := p.Insert(2, page.New(page.TypeSlotted))
+	p.Release(a)
+	b := p.Insert(3, page.New(page.TypeSlotted))
+	p.Release(b)
+
+	// The fresh frame for page 1 was the LRU victim or survived — but
+	// the pool must stay coherent: every Get returns the frame that is
+	// actually in the map, and re-inserting after a miss must not panic.
+	if f := p.Get(1); f != nil {
+		p.Release(f)
+	} else {
+		f = p.Insert(1, page.New(page.TypeSlotted))
+		p.Release(f)
+	}
+}
+
+func TestResidentIDs(t *testing.T) {
+	p := New(4)
+	for id := 1; id <= 3; id++ {
+		f := p.Insert(page.ID(id), page.New(page.TypeSlotted))
+		p.Release(f)
+	}
+	ids := p.ResidentIDs()
+	if len(ids) != 3 {
+		t.Fatalf("resident = %v, want 3 pages", ids)
+	}
+	seen := map[page.ID]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] {
+		t.Fatalf("resident = %v", ids)
+	}
+}
