@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-paper fuzz vet fmt examples clean check chaos
+.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos
 
 all: build test
 
@@ -20,8 +20,14 @@ chaos:
 build:
 	$(GO) build ./...
 
-vet:
+vet: lint
 	$(GO) vet ./...
+
+# The repo's own analyzers (internal/analysis, DESIGN.md §9) run as a
+# vet tool so test variants are covered too. Exit 1 means findings.
+lint:
+	$(GO) build -o bin/hyperlint ./cmd/hyperlint
+	$(GO) vet -vettool=$(CURDIR)/bin/hyperlint ./...
 
 fmt:
 	gofmt -l -w .

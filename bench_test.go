@@ -24,6 +24,7 @@
 package hypermodel_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -130,7 +131,7 @@ func BenchmarkNameOIDLookup(b *testing.B) {
 		oids := make([]hypermodel.OID, b.N)
 		for i := range oids {
 			oid, err := db.OIDOf(lay.RandomNode(rng))
-			if err == hypermodel.ErrNoOIDs {
+			if errors.Is(err, hypermodel.ErrNoOIDs) {
 				b.Skip("backend has no object identifiers (O2 not applicable)")
 			}
 			if err != nil {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"hypermodel/internal/analysis"
+	"hypermodel/internal/analysis/loader"
+)
+
+// listPackage is the slice of "go list -json" output the standalone
+// driver consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct {
+		Err string
+	}
+}
+
+// runStandalone loads the requested patterns with the go command and
+// analyzes every main-module package from source (non-test files;
+// test coverage comes from the go vet -vettool path, which analyzes
+// test variants too).
+func runStandalone(patterns []string, active []*analysis.Analyzer, asJSON bool, stdout, stderr io.Writer) int {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(stderr, "hyperlint: go list: %v\n", err)
+		return 2
+	}
+
+	var pkgs []*listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for dec.More() {
+		p := new(listPackage)
+		if err := dec.Decode(p); err != nil {
+			fmt.Fprintf(stderr, "hyperlint: decoding go list output: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// Export data for every dependency (identity import map: the
+	// module neither vendors nor renames).
+	exportFiles := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exportFiles[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := loader.NewExportImporter(fset, nil, exportFiles)
+	byPkg := make(map[string][]analysis.Diagnostic)
+	exit := 0
+	for _, p := range pkgs {
+		if p.Module == nil || !p.Module.Main || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			fmt.Fprintf(stderr, "hyperlint: %s: %s\n", p.ImportPath, p.Error.Err)
+			exit = 2
+			continue
+		}
+		names := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			names[i] = filepath.Join(p.Dir, f)
+		}
+		files, err := loader.ParseFiles(fset, names)
+		if err != nil {
+			fmt.Fprintf(stderr, "hyperlint: %s: %v\n", p.ImportPath, err)
+			exit = 2
+			continue
+		}
+		pkg, info, err := loader.Check(p.ImportPath, fset, files, imp, "")
+		if err != nil {
+			fmt.Fprintf(stderr, "hyperlint: type-checking %s: %v\n", p.ImportPath, err)
+			exit = 2
+			continue
+		}
+		diags, code := runPackage(&unit{fset: fset, files: files, pkg: pkg, info: info}, active, stderr)
+		if code > exit {
+			exit = code
+		}
+		byPkg[p.ImportPath] = diags
+	}
+	if code := emit(stdout, stderr, fset, byPkg, asJSON); code > exit {
+		exit = code
+	}
+	return exit
+}

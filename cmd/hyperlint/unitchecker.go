@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"hypermodel/internal/analysis"
+	"hypermodel/internal/analysis/loader"
+)
+
+// vetConfig is the JSON the go command writes for each package when
+// driving a vet tool (see cmd/go/internal/work.buildVetConfig). Only
+// the fields hyperlint consumes are declared; unknown fields are
+// ignored by encoding/json.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	GoVersion   string
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// unit is one package ready for analysis.
+type unit struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// runUnitchecker executes one vet.cfg invocation from the go command.
+func runUnitchecker(cfgPath string, active []*analysis.Analyzer, asJSON bool, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "hyperlint: reading config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "hyperlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// Dependency invocations exist only to produce facts; hyperlint
+	// keeps none, so write the (empty) facts file and return without
+	// analyzing. The file must exist for the go command to cache the
+	// step.
+	if cfg.VetxOnly {
+		writeVetx(cfg.VetxOutput)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := loader.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "hyperlint: %v\n", err)
+		return 2
+	}
+	imp := loader.NewExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, info, err := loader.Check(cfg.ImportPath, fset, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "hyperlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	diags, exit := runPackage(&unit{fset: fset, files: files, pkg: pkg, info: info}, active, stderr)
+	writeVetx(cfg.VetxOutput)
+	if code := emit(stdout, stderr, fset, map[string][]analysis.Diagnostic{cfg.ImportPath: diags}, asJSON); code > exit {
+		exit = code
+	}
+	return exit
+}
+
+// writeVetx records the (empty) fact set for this package. Best
+// effort: a missing facts file only costs the go command a cache
+// entry.
+func writeVetx(path string) {
+	if path != "" {
+		os.WriteFile(path, []byte("hyperlint: no facts\n"), 0o666)
+	}
+}

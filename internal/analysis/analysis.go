@@ -1,0 +1,237 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer runs over one
+// type-checked package and reports position-anchored diagnostics.
+//
+// The repo vendors its own copy (rather than depending on x/tools)
+// because the build environment is hermetic — the module has no
+// external dependencies — and because the five hyperlint analyzers
+// need only a small slice of the framework: no facts, no modular
+// result passing, no suggested fixes. What is kept mirrors the
+// upstream shape closely enough that migrating to x/tools later is a
+// mechanical change.
+//
+// Suppression: a diagnostic is suppressed by an explicit directive
+// comment on the flagged line or the line directly above it:
+//
+//	//hyperlint:allow detrand -- wall-clock timing metric
+//
+// The text after "--" is a mandatory-by-convention justification.
+// Directives name one or more analyzers (comma separated); the
+// wildcard "all" suppresses every analyzer. Suppressions are
+// greppable, so the allowlist of exceptions is always visible in the
+// tree.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, driver flags
+	// (-<name>=false disables it) and allow directives.
+	Name string
+
+	// Doc is the one-paragraph description shown by the driver.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // name of the reporting analyzer
+}
+
+// A Pass holds one type-checked package being analyzed and collects
+// the diagnostics reported against it.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+
+	// allow maps file name → line → analyzer names allowed there.
+	allow map[string]map[int]map[string]bool
+}
+
+// Reportf reports a diagnostic at pos unless an allow directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(p.Analyzer.Name, pos) {
+		return
+	}
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Allowed reports whether an "//hyperlint:allow name" directive on the
+// position's line (or the line directly above it) suppresses the named
+// analyzer.
+func (p *Pass) Allowed(name string, pos token.Pos) bool {
+	if p.allow == nil {
+		p.allow = buildAllowMap(p.Fset, p.Files)
+	}
+	posn := p.Fset.Position(pos)
+	lines := p.allow[posn.Filename]
+	for _, ln := range [...]int{posn.Line, posn.Line - 1} {
+		if names := lines[ln]; names != nil && (names[name] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+const directivePrefix = "//hyperlint:allow"
+
+// buildAllowMap scans every comment for allow directives.
+func buildAllowMap(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	m := make(map[string]map[int]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Strip the justification after "--".
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					names[n] = true
+				}
+				if len(names) == 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				lines := m[posn.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					m[posn.Filename] = lines
+				}
+				if prev := lines[posn.Line]; prev != nil {
+					for n := range names {
+						prev[n] = true
+					}
+				} else {
+					lines[posn.Line] = names
+				}
+			}
+		}
+	}
+	return m
+}
+
+// IsTestFile reports whether the file enclosing pos is a _test.go
+// file. Several analyzers encode invariants about production code only
+// (tests may use wall clocks and craft raw protocol frames).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// WalkStack traverses root like ast.Inspect but hands fn the stack of
+// enclosing nodes (outermost first, root excluded its own entry: the
+// stack holds the ancestors of n). Returning false skips n's children.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// FindImport locates an imported package by path anywhere in the
+// import graph visible from pkg (breadth-first over Imports).
+func FindImport(pkg *types.Package, path string) *types.Package {
+	seen := map[*types.Package]bool{pkg: true}
+	queue := []*types.Package{pkg}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if p.Path() == path {
+			return p
+		}
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				queue = append(queue, imp)
+			}
+		}
+	}
+	return nil
+}
+
+// IsErrorType reports whether t is the built-in error interface type
+// (the static type of every sentinel error variable).
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, errorType)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// Callee resolves the called function or method of a call expression,
+// or nil for builtins, type conversions and indirect calls through
+// function values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether the call invokes the package-level
+// function pkgPath.name (e.g. time.Now).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := Callee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// ReceiverNamed returns the named type of a method's receiver (through
+// one pointer indirection), or nil.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

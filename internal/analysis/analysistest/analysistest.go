@@ -1,0 +1,273 @@
+// Package analysistest runs an analyzer over fixture packages laid
+// out GOPATH-style under testdata/src/<importpath>/ and compares its
+// diagnostics against expectations written in the fixtures:
+//
+//	if err == ErrBoom { // want "compared with =="
+//
+// Each "want" comment carries one or more quoted regular expressions;
+// every diagnostic on that line must match one expectation and every
+// expectation must be consumed. A fixture line with no want comment
+// asserts the absence of diagnostics, which is how the non-flagging
+// cases are encoded.
+//
+// Fixture imports resolve in two layers: paths present under
+// testdata/src are type-checked from source (recursively, so fixtures
+// can model the repo's own package paths such as
+// hypermodel/internal/storage/buffer with small stubs), everything
+// else is satisfied from the real toolchain's export data via
+// "go list -export" (cached per process).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"hypermodel/internal/analysis"
+	"hypermodel/internal/analysis/loader"
+)
+
+// Run applies the analyzer to each fixture package and reports
+// mismatches as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := newFixtureLoader(testdata)
+	for _, path := range pkgpaths {
+		runOne(t, ld, a, path)
+	}
+}
+
+func runOne(t *testing.T, ld *fixtureLoader, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("%s: loading fixture %s: %v", a.Name, pkgpath, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      ld.fset,
+		Files:     pkg.files,
+		Pkg:       pkg.pkg,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: running on %s: %v", a.Name, pkgpath, err)
+	}
+
+	wants := collectWants(t, ld.fset, pkg.files)
+	for _, d := range diags {
+		posn := ld.fset.Position(d.Pos)
+		key := lineKey{posn.Filename, posn.Line}
+		matched := false
+		for i, w := range wants[key] {
+			if w != nil && w.MatchString(d.Message) {
+				wants[key][i] = nil
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s: %s", a.Name, posn, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for _, w := range res {
+			if w != nil {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", a.Name, key.file, key.line, w)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// collectWants extracts want expectations. The comment's own line
+// anchors the expectation.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				key := lineKey{posn.Filename, posn.Line}
+				for _, q := range splitQuoted(t, posn, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", posn, q, err)
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted parses a sequence of quoted strings: "a" "b c" `d\.e`.
+// Backquoted expectations avoid double escaping in regexps.
+func splitQuoted(t *testing.T, posn token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] == '`' {
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want regexp: %s", posn, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+			continue
+		}
+		if s[0] != '"' {
+			t.Fatalf("%s: malformed want expectation (need quoted regexps): %s", posn, s)
+		}
+		end := 1
+		for end < len(s) && s[end] != '"' {
+			if s[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(s) {
+			t.Fatalf("%s: unterminated want regexp: %s", posn, s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s: bad want quoting %s: %v", posn, s[:end+1], err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// fixtureLoader resolves fixture imports: testdata/src first, then
+// toolchain export data.
+type fixtureLoader struct {
+	fset   *token.FileSet
+	srcDir string
+	pkgs   map[string]*fixturePkg
+	exp    *loader.ExportImporter
+}
+
+func newFixtureLoader(testdata string) *fixtureLoader {
+	ld := &fixtureLoader{
+		fset:   token.NewFileSet(),
+		srcDir: filepath.Join(testdata, "src"),
+		pkgs:   make(map[string]*fixturePkg),
+	}
+	ld.exp = loader.NewExportImporter(ld.fset, nil, stdExportFiles())
+	ld.exp.Fallback = importerFunc(func(path string) (*types.Package, error) {
+		return nil, fmt.Errorf("analysistest: no fixture or export data for %q", path)
+	})
+	return ld
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Import lets the loader serve as the importer for fixture packages.
+func (ld *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dirExists(filepath.Join(ld.srcDir, filepath.FromSlash(path))) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return ld.exp.Import(path)
+}
+
+func (ld *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+	files, err := loader.ParseDir(ld.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := loader.Check(path, ld.fset, files, ld, "")
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	p := &fixturePkg{pkg: pkg, files: files, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// stdExport maps stdlib import paths to export data files, populated
+// once per process by asking the go command for the transitive export
+// set of the packages fixtures use. "go list -export" compiles into
+// the build cache, so this works offline.
+var (
+	stdExportOnce sync.Once
+	stdExport     map[string]string
+)
+
+// stdRoots are the stdlib roots fixtures may import; -deps pulls in
+// everything they reference.
+var stdRoots = []string{
+	"errors", "fmt", "io", "net", "sync", "time", "math/rand",
+	"encoding/binary", "bytes", "strings",
+}
+
+func stdExportFiles() map[string]string {
+	stdExportOnce.Do(func() {
+		stdExport = make(map[string]string)
+		args := append([]string{"list", "-export", "-deps",
+			"-f", "{{if .Export}}{{.ImportPath}}={{.Export}}{{end}}"}, stdRoots...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			// Leave the map empty; imports will fail with a clear
+			// "no export data" error naming the missing package.
+			return
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if path, file, ok := strings.Cut(strings.TrimSpace(line), "="); ok {
+				stdExport[path] = file
+			}
+		}
+	})
+	return stdExport
+}

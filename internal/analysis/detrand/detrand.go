@@ -1,0 +1,108 @@
+// Package detrand checks that packages on the deterministic path
+// draw no entropy from ambient sources: no global math/rand
+// top-level functions and no time.Now outside explicitly allowlisted
+// timing sites.
+//
+// Invariant: the benchmark's credibility rests on reproducibility — a
+// fanout-5 tree generated from seed S must be byte-identical across
+// runs, machines and backends, because the agreement tests compare
+// backends against each other and the published numbers are only
+// comparable if every run traverses the same database. All randomness
+// must therefore flow through injected *rand.Rand values seeded from
+// configuration. The global math/rand source is process-wide state
+// any import can perturb; time.Now is nondeterministic by definition
+// (and rand.New(rand.NewSource(time.Now().UnixNano())) is caught
+// through its time.Now call).
+//
+// Wall-clock timing sites that are genuinely about measuring (the
+// generator's phase timings) carry "//hyperlint:allow detrand"
+// directives with justifications, so the complete allowlist is
+// greppable. Test files are exempt: tests seed explicitly or measure
+// wall time on purpose.
+package detrand
+
+import (
+	"go/ast"
+	"strings"
+
+	"hypermodel/internal/analysis"
+)
+
+// deterministic lists the package paths (exact, or prefix for the
+// backend tree) whose behavior must be a pure function of their
+// seeds.
+var deterministic = struct {
+	exact    []string
+	prefixes []string
+}{
+	exact:    []string{"hypermodel/internal/hyper", "hypermodel/internal/fault"},
+	prefixes: []string{"hypermodel/internal/backend/"},
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "deterministic-path packages must not use global math/rand or " +
+		"time.Now; randomness flows through injected seeded *rand.Rand values",
+	Run: run,
+}
+
+// globalRandFuncs are the math/rand package-level functions that
+// consume the shared global source. Constructors (New, NewSource,
+// NewZipf) are fine: they feed injected generators.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !onDeterministicPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				if analysis.ReceiverNamed(fn) == nil && globalRandFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"global math/rand.%s on the deterministic path; use an injected seeded *rand.Rand",
+						fn.Name())
+				}
+			case "time":
+				if fn.Name() == "Now" && analysis.ReceiverNamed(fn) == nil {
+					pass.Reportf(call.Pos(),
+						"time.Now on the deterministic path; inject a clock or annotate a timing site with //hyperlint:allow detrand")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func onDeterministicPath(path string) bool {
+	for _, p := range deterministic.exact {
+		if path == p {
+			return true
+		}
+	}
+	for _, p := range deterministic.prefixes {
+		if strings.HasPrefix(path, p) || path == strings.TrimSuffix(p, "/") {
+			return true
+		}
+	}
+	return false
+}

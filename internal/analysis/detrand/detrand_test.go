@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "hypermodel/internal/hyper", "offpath")
+}

@@ -1,0 +1,33 @@
+// Fixture for the detrand analyzer, placed at a deterministic-path
+// import path so the gate admits it.
+package hyper
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobalRand() int64 {
+	return rand.Int63() // want "global math/rand.Int63 on the deterministic path; use an injected seeded"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global math/rand.Shuffle on the deterministic path"
+}
+
+func badClock() time.Time {
+	return time.Now() // want "time.Now on the deterministic path"
+}
+
+func goodInjected(rng *rand.Rand) int64 {
+	return rng.Int63() // method on an injected generator
+}
+
+func goodConstructor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors feed injected generators
+}
+
+func goodTimingSite() time.Duration {
+	start := time.Now() //hyperlint:allow detrand -- fixture timing site
+	return time.Since(start)
+}

@@ -1,0 +1,12 @@
+// Fixture at an import path outside the deterministic gate: nothing
+// here may be flagged.
+package offpath
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Fine() (int64, time.Time) {
+	return rand.Int63(), time.Now()
+}

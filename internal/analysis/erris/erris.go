@@ -1,0 +1,104 @@
+// Package erris checks that sentinel errors are matched with
+// errors.Is, never == or !=.
+//
+// Invariant: the remote tier's retry taxonomy (transient vs definite
+// outcomes) and the harness's not-applicable detection depend on
+// recognizing sentinels through wrapping — Client.Commit returns
+// "%w"-wrapped ErrCommitUnknown, fault injection wraps store errors,
+// and fmt.Errorf chains are pervasive. An identity comparison against
+// a package-level error variable silently stops matching the moment
+// anyone adds a wrap, so every such comparison is a latent bug even
+// when it happens to work today.
+package erris
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hypermodel/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "erris",
+	Doc: "sentinel errors must be compared with errors.Is, not == or != " +
+		"(wrapped errors stop matching under identity comparison)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				checkComparison(pass, n.OpPos, n.Op, n.X, n.Y)
+			case *ast.SwitchStmt:
+				// switch err { case ErrFoo: } is == in disguise.
+				if n.Tag == nil || !isErrorExpr(pass, n.Tag) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc := clause.(*ast.CaseClause)
+					for _, e := range cc.List {
+						if name, ok := sentinelRef(pass, e); ok {
+							pass.Reportf(e.Pos(),
+								"sentinel error %s matched by switch case (identity comparison); use errors.Is", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkComparison(pass *analysis.Pass, pos token.Pos, op token.Token, x, y ast.Expr) {
+	// Both operands must be errors (rules out comparing non-error
+	// values that happen to share a name shape).
+	if !isErrorExpr(pass, x) || !isErrorExpr(pass, y) {
+		return
+	}
+	for _, operand := range [...]ast.Expr{x, y} {
+		if name, ok := sentinelRef(pass, operand); ok {
+			pass.Reportf(pos, "sentinel error %s compared with %s; use errors.Is", name, op)
+			return
+		}
+	}
+}
+
+// isErrorExpr reports whether e's static type is the error interface.
+func isErrorExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && analysis.IsErrorType(tv.Type)
+}
+
+// sentinelRef reports whether e is a reference to a package-level
+// variable of type error — the sentinel pattern "var ErrX =
+// errors.New(...)" — and returns its printable name.
+func sentinelRef(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || !analysis.IsErrorType(v.Type()) {
+		return "", false
+	}
+	// Package level: the variable's parent scope is its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return "", false
+	}
+	if v.Pkg() == pass.Pkg {
+		return v.Name(), true
+	}
+	return v.Pkg().Name() + "." + v.Name(), true
+}

@@ -1,0 +1,12 @@
+package erris_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/erris"
+)
+
+func TestErris(t *testing.T) {
+	analysistest.Run(t, erris.Analyzer, "erris")
+}

@@ -1,0 +1,48 @@
+// Fixture for the erris analyzer: sentinel comparisons that must be
+// flagged, and the equivalents that must not be.
+package erris
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func badEqual(err error) bool {
+	return err == ErrBoom // want "sentinel error ErrBoom compared with ==; use errors.Is"
+}
+
+func badNotEqual(err error) bool {
+	if err != ErrBoom { // want "sentinel error ErrBoom compared with !=; use errors.Is"
+		return false
+	}
+	return true
+}
+
+func badReversed(err error) bool {
+	return ErrBoom == err // want "sentinel error ErrBoom compared with ==; use errors.Is"
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case ErrBoom: // want "sentinel error ErrBoom matched by switch case .identity comparison.; use errors.Is"
+		return 1
+	}
+	return 0
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+func goodNil(err error) bool {
+	return err == nil // nil check is not a sentinel comparison
+}
+
+func goodLocal(err error) bool {
+	local := errors.New("local")
+	return err == local // function-scoped error, not a sentinel
+}
+
+func allowed(err error) bool {
+	//hyperlint:allow erris -- fixture exercises the suppression path
+	return err == ErrBoom
+}

@@ -1,0 +1,12 @@
+package framerelease_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/framerelease"
+)
+
+func TestFramerelease(t *testing.T) {
+	analysistest.Run(t, framerelease.Analyzer, "framerelease")
+}

@@ -1,0 +1,155 @@
+// Package loader type-checks packages for the hyperlint analyzers
+// without golang.org/x/tools: target packages are checked from parsed
+// source, dependencies are satisfied from compiler export data (the
+// same .a files the go command hands to vet in its unitchecker
+// config, or the ones "go list -export" reports from the build
+// cache).
+package loader
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Check type-checks one package from its parsed files. The returned
+// Info has every map analyzers rely on populated.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+		GoVersion: normalizeGoVersion(goVersion),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		err = firstErr
+	}
+	return pkg, info, err
+}
+
+// goVersionRE matches the "go1.N[.M]" prefix types.Config accepts;
+// vet configs may carry toolchain suffixes it would reject.
+var goVersionRE = regexp.MustCompile(`^go[0-9]+\.[0-9]+(\.[0-9]+)?`)
+
+func normalizeGoVersion(v string) string {
+	return goVersionRE.FindString(v)
+}
+
+// ParseFiles parses the named files (comments retained: the allow
+// directives and test expectations live there).
+func ParseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ParseDir parses every non-test .go file in dir, sorted by name.
+func ParseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, filepath.Join(dir, n))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: no Go files in %s", dir)
+	}
+	return ParseFiles(fset, names)
+}
+
+// ExportImporter satisfies imports from compiler export data.
+// importMap translates import paths as written in source to canonical
+// package paths (nil means identity), packageFile maps canonical
+// paths to export data files. Both maps may keep growing between
+// Import calls (the test harness adds stdlib entries lazily).
+type ExportImporter struct {
+	importMap   map[string]string
+	packageFile map[string]string
+	gc          types.ImporterFrom
+
+	// Fallback consulted for paths without export data (the test
+	// harness chains a source-tree importer here). May be nil.
+	Fallback types.Importer
+}
+
+// NewExportImporter builds an importer over the given maps.
+func NewExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) *ExportImporter {
+	e := &ExportImporter{importMap: importMap, packageFile: packageFile}
+	lookup := func(path string) (io.ReadCloser, error) {
+		canonical := path
+		if p, ok := e.importMap[path]; ok {
+			canonical = p
+		}
+		file, ok := e.packageFile[canonical]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", canonical)
+		}
+		return os.Open(file)
+	}
+	e.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return e
+}
+
+func (e *ExportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *ExportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	canonical := path
+	if p, ok := e.importMap[path]; ok {
+		canonical = p
+	}
+	if _, ok := e.packageFile[canonical]; !ok && e.Fallback != nil {
+		return e.Fallback.Import(path)
+	}
+	return e.gc.ImportFrom(path, dir, 0)
+}
+
+// Has reports whether export data is on hand for the (canonical)
+// import path.
+func (e *ExportImporter) Has(path string) bool {
+	_, ok := e.packageFile[path]
+	return ok
+}
+
+// Add registers export data for a canonical import path.
+func (e *ExportImporter) Add(path, file string) {
+	e.packageFile[path] = file
+}

@@ -1,0 +1,444 @@
+// Package mutexio checks that no mutex is held across blocking
+// net.Conn I/O in the remote tier.
+//
+// Invariant: the remote package's close-race and idle-timeout
+// behavior (PR 2) depends on its mutexes being held only for
+// in-memory state transitions. Client.Close takes connMu to
+// interrupt an in-flight request; if any code path performed a
+// conn.Read or conn.Write while holding such a mutex, Close (and
+// every other method) would wait behind a network round trip that
+// may never complete — exactly the hang the fault-tolerant tier
+// exists to prevent. The big session mutex (c.mu) stays off this
+// analyzer's radar because request I/O happens in helpers that the
+// lock holder calls, never lexically inside a Lock/Unlock window;
+// the analyzer is intraprocedural by design and encodes the local
+// rule: never write blocking conn I/O directly inside a lock window.
+//
+// Blocking calls are (a) Read/Write-family methods on values
+// implementing net.Conn and (b) any call taking a net.Conn argument
+// (writeFrame(conn, …), io.ReadFull(conn, …), a dialer). Close,
+// deadline setters and address accessors are non-blocking and
+// exempt. Function literals are separate scopes (a deferred cleanup
+// or spawned goroutine does not inherit the lexical lock window).
+// Test files are skipped.
+package mutexio
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hypermodel/internal/analysis"
+)
+
+// remotePrefix gates the analyzer to the remote tier, the only place
+// the repo does network I/O under locks' reach. A mutex serializing
+// writes to a shared conn is a legitimate pattern elsewhere; here it
+// would break the close-race contract.
+const remotePrefix = "hypermodel/internal/remote"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "mutexio",
+	Doc: "no sync.Mutex/RWMutex may be held across blocking net.Conn I/O " +
+		"in the remote tier (Close must never wait behind a network round trip)",
+	Run: run,
+}
+
+// blockingConnMethods are the net.Conn methods that block on the
+// network.
+var blockingConnMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if p := pass.Pkg.Path(); p != remotePrefix && !strings.HasPrefix(p, remotePrefix+"/") {
+		return nil
+	}
+	netPkg := analysis.FindImport(pass.Pkg, "net")
+	if netPkg == nil {
+		return nil // no net in the import graph: nothing to hold a lock across
+	}
+	connObj := netPkg.Scope().Lookup("Conn")
+	if connObj == nil {
+		return nil
+	}
+	connIface, ok := connObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+
+	s := &scanner{pass: pass, conn: connIface}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		// Every function body — declarations and literals — is its own
+		// lock scope.
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					s.block(n.Body.List, lockSet{})
+				}
+			case *ast.FuncLit:
+				s.block(n.Body.List, lockSet{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type scanner struct {
+	pass *analysis.Pass
+	conn *types.Interface
+}
+
+// lockSet maps a mutex expression (rendered as source, e.g.
+// "c.connMu") to the position of its Lock call.
+type lockSet map[string]token.Pos
+
+func (ls lockSet) clone() lockSet {
+	c := make(lockSet, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+func (ls lockSet) names() string {
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func union(states []lockSet) lockSet {
+	out := lockSet{}
+	for _, st := range states {
+		for k, v := range st {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// block scans a statement list in order, threading the held-lock
+// state through it. It returns the exit state and whether the block
+// always terminates (return / panic / branch).
+func (s *scanner) block(stmts []ast.Stmt, held lockSet) (lockSet, bool) {
+	for _, stmt := range stmts {
+		var term bool
+		held, term = s.stmt(stmt, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (s *scanner) stmt(stmt ast.Stmt, held lockSet) (lockSet, bool) {
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := s.mutexOp(st.X); ok {
+			switch op {
+			case opLock:
+				held = held.clone()
+				held[key] = st.Pos()
+			case opUnlock:
+				held = held.clone()
+				delete(held, key)
+			}
+			return held, false
+		}
+		if isPanic(st.X) {
+			s.checkExpr(st.X, held)
+			return held, true
+		}
+		s.checkExpr(st.X, held)
+		return held, false
+
+	case *ast.DeferStmt:
+		// "defer x.Unlock()" pins the lock for the rest of the
+		// function: held until exit, so the window extends to every
+		// following statement. Other deferred calls run outside the
+		// statement order; their argument expressions are still
+		// evaluated here.
+		if _, op, ok := s.mutexOp(st.Call); ok && op == opUnlock {
+			return held, false
+		}
+		for _, arg := range st.Call.Args {
+			s.checkExpr(arg, held)
+		}
+		return held, false
+
+	case *ast.GoStmt:
+		for _, arg := range st.Call.Args {
+			s.checkExpr(arg, held)
+		}
+		return held, false
+
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.checkExpr(e, held)
+		}
+		return held, true
+
+	case *ast.BranchStmt:
+		return held, true
+
+	case *ast.BlockStmt:
+		return s.block(st.List, held.clone())
+
+	case *ast.LabeledStmt:
+		return s.stmt(st.Stmt, held)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		s.checkExpr(st.Cond, held)
+		var exits []lockSet
+		bodyExit, bodyTerm := s.block(st.Body.List, held.clone())
+		if !bodyTerm {
+			exits = append(exits, bodyExit)
+		}
+		if st.Else != nil {
+			elseExit, elseTerm := s.stmt(st.Else, held.clone())
+			if !elseTerm {
+				exits = append(exits, elseExit)
+			}
+		} else {
+			exits = append(exits, held)
+		}
+		if len(exits) == 0 {
+			return held, true
+		}
+		return union(exits), false
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			s.checkExpr(st.Cond, held)
+		}
+		bodyExit, _ := s.block(st.Body.List, held.clone())
+		return union([]lockSet{held, bodyExit}), false
+
+	case *ast.RangeStmt:
+		s.checkExpr(st.X, held)
+		bodyExit, _ := s.block(st.Body.List, held.clone())
+		return union([]lockSet{held, bodyExit}), false
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			s.checkExpr(st.Tag, held)
+		}
+		return s.clauses(st.Body.List, held)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			held, _ = s.stmt(st.Init, held)
+		}
+		return s.clauses(st.Body.List, held)
+
+	case *ast.SelectStmt:
+		return s.clauses(st.Body.List, held)
+
+	default:
+		// Assignments, declarations, sends, inc/dec: scan contained
+		// expressions.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if e, ok := n.(ast.Expr); ok {
+				s.checkCall(e, held)
+			}
+			return true
+		})
+		return held, false
+	}
+}
+
+// clauses scans switch/select clause bodies, each from a copy of the
+// entry state, and unions the non-terminating exits.
+func (s *scanner) clauses(list []ast.Stmt, held lockSet) (lockSet, bool) {
+	var exits []lockSet
+	sawDefault := false
+	for _, clause := range list {
+		var body []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				sawDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				sawDefault = true
+			} else {
+				held2 := held.clone()
+				held2, _ = s.stmt(c.Comm, held2)
+				exit, term := s.block(c.Body, held2)
+				if !term {
+					exits = append(exits, exit)
+				}
+				continue
+			}
+			body = c.Body
+		}
+		exit, term := s.block(body, held.clone())
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !sawDefault {
+		exits = append(exits, held) // no clause taken
+	}
+	if len(exits) == 0 {
+		return held, true
+	}
+	return union(exits), false
+}
+
+// checkExpr reports blocking calls anywhere inside e (function
+// literals excluded) while locks are held.
+func (s *scanner) checkExpr(e ast.Expr, held lockSet) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok {
+			s.checkCall(expr, held)
+		}
+		return true
+	})
+}
+
+// checkCall reports e if it is a blocking conn call made while locks
+// are held.
+func (s *scanner) checkCall(e ast.Expr, held lockSet) {
+	if len(held) == 0 {
+		return
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	if desc, ok := s.blockingDesc(call); ok {
+		s.pass.Reportf(call.Pos(),
+			"%s while holding %s: blocking conn I/O under a mutex stalls Close and every contender",
+			desc, held.names())
+	}
+}
+
+// blockingDesc classifies a call as blocking conn I/O.
+func (s *scanner) blockingDesc(call *ast.CallExpr) (string, bool) {
+	// Read/Write-family method on a net.Conn.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if blockingConnMethods[sel.Sel.Name] {
+			if tv, ok := s.pass.TypesInfo.Types[sel.X]; ok && tv.Type != nil && s.implementsConn(tv.Type) {
+				return "(net.Conn)." + sel.Sel.Name, true
+			}
+		}
+	}
+	// Builtins (delete(conns, conn)) and type conversions do no I/O.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := s.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return "", false
+		}
+	}
+	if tv, ok := s.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return "", false
+	}
+	// Any call handed a net.Conn does I/O on the caller's time
+	// (writeFrame, io.ReadFull, a dialer resolving and connecting).
+	for _, arg := range call.Args {
+		if tv, ok := s.pass.TypesInfo.Types[arg]; ok && tv.Type != nil && s.implementsConn(tv.Type) {
+			name := "call"
+			if fn := analysis.Callee(s.pass.TypesInfo, call); fn != nil {
+				name = fn.Name()
+			}
+			return name + " with a net.Conn argument", true
+		}
+	}
+	return "", false
+}
+
+func (s *scanner) implementsConn(t types.Type) bool {
+	if types.Implements(t, s.conn) {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		return types.Implements(ptr.Elem(), s.conn) || types.Implements(ptr, s.conn)
+	}
+	return false
+}
+
+type lockOp int
+
+const (
+	opLock lockOp = iota
+	opUnlock
+)
+
+// mutexOp recognizes x.Lock() / x.RLock() / x.Unlock() / x.RUnlock()
+// on sync.Mutex or sync.RWMutex values and returns the mutex
+// expression rendered as source.
+func (s *scanner) mutexOp(e ast.Expr) (key string, op lockOp, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", 0, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", 0, false
+	}
+	tv, okT := s.pass.TypesInfo.Types[sel.X]
+	if !okT || tv.Type == nil || !isSyncMutex(tv.Type) {
+		return "", 0, false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,12 @@
+package mutexio_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/mutexio"
+)
+
+func TestMutexio(t *testing.T) {
+	analysistest.Run(t, mutexio.Analyzer, "hypermodel/internal/remote")
+}

@@ -1,0 +1,65 @@
+// Fixture for the mutexio analyzer: blocking conn I/O inside lock
+// windows that must be flagged, and the lock-free or non-blocking
+// patterns that must not be.
+package remote
+
+import (
+	"net"
+	"sync"
+)
+
+type client struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+}
+
+func writeFrame(conn net.Conn, b []byte) error {
+	_, err := conn.Write(b)
+	return err
+}
+
+func (c *client) badDirect(b []byte) {
+	c.mu.Lock()
+	c.conn.Write(b) // want `\(net.Conn\).Write while holding c.mu`
+	c.mu.Unlock()
+}
+
+func (c *client) badDeferred(b []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeFrame(c.conn, b) // want "writeFrame with a net.Conn argument while holding c.mu"
+}
+
+func (c *client) badRead(b []byte) {
+	c.rw.RLock()
+	c.conn.Read(b) // want `\(net.Conn\).Read while holding c.rw`
+	c.rw.RUnlock()
+}
+
+func (c *client) goodSnapshot(b []byte) {
+	c.mu.Lock()
+	conn := c.conn
+	c.mu.Unlock()
+	conn.Write(b) // lock released before the I/O
+}
+
+func (c *client) goodClose() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close() // Close does not block on the network
+}
+
+func (c *client) goodGoroutine(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.conn.Write(b) // separate scope: the goroutine holds nothing
+	}()
+}
+
+func (c *client) allowed(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.conn.Write(b) //hyperlint:allow mutexio -- fixture exercises the suppression path
+}

@@ -1,0 +1,188 @@
+// Package opcodes checks that the remote wire protocol stays closed
+// under its opcode set: every op* constant in
+// hypermodel/internal/remote has exactly one server dispatch case and
+// exactly one client encoding site.
+//
+// Invariant: the protocol is defined three times — the constant, the
+// server's dispatch switch, and the client request builder — and
+// nothing but convention keeps them in sync. An opcode with no
+// dispatch case turns every client using it into a statusBadRequest
+// loop; one with two cases means a copy-paste dispatch error; one
+// with no encoder is dead wire surface. The analyzer makes protocol
+// drift a vet failure instead of a runtime surprise.
+//
+// Classification: a use of an op constant inside a case clause of a
+// *Server method is a dispatch site; a use outside case clauses and
+// outside *Server methods (an append argument, a []byte literal
+// element) is an encoding site. Case clauses outside the Server —
+// e.g. the client's idempotentOp classification switch — are neither,
+// since they route behavior, not frames. Test files are skipped:
+// tests craft raw frames deliberately, including malformed ones.
+//
+// A reserved opcode (wire number held but intentionally unimplemented)
+// carries an explicit "//hyperlint:allow opcodes" directive.
+package opcodes
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hypermodel/internal/analysis"
+)
+
+// remotePath is the only package this analyzer applies to.
+const remotePath = "hypermodel/internal/remote"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "opcodes",
+	Doc: "every op* protocol constant must have exactly one server dispatch " +
+		"case and one client encoder (protocol drift caught at vet time)",
+	Run: run,
+}
+
+type opUse struct {
+	dispatch int
+	encode   int
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != remotePath {
+		return nil
+	}
+
+	// Collect the op* constants declared at package level.
+	consts := make(map[*types.Const]*ast.Ident)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "op") {
+						continue
+					}
+					if c, ok := pass.TypesInfo.Defs[name].(*types.Const); ok {
+						consts[c] = name
+					}
+				}
+			}
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	uses := make(map[*types.Const]*opUse)
+	for c := range consts {
+		uses[c] = &opUse{}
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inServer := isServerMethod(pass, fd)
+			analysis.WalkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				c, ok := pass.TypesInfo.Uses[id].(*types.Const)
+				if !ok {
+					return true
+				}
+				u, tracked := uses[c]
+				if !tracked {
+					return true
+				}
+				switch {
+				case inCaseClause(stack, id) && inServer:
+					u.dispatch++
+				case !inCaseClause(stack, id) && !inServer:
+					u.encode++
+				}
+				return true
+			})
+		}
+	}
+
+	// Report in declaration order for stable output.
+	ordered := make([]*types.Const, 0, len(consts))
+	for c := range consts {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Pos() < ordered[j].Pos() })
+	for _, c := range ordered {
+		id, u := consts[c], uses[c]
+		if u.dispatch != 1 {
+			pass.Reportf(id.Pos(),
+				"opcode %s has %d server dispatch cases, want exactly 1", id.Name, u.dispatch)
+		}
+		if u.encode != 1 {
+			pass.Reportf(id.Pos(),
+				"opcode %s has %d client encoding sites, want exactly 1", id.Name, u.encode)
+		}
+	}
+	return nil
+}
+
+// isServerMethod reports whether fd is a method on Server/*Server.
+func isServerMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	named := analysis.ReceiverNamed(fn)
+	return named != nil && named.Obj().Name() == "Server"
+}
+
+// inCaseClause reports whether the identifier appears in the
+// expression list of a switch case.
+func inCaseClause(stack []ast.Node, id *ast.Ident) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.CaseClause:
+			// In the List (case exprs), not the clause body: the body
+			// appears as a []ast.Stmt, whose elements are on the
+			// stack between the clause and the identifier.
+			for _, e := range parent.List {
+				if e == id || containsNode(e, id) {
+					return true
+				}
+			}
+			return false
+		case ast.Stmt:
+			return false
+		}
+	}
+	return false
+}
+
+func containsNode(root, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

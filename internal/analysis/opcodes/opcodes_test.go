@@ -1,0 +1,12 @@
+package opcodes_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/opcodes"
+)
+
+func TestOpcodes(t *testing.T) {
+	analysistest.Run(t, opcodes.Analyzer, "hypermodel/internal/remote")
+}

@@ -1,0 +1,35 @@
+// Fixture for the opcodes analyzer: a miniature protocol package with
+// one well-wired opcode, one orphan, one double-dispatched, and one
+// reserved via directive.
+package remote
+
+type Server struct{}
+
+const (
+	opPing     = 1
+	opGhost    = 2 // want "opcode opGhost has 0 server dispatch cases, want exactly 1" "opcode opGhost has 0 client encoding sites, want exactly 1"
+	opDouble   = 3 // want "opcode opDouble has 2 server dispatch cases, want exactly 1"
+	opReserved = 4 //hyperlint:allow opcodes -- reserved for a future extension
+)
+
+func (s *Server) dispatch(op byte) int {
+	switch op {
+	case opPing:
+		return 1
+	case opDouble:
+		return 3
+	}
+	switch op {
+	case opDouble:
+		return 33
+	}
+	return 0
+}
+
+func encodePing(buf []byte) []byte {
+	return append(buf, opPing)
+}
+
+func encodeDouble(buf []byte) []byte {
+	return append(buf, opDouble)
+}

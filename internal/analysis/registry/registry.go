@@ -1,0 +1,24 @@
+// Package registry enumerates the hyperlint analyzers. It lives
+// apart from package analysis so the framework does not import its
+// own analyzers.
+package registry
+
+import (
+	"hypermodel/internal/analysis"
+	"hypermodel/internal/analysis/detrand"
+	"hypermodel/internal/analysis/erris"
+	"hypermodel/internal/analysis/framerelease"
+	"hypermodel/internal/analysis/mutexio"
+	"hypermodel/internal/analysis/opcodes"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		erris.Analyzer,
+		framerelease.Analyzer,
+		mutexio.Analyzer,
+		opcodes.Analyzer,
+	}
+}

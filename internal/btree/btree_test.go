@@ -2,6 +2,7 @@ package btree
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -224,13 +225,13 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 
 func TestTooLargeRejected(t *testing.T) {
 	tr, _ := openTree(t)
-	if err := tr.Put(make([]byte, MaxKey+1), nil); err != ErrTooLarge {
+	if err := tr.Put(make([]byte, MaxKey+1), nil); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversized key: %v", err)
 	}
-	if err := tr.Put([]byte("k"), make([]byte, MaxValue+1)); err != ErrTooLarge {
+	if err := tr.Put([]byte("k"), make([]byte, MaxValue+1)); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("oversized value: %v", err)
 	}
-	if err := tr.Put(nil, []byte("v")); err != ErrTooLarge {
+	if err := tr.Put(nil, []byte("v")); !errors.Is(err, ErrTooLarge) {
 		t.Fatalf("empty key: %v", err)
 	}
 	// Exactly at the limits is fine.

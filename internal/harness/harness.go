@@ -16,6 +16,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -223,7 +224,7 @@ func operations() []op {
 				h.oids = make([]hyper.OID, len(h.ids))
 				for i, id := range h.ids {
 					oid, err := h.b.OIDOf(id)
-					if err == hyper.ErrNoOIDs {
+					if errors.Is(err, hyper.ErrNoOIDs) {
 						return "no object identifiers in this mapping", nil
 					}
 					if err != nil {

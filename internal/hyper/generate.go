@@ -209,7 +209,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 		lay.Base = 1
 	}
 	tm := &GenTimings{}
-	startAll := time.Now()
+	startAll := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 
 	sinceCommit := 0
 	maybeCommit := func() error {
@@ -235,7 +235,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 	createOne := func(level, j int, parent NodeID) error {
 		id := lay.nodeIDAt(level, j)
 		if level == cfg.LeafLevel {
-			leafStart := time.Now()
+			leafStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 			var err error
 			if IsFormLeaf(j) {
 				side := func() int { return BitmapMinSide + rng.Intn(BitmapMaxSide-BitmapMinSide+1) }
@@ -249,7 +249,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 				return err
 			}
 		} else {
-			intStart := time.Now()
+			intStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 			err := b.CreateNode(newNode(id, KindInternal), parent)
 			tm.InternalNodes += time.Since(intStart)
 			tm.InternalCount++
@@ -258,7 +258,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 			}
 		}
 		if parent != 0 {
-			relStart := time.Now()
+			relStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 			err := b.AddChild(parent, id)
 			tm.ChildRels += time.Since(relStart)
 			tm.ChildRelCount++
@@ -316,7 +316,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 			whole := lay.nodeIDAt(level, j)
 			for c := 0; c < FanOut; c++ {
 				part := lay.RandomAtLevel(rng, level+1)
-				relStart := time.Now()
+				relStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 				err := b.AddPart(whole, part)
 				tm.PartRels += time.Since(relStart)
 				tm.PartRelCount++
@@ -343,7 +343,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 			OffsetFrom: int32(rng.Intn(10)),
 			OffsetTo:   int32(rng.Intn(10)),
 		}
-		relStart := time.Now()
+		relStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 		err := b.AddRef(e)
 		tm.RefRels += time.Since(relStart)
 		tm.RefRelCount++
@@ -355,7 +355,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 		}
 	}
 
-	commitStart := time.Now()
+	commitStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 	if err := b.Commit(); err != nil {
 		return lay, nil, err
 	}

@@ -31,7 +31,7 @@ const (
 	opAlloc       = 2 // pageType u8 → pageID u64
 	opRoots       = 3 // → NumRoots × u64
 	opCommit      = 4 // token u64, read set, write set, root updates, frees → ok/conflict
-	opDropDead    = 5 // reserved
+	opDropDead    = 5 //hyperlint:allow opcodes -- reserved fault-injection hook, intentionally unwired
 	opStats       = 6 // → server stats
 	opPing        = 7 // → ok
 	opGetPages    = 8 // count u32, count × pageID u64 → count × (version u64, image)
