@@ -2,14 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos
+.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos stress
 
 all: build test
 
-# Pre-merge gate: static checks, the race detector, the chaos soak,
-# and a short fuzz smoke of the wire-protocol decoder.
-check: vet test-race chaos
+# Pre-merge gate: static checks, the race detector, the concurrency
+# stress, the chaos soak, and a short fuzz smoke of the wire-protocol
+# decoder.
+check: vet test-race stress chaos
 	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 5s ./internal/remote
+
+# Single-writer/multi-reader stress: concurrent readers race a
+# committing writer under the race detector, and every answer must
+# match single-threaded ground truth (see concurrent_stress_test.go
+# and the backendtest ConcurrentReads conformance check).
+stress:
+	$(GO) test -race -run Concurrent -count=1 -v .
 
 # Fault-injection soak: the full benchmark matrix over the page server
 # behind a proxy dropping, delaying and mid-frame-cutting transfers;

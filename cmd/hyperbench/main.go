@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"hypermodel/internal/harness"
 	"hypermodel/internal/hyper"
@@ -28,7 +29,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser or all")
+		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser, throughput or all")
 		backends = flag.String("backends", "all", "comma-separated backends (oodb,reldb,memdb) or all")
 		level    = flag.Int("level", 4, "leaf level (paper: 4, 5, 6)")
 		iters    = flag.Int("iters", 50, "iterations per operation (paper: 50)")
@@ -36,6 +37,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		users    = flag.Int("users", 3, "users for the multiuser experiment")
 		userOps  = flag.Int("userops", 10, "transactions per user for the multiuser experiment")
+		parallel = flag.Int("parallel", 4, "max concurrent readers for the throughput experiment")
+		window   = flag.Duration("window", time.Second, "measurement window per throughput configuration")
 		opsList  = flag.String("ops", "", "comma-separated operation filter, e.g. O10,O14")
 		dir      = flag.String("dir", "", "working directory (default: a temp dir, removed afterwards)")
 		csvPath  = flag.String("csv", "", "also write the operation matrix as CSV to this file")
@@ -165,6 +168,18 @@ func main() {
 			log.Fatalf("cache: %v", err)
 		}
 		harness.RenderCacheSweep(os.Stdout, *level, results)
+	}
+
+	if want("throughput") {
+		tdir := workdir + "/throughput"
+		if err := os.MkdirAll(tdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		results, err := harness.RunThroughput(tdir, *level, *seed, *parallel, *window)
+		if err != nil {
+			log.Fatalf("throughput: %v", err)
+		}
+		harness.RenderThroughput(os.Stdout, *level, results)
 	}
 
 	if want("multiuser") {

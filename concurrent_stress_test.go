@@ -1,0 +1,275 @@
+package hypermodel_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/storage/store"
+)
+
+// TestConcurrentReadersUnderWriter is the single-writer/multi-reader
+// stress test: G reader goroutines run a mixed O1–O15 read workload
+// (O12 is an update and sits out) against one shared database while
+// the writer loops SetHundred/Commit, and every concurrent answer
+// must match the single-threaded ground truth.
+//
+// The workload is constructed to be writer-invariant so ground truth
+// stays valid across commits: the writer toggles one leaf's hundred
+// attribute between two values, O1/O2 never pick that leaf, O3's
+// window excludes both values, and the O10/O11/O13 closures start in
+// a different root subtree. Everything else (O4–O9, O14, O15) reads
+// ids, structure, or attributes the writer never touches. Each op
+// runs under ReadView.Atomically, so a commit installing mid-op
+// discards and re-runs it; the writer paces its commits a few
+// milliseconds apart so multi-page ops always find a commit-free
+// window to complete in.
+func TestConcurrentReadersUnderWriter(t *testing.T) {
+	const (
+		hvalA = int32(3) // the two values the writer toggles between
+		hvalB = int32(7)
+		o3x   = int32(50) // O3 window [50,59]: excludes hvalA/hvalB
+
+		goroutines = 6
+		rounds     = 12
+	)
+
+	st, err := store.Open(filepath.Join(t.TempDir(), "stress.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	wdb, err := oodb.New(st, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, _, err := hyper.Generate(wdb, hyper.GenConfig{LeafLevel: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wdb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pin the writer's target to a known value before ground truth so
+	// both toggle states are excluded from every hundred-reading op.
+	target := lay.LastID()
+	if err := wdb.SetHundred(target, hvalA); err != nil {
+		t.Fatal(err)
+	}
+	if err := wdb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closure starts for O10/O11/O13: the first root subtree, which
+	// cannot contain the last leaf.
+	kids, err := hyper.GroupLookup1N(wdb, lay.FirstID())
+	if err != nil || len(kids) == 0 {
+		t.Fatalf("root children: %v (%v)", kids, err)
+	}
+	c1 := kids[0]
+	sub, err := hyper.Closure1N(wdb, c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sub {
+		if id == target {
+			t.Fatalf("writer target %d inside the O10/O11 closure", target)
+		}
+	}
+
+	type stressOp struct {
+		name string
+		run  func(b hyper.Backend) (string, error)
+	}
+	var ops []stressOp
+	add := func(name string, run func(b hyper.Backend) (string, error)) {
+		ops = append(ops, stressOp{name, run})
+	}
+	rng := rand.New(rand.NewSource(7))
+	pick := func() hyper.NodeID {
+		for {
+			if id := lay.RandomNode(rng); id != target {
+				return id
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		id := pick()
+		add(fmt.Sprintf("O1(%d)", id), func(b hyper.Backend) (string, error) {
+			h, err := hyper.NameLookup(b, id)
+			return fmt.Sprint(h), err
+		})
+	}
+	if oid, err := wdb.OIDOf(pick()); err == nil {
+		add(fmt.Sprintf("O2(%d)", oid), func(b hyper.Backend) (string, error) {
+			h, err := hyper.NameOIDLookup(b, oid)
+			return fmt.Sprint(h), err
+		})
+	} else if !errors.Is(err, hyper.ErrNoOIDs) {
+		t.Fatal(err)
+	}
+	add("O3", func(b hyper.Backend) (string, error) {
+		ids, err := hyper.RangeLookupHundred(b, o3x)
+		return fmt.Sprint(ids), err
+	})
+	o4y := int32(rng.Intn(hyper.MillionRange - hyper.MillionWindow + 1))
+	add("O4", func(b hyper.Backend) (string, error) {
+		ids, err := hyper.RangeLookupMillion(b, o4y)
+		return fmt.Sprint(ids), err
+	})
+	for i := 0; i < 2; i++ {
+		id := lay.RandomInternal(rng)
+		add(fmt.Sprintf("O5A(%d)", id), func(b hyper.Backend) (string, error) {
+			ids, err := hyper.GroupLookup1N(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O5B(%d)", id), func(b hyper.Backend) (string, error) {
+			ids, err := hyper.GroupLookupMN(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O6(%d)", id), func(b hyper.Backend) (string, error) {
+			refs, err := hyper.GroupLookupMNAtt(b, id)
+			return fmt.Sprint(refs), err
+		})
+	}
+	for i := 0; i < 2; i++ {
+		id := lay.RandomNonRoot(rng)
+		add(fmt.Sprintf("O7A(%d)", id), func(b hyper.Backend) (string, error) {
+			ids, err := hyper.RefLookup1N(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O7B(%d)", id), func(b hyper.Backend) (string, error) {
+			ids, err := hyper.RefLookupMN(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O8(%d)", id), func(b hyper.Backend) (string, error) {
+			refs, err := hyper.RefLookupMNAtt(b, id)
+			return fmt.Sprint(refs), err
+		})
+	}
+	add("O9", func(b hyper.Backend) (string, error) {
+		n, err := hyper.SeqScan(b, lay.FirstID(), lay.LastID())
+		return fmt.Sprint(n), err
+	})
+	add(fmt.Sprintf("O10(%d)", c1), func(b hyper.Backend) (string, error) {
+		ids, err := hyper.Closure1N(b, c1)
+		return fmt.Sprint(ids), err
+	})
+	add(fmt.Sprintf("O11(%d)", c1), func(b hyper.Backend) (string, error) {
+		sum, visited, err := hyper.Closure1NAttSum(b, c1)
+		return fmt.Sprintf("%d/%d", sum, visited), err
+	})
+	o13x := int32(rng.Intn(hyper.MillionRange - hyper.MillionWindow + 1))
+	add(fmt.Sprintf("O13(%d)", c1), func(b hyper.Backend) (string, error) {
+		ids, err := hyper.Closure1NPred(b, c1, o13x)
+		return fmt.Sprint(ids), err
+	})
+	mnStart := lay.RandomClosureStart(rng)
+	add(fmt.Sprintf("O14(%d)", mnStart), func(b hyper.Backend) (string, error) {
+		ids, err := hyper.ClosureMN(b, mnStart)
+		return fmt.Sprint(ids), err
+	})
+	add(fmt.Sprintf("O15(%d)", mnStart), func(b hyper.Backend) (string, error) {
+		ids, err := hyper.ClosureMNAtt(b, mnStart, 25)
+		return fmt.Sprint(ids), err
+	})
+
+	// Single-threaded ground truth through the same reader code path.
+	gt, err := oodb.New(st.ReadView(), oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(ops))
+	for i, o := range ops {
+		got, err := o.run(gt)
+		if err != nil {
+			t.Fatalf("serial %s: %v", o.name, err)
+		}
+		want[i] = got
+	}
+
+	// Writer: toggle the target's hundred and commit, paced so that
+	// readers' multi-page operations can land in commit-free windows.
+	stop := make(chan struct{})
+	writerErr := make(chan error, 1)
+	var commits int
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		v := hvalB
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := wdb.SetHundred(target, v); err != nil {
+				writerErr <- err
+				return
+			}
+			if err := wdb.Commit(); err != nil {
+				writerErr <- err
+				return
+			}
+			commits++
+			v = hvalA + hvalB - v
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			view := st.ReadView()
+			rdb, err := oodb.New(view, oodb.DefaultOptions())
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				for i := range ops {
+					o := ops[(i+g)%len(ops)]
+					var got string
+					err := view.Atomically(func() error {
+						s, err := o.run(rdb)
+						if err != nil {
+							return err
+						}
+						got = s
+						return nil
+					})
+					if err != nil {
+						t.Errorf("goroutine %d: %s: %v", g, o.name, err)
+						return
+					}
+					if got != want[(i+g)%len(ops)] {
+						t.Errorf("goroutine %d: %s = %s, want %s", g, o.name, got, want[(i+g)%len(ops)])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	wwg.Wait()
+	select {
+	case err := <-writerErr:
+		t.Fatalf("writer: %v", err)
+	default:
+	}
+	if commits == 0 {
+		t.Fatal("writer never committed: the readers were not stressed")
+	}
+	t.Logf("%d reader goroutines × %d rounds × %d ops against %d commits", goroutines, rounds, len(ops), commits)
+}

@@ -1,19 +1,23 @@
 // Multiuser: the paper's R9 cooperation scenario on the
 // workstation/server architecture (R6). A page server owns the
-// database; two users connect from "workstations" (separate clients
-// with private caches), edit different nodes of the same structure in
-// private workspaces, publish, and then deliberately collide on one
-// node to show optimistic validation (R8) aborting and retrying.
+// database; two users run their sessions on parallel goroutines from
+// "workstations" (separate clients with private caches), edit
+// different nodes of the same structure in private workspaces,
+// publish, and then deliberately collide on one node to show
+// optimistic validation (R8) aborting the stale publish and retrying.
+// The server end of this is the single-writer/multi-reader engine:
+// page fetches from concurrent sessions proceed in parallel, commits
+// serialize through the store's writer lock.
 //
 //	go run ./examples/multiuser
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"hypermodel"
 	"hypermodel/internal/hyper"
@@ -51,103 +55,144 @@ func main() {
 	boot.Close()
 	fmt.Printf("shared structure: %d nodes\n\n", layout.Total())
 
-	// Two workstations.
-	aliceDB, err := hypermodel.DialServer(addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer aliceDB.Close()
-	bobDB, err := hypermodel.DialServer(addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer bobDB.Close()
-	alice := txn.NewWorkspace(aliceDB, "alice")
-	bob := txn.NewWorkspace(bobDB, "bob")
-
-	// Cooperation: they edit different text nodes of the same structure.
-	// Validation is page-granular, so the nodes must not share a data
-	// page: adjacent leaves are clustered together and would falsely
-	// conflict — the very difficulty the paper reports in its §7
-	// multi-user discussion. Distant subtrees live on distant pages.
+	// Cooperation: alice and bob edit different text nodes of the same
+	// structure, each session on its own goroutine. Validation is
+	// page-granular, so the nodes must not share a data page: adjacent
+	// leaves are clustered together and would falsely conflict — the
+	// very difficulty the paper reports in its §7 multi-user
+	// discussion. Distant subtrees live on distant pages.
 	leafFirst, leafLast := hyper.LevelIDs(layout.LeafLevel)
-	aliceNode, bobNode := leafFirst, leafLast-1 // the very last leaf is the FormNode
-	if err := hypermodel.TextNodeEdit(alice.Backend(), aliceNode, true); err != nil {
-		log.Fatal(err)
+	users := []struct {
+		name string
+		node hypermodel.NodeID
+	}{
+		{"alice", leafFirst},
+		{"bob", leafLast - 1}, // the very last leaf is the FormNode
 	}
-	if err := hypermodel.TextNodeEdit(bob.Backend(), bobNode, true); err != nil {
-		log.Fatal(err)
+
+	var (
+		wg        sync.WaitGroup
+		edited    = make(chan string, len(users))
+		publishGo = make(chan struct{})
+		errs      = make(chan error, 2*len(users))
+	)
+	for _, u := range users {
+		wg.Add(1)
+		go func(name string, node hypermodel.NodeID) {
+			defer wg.Done()
+			db, err := hypermodel.DialServer(addr)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			defer db.Close()
+			ws := txn.NewWorkspace(db, name)
+			if err := hypermodel.TextNodeEdit(ws.Backend(), node, true); err != nil {
+				errs <- fmt.Errorf("%s: edit: %w", name, err)
+				return
+			}
+			edited <- name
+			<-publishGo // hold the edit private until the reader has looked
+			if err := ws.Publish(); err != nil {
+				errs <- fmt.Errorf("%s: publish: %w", name, err)
+			}
+		}(u.name, u.node)
 	}
-	// Private until published: a fresh reader sees originals.
+	for range users {
+		fmt.Printf("%s edited a node in a private workspace\n", <-edited)
+	}
+
+	// Private until published: a fresh reader still sees the originals.
 	reader, err := hypermodel.DialServer(addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer reader.Close()
-	textBefore, err := reader.Text(aliceNode)
+	textBefore, err := reader.Text(users[0].node)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("before publish, the shared text still reads %q...\n", textBefore[:12])
 
-	if err := alice.Publish(); err != nil {
+	close(publishGo)
+	wg.Wait()
+	select {
+	case err := <-errs:
 		log.Fatal(err)
+	default:
 	}
-	if err := bob.Publish(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("alice and bob published disjoint edits — no conflict (R9)")
+	fmt.Println("alice and bob published disjoint edits in parallel — no conflict (R9)")
 
 	if err := reader.DropCaches(); err != nil {
 		log.Fatal(err)
 	}
-	textAfter, err := reader.Text(aliceNode)
+	textAfter, err := reader.Text(users[0].node)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after publish, the shared text reads  %q...\n\n", textAfter[:12])
 
-	// Contention: both bump the same attribute of the same node.
+	// Contention: both sessions bump the same attribute of the same
+	// node concurrently. Each goroutine primes its cache with a read,
+	// waits at the barrier so the reads genuinely overlap, then
+	// increments under the idiomatic retry loop. Whoever publishes
+	// second is working from a stale page, fails optimistic validation
+	// (R8), and retries on fresh state — both increments land.
 	target := hypermodel.NodeID(5)
-	readBoth := func() (int32, int32) {
-		a, err := aliceDB.Hundred(target)
-		if err != nil {
-			log.Fatal(err)
-		}
-		b, err := bobDB.Hundred(target)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return a, b
-	}
-	a0, b0 := readBoth() // both now hold the page in their caches
-	if err := aliceDB.SetHundred(target, (a0+1)%100); err != nil {
+	before, err := reader.Hundred(target)
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := bobDB.SetHundred(target, (b0+1)%100); err != nil {
-		log.Fatal(err)
-	}
-	if err := alice.Publish(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("alice published her update of the contended node")
-	err = bob.Publish()
-	if !errors.Is(err, hypermodel.ErrConflict) {
-		log.Fatalf("expected an optimistic conflict, got %v", err)
-	}
-	fmt.Println("bob's publish failed optimistic validation (R8) — retrying on fresh state")
 
-	// The idiomatic retry loop.
-	if err := txn.Run(bobDB, func() error {
-		h, err := bobDB.Hundred(target)
-		if err != nil {
-			return err
-		}
-		return bobDB.SetHundred(target, (h+1)%100)
-	}); err != nil {
-		log.Fatal(err)
+	var (
+		barrier   sync.WaitGroup
+		conflicts = make(chan int, len(users))
+	)
+	barrier.Add(len(users))
+	for _, u := range users {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			db, err := hypermodel.DialServer(addr)
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			defer db.Close()
+			if _, err := db.Hundred(target); err != nil {
+				errs <- fmt.Errorf("%s: prime: %w", name, err)
+				barrier.Done()
+				return
+			}
+			barrier.Done()
+			barrier.Wait()
+			attempts := 0
+			err = txn.Run(db, func() error {
+				attempts++
+				h, err := db.Hundred(target)
+				if err != nil {
+					return err
+				}
+				return db.SetHundred(target, (h+1)%100)
+			})
+			if err != nil {
+				errs <- fmt.Errorf("%s: increment: %w", name, err)
+				return
+			}
+			conflicts <- attempts - 1
+		}(u.name)
 	}
-	fmt.Println("bob's retry committed — both increments are in")
+	wg.Wait()
+	select {
+	case err := <-errs:
+		log.Fatal(err)
+	default:
+	}
+	retried := 0
+	for range users {
+		retried += <-conflicts
+	}
+	fmt.Printf("concurrent increments of hundred(%d): optimistic validation aborted %d stale publish(es)\n", target, retried)
 
 	if err := reader.DropCaches(); err != nil {
 		log.Fatal(err)
@@ -156,5 +201,5 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("final hundred(%d) = %d (started at %d)\n", target, final, a0)
+	fmt.Printf("final hundred(%d) = %d (started at %d): both increments are in\n", target, final, before)
 }

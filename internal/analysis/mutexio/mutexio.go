@@ -21,6 +21,14 @@
 // exempt. Function literals are separate scopes (a deferred cleanup
 // or spawned goroutine does not inherit the lexical lock window).
 // Test files are skipped.
+//
+// RWMutex read locks are tracked as their own windows, labelled
+// "(read)" in diagnostics, and rw.RLocker().Lock() is recognized as
+// an RLock. The single-writer/multi-reader engine runs the whole
+// remote read path under read locks, so a reader blocking on the
+// network while holding one would stall the next writer — and with a
+// writer queued, every later reader — exactly the convoy the
+// concurrent read path exists to remove.
 package mutexio
 
 import (
@@ -395,8 +403,13 @@ const (
 )
 
 // mutexOp recognizes x.Lock() / x.RLock() / x.Unlock() / x.RUnlock()
-// on sync.Mutex or sync.RWMutex values and returns the mutex
-// expression rendered as source.
+// on sync.Mutex or sync.RWMutex values, plus Lock/Unlock through
+// x.RLocker(), and returns the mutex expression rendered as source.
+// Read-side acquisitions get a distinct " (read)" key: an RLock and a
+// Lock on the same RWMutex are different windows (mismatched pairs
+// must not cancel each other), and the diagnostic should say which
+// side was held — a read lock across conn I/O stalls writers and
+// Close just as effectively as a full lock.
 func (s *scanner) mutexOp(e ast.Expr) (key string, op lockOp, ok bool) {
 	call, isCall := ast.Unparen(e).(*ast.CallExpr)
 	if !isCall {
@@ -406,22 +419,70 @@ func (s *scanner) mutexOp(e ast.Expr) (key string, op lockOp, ok bool) {
 	if !isSel {
 		return "", 0, false
 	}
+	var read bool
 	switch sel.Sel.Name {
-	case "Lock", "RLock":
+	case "Lock":
 		op = opLock
-	case "Unlock", "RUnlock":
+	case "RLock":
+		op, read = opLock, true
+	case "Unlock":
 		op = opUnlock
+	case "RUnlock":
+		op, read = opUnlock, true
 	default:
 		return "", 0, false
 	}
-	tv, okT := s.pass.TypesInfo.Types[sel.X]
-	if !okT || tv.Type == nil || !isSyncMutex(tv.Type) {
-		return "", 0, false
+	recv := sel.X
+	// rw.RLocker().Lock() takes the read half of rw; unwrap to the
+	// RWMutex so the window keys match direct RLock/RUnlock calls.
+	if inner, isLocker := s.rlockerRecv(recv); isLocker {
+		if read {
+			return "", 0, false // no RLock/RUnlock on a sync.Locker
+		}
+		recv, read = inner, true
+	} else {
+		tv, okT := s.pass.TypesInfo.Types[recv]
+		if !okT || tv.Type == nil || !isSyncMutex(tv.Type) {
+			return "", 0, false
+		}
+		if read && !isSyncRWMutex(tv.Type) {
+			return "", 0, false
+		}
 	}
-	return types.ExprString(sel.X), op, true
+	key = types.ExprString(recv)
+	if read {
+		key += " (read)"
+	}
+	return key, op, true
+}
+
+// rlockerRecv matches an expression of the form rw.RLocker() where rw
+// is a sync.RWMutex, returning the rw operand.
+func (s *scanner) rlockerRecv(e ast.Expr) (ast.Expr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "RLocker" {
+		return nil, false
+	}
+	tv, ok := s.pass.TypesInfo.Types[sel.X]
+	if !ok || tv.Type == nil || !isSyncRWMutex(tv.Type) {
+		return nil, false
+	}
+	return sel.X, true
 }
 
 func isSyncMutex(t types.Type) bool {
+	return isSyncNamed(t, "Mutex") || isSyncNamed(t, "RWMutex")
+}
+
+func isSyncRWMutex(t types.Type) bool {
+	return isSyncNamed(t, "RWMutex")
+}
+
+func isSyncNamed(t types.Type, name string) bool {
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -430,8 +491,7 @@ func isSyncMutex(t types.Type) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
-		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
 }
 
 func isPanic(e ast.Expr) bool {

@@ -33,8 +33,28 @@ func (c *client) badDeferred(b []byte) error {
 
 func (c *client) badRead(b []byte) {
 	c.rw.RLock()
-	c.conn.Read(b) // want `\(net.Conn\).Read while holding c.rw`
+	c.conn.Read(b) // want `\(net.Conn\).Read while holding c.rw \(read\)`
 	c.rw.RUnlock()
+}
+
+func (c *client) badRLocker(b []byte) {
+	c.rw.RLocker().Lock()
+	c.conn.Write(b) // want `\(net.Conn\).Write while holding c.rw \(read\)`
+	c.rw.RLocker().Unlock()
+}
+
+func (c *client) badMismatchedUnlock(b []byte) {
+	c.rw.RLock()
+	c.rw.Unlock()  // wrong half: does not end the read window
+	c.conn.Read(b) // want `\(net.Conn\).Read while holding c.rw \(read\)`
+	c.rw.RUnlock()
+}
+
+func (c *client) goodReadSnapshot(b []byte) {
+	c.rw.RLock()
+	conn := c.conn
+	c.rw.RUnlock()
+	conn.Read(b) // read lock released before the I/O
 }
 
 func (c *client) goodSnapshot(b []byte) {

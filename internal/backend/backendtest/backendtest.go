@@ -68,6 +68,7 @@ func Run(t *testing.T, cfg Config) {
 	t.Run("Errors", func(t *testing.T) { testErrors(t, cfg) })
 	t.Run("SchemaModification", func(t *testing.T) { testSchemaModification(t, cfg) })
 	t.Run("TwoStructures", func(t *testing.T) { testTwoStructures(t, cfg) })
+	t.Run("ConcurrentReads", func(t *testing.T) { testConcurrentReads(t, cfg) })
 }
 
 // testTwoStructures exercises §6.4.1's requirement: the database may

@@ -1,0 +1,133 @@
+package backendtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hypermodel/internal/hyper"
+)
+
+// testConcurrentReads runs a mixed O1–O9 read workload from several
+// goroutines against one shared backend and requires every answer to
+// match the single-threaded ground truth. This is the conformance face
+// of the single-writer/multi-reader engine: with no writer active,
+// any number of readers must see the committed database, bit for bit.
+func testConcurrentReads(t *testing.T, cfg Config) {
+	b, lay := cfg.generate(t)
+	defer b.Close()
+
+	// Each op is a read-only closure whose result is rendered to a
+	// string so the parallel phase can compare against ground truth
+	// without caring about the result type.
+	type op struct {
+		name string
+		run  func() (string, error)
+	}
+	var ops []op
+	add := func(name string, run func() (string, error)) {
+		ops = append(ops, op{name, run})
+	}
+
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 5; i++ {
+		id := lay.RandomNode(rng)
+		add(fmt.Sprintf("O1 nameLookup(%d)", id), func() (string, error) {
+			h, err := hyper.NameLookup(b, id)
+			return fmt.Sprint(h), err
+		})
+	}
+	if oid, err := b.OIDOf(lay.RandomNode(rng)); err == nil {
+		add(fmt.Sprintf("O2 nameOIDLookup(%d)", oid), func() (string, error) {
+			h, err := hyper.NameOIDLookup(b, oid)
+			return fmt.Sprint(h), err
+		})
+	} else if !errors.Is(err, hyper.ErrNoOIDs) {
+		t.Fatal(err)
+	}
+	x := int32(rng.Intn(hyper.HundredRange - hyper.HundredWindow + 1))
+	add(fmt.Sprintf("O3 rangeLookupHundred(%d)", x), func() (string, error) {
+		ids, err := hyper.RangeLookupHundred(b, x)
+		return fmt.Sprint(ids), err
+	})
+	y := int32(rng.Intn(hyper.MillionRange - hyper.MillionWindow + 1))
+	add(fmt.Sprintf("O4 rangeLookupMillion(%d)", y), func() (string, error) {
+		ids, err := hyper.RangeLookupMillion(b, y)
+		return fmt.Sprint(ids), err
+	})
+	for i := 0; i < 3; i++ {
+		id := lay.RandomInternal(rng)
+		add(fmt.Sprintf("O5A groupLookup1N(%d)", id), func() (string, error) {
+			ids, err := hyper.GroupLookup1N(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O5B groupLookupMN(%d)", id), func() (string, error) {
+			ids, err := hyper.GroupLookupMN(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O6 groupLookupMNAtt(%d)", id), func() (string, error) {
+			refs, err := hyper.GroupLookupMNAtt(b, id)
+			return fmt.Sprint(refs), err
+		})
+	}
+	for i := 0; i < 3; i++ {
+		id := lay.RandomNonRoot(rng)
+		add(fmt.Sprintf("O7A refLookup1N(%d)", id), func() (string, error) {
+			ids, err := hyper.RefLookup1N(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O7B refLookupMN(%d)", id), func() (string, error) {
+			ids, err := hyper.RefLookupMN(b, id)
+			return fmt.Sprint(ids), err
+		})
+		add(fmt.Sprintf("O8 refLookupMNAtt(%d)", id), func() (string, error) {
+			refs, err := hyper.RefLookupMNAtt(b, id)
+			return fmt.Sprint(refs), err
+		})
+	}
+	add("O9 seqScan", func() (string, error) {
+		n, err := hyper.SeqScan(b, 1, hyper.NodeID(lay.Total()))
+		return fmt.Sprint(n), err
+	})
+
+	// Single-threaded ground truth.
+	want := make([]string, len(ops))
+	for i, o := range ops {
+		got, err := o.run()
+		if err != nil {
+			t.Fatalf("serial %s: %v", o.name, err)
+		}
+		want[i] = got
+	}
+
+	const (
+		goroutines = 8
+		rounds     = 3
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Rotate the deck per goroutine so different operations
+				// overlap in time.
+				for i := range ops {
+					o := ops[(i+g)%len(ops)]
+					got, err := o.run()
+					if err != nil {
+						t.Errorf("goroutine %d: %s: %v", g, o.name, err)
+						return
+					}
+					if got != want[(i+g)%len(ops)] {
+						t.Errorf("goroutine %d: %s = %s, want %s", g, o.name, got, want[(i+g)%len(ops)])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -60,9 +60,12 @@ func newImage() *image {
 	}
 }
 
-// DB implements hyper.Backend over an in-memory image.
+// DB implements hyper.Backend over an in-memory image. Read-only
+// operations take the read half of mu, so concurrent readers proceed in
+// parallel; every mutation (including Commit/DropCaches, which swap the
+// image) takes the write half.
 type DB struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	path  string // snapshot file; empty = volatile (no persistence)
 	img   *image
 	dirty bool // image differs from the last snapshot
@@ -199,8 +202,8 @@ func (d *DB) AddRef(e hyper.Edge) error {
 
 // Node returns a node's attributes.
 func (d *DB) Node(id hyper.NodeID) (hyper.Node, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return hyper.Node{}, err
@@ -210,8 +213,8 @@ func (d *DB) Node(id hyper.NodeID) (hyper.Node, error) {
 
 // Hundred returns the hundred attribute.
 func (d *DB) Hundred(id hyper.NodeID) (int32, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return 0, err
@@ -235,8 +238,8 @@ func (d *DB) SetHundred(id hyper.NodeID, v int32) error {
 // OIDOf returns the image's object identifier: object identity in an
 // image system is the reference itself, so the OID is the uniqueId.
 func (d *DB) OIDOf(id hyper.NodeID) (hyper.OID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if _, err := d.getNode(id); err != nil {
 		return 0, err
 	}
@@ -260,8 +263,8 @@ func (d *DB) RangeMillion(lo, hi int32) ([]hyper.NodeID, error) {
 }
 
 func (d *DB) scanRange(attr func(*node) int32, lo, hi int32) ([]hyper.NodeID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var out []hyper.NodeID
 	for id, n := range d.img.Nodes {
 		if v := attr(n); v >= lo && v <= hi {
@@ -274,8 +277,8 @@ func (d *DB) scanRange(attr func(*node) int32, lo, hi int32) ([]hyper.NodeID, er
 
 // Children returns the ordered children.
 func (d *DB) Children(id hyper.NodeID) ([]hyper.NodeID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return nil, err
@@ -285,8 +288,8 @@ func (d *DB) Children(id hyper.NodeID) ([]hyper.NodeID, error) {
 
 // Parts returns the M-N parts.
 func (d *DB) Parts(id hyper.NodeID) ([]hyper.NodeID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return nil, err
@@ -296,8 +299,8 @@ func (d *DB) Parts(id hyper.NodeID) ([]hyper.NodeID, error) {
 
 // RefsTo returns the outgoing reference edges.
 func (d *DB) RefsTo(id hyper.NodeID) ([]hyper.Edge, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return nil, err
@@ -307,8 +310,8 @@ func (d *DB) RefsTo(id hyper.NodeID) ([]hyper.Edge, error) {
 
 // Parent returns the 1-N parent.
 func (d *DB) Parent(id hyper.NodeID) (hyper.NodeID, bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return 0, false, err
@@ -318,8 +321,8 @@ func (d *DB) Parent(id hyper.NodeID) (hyper.NodeID, bool, error) {
 
 // PartOf returns the wholes this node is part of.
 func (d *DB) PartOf(id hyper.NodeID) ([]hyper.NodeID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return nil, err
@@ -329,8 +332,8 @@ func (d *DB) PartOf(id hyper.NodeID) ([]hyper.NodeID, error) {
 
 // RefsFrom returns the incoming reference edges.
 func (d *DB) RefsFrom(id hyper.NodeID) ([]hyper.Edge, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return nil, err
@@ -341,8 +344,8 @@ func (d *DB) RefsFrom(id hyper.NodeID) ([]hyper.Edge, error) {
 // ScanTen visits the ten attribute of nodes with uniqueId in
 // [first, last].
 func (d *DB) ScanTen(first, last hyper.NodeID, visit func(hyper.NodeID, int32) bool) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for id := first; id <= last; id++ {
 		n, ok := d.img.Nodes[id]
 		if !ok {
@@ -357,8 +360,8 @@ func (d *DB) ScanTen(first, last hyper.NodeID, visit func(hyper.NodeID, int32) b
 
 // Text returns a TextNode's content.
 func (d *DB) Text(id hyper.NodeID) (string, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return "", err
@@ -387,8 +390,8 @@ func (d *DB) SetText(id hyper.NodeID, text string) error {
 
 // Form returns a FormNode's bitmap.
 func (d *DB) Form(id hyper.NodeID) (hyper.Bitmap, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	n, err := d.getNode(id)
 	if err != nil {
 		return hyper.Bitmap{}, err
@@ -426,8 +429,8 @@ func (d *DB) PutBlob(key string, data []byte) error {
 
 // GetBlob retrieves a named value.
 func (d *DB) GetBlob(key string) ([]byte, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	data, ok := d.img.Blobs[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: blob %q", hyper.ErrNotFound, key)
@@ -509,8 +512,8 @@ func (d *DB) Close() error { return d.Commit() }
 
 // NodeCount reports the number of nodes in the image (diagnostics).
 func (d *DB) NodeCount() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.img.Nodes)
 }
 
@@ -530,8 +533,8 @@ func (d *DB) AddClass(name string) (hyper.Kind, error) {
 
 // Classes lists the dynamic classes.
 func (d *DB) Classes() (map[string]hyper.Kind, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make(map[string]hyper.Kind, len(d.img.Classes))
 	for n, k := range d.img.Classes {
 		out[n] = k
@@ -572,8 +575,8 @@ func (d *DB) SetAttr(id hyper.NodeID, attr string, v int64) error {
 
 // Attr reads a dynamic attribute value.
 func (d *DB) Attr(id hyper.NodeID, attr string) (int64, bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if _, err := d.getNode(id); err != nil {
 		return 0, false, err
 	}

@@ -18,6 +18,7 @@ package oodb
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"hypermodel/internal/btree"
 	"hypermodel/internal/hyper"
@@ -83,6 +84,11 @@ type DB struct {
 	// go stale; the cache is dropped whenever a transaction's reads may
 	// have been invalid (Abort, failed Commit) and on DropCaches, which
 	// promises a genuinely cold next run.
+	//
+	// oidMu guards oidCache: every object activation writes learned
+	// mappings into it, so even read-only operations mutate the map and
+	// concurrent readers sharing one DB would race without it.
+	oidMu    sync.Mutex
 	oidCache map[hyper.NodeID]uint64
 }
 
@@ -146,7 +152,10 @@ func (d *DB) Name() string { return "oodb" }
 func (d *DB) Store() Space { return d.st }
 
 func (d *DB) oidOf(id hyper.NodeID) (objstore.OID, error) {
-	if oid, ok := d.oidCache[id]; ok {
+	d.oidMu.Lock()
+	oid, ok := d.oidCache[id]
+	d.oidMu.Unlock()
+	if ok {
 		return objstore.OID(oid), nil
 	}
 	v, ok, err := d.uniq.Get(btree.U64Key(uint64(id)))
@@ -164,6 +173,8 @@ func (d *DB) oidOf(id hyper.NodeID) (objstore.OID, error) {
 // storage bytes feed the cache, so a hit is as authoritative as a uniq
 // index probe.
 func (d *DB) noteObject(oid objstore.OID, o *object) {
+	d.oidMu.Lock()
+	defer d.oidMu.Unlock()
 	if d.oidCache == nil {
 		d.oidCache = make(map[hyper.NodeID]uint64, 256)
 	}
@@ -588,27 +599,33 @@ func (d *DB) DeleteBlob(key string) error {
 // populated is dropped with it.
 func (d *DB) Commit() error {
 	if err := d.st.Commit(); err != nil {
-		d.oidCache = nil
+		d.clearOIDCache()
 		return err
 	}
 	return nil
 }
 
+func (d *DB) clearOIDCache() {
+	d.oidMu.Lock()
+	d.oidCache = nil
+	d.oidMu.Unlock()
+}
+
 // DropCaches empties the buffer pool and the OID cache: the next run
 // is cold.
 func (d *DB) DropCaches() error {
-	if err := d.st.Commit(); err != nil {
-		d.oidCache = nil
+	err := d.st.Commit()
+	d.clearOIDCache()
+	if err != nil {
 		return err
 	}
-	d.oidCache = nil
 	return d.st.DropCache()
 }
 
 // Abort discards all uncommitted changes (rollback), including any OID
 // mappings learned from the transaction's possibly-invalid reads.
 func (d *DB) Abort() error {
-	d.oidCache = nil
+	d.clearOIDCache()
 	return d.st.Abort()
 }
 

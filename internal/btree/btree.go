@@ -70,6 +70,21 @@ func Open(sp store.Space, rootSlot int) (*Tree, error) {
 	return t, nil
 }
 
+// startRoot returns the root page a traversal must begin at. The slot
+// is re-resolved on every operation rather than trusting the cached
+// root: a long-lived Tree over a concurrently-committed space (a
+// store.ReadView, say) would otherwise keep descending from a
+// pre-split root and silently miss every key that moved to the new
+// right sibling. Read-only operations must not mutate the Tree — one
+// instance may serve many reader goroutines — so the refreshed root
+// stays a local.
+func (t *Tree) startRoot() page.ID {
+	if id := t.sp.Root(t.rootSlot); id != page.Invalid {
+		return id
+	}
+	return t.root
+}
+
 // node wraps a page payload with B+tree accessors.
 type node struct{ p []byte }
 
@@ -243,7 +258,7 @@ func buildIntCell(key []byte, child page.ID) []byte {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte) (val []byte, found bool, err error) {
-	id := t.root
+	id := t.startRoot()
 	for {
 		h, err := t.sp.Get(id)
 		if err != nil {
@@ -272,6 +287,7 @@ func (t *Tree) Put(key, val []byte) error {
 	if len(key) == 0 || len(key) > MaxKey || len(val) > MaxValue {
 		return ErrTooLarge
 	}
+	t.root = t.startRoot() // Put is writer-exclusive; refresh the cache
 	sep, right, err := t.put(t.root, key, val)
 	if err != nil {
 		return err
@@ -418,7 +434,7 @@ func (t *Tree) splitInterior(h store.Handle, n node, i int, key []byte, child pa
 // Delete removes key from the tree, reporting whether it was present.
 // Pages are not merged or freed (lazy deletion).
 func (t *Tree) Delete(key []byte) (bool, error) {
-	id := t.root
+	id := t.startRoot()
 	for {
 		h, err := t.sp.Get(id)
 		if err != nil {
@@ -445,7 +461,7 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 // callback returns false to stop early. The key and value slices passed
 // to fn alias page memory and must not be retained.
 func (t *Tree) Scan(from, to []byte, fn func(key, val []byte) (bool, error)) error {
-	id := t.root
+	id := t.startRoot()
 	// Descend to the leaf that would contain from.
 	for {
 		h, err := t.sp.Get(id)

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypermodel/internal/acl"
@@ -470,6 +471,238 @@ func RenderExtensions(w io.Writer, results []ExtensionResult) {
 	fmt.Fprintf(w, "%-32s %10s  %s\n", "exercise", "ms/op", "note")
 	for _, r := range results {
 		fmt.Fprintf(w, "%-32s %10s  %s\n", r.Name, stats.FormatMs(r.PerOpMs), r.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- E17: single-writer/multi-reader read throughput ---
+
+// ThroughputResult is one reader-count configuration of E17: the same
+// reader workload measured against the serialized baseline (one global
+// lock around every operation, including the writer's commit — how the
+// engine behaved before the concurrent read path) and against the
+// concurrent engine (readers over store.ReadView, writer on its own
+// writeMu).
+type ThroughputResult struct {
+	Readers int
+	Window  time.Duration
+
+	SerializedOps     uint64
+	SerializedCommits uint64
+	ConcurrentOps     uint64
+	ConcurrentCommits uint64
+
+	SerializedOpsPerS float64
+	ConcurrentOpsPerS float64
+	Speedup           float64 // concurrent / serialized reader ops/s
+}
+
+// RunThroughput measures aggregate read throughput under an active
+// writer. One oodb database is generated on a local store; a writer
+// goroutine loops SetHundred+Commit (each commit fsyncs the WAL), and N
+// reader goroutines — each its own oodb mapping over a read-only
+// store.ReadView, all sharing the warm buffer pool — run a mixed
+// O1/O5A/O6/O7A lookup workload for a fixed window.
+//
+// Each reader count is measured twice. The serialized baseline routes
+// every reader operation and the writer's whole transaction through one
+// global mutex, reproducing the pre-refactor engine where a reader
+// could not even begin while a commit held the store lock across its
+// fsync. The concurrent configuration is the real engine: readers wrap
+// each operation in ReadView.Atomically and never wait for the writer.
+// The speedup column is the direct price of that global lock.
+func RunThroughput(dir string, level int, seed int64, maxParallel int, window time.Duration) ([]ThroughputResult, error) {
+	if maxParallel < 1 {
+		maxParallel = 1
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	st, err := store.Open(filepath.Join(dir, "throughput.db"), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	wdb, err := oodb.New(st, oodb.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	lay, _, err := hyper.Generate(wdb, hyper.GenConfig{LeafLevel: level, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := wdb.Commit(); err != nil {
+		return nil, err
+	}
+
+	workload := func(b hyper.Backend, rng *rand.Rand) error {
+		var err error
+		switch rng.Intn(4) {
+		case 0:
+			_, err = hyper.NameLookup(b, lay.RandomNode(rng))
+		case 1:
+			_, err = hyper.GroupLookup1N(b, lay.RandomInternal(rng))
+		case 2:
+			_, err = hyper.GroupLookupMNAtt(b, lay.RandomNode(rng))
+		default:
+			_, err = hyper.RefLookup1N(b, lay.RandomNonRoot(rng))
+		}
+		return err
+	}
+
+	// Warm the shared buffer pool so every configuration measures
+	// in-memory reads, not its own first-touch disk misses.
+	warm, err := oodb.New(st.ReadView(), oodb.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := hyper.SeqScan(warm, 1, hyper.NodeID(lay.Total())); err != nil {
+		return nil, err
+	}
+	wrng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2000; i++ {
+		if err := workload(warm, wrng); err != nil {
+			return nil, err
+		}
+	}
+
+	// The writer flips one node's hundred attribute so every commit has
+	// a real dirty set and a real WAL fsync.
+	writerTarget := lay.RandomNode(rand.New(rand.NewSource(seed + 99)))
+
+	measure := func(n int, serialized bool) (readerOps, commits uint64, err error) {
+		views := make([]*store.ReadView, n)
+		readers := make([]hyper.Backend, n)
+		for g := range readers {
+			views[g] = st.ReadView()
+			r, err := oodb.New(views[g], oodb.DefaultOptions())
+			if err != nil {
+				return 0, 0, err
+			}
+			readers[g] = r
+		}
+		var gmu sync.Mutex // the serialized baseline's global lock
+		var ops, committed atomic.Uint64
+		stop := make(chan struct{})
+		errs := make(chan error, n+1)
+		var wg sync.WaitGroup
+
+		wg.Add(1)
+		go func() { // the writer
+			defer wg.Done()
+			v := int32(0)
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				commit := func() error {
+					if err := wdb.SetHundred(writerTarget, v); err != nil {
+						return err
+					}
+					return wdb.Commit()
+				}
+				if serialized {
+					gmu.Lock()
+					err = commit()
+					gmu.Unlock()
+				} else {
+					err = commit()
+				}
+				if err != nil {
+					errs <- fmt.Errorf("writer: %w", err)
+					return
+				}
+				v = (v + 1) % 100
+				committed.Add(1)
+			}
+		}()
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(g)*7919 + 1))
+				for {
+					select {
+					case <-stop:
+						errs <- nil
+						return
+					default:
+					}
+					var err error
+					if serialized {
+						gmu.Lock()
+						err = workload(readers[g], rng)
+						gmu.Unlock()
+					} else {
+						err = views[g].Atomically(func() error {
+							return workload(readers[g], rng)
+						})
+					}
+					if err != nil {
+						errs <- fmt.Errorf("reader %d: %w", g, err)
+						return
+					}
+					ops.Add(1)
+				}
+			}(g)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		return ops.Load(), committed.Load(), nil
+	}
+
+	var parallels []int
+	for n := 1; n < maxParallel; n *= 2 {
+		parallels = append(parallels, n)
+	}
+	parallels = append(parallels, maxParallel)
+
+	var out []ThroughputResult
+	for _, n := range parallels {
+		sOps, sCommits, err := measure(n, true)
+		if err != nil {
+			return nil, err
+		}
+		cOps, cCommits, err := measure(n, false)
+		if err != nil {
+			return nil, err
+		}
+		row := ThroughputResult{
+			Readers: n, Window: window,
+			SerializedOps: sOps, SerializedCommits: sCommits,
+			ConcurrentOps: cOps, ConcurrentCommits: cCommits,
+			SerializedOpsPerS: float64(sOps) / window.Seconds(),
+			ConcurrentOpsPerS: float64(cOps) / window.Seconds(),
+		}
+		if sOps > 0 {
+			row.Speedup = float64(cOps) / float64(sOps)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderThroughput writes the E17 table.
+func RenderThroughput(w io.Writer, level int, results []ThroughputResult) {
+	title := fmt.Sprintf("E17: read throughput under an active writer (oodb, level %d)", level)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-9s %16s %16s %9s %12s %12s\n",
+		"readers", "serialized op/s", "concurrent op/s", "speedup", "ser. txn/s", "conc. txn/s")
+	for _, r := range results {
+		secs := r.Window.Seconds()
+		fmt.Fprintf(w, "%-9d %16.0f %16.0f %8.1fx %12.0f %12.0f\n",
+			r.Readers, r.SerializedOpsPerS, r.ConcurrentOpsPerS, r.Speedup,
+			float64(r.SerializedCommits)/secs, float64(r.ConcurrentCommits)/secs)
 	}
 	fmt.Fprintln(w)
 }

@@ -7,6 +7,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypermodel/internal/storage/page"
@@ -14,9 +15,14 @@ import (
 )
 
 // Server exposes a local page store to workstation clients over TCP.
-// All requests are serialized through one mutex: the server machine is
-// the coordination point, as in the centralized-control architectures
-// the paper discusses under R6.
+// Writes stay serialized — commits and allocations hold one mutex, so
+// the server machine remains the coordination point, as in the
+// centralized-control architectures the paper discusses under R6 — but
+// page fetches no longer queue behind it: when the underlying space is
+// a local store, reads are served from its committed ReadView, so N
+// connections fetch in parallel with each other and with an in-flight
+// commit. A space that offers no read view (a fault-injection wrapper,
+// say) degrades to the old fully-serialized behavior.
 //
 // The server is hardened against misbehaving clients and networks: a
 // malformed frame gets a statusBadRequest answer (and the connection
@@ -25,28 +31,43 @@ import (
 // max-connection limit refuses excess clients cleanly instead of
 // accepting work it cannot serve.
 type Server struct {
-	mu       sync.Mutex
-	st       store.Space
-	versions map[page.ID]uint64 // bumped on every committed write
-	ln       net.Listener
-	wg       sync.WaitGroup
-	connMu   sync.Mutex
-	conns    map[net.Conn]struct{}
-	closed   chan struct{}
-	commits  uint64
-	aborts   uint64
-	fetches  uint64
+	// mu is the writer lock: commits, allocations and commit-token
+	// bookkeeping hold it. Fetches served off the read view do not.
+	mu sync.Mutex
+	st store.Space
+	// view is st's committed read view, when st offers one. nil means
+	// every request serializes under mu.
+	view *store.ReadView
+	// versionMu guards the optimistic-concurrency version table, which
+	// parallel fetch handlers read while a commit bumps it. A fetch
+	// must read the version before the page bytes, and a commit must
+	// bump versions only after the store has installed the new images:
+	// then a racing fetch can only pair an old version with new bytes —
+	// a spurious abort at validation time — never the reverse, which
+	// would be a lost update.
+	versionMu sync.Mutex
+	versions  map[page.ID]uint64 // bumped on every committed write
+
+	ln      net.Listener
+	wg      sync.WaitGroup
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  chan struct{}
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+	fetches atomic.Uint64
 
 	// Commit-token dedup ring: the tokens of the most recent applied
 	// commits, so a commit resent after a lost acknowledgement is
-	// recognized and answered OK without being applied twice.
+	// recognized and answered OK without being applied twice. Guarded
+	// by mu.
 	tokens     map[uint64]struct{}
 	tokenLog   []uint64 // insertion order; oldest evicted past tokenRingSize
-	dupCommits uint64
+	dupCommits atomic.Uint64
 
 	idleTimeout time.Duration
 	maxConns    int
-	refused     uint64
+	refused     atomic.Uint64
 
 	logf func(format string, args ...any)
 }
@@ -64,9 +85,10 @@ const rootsVersionKey = page.ID(0)
 // NewServer wraps an open page space. The caller keeps ownership and
 // closes it after the server stops. Taking the Space interface (rather
 // than *store.Store) lets tests interpose fault injection between the
-// server and its storage.
+// server and its storage; a space that additionally offers a committed
+// ReadView (as *store.Store does) gets the parallel fetch path.
 func NewServer(st store.Space) *Server {
-	return &Server{
+	s := &Server{
 		st:       st,
 		versions: make(map[page.ID]uint64),
 		conns:    make(map[net.Conn]struct{}),
@@ -74,6 +96,10 @@ func NewServer(st store.Space) *Server {
 		tokens:   make(map[uint64]struct{}),
 		logf:     func(string, ...any) {},
 	}
+	if v, ok := st.(interface{ ReadView() *store.ReadView }); ok {
+		s.view = v.ReadView()
+	}
+	return s
 }
 
 // SetLogf installs a logger for connection-level errors (the default
@@ -129,7 +155,7 @@ func (s *Server) Serve(ln net.Listener) {
 func (s *Server) admit(conn net.Conn) bool {
 	s.connMu.Lock()
 	if s.maxConns > 0 && len(s.conns) >= s.maxConns {
-		s.refused++
+		s.refused.Add(1)
 		s.connMu.Unlock()
 		s.logf("remote: refusing %s: connection limit (%d) reached", conn.RemoteAddr(), s.maxConns)
 		// A well-formed refusal frame, so the client's first request
@@ -171,23 +197,16 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Stats reports commit/abort/fetch counters.
+// Stats reports commit/abort/fetch counters. All three are atomic, so
+// Stats never queues behind an in-flight commit or fetch.
 func (s *Server) Stats() (commits, aborts, fetches uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.commits, s.aborts, s.fetches
+	return s.commits.Load(), s.aborts.Load(), s.fetches.Load()
 }
 
 // FaultStats reports the fault-tolerance counters: duplicate commits
 // absorbed by the token ring, and connections refused at the limit.
 func (s *Server) FaultStats() (dupCommits, refused uint64) {
-	s.mu.Lock()
-	dup := s.dupCommits
-	s.mu.Unlock()
-	s.connMu.Lock()
-	ref := s.refused
-	s.connMu.Unlock()
-	return dup, ref
+	return s.dupCommits.Load(), s.refused.Load()
 }
 
 // badRequestError marks a failure the client caused (malformed frame,
@@ -285,21 +304,46 @@ func (s *Server) respondErr(conn net.Conn, err error) bool {
 	return writeFrame(conn, append([]byte{statusError}, err.Error()...)) == nil
 }
 
+// pageVersion reads one version-table entry under the narrow lock.
+func (s *Server) pageVersion(id page.ID) uint64 {
+	s.versionMu.Lock()
+	defer s.versionMu.Unlock()
+	return s.versions[id]
+}
+
+// fetchPage resolves one page to (version, handle). On the parallel
+// path the version is read strictly before the bytes (see versionMu);
+// without a read view the caller holds s.mu and order is moot.
+func (s *Server) fetchPage(id page.ID) (uint64, store.Handle, error) {
+	ver := s.pageVersion(id)
+	sp := store.Space(s.st)
+	if s.view != nil {
+		sp = s.view
+	}
+	h, err := sp.Get(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.fetches.Add(1)
+	return ver, h, nil
+}
+
 func (s *Server) getPage(body []byte) ([]byte, error) {
 	if len(body) != 8 {
 		return nil, badReq("remote: bad GetPage request")
 	}
 	id := page.ID(binary.LittleEndian.Uint64(body))
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	h, err := s.st.Get(id)
+	if s.view == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	ver, h, err := s.fetchPage(id)
 	if err != nil {
 		return nil, err
 	}
 	defer h.Release()
-	s.fetches++
 	resp := make([]byte, 8+page.Size)
-	binary.LittleEndian.PutUint64(resp, s.versions[id])
+	binary.LittleEndian.PutUint64(resp, ver)
 	copy(resp[8:], h.Page().Bytes())
 	return resp, nil
 }
@@ -312,18 +356,19 @@ func (s *Server) getPages(body []byte) ([]byte, error) {
 	if n > maxBatchPages || len(body) != 4+8*n {
 		return nil, badReq("remote: bad GetPages request")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.view == nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	resp := make([]byte, n*(8+page.Size))
 	off := 0
 	for i := 0; i < n; i++ {
 		id := page.ID(binary.LittleEndian.Uint64(body[4+8*i:]))
-		h, err := s.st.Get(id)
+		ver, h, err := s.fetchPage(id)
 		if err != nil {
 			return nil, fmt.Errorf("remote: GetPages item %d (page %d): %w", i, id, err)
 		}
-		s.fetches++
-		binary.LittleEndian.PutUint64(resp[off:], s.versions[id])
+		binary.LittleEndian.PutUint64(resp[off:], ver)
 		copy(resp[off+8:], h.Page().Bytes())
 		h.Release()
 		off += 8 + page.Size
@@ -345,13 +390,24 @@ func (s *Server) alloc(body []byte) ([]byte, error) {
 	// Reallocated pages keep their version history, so the client must
 	// learn the current version, not assume zero.
 	resp := binary.LittleEndian.AppendUint64(nil, uint64(id))
-	return binary.LittleEndian.AppendUint64(resp, s.versions[id]), nil
+	return binary.LittleEndian.AppendUint64(resp, s.pageVersion(id)), nil
 }
 
 func (s *Server) roots() ([]byte, error) {
+	resp := make([]byte, 8+8*store.NumRoots)
+	if s.view != nil {
+		// Version before roots (same ordering argument as fetchPage),
+		// and all slots from one committed meta snapshot so the
+		// directory cannot be torn by a concurrent commit.
+		binary.LittleEndian.PutUint64(resp, s.pageVersion(rootsVersionKey))
+		roots := s.view.Roots()
+		for i, id := range roots {
+			binary.LittleEndian.PutUint64(resp[8+8*i:], uint64(id))
+		}
+		return resp, nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	resp := make([]byte, 8+8*store.NumRoots)
 	binary.LittleEndian.PutUint64(resp, s.versions[rootsVersionKey])
 	for i := 0; i < store.NumRoots; i++ {
 		binary.LittleEndian.PutUint64(resp[8+8*i:], uint64(s.st.Root(i)))
@@ -388,18 +444,21 @@ func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
 	// A token we have already applied means the client lost our
 	// acknowledgement and resent: answer OK again, apply nothing.
 	if req.token != 0 && s.tokenSeenLocked(req.token) {
-		s.dupCommits++
+		s.dupCommits.Add(1)
 		return nil, false, nil
 	}
 
 	// Optimistic validation: every page (and the root directory) the
 	// client read must still be at the version it saw.
+	s.versionMu.Lock()
 	for _, r := range req.reads {
 		if s.versions[r.id] != r.version {
-			s.aborts++
+			s.versionMu.Unlock()
+			s.aborts.Add(1)
 			return nil, true, nil
 		}
 	}
+	s.versionMu.Unlock()
 
 	for _, w := range req.writes {
 		h, err := s.st.Get(w.id)
@@ -409,27 +468,38 @@ func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
 		copy(h.Page().Bytes(), w.image)
 		h.MarkDirty()
 		h.Release()
-		s.versions[w.id]++
 	}
 	for _, r := range req.roots {
 		s.st.SetRoot(r.slot, r.id)
-	}
-	if len(req.roots) > 0 {
-		s.versions[rootsVersionKey]++
 	}
 	for _, id := range req.frees {
 		if err := s.st.Free(id); err != nil {
 			return nil, false, fmt.Errorf("remote: commit free page %d: %w", id, err)
 		}
-		s.versions[id]++
 	}
 	if err := s.st.Commit(); err != nil {
 		return nil, false, err
 	}
+	// Versions advance only now that the store has installed the new
+	// committed images: a fetch racing this commit pairs the old
+	// version with either image — at worst a spurious abort when it
+	// validates — whereas bumping before the install could pair a new
+	// version with stale bytes, a lost update.
+	s.versionMu.Lock()
+	for _, w := range req.writes {
+		s.versions[w.id]++
+	}
+	if len(req.roots) > 0 {
+		s.versions[rootsVersionKey]++
+	}
+	for _, id := range req.frees {
+		s.versions[id]++
+	}
+	s.versionMu.Unlock()
 	if req.token != 0 {
 		s.recordTokenLocked(req.token)
 	}
-	s.commits++
+	s.commits.Add(1)
 	return nil, false, nil
 }
 
@@ -449,12 +519,10 @@ func (s *Server) commitCheck(body []byte) ([]byte, error) {
 }
 
 func (s *Server) statsResp() ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	resp := make([]byte, 24)
-	binary.LittleEndian.PutUint64(resp[0:], s.commits)
-	binary.LittleEndian.PutUint64(resp[8:], s.aborts)
-	binary.LittleEndian.PutUint64(resp[16:], s.fetches)
+	binary.LittleEndian.PutUint64(resp[0:], s.commits.Load())
+	binary.LittleEndian.PutUint64(resp[8:], s.aborts.Load())
+	binary.LittleEndian.PutUint64(resp[16:], s.fetches.Load())
 	return resp, nil
 }
 

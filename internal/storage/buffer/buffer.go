@@ -10,31 +10,60 @@
 // data could not be undone after a crash. If every frame is dirty or
 // pinned the pool grows past its nominal capacity; the store bounds
 // this by checkpointing.
+//
+// Concurrency: the frame table is sharded so parallel readers do not
+// serialize behind one mutex (small pools collapse to a single shard to
+// keep exact global LRU order). Hit/miss/eviction counters and pin
+// counts are atomic. Each frame carries two page images: the working
+// image (Frame.Page), owned by the single writer, and an immutable
+// committed snapshot published with an atomic pointer, which concurrent
+// readers access without pinning the frame at all (see Snapshot).
 package buffer
 
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"hypermodel/internal/storage/page"
 )
 
 // Frame is a cached page together with its bookkeeping.
 type Frame struct {
-	ID    page.ID
+	ID page.ID
+	// Page is the working image. It belongs to the single writer: only
+	// one goroutine at a time may mutate it (and must call MarkDirty
+	// before Release). Concurrent readers never touch it — they read
+	// the committed snapshot instead.
 	Page  *page.Page
-	pins  int
-	dirty bool
-	// elem is the frame's position in the eviction list. Only clean,
-	// unpinned frames are listed; everything else is ineligible, which
-	// keeps eviction O(1) even when the pool is full of dirty pages
-	// (bulk loads under the no-steal policy).
+	snap  atomic.Pointer[page.Page] // committed copy; always distinct from Page
+	pins  atomic.Int32
+	dirty atomic.Bool
+	// elem is the frame's position in its shard's eviction list. Only
+	// clean, unpinned frames are listed; everything else is ineligible,
+	// which keeps eviction O(1) even when the pool is full of dirty
+	// pages (bulk loads under the no-steal policy). Guarded by the
+	// shard mutex.
 	elem *list.Element
 }
 
 // Dirty reports whether the frame has modifications that are not yet in
 // the main database file.
-func (f *Frame) Dirty() bool { return f.dirty }
+func (f *Frame) Dirty() bool { return f.dirty.Load() }
+
+// Snapshot returns the frame's committed page image. The image is
+// immutable — commits publish a fresh copy rather than mutating it — so
+// the caller may read it without holding any pin or lock, even after
+// the frame is evicted.
+func (f *Frame) Snapshot() *page.Page { return f.snap.Load() }
+
+// InstallSnapshot publishes a copy of the working image as the new
+// committed snapshot. Only the committing writer may call it, at a
+// point where the working image is quiescent.
+func (f *Frame) InstallSnapshot() {
+	cp := *f.Page
+	f.snap.Store(&cp)
+}
 
 // Stats are cumulative buffer pool counters.
 type Stats struct {
@@ -43,79 +72,152 @@ type Stats struct {
 	Evictions uint64 // clean frames evicted to make room
 }
 
-// Pool is an LRU page cache.
-type Pool struct {
+// shardCount is the number of frame-table shards for full-size pools.
+// It is a power of two so shard selection is a mask.
+const shardCount = 16
+
+// shard is one slice of the frame table with its own lock and LRU.
+type shard struct {
 	mu     sync.Mutex
 	cap    int
 	frames map[page.ID]*Frame
 	lru    *list.List // of evictable (clean, unpinned) *Frame; front = MRU
-	stats  Stats
+}
+
+// Pool is an LRU page cache.
+type Pool struct {
+	shards []shard
+	mask   uint64
+	cap    int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // New returns a pool that aims to hold at most capacity pages.
-// Capacity must be at least 1.
+// Capacity must be at least 1. Pools smaller than 8 pages per shard use
+// a single shard, which preserves exact global LRU order for the tiny
+// pools the tests and cache-sweep experiments build.
 func New(capacity int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
-		cap:    capacity,
-		frames: make(map[page.ID]*Frame, capacity),
-		lru:    list.New(),
+	n := shardCount
+	if capacity < 8*shardCount {
+		n = 1
 	}
+	p := &Pool{shards: make([]shard, n), mask: uint64(n - 1), cap: capacity}
+	for i := range p.shards {
+		c := capacity / n
+		if i < capacity%n {
+			c++
+		}
+		p.shards[i] = shard{cap: c, frames: make(map[page.ID]*Frame, c), lru: list.New()}
+	}
+	return p
+}
+
+func (p *Pool) shardFor(id page.ID) *shard {
+	return &p.shards[uint64(id)&p.mask]
 }
 
 // Get returns the resident frame for id, pinned, or nil if the page is
 // not cached.
 func (p *Pool) Get(id page.ID) *Frame {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
 	if !ok {
-		p.stats.Misses++
+		p.misses.Add(1)
 		return nil
 	}
-	p.stats.Hits++
-	p.pinLocked(f)
+	p.hits.Add(1)
+	sh.pinLocked(f)
 	return f
+}
+
+// Snapshot returns the committed image of a resident page, or nil on a
+// miss. The image is immutable, so the frame is not pinned: the caller
+// may read the returned page for as long as it likes regardless of what
+// happens to the frame. This is the concurrent readers' fast path.
+func (p *Pool) Snapshot(id page.ID) *page.Page {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	f, ok := sh.frames[id]
+	sh.mu.Unlock()
+	if !ok {
+		p.misses.Add(1)
+		return nil
+	}
+	p.hits.Add(1)
+	return f.Snapshot()
 }
 
 // Insert adds a page image (typically just read from disk) to the pool
 // and returns its frame, pinned. Inserting a page that is already
-// resident is a programming error and panics.
+// resident is a programming error and panics; racing readers use
+// GetOrInsert instead.
 func (p *Pool) Insert(id page.ID, img *page.Page) *Frame {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.frames[id]; ok {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.frames[id]; ok {
 		panic("buffer: Insert of already-resident page")
 	}
-	p.makeRoomLocked()
-	f := &Frame{ID: id, Page: img, pins: 1}
-	p.frames[id] = f
+	return p.insertLocked(sh, id, img)
+}
+
+// GetOrInsert returns the resident frame for id, pinned, inserting img
+// as its image if the page is not cached. It reports whether img was
+// installed. This resolves the double-miss race: two readers can both
+// miss, both read the page from disk, and both call GetOrInsert — the
+// first installs, the second gets the first's frame. Neither hit nor
+// miss counters move (the preceding Get or Snapshot already counted the
+// miss).
+func (p *Pool) GetOrInsert(id page.ID, img *page.Page) (*Frame, bool) {
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f, ok := sh.frames[id]; ok {
+		sh.pinLocked(f)
+		return f, false
+	}
+	return p.insertLocked(sh, id, img), true
+}
+
+func (p *Pool) insertLocked(sh *shard, id page.ID, img *page.Page) *Frame {
+	p.makeRoomLocked(sh)
+	f := &Frame{ID: id, Page: img}
+	f.pins.Store(1)
+	cp := *img
+	f.snap.Store(&cp)
+	sh.frames[id] = f
 	return f
 }
 
-func (p *Pool) pinLocked(f *Frame) {
-	p.unlistLocked(f)
-	f.pins++
+func (sh *shard) pinLocked(f *Frame) {
+	sh.unlistLocked(f)
+	f.pins.Add(1)
 }
 
-func (p *Pool) unlistLocked(f *Frame) {
+func (sh *shard) unlistLocked(f *Frame) {
 	if f.elem != nil {
-		p.lru.Remove(f.elem)
+		sh.lru.Remove(f.elem)
 		f.elem = nil
 	}
 }
 
 // relistLocked makes f evictable if it is clean, unpinned, and still
-// the pool's frame for its page. The residency check matters after
+// the shard's frame for its page. The residency check matters after
 // Drop/DropClean/Forget: a handle released later must not re-enter the
 // eviction list as a zombie, where its eventual eviction would delete
 // whatever fresh frame now holds the same page ID.
-func (p *Pool) relistLocked(f *Frame) {
-	if f.elem == nil && f.pins == 0 && !f.dirty {
-		if cur, ok := p.frames[f.ID]; ok && cur == f {
-			f.elem = p.lru.PushFront(f)
+func (sh *shard) relistLocked(f *Frame) {
+	if f.elem == nil && f.pins.Load() == 0 && !f.dirty.Load() {
+		if cur, ok := sh.frames[f.ID]; ok && cur == f {
+			f.elem = sh.lru.PushFront(f)
 		}
 	}
 }
@@ -124,52 +226,57 @@ func (p *Pool) relistLocked(f *Frame) {
 // pin count drops to zero the frame becomes eligible for eviction (once
 // clean).
 func (p *Pool) Release(f *Frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f.pins <= 0 {
+	sh := p.shardFor(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if f.pins.Load() <= 0 {
 		panic("buffer: Release of unpinned frame")
 	}
-	f.pins--
-	p.relistLocked(f)
+	f.pins.Add(-1)
+	sh.relistLocked(f)
 }
 
 // makeRoomLocked evicts the least recently used evictable frames until
-// the pool is under capacity. With every frame dirty or pinned the
-// eviction list is empty and the pool grows instead (no-steal).
-func (p *Pool) makeRoomLocked() {
-	for len(p.frames) >= p.cap {
-		e := p.lru.Back()
+// the shard is under its capacity. With every frame dirty or pinned the
+// eviction list is empty and the shard grows instead (no-steal).
+func (p *Pool) makeRoomLocked(sh *shard) {
+	for len(sh.frames) >= sh.cap {
+		e := sh.lru.Back()
 		if e == nil {
 			return // everything dirty or pinned: allow growth
 		}
 		f := e.Value.(*Frame)
-		p.lru.Remove(e)
+		sh.lru.Remove(e)
 		f.elem = nil
-		delete(p.frames, f.ID)
-		p.stats.Evictions++
+		delete(sh.frames, f.ID)
+		p.evictions.Add(1)
 	}
 }
 
 // MarkDirty flags a (pinned) frame as modified, removing it from the
 // eviction candidates until the next commit cleans it.
 func (p *Pool) MarkDirty(f *Frame) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f.dirty = true
-	p.unlistLocked(f)
+	sh := p.shardFor(f.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f.dirty.Store(true)
+	sh.unlistLocked(f)
 }
 
 // DirtyFrames returns the frames currently flagged dirty, in
 // unspecified order. The frames are not pinned; the caller must hold
-// the store's mutation lock while using them.
+// the store's writer lock while using them.
 func (p *Pool) DirtyFrames() []*Frame {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []*Frame
-	for _, f := range p.frames {
-		if f.dirty {
-			out = append(out, f)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty.Load() {
+				out = append(out, f)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -178,25 +285,29 @@ func (p *Pool) DirtyFrames() []*Frame {
 // have been made durable via the WAL or the main file), returning the
 // unpinned ones to the eviction candidates.
 func (p *Pool) MarkAllClean() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		f.dirty = false
-		p.relistLocked(f)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			f.dirty.Store(false)
+			sh.relistLocked(f)
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Forget removes a page from the pool regardless of state. Used when a
 // page is freed.
 func (p *Pool) Forget(id page.ID) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	sh := p.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f, ok := sh.frames[id]
 	if !ok {
 		return
 	}
-	p.unlistLocked(f)
-	delete(p.frames, id)
+	sh.unlistLocked(f)
+	delete(sh.frames, id)
 }
 
 // Drop discards every frame. It is the in-process equivalent of closing
@@ -204,10 +315,13 @@ func (p *Pool) Forget(id page.ID) {
 // Dropping while dirty frames exist loses their modifications, so the
 // store only calls this after a commit or checkpoint.
 func (p *Pool) Drop() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[page.ID]*Frame, p.cap)
-	p.lru.Init()
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.frames = make(map[page.ID]*Frame, sh.cap)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }
 
 // DropClean discards every clean, unpinned frame. This is the remote
@@ -216,38 +330,51 @@ func (p *Pool) Drop() {
 // exist nowhere else (no-steal) and pinned frames are still in use by
 // a caller, so both stay resident.
 func (p *Pool) DropClean() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for id, f := range p.frames {
-		if !f.dirty && f.pins == 0 {
-			p.unlistLocked(f)
-			delete(p.frames, id)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for id, f := range sh.frames {
+			if !f.dirty.Load() && f.pins.Load() == 0 {
+				sh.unlistLocked(f)
+				delete(sh.frames, id)
+			}
 		}
+		sh.mu.Unlock()
 	}
 }
 
 // ResidentIDs lists the pages currently in the pool, in unspecified
 // order.
 func (p *Pool) ResidentIDs() []page.ID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]page.ID, 0, len(p.frames))
-	for id := range p.frames {
-		out = append(out, id)
+	var out []page.ID
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for id := range sh.frames {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Len reports the number of resident pages.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		n += len(sh.frames)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns a snapshot of the cumulative counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+	}
 }

@@ -4,23 +4,32 @@
 // fixed-size pages by ID and how big the file is. Allocation policy,
 // caching and logging live in the layers above (storage/store,
 // storage/buffer, storage/wal).
+//
+// Reads take no lock: os.File.ReadAt is safe for concurrent use, so N
+// readers issue N preads in parallel. The page count and the I/O
+// counters are atomic; only Extend (file growth) serializes, and growth
+// is a single-writer operation anyway. Keeping concurrent reads away
+// from concurrent writes of the same page is the caller's job — the
+// store's no-steal policy guarantees it (a page being written back is
+// always resident, so readers hit the pool instead of the disk).
 package pager
 
 import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"hypermodel/internal/storage/page"
 )
 
 // Pager reads and writes pages of a single database file.
 type Pager struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // serializes Extend
 	f     *os.File
-	count uint64 // number of pages in the file
-	reads uint64 // pages read from disk (statistics)
-	wr    uint64 // pages written to disk (statistics)
+	count atomic.Uint64 // number of pages in the file
+	reads atomic.Uint64 // pages read from disk (statistics)
+	wr    atomic.Uint64 // pages written to disk (statistics)
 }
 
 // Open opens (or creates) the database file at path.
@@ -38,40 +47,36 @@ func Open(path string) (*Pager, error) {
 		f.Close()
 		return nil, fmt.Errorf("pager: %s: size %d is not a multiple of the page size", path, st.Size())
 	}
-	return &Pager{f: f, count: uint64(st.Size()) / page.Size}, nil
+	p := &Pager{f: f}
+	p.count.Store(uint64(st.Size()) / page.Size)
+	return p, nil
 }
 
 // PageCount reports the number of pages currently in the file.
-func (p *Pager) PageCount() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.count
-}
+func (p *Pager) PageCount() uint64 { return p.count.Load() }
 
 // Extend grows the file by one zeroed page and returns its ID.
 func (p *Pager) Extend() (page.ID, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	id := page.ID(p.count)
-	if err := p.f.Truncate(int64(p.count+1) * page.Size); err != nil {
+	n := p.count.Load()
+	if err := p.f.Truncate(int64(n+1) * page.Size); err != nil {
 		return page.Invalid, fmt.Errorf("pager: extend: %w", err)
 	}
-	p.count++
-	return id, nil
+	p.count.Store(n + 1)
+	return page.ID(n), nil
 }
 
 // Read fills dst with the stored image of page id and validates its
-// checksum.
+// checksum. Safe for concurrent use.
 func (p *Pager) Read(id page.ID, dst *page.Page) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if uint64(id) >= p.count {
-		return fmt.Errorf("pager: read page %d: beyond end of file (%d pages)", id, p.count)
+	if n := p.count.Load(); uint64(id) >= n {
+		return fmt.Errorf("pager: read page %d: beyond end of file (%d pages)", id, n)
 	}
 	if _, err := p.f.ReadAt(dst.Bytes(), int64(id)*page.Size); err != nil {
 		return fmt.Errorf("pager: read page %d: %w", id, err)
 	}
-	p.reads++
+	p.reads.Add(1)
 	if err := dst.Validate(); err != nil {
 		return fmt.Errorf("pager: page %d: %w", id, err)
 	}
@@ -79,21 +84,22 @@ func (p *Pager) Read(id page.ID, dst *page.Page) error {
 }
 
 // Write stores src as the image of page id, updating its checksum. The
-// file is extended if id is exactly one past the current end.
+// file is extended if id is exactly one past the current end. Write is
+// a single-writer operation: callers serialize it against Extend and
+// against other Writes (the store's writer lock does).
 func (p *Pager) Write(id page.ID, src *page.Page) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if uint64(id) > p.count {
-		return fmt.Errorf("pager: write page %d: beyond end of file (%d pages)", id, p.count)
+	n := p.count.Load()
+	if uint64(id) > n {
+		return fmt.Errorf("pager: write page %d: beyond end of file (%d pages)", id, n)
 	}
 	src.UpdateChecksum()
 	if _, err := p.f.WriteAt(src.Bytes(), int64(id)*page.Size); err != nil {
 		return fmt.Errorf("pager: write page %d: %w", id, err)
 	}
-	if uint64(id) == p.count {
-		p.count++
+	if uint64(id) == n {
+		p.count.Store(n + 1)
 	}
-	p.wr++
+	p.wr.Add(1)
 	return nil
 }
 
@@ -107,9 +113,7 @@ func (p *Pager) Sync() error {
 
 // Stats reports cumulative disk reads and writes, in pages.
 func (p *Pager) Stats() (reads, writes uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.reads, p.wr
+	return p.reads.Load(), p.wr.Load()
 }
 
 // Close syncs and closes the file.

@@ -15,13 +15,40 @@
 //  3. Checkpoint fsyncs the main file and truncates the WAL.
 //  4. Recovery at open replays committed WAL images into the main file,
 //     repairing any torn write-backs, then truncates the log.
+//
+// Concurrency model (single writer, many readers):
+//
+// The store serializes mutation — Alloc, Free, SetRoot, Commit,
+// Checkpoint, Abort, Backup, Close — behind one writer mutex, exactly
+// as before. Reads no longer queue behind it. Get is safe to call from
+// any number of goroutines: the buffer pool's frame table is sharded,
+// no lock is held across a disk read on a miss, and a double-miss race
+// resolves through GetOrInsert. Concurrent Gets are safe alongside each
+// other; running them concurrently with a writer requires ReadView.
+//
+// ReadView is the concurrent read path proper. Every resident frame
+// carries, besides its working image, an immutable committed snapshot
+// published with an atomic pointer; commit installs fresh snapshots for
+// all dirty frames (and a snapshot of the meta page, from which a view
+// resolves roots) inside a seqlock window. A reader therefore never
+// observes a torn commit: pages read while the sequence was stable all
+// belong to one committed state, and ReadView.Atomically re-runs a
+// multi-page operation whose window a commit overlapped. Non-resident
+// pages are read from the main file, which is safe because no-steal
+// guarantees a page being written back is resident — a reader can miss
+// only on pages whose on-disk image is fully committed. (A narrow
+// read/write lock still fences reader preads from the commit
+// write-back, closing the race where a page becomes resident and dirty
+// after a reader's miss but before its pread.)
 package store
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hypermodel/internal/storage/buffer"
 	"hypermodel/internal/storage/page"
@@ -31,6 +58,9 @@ import (
 
 // NumRoots is the number of named root slots in the meta page.
 const NumRoots = 16
+
+// ErrReadOnly is returned by mutating operations on a ReadView.
+var ErrReadOnly = errors.New("store: read-only view")
 
 // Handle is a pinned reference to a cached page.
 type Handle interface {
@@ -109,14 +139,33 @@ func (o *Options) withDefaults() Options {
 
 // Store is the local implementation of Space.
 type Store struct {
-	mu        sync.Mutex
-	pg        *pager.Pager
-	log       *wal.WAL
-	pool      *buffer.Pool
-	opts      Options
-	meta      *page.Page // always resident, never in the pool
-	metaDirty bool
-	seq       uint64 // commit sequence number
+	// writeMu serializes the single writer: every mutating operation
+	// (Alloc, Free, Commit, Checkpoint, Abort, Backup, DropCache,
+	// Close) holds it end to end. Reads never take it.
+	writeMu sync.Mutex
+	// metaMu guards the live meta page payload (free-list head, roots,
+	// metaDirty) so concurrent Root lookups are safe while the writer
+	// mutates slots.
+	metaMu sync.RWMutex
+	// backMu fences reader preads (read side) from the commit
+	// write-back (write side); see the package comment.
+	backMu sync.RWMutex
+
+	pg   *pager.Pager
+	log  *wal.WAL
+	pool *buffer.Pool
+	opts Options
+
+	meta      *page.Page                // working meta image; always resident, never in the pool
+	metaDirty bool                      // guarded by metaMu
+	metaSnap  atomic.Pointer[page.Page] // committed meta image for readers
+
+	seq atomic.Uint64 // committed commit sequence number
+	// rseq is the seqlock generation: odd while a commit is installing
+	// snapshots, bumped to the next even value when the installation is
+	// complete. Readers validate multi-page operations against it.
+	rseq atomic.Uint64
+
 	closed    bool
 	recovered bool // recovery ran at open (for tests/diagnostics)
 }
@@ -198,6 +247,9 @@ func (s *Store) initFresh() error {
 	return s.Commit()
 }
 
+// loadMeta (re)loads the meta page from disk and publishes it as the
+// committed snapshot. Called at open and on Abort, both under writeMu
+// (or before the store is shared).
 func (s *Store) loadMeta() error {
 	m := &page.Page{}
 	if err := s.pg.Read(0, m); err != nil {
@@ -210,9 +262,20 @@ func (s *Store) loadMeta() error {
 	if v := binary.LittleEndian.Uint32(pl[metaVersionOff:]); v != formatVersion {
 		return fmt.Errorf("store: unsupported format version %d", v)
 	}
+	s.metaMu.Lock()
 	s.meta = m
-	s.seq = binary.LittleEndian.Uint64(pl[metaSeqOff:])
+	s.metaDirty = false
+	s.metaMu.Unlock()
+	s.seq.Store(binary.LittleEndian.Uint64(pl[metaSeqOff:]))
+	s.installMetaSnap()
 	return nil
+}
+
+// installMetaSnap publishes a copy of the working meta page as the
+// committed snapshot read by views. Writer only.
+func (s *Store) installMetaSnap() {
+	cp := *s.meta
+	s.metaSnap.Store(&cp)
 }
 
 // handle implements Handle for the local store.
@@ -226,6 +289,10 @@ func (h *handle) MarkDirty()       { h.s.pool.MarkDirty(h.f) }
 func (h *handle) Release()         { h.s.pool.Release(h.f) }
 
 // Get pins the page with the given ID, reading it from disk on a miss.
+// Get never takes the writer lock: any number of goroutines may call it
+// concurrently, and no lock is held across the disk read. Two goroutines
+// that both miss on the same page both read it and race to insert; the
+// loser adopts the winner's frame.
 func (s *Store) Get(id page.ID) (Handle, error) {
 	if id == 0 || id == page.Invalid {
 		return nil, fmt.Errorf("store: get page %d: reserved page", id)
@@ -234,35 +301,32 @@ func (s *Store) Get(id page.ID) (Handle, error) {
 		return &handle{s, f}, nil
 	}
 	img := &page.Page{}
-	if err := s.pg.Read(id, img); err != nil {
+	if err := s.readPage(id, img); err != nil {
 		return nil, err
 	}
-	// A racing Get may have inserted the page while we read; the store
-	// is externally serialized by its users (txn layer / server), so
-	// this double-read cannot happen in practice, but be defensive.
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f := s.pool.Get(id); f != nil {
-		return &handle{s, f}, nil
-	}
-	return &handle{s, s.pool.Insert(id, img)}, nil
+	f, _ := s.pool.GetOrInsert(id, img)
+	return &handle{s, f}, nil
+}
+
+// readPage reads a page from the main file under the write-back fence.
+func (s *Store) readPage(id page.ID, dst *page.Page) error {
+	s.backMu.RLock()
+	defer s.backMu.RUnlock()
+	return s.pg.Read(id, dst)
 }
 
 // Alloc allocates a fresh zeroed page of type t, pinned and dirty.
 func (s *Store) Alloc(t page.Type) (page.ID, Handle, error) {
-	s.mu.Lock()
-	head := s.freeHead()
-	s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 
-	if head != page.Invalid {
+	if head := s.freeHead(); head != page.Invalid {
 		h, err := s.Get(head)
 		if err != nil {
 			return page.Invalid, nil, fmt.Errorf("store: alloc from free list: %w", err)
 		}
 		next := page.ID(binary.LittleEndian.Uint64(h.Page().Payload()))
-		s.mu.Lock()
 		s.setFreeHead(next)
-		s.mu.Unlock()
 		h.Page().Reset(t)
 		h.MarkDirty()
 		return head, h, nil
@@ -273,9 +337,7 @@ func (s *Store) Alloc(t page.Type) (page.ID, Handle, error) {
 		return page.Invalid, nil, err
 	}
 	img := page.New(t)
-	s.mu.Lock()
 	f := s.pool.Insert(id, img)
-	s.mu.Unlock()
 	h := &handle{s, f}
 	h.MarkDirty()
 	return id, h, nil
@@ -286,6 +348,8 @@ func (s *Store) Free(id page.ID) error {
 	if id == 0 || id == page.Invalid {
 		return fmt.Errorf("store: free page %d: reserved page", id)
 	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	h, err := s.Get(id)
 	if err != nil {
 		return err
@@ -293,57 +357,66 @@ func (s *Store) Free(id page.ID) error {
 	defer h.Release()
 	p := h.Page()
 	p.Reset(page.TypeFree)
-	s.mu.Lock()
 	binary.LittleEndian.PutUint64(p.Payload(), uint64(s.freeHead()))
 	s.setFreeHead(id)
-	s.mu.Unlock()
 	h.MarkDirty()
 	return nil
 }
 
-// freeHead and setFreeHead require s.mu.
 func (s *Store) freeHead() page.ID {
+	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
 	return page.ID(binary.LittleEndian.Uint64(s.meta.Payload()[metaFreeHeadOff:]))
 }
 
 func (s *Store) setFreeHead(id page.ID) {
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	binary.LittleEndian.PutUint64(s.meta.Payload()[metaFreeHeadOff:], uint64(id))
 	s.metaDirty = true
 }
 
 // Root returns the page ID in root slot, or page.Invalid if unset.
+// Safe for concurrent use; it reflects the writer's uncommitted root
+// changes (views resolve roots against the committed snapshot instead).
 func (s *Store) Root(slot int) page.ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.metaMu.RLock()
+	defer s.metaMu.RUnlock()
 	return page.ID(binary.LittleEndian.Uint64(s.meta.Payload()[metaRootsOff+8*slot:]))
 }
 
 // SetRoot updates root slot; durable at the next Commit.
 func (s *Store) SetRoot(slot int, id page.ID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
 	binary.LittleEndian.PutUint64(s.meta.Payload()[metaRootsOff+8*slot:], uint64(id))
 	s.metaDirty = true
 }
 
 // Commit makes every modification since the last Commit durable: dirty
 // page images go to the WAL, a commit record is appended and synced,
-// then the images are written back to the main file (unsynced) and the
-// frames marked clean.
+// then the images are written back to the main file (unsynced), fresh
+// committed snapshots are installed for readers, and the frames marked
+// clean.
 func (s *Store) Commit() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	return s.commitLocked()
 }
 
 func (s *Store) commitLocked() error {
 	dirty := s.pool.DirtyFrames()
-	if len(dirty) == 0 && !s.metaDirty {
+	s.metaMu.RLock()
+	metaDirty := s.metaDirty
+	s.metaMu.RUnlock()
+	if len(dirty) == 0 && !metaDirty {
 		return nil
 	}
-	s.seq++
-	binary.LittleEndian.PutUint64(s.meta.Payload()[metaSeqOff:], s.seq)
+	newSeq := s.seq.Load() + 1
+	s.metaMu.Lock()
+	binary.LittleEndian.PutUint64(s.meta.Payload()[metaSeqOff:], newSeq)
 	s.metaDirty = true
+	s.metaMu.Unlock()
 
 	for _, f := range dirty {
 		if _, err := s.log.AppendPage(f.ID, f.Page); err != nil {
@@ -354,23 +427,46 @@ func (s *Store) commitLocked() error {
 		return err
 	}
 	if s.opts.NoSync {
-		if _, err := s.log.AppendCommitNoSync(s.seq); err != nil {
+		if _, err := s.log.AppendCommitNoSync(newSeq); err != nil {
 			return err
 		}
-	} else if _, err := s.log.AppendCommit(s.seq); err != nil {
+	} else if _, err := s.log.AppendCommit(newSeq); err != nil {
 		return err
 	}
 
+	// Write-back, fenced against reader preads. No-steal means a reader
+	// can only be pread-ing pages that are not resident, hence not in
+	// this dirty set — the fence closes the one remaining window, where
+	// a page becomes resident and dirty between a reader's miss and its
+	// pread.
+	s.backMu.Lock()
 	for _, f := range dirty {
 		if err := s.pg.Write(f.ID, f.Page); err != nil {
+			s.backMu.Unlock()
 			return err
 		}
 	}
 	if err := s.pg.Write(0, s.meta); err != nil {
+		s.backMu.Unlock()
 		return err
 	}
+	s.backMu.Unlock()
+
+	// Install the new committed state for readers. The odd/even seqlock
+	// generation lets a reader detect that this window overlapped its
+	// operation and re-run it (ReadView.Atomically).
+	s.rseq.Add(1)
+	for _, f := range dirty {
+		f.InstallSnapshot()
+	}
+	s.installMetaSnap()
+	s.seq.Store(newSeq)
+	s.rseq.Add(1)
+
 	s.pool.MarkAllClean()
+	s.metaMu.Lock()
 	s.metaDirty = false
+	s.metaMu.Unlock()
 
 	if s.opts.CheckpointBytes > 0 && s.log.Size() > s.opts.CheckpointBytes {
 		return s.checkpointLocked()
@@ -380,8 +476,8 @@ func (s *Store) commitLocked() error {
 
 // Checkpoint fsyncs the main file and truncates the WAL. Implies Commit.
 func (s *Store) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if err := s.commitLocked(); err != nil {
 		return err
 	}
@@ -400,8 +496,8 @@ func (s *Store) checkpointLocked() error {
 // The meta page stays resident; reopening a real database would reread
 // one page, which is negligible and keeps the API misuse-proof.
 func (s *Store) DropCache() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if len(s.pool.DirtyFrames()) > 0 {
 		return errors.New("store: DropCache with uncommitted changes")
 	}
@@ -412,11 +508,11 @@ func (s *Store) DropCache() error {
 // Backup writes a consistent copy of the database to destPath (R10).
 // It checkpoints first, so the copy contains every committed change
 // and needs no WAL; the backup can be opened directly as a database.
-// The store is locked for the duration (the databases here are small;
+// The writer is locked for the duration (the databases here are small;
 // a fuzzy ARIES-style backup would be overkill).
 func (s *Store) Backup(destPath string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if err := s.commitLocked(); err != nil {
 		return err
 	}
@@ -454,34 +550,40 @@ func (s *Store) Backup(destPath string) error {
 // Abort discards all uncommitted modifications: pooled dirty pages are
 // dropped and the meta page is reloaded from disk. Because the store
 // is no-steal (nothing reaches the WAL or the file before Commit),
-// dropping the cache is a complete rollback.
+// dropping the cache is a complete rollback. The committed state —
+// what readers see — is unchanged.
 func (s *Store) Abort() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.pool.Drop()
-	s.metaDirty = false
 	if s.pg.PageCount() > 0 {
 		if err := s.loadMeta(); err != nil {
 			return fmt.Errorf("store: abort: %w", err)
 		}
+	} else {
+		s.metaMu.Lock()
+		s.metaDirty = false
+		s.metaMu.Unlock()
 	}
 	return nil
 }
 
-// Stats returns a snapshot of activity counters.
+// Seq returns the committed commit-sequence number.
+func (s *Store) Seq() uint64 { return s.seq.Load() }
+
+// Stats returns a snapshot of activity counters. Every source is
+// atomic, so Stats never blocks the read path (or waits behind a
+// commit fsync).
 func (s *Store) Stats() Stats {
 	reads, writes := s.pg.Stats()
 	appends, syncs := s.log.Stats()
-	s.mu.Lock()
-	seq := s.seq
-	s.mu.Unlock()
 	return Stats{
 		Pool:       s.pool.Stats(),
 		DiskReads:  reads,
 		DiskWrites: writes,
 		WALAppends: appends,
 		WALSyncs:   syncs,
-		Commits:    seq,
+		Commits:    s.seq.Load(),
 	}
 }
 
@@ -501,8 +603,8 @@ func (s *Store) PageCount() uint64 { return s.pg.PageCount() }
 
 // Close commits pending work, checkpoints, and closes the files.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	if s.closed {
 		return nil
 	}
@@ -519,3 +621,128 @@ func (s *Store) Close() error {
 	}
 	return s.pg.Close()
 }
+
+// ReadView is a read-only Space over the store's committed state. Any
+// number of views (and goroutines per view) may read concurrently with
+// each other and with the single writer: pages resolve to immutable
+// committed snapshots, roots resolve against the committed meta page,
+// and Atomically guards multi-page operations against commits
+// installing mid-operation. Mutating methods fail with ErrReadOnly.
+type ReadView struct {
+	s *Store
+}
+
+// ReadView returns a read-only view of the store's committed state.
+// Views are cheap: they share the store's buffer pool (reads through a
+// view warm it) and hold no state of their own.
+func (s *Store) ReadView() *ReadView { return &ReadView{s} }
+
+// roHandle is a Handle over an immutable committed snapshot. There is
+// no pin to release: the snapshot outlives any frame bookkeeping.
+type roHandle struct {
+	p *page.Page
+}
+
+func (h roHandle) Page() *page.Page { return h.p }
+func (h roHandle) MarkDirty()       { panic("store: MarkDirty through a read-only view") }
+func (h roHandle) Release()         {}
+
+// Get returns the committed image of a page. On a pool miss the page is
+// read from the main file — committed by definition under no-steal —
+// and inserted so later readers (and the writer) hit.
+func (v *ReadView) Get(id page.ID) (Handle, error) {
+	if id == 0 || id == page.Invalid {
+		return nil, fmt.Errorf("store: get page %d: reserved page", id)
+	}
+	if sp := v.s.pool.Snapshot(id); sp != nil {
+		return roHandle{sp}, nil
+	}
+	img := &page.Page{}
+	if err := v.s.readPage(id, img); err != nil {
+		return nil, err
+	}
+	f, _ := v.s.pool.GetOrInsert(id, img)
+	sp := f.Snapshot()
+	v.s.pool.Release(f)
+	return roHandle{sp}, nil
+}
+
+// Alloc fails: views are read-only.
+func (v *ReadView) Alloc(t page.Type) (page.ID, Handle, error) {
+	return page.Invalid, nil, ErrReadOnly
+}
+
+// Free fails: views are read-only.
+func (v *ReadView) Free(id page.ID) error { return ErrReadOnly }
+
+// Root resolves a root slot against the committed meta snapshot, so an
+// uncommitted SetRoot (say, a B+tree root split inside the writer's
+// open transaction) is invisible to readers.
+func (v *ReadView) Root(slot int) page.ID {
+	m := v.s.metaSnap.Load()
+	return page.ID(binary.LittleEndian.Uint64(m.Payload()[metaRootsOff+8*slot:]))
+}
+
+// Roots returns all root slots resolved against one committed meta
+// snapshot — a torn root directory is impossible.
+func (v *ReadView) Roots() [NumRoots]page.ID {
+	m := v.s.metaSnap.Load()
+	pl := m.Payload()
+	var out [NumRoots]page.ID
+	for i := range out {
+		out[i] = page.ID(binary.LittleEndian.Uint64(pl[metaRootsOff+8*i:]))
+	}
+	return out
+}
+
+// SetRoot panics: views are read-only. (Space's SetRoot has no error
+// return; reaching this is a programming error, like double-releasing
+// a frame.)
+func (v *ReadView) SetRoot(slot int, id page.ID) {
+	panic("store: SetRoot through a read-only view")
+}
+
+// Commit fails: views are read-only.
+func (v *ReadView) Commit() error { return ErrReadOnly }
+
+// Abort is a no-op: a view holds no uncommitted state to discard.
+func (v *ReadView) Abort() error { return nil }
+
+// Close is a no-op: the view borrows the store's resources.
+func (v *ReadView) Close() error { return nil }
+
+// DropCache fails: the pool is shared with the writer and other
+// readers, so a view may not empty it.
+func (v *ReadView) DropCache() error { return ErrReadOnly }
+
+// CacheStats reports the shared pool's hits, misses and disk reads.
+func (v *ReadView) CacheStats() (hits, misses, reads uint64) {
+	return v.s.CacheStats()
+}
+
+// Seq returns the committed commit-sequence number, as Store.Seq.
+func (v *ReadView) Seq() uint64 { return v.s.Seq() }
+
+// Atomically runs op so that every page it reads through the view
+// belongs to one committed state. If a commit installs while op runs
+// (or is installing when it starts), op is re-run — so op must be
+// restartable: no side effects it cannot repeat, and any error it
+// returns while the state was torn is discarded along with the run.
+// The final run's error is returned.
+func (v *ReadView) Atomically(op func() error) error {
+	for {
+		s0 := v.s.rseq.Load()
+		if s0&1 == 0 {
+			err := op()
+			if v.s.rseq.Load() == s0 {
+				return err
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+var (
+	_ Space = (*Store)(nil)
+	_ Space = (*ReadView)(nil)
+)

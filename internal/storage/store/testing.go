@@ -5,8 +5,8 @@ package store
 // descriptors are closed so tests can reopen the same paths; any
 // uncommitted buffered state is discarded, exactly as a crash would.
 func (s *Store) CrashForTesting() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
 	s.closed = true
 	s.closeFiles()
 }

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"hypermodel/internal/storage/page"
 )
@@ -47,8 +48,10 @@ type WAL struct {
 	f       *os.File
 	size    int64 // current log size = next LSN
 	pending int64 // bytes appended but not yet synced
-	syncs   uint64
-	appends uint64
+	// Counters are atomic so Stats never blocks behind a commit fsync
+	// holding mu.
+	syncs   atomic.Uint64
+	appends atomic.Uint64
 }
 
 // Open opens (or creates) the log file at path. The caller is expected
@@ -79,7 +82,7 @@ func (w *WAL) appendFrame(body []byte) (lsn uint64, err error) {
 	lsn = uint64(w.size)
 	w.size += frameHeader + int64(len(body))
 	w.pending += frameHeader + int64(len(body))
-	w.appends++
+	w.appends.Add(1)
 	return lsn, nil
 }
 
@@ -133,7 +136,7 @@ func (w *WAL) syncLocked() error {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	w.pending = 0
-	w.syncs++
+	w.syncs.Add(1)
 	return nil
 }
 
@@ -152,10 +155,9 @@ func (w *WAL) Size() int64 {
 }
 
 // Stats reports the cumulative number of appended records and syncs.
+// It takes no lock, so it never waits behind an in-flight commit.
 func (w *WAL) Stats() (appends, syncs uint64) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.appends, w.syncs
+	return w.appends.Load(), w.syncs.Load()
 }
 
 // Replay scans the log from the beginning and invokes apply for every
