@@ -62,6 +62,8 @@ fuzz:
 	$(GO) test -fuzz FuzzDecodeObject -fuzztime 10s ./internal/backend/oodb
 	$(GO) test -fuzz FuzzParse -fuzztime 10s ./internal/query
 	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 10s ./internal/remote
+	$(GO) test -fuzz FuzzClientDemux -fuzztime 10s ./internal/remote
+	$(GO) test -fuzz FuzzServerStream -fuzztime 10s ./internal/remote
 	$(GO) test -fuzz FuzzDecodeBitmap -fuzztime 10s ./internal/hyper
 	$(GO) test -fuzz FuzzDecodePolicy -fuzztime 10s ./internal/acl
 

@@ -67,7 +67,12 @@ func runChaosMatrix(t *testing.T, faulty bool) chaosRun {
 		dialAddr = px.Addr()
 	}
 
+	// The soak runs over the pipelined client: two pooled connections
+	// with unbounded in-flight depth, so reconnect draining and request
+	// demultiplexing are exercised under the same fault schedule as the
+	// commit machinery.
 	client, err := remote.Dial(dialAddr, remote.ClientOptions{
+		Conns:          2,
 		RequestTimeout: 10 * time.Second,
 		BackoffBase:    200 * time.Microsecond,
 		BackoffMax:     5 * time.Millisecond,

@@ -10,6 +10,7 @@
 //	hyperbench -exp cluster -level 5           # E11 clustering ablation
 //	hyperbench -exp remote                     # E13 workstation/server
 //	hyperbench -exp multiuser -users 4         # E15
+//	hyperbench -exp concurrency -clients 1024  # E18 pipelined wire throughput
 //	hyperbench -csv results.csv                # machine-readable output
 package main
 
@@ -29,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser, throughput or all")
+		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser, throughput, concurrency or all")
 		backends = flag.String("backends", "all", "comma-separated backends (oodb,reldb,memdb) or all")
 		level    = flag.Int("level", 4, "leaf level (paper: 4, 5, 6)")
 		iters    = flag.Int("iters", 50, "iterations per operation (paper: 50)")
@@ -38,6 +39,8 @@ func main() {
 		users    = flag.Int("users", 3, "users for the multiuser experiment")
 		userOps  = flag.Int("userops", 10, "transactions per user for the multiuser experiment")
 		parallel = flag.Int("parallel", 4, "max concurrent readers for the throughput experiment")
+		clients  = flag.Int("clients", 1024, "max concurrent clients for the concurrency experiment")
+		rtt      = flag.Duration("rtt", time.Millisecond, "simulated link round trip for the concurrency experiment (0 = raw loopback)")
 		window   = flag.Duration("window", time.Second, "measurement window per throughput configuration")
 		opsList  = flag.String("ops", "", "comma-separated operation filter, e.g. O10,O14")
 		dir      = flag.String("dir", "", "working directory (default: a temp dir, removed afterwards)")
@@ -180,6 +183,25 @@ func main() {
 			log.Fatalf("throughput: %v", err)
 		}
 		harness.RenderThroughput(os.Stdout, *level, results)
+	}
+
+	if want("concurrency") {
+		cdir := workdir + "/concurrency"
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		counts := []int{}
+		for n := 64; n < *clients; n *= 4 {
+			counts = append(counts, n)
+		}
+		if *clients >= 1 {
+			counts = append(counts, *clients)
+		}
+		results, err := harness.RunConcurrencySweep(cdir, min(*level, 4), *seed, counts, *window, *rtt)
+		if err != nil {
+			log.Fatalf("concurrency: %v", err)
+		}
+		harness.RenderConcurrencySweep(os.Stdout, min(*level, 4), results)
 	}
 
 	if want("multiuser") {

@@ -9,7 +9,9 @@
 //
 // Robustness knobs: -idle-timeout reaps connections that sit silent
 // between requests, -max-conns refuses clients beyond a concurrency
-// limit with a clean "server busy" error.
+// limit with a clean "server busy" error, and -max-inflight
+// backpressures any one connection that pipelines more than that many
+// concurrent requests.
 package main
 
 import (
@@ -27,9 +29,10 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:7077", "listen address")
 		idleTimeout = flag.Duration("idle-timeout", 0, "disconnect clients idle this long (0 = never)")
 		maxConns    = flag.Int("max-conns", 0, "refuse connections beyond this many (0 = unlimited)")
+		maxInflight = flag.Int("max-inflight", 0, "per-connection cap on concurrently executing requests (0 = unlimited)")
 	)
 	flag.Parse()
-	if err := remote.ListenAndServeStore(*db, *addr, nil, *idleTimeout, *maxConns); err != nil {
+	if err := remote.ListenAndServeStore(*db, *addr, nil, *idleTimeout, *maxConns, *maxInflight); err != nil {
 		log.Fatal(err)
 	}
 }

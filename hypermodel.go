@@ -150,15 +150,25 @@ func OpenMemDB(path string) (*memdb.DB, error) {
 }
 
 // ClientOptions configure the workstation client: cache size, the
-// per-request deadline (RequestTimeout), and the reconnect/retry
-// policy (RetryLimit, BackoffBase, BackoffMax). The zero value uses
-// sensible defaults: no deadline, 8 retries, 2ms–250ms backoff.
+// per-request deadline (RequestTimeout), the reconnect/retry policy
+// (RetryLimit, BackoffBase, BackoffMax), and the pipelining shape —
+// Conns sizes the connection pool and MaxInflight caps concurrent
+// in-flight requests (0 = unbounded; Conns=1, MaxInflight=1 restores
+// the strict request/response discipline). The zero value uses
+// sensible defaults: no deadline, 8 retries, 2ms–250ms backoff, one
+// multiplexed connection.
 type ClientOptions = remote.ClientOptions
 
 // ClientRetryStats are the workstation client's fault-tolerance
 // counters: reconnects, idempotent retries, batch downgrades, and the
 // commit-uncertainty resolution counts.
 type ClientRetryStats = remote.RetryStats
+
+// ClientInflightStats describe how deeply the workstation client
+// pipelined the wire: peak concurrent in-flight requests, cumulative
+// wait behind the MaxInflight cap, unknown-ID responses dropped by the
+// demultiplexer, and per-opcode round-trip latency histograms.
+type ClientInflightStats = remote.InflightStats
 
 // DialServer connects to a hyperserver page server and returns the
 // object-database mapping running over the workstation client — the

@@ -21,6 +21,16 @@
 //
 // A reserved opcode (wire number held but intentionally unimplemented)
 // carries an explicit "//hyperlint:allow opcodes" directive.
+//
+// The multiplexed framing has the same drift hazard one level down:
+// every frame opens with a request ID that the client writes and the
+// server reads (requests), and the server writes and the client reads
+// (responses). The analyzer therefore also pins the framing helpers —
+// frameID and appendFrameID — to exactly one call site inside a
+// *Server method and exactly one outside (the client's demux core), so
+// a stray hand-rolled header, or a second decode path that could
+// disagree about byte order, fails vet the same way a duplicated
+// dispatch case does.
 package opcodes
 
 import (
@@ -45,6 +55,15 @@ var Analyzer = &analysis.Analyzer{
 type opUse struct {
 	dispatch int
 	encode   int
+}
+
+// frameHelpers are the mux framing helpers pinned to one server-side
+// and one client-side call each.
+var frameHelpers = map[string]bool{"frameID": true, "appendFrameID": true}
+
+type helperUse struct {
+	server int
+	client int
 }
 
 func run(pass *analysis.Pass) error {
@@ -79,13 +98,33 @@ func run(pass *analysis.Pass) error {
 			}
 		}
 	}
-	if len(consts) == 0 {
+	// Collect the framing helper functions declared at package level.
+	helpers := make(map[*types.Func]*ast.Ident)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !frameHelpers[fd.Name.Name] {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				helpers[fn] = fd.Name
+			}
+		}
+	}
+	if len(consts) == 0 && len(helpers) == 0 {
 		return nil
 	}
 
 	uses := make(map[*types.Const]*opUse)
 	for c := range consts {
 		uses[c] = &opUse{}
+	}
+	helperUses := make(map[*types.Func]*helperUse)
+	for fn := range helpers {
+		helperUses[fn] = &helperUse{}
 	}
 	for _, file := range pass.Files {
 		if pass.IsTestFile(file.Pos()) {
@@ -102,19 +141,26 @@ func run(pass *analysis.Pass) error {
 				if !ok {
 					return true
 				}
-				c, ok := pass.TypesInfo.Uses[id].(*types.Const)
-				if !ok {
-					return true
-				}
-				u, tracked := uses[c]
-				if !tracked {
-					return true
-				}
-				switch {
-				case inCaseClause(stack, id) && inServer:
-					u.dispatch++
-				case !inCaseClause(stack, id) && !inServer:
-					u.encode++
+				switch obj := pass.TypesInfo.Uses[id].(type) {
+				case *types.Const:
+					u, tracked := uses[obj]
+					if !tracked {
+						return true
+					}
+					switch {
+					case inCaseClause(stack, id) && inServer:
+						u.dispatch++
+					case !inCaseClause(stack, id) && !inServer:
+						u.encode++
+					}
+				case *types.Func:
+					if hu, tracked := helperUses[obj]; tracked {
+						if inServer {
+							hu.server++
+						} else {
+							hu.client++
+						}
+					}
 				}
 				return true
 			})
@@ -136,6 +182,22 @@ func run(pass *analysis.Pass) error {
 		if u.encode != 1 {
 			pass.Reportf(id.Pos(),
 				"opcode %s has %d client encoding sites, want exactly 1", id.Name, u.encode)
+		}
+	}
+	orderedFns := make([]*types.Func, 0, len(helpers))
+	for fn := range helpers {
+		orderedFns = append(orderedFns, fn)
+	}
+	sort.Slice(orderedFns, func(i, j int) bool { return orderedFns[i].Pos() < orderedFns[j].Pos() })
+	for _, fn := range orderedFns {
+		id, hu := helpers[fn], helperUses[fn]
+		if hu.server != 1 {
+			pass.Reportf(id.Pos(),
+				"framing helper %s has %d server call sites, want exactly 1", id.Name, hu.server)
+		}
+		if hu.client != 1 {
+			pass.Reportf(id.Pos(),
+				"framing helper %s has %d client call sites, want exactly 1", id.Name, hu.client)
 		}
 	}
 	return nil

@@ -1,6 +1,8 @@
 // Fixture for the opcodes analyzer: a miniature protocol package with
 // one well-wired opcode, one orphan, one double-dispatched, and one
-// reserved via directive.
+// reserved via directive — plus the mux framing helpers, one correctly
+// pinned to a single server and a single client call, one called twice
+// on the client side and never on the server side.
 package remote
 
 type Server struct{}
@@ -32,4 +34,27 @@ func encodePing(buf []byte) []byte {
 
 func encodeDouble(buf []byte) []byte {
 	return append(buf, opDouble)
+}
+
+// frameID is well-pinned: one server call, one client call.
+func frameID(frame []byte) uint64 {
+	return uint64(frame[0])
+}
+
+// appendFrameID has drifted: two client calls, no server call.
+func appendFrameID(b []byte, id uint64) []byte { // want "framing helper appendFrameID has 0 server call sites, want exactly 1" "framing helper appendFrameID has 2 client call sites, want exactly 1"
+	return append(b, byte(id))
+}
+
+func (s *Server) readHeader(frame []byte) uint64 {
+	return frameID(frame)
+}
+
+func clientDecode(frame []byte) uint64 {
+	return frameID(frame)
+}
+
+func clientEncode(b []byte) []byte {
+	b = appendFrameID(b, 1)
+	return appendFrameID(b, 2)
 }

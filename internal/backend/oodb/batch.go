@@ -5,6 +5,8 @@ import (
 	"hypermodel/internal/objstore"
 )
 
+var _ hyper.FrontierPrefetcher = (*DB)(nil)
+
 // Batched reads (hyper.BatchReader): the object store's GetBatch visits
 // a frontier's objects grouped by data page, so each page is fetched
 // and decoded from the buffer pool once per batch — and over the page
@@ -35,6 +37,24 @@ func (d *DB) loadBatch(ids []hyper.NodeID) ([]*object, error) {
 		objs[i] = o
 	}
 	return objs, nil
+}
+
+// PrefetchFrontier (hyper.FrontierPrefetcher) starts warming the page
+// cache with the listed nodes' objects, without blocking on the fetch.
+// Over the page-server client the next BFS frontier's opGetPages round
+// trip runs while the traversal computes on the current level. The
+// kick is advisory: nodes whose OIDs cannot be resolved are skipped,
+// and the returned wait function's error may be ignored — the
+// synchronous batch read that follows re-fetches and surfaces any real
+// failure.
+func (d *DB) PrefetchFrontier(ids []hyper.NodeID) (wait func() error) {
+	oids := make([]objstore.OID, 0, len(ids))
+	for _, id := range ids {
+		if oid, err := d.oidOf(id); err == nil {
+			oids = append(oids, oid)
+		}
+	}
+	return d.objs.PrefetchOIDs(oids)
 }
 
 // NodesBatch returns the attributes of each listed node.

@@ -45,6 +45,15 @@ type Config struct {
 	PartialProb float64
 	// CorruptProb flips one byte of the chunk in flight.
 	CorruptProb float64
+	// Latency adds a fixed transit delay to every chunk a Proxy
+	// forwards, in each direction (a round trip costs 2×Latency).
+	// Unlike DelayProb — an inline stall that also throttles the
+	// direction's bandwidth — Latency is a delay line: chunks stay in
+	// flight concurrently and arrive in order, modeling propagation
+	// delay on a real link. It is a property of the link, not a
+	// fault: it applies even when injection is disabled, is not
+	// counted in Stats, and is honored only by Proxy.
+	Latency time.Duration
 }
 
 func (c Config) withDefaults() Config {

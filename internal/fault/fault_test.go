@@ -217,3 +217,69 @@ func TestLimitConn(t *testing.T) {
 		}
 	}
 }
+
+// TestProxyLatencyIsDelayLineNotThrottle: a configured Latency must
+// behave like wire propagation delay — each round trip pays it, but
+// chunks overlap in flight, so N pipelined round trips cost far less
+// than N serialized ones.
+func TestProxyLatencyIsDelayLineNotThrottle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		io.Copy(c, c) // echo
+		c.Close()
+	}()
+
+	const lat = 20 * time.Millisecond
+	px, err := NewProxy(ln.Addr().String(), Config{Latency: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+
+	conn, err := net.Dial("tcp", px.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// One serialized round trip pays the full 2×Latency.
+	start := time.Now()
+	if _, err := conn.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	one := make([]byte, 1)
+	if _, err := io.ReadFull(conn, one); err != nil {
+		t.Fatal(err)
+	}
+	if rtt := time.Since(start); rtt < 2*lat {
+		t.Fatalf("round trip %v, want ≥ %v", rtt, 2*lat)
+	}
+
+	// Eight pipelined round trips overlap on the wire: writes go out
+	// back to back, and all echoes arrive roughly one RTT later. An
+	// inline-sleep throttle would serialize them to ≥ 8×2×Latency.
+	const n = 8
+	start = time.Now()
+	if _, err := conn.Write(bytes.Repeat([]byte{2}, n)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, n)); err != nil {
+		t.Fatal(err)
+	}
+	if total := time.Since(start); total >= n*2*lat/2 {
+		t.Fatalf("%d pipelined round trips took %v — latency is throttling bandwidth", n, total)
+	}
+
+	// Latency is a link property, not a fault.
+	if got := px.Stats().Total(); got != 0 {
+		t.Fatalf("latency counted as %d faults", got)
+	}
+}

@@ -119,7 +119,9 @@ func (p *Proxy) acceptLoop() {
 // half-broken connections at the frame protocol's level of concern.
 func (p *Proxy) pump(dst, src net.Conn) {
 	defer p.wg.Done()
+	send, flush := p.sender(dst)
 	defer func() {
+		flush()
 		dst.Close()
 		src.Close()
 		p.untrack(dst)
@@ -139,14 +141,14 @@ func (p *Proxy) pump(dst, src net.Conn) {
 					return
 				}
 				if act.truncate >= 0 {
-					dst.Write(data[:act.truncate])
+					send(data[:act.truncate])
 					return
 				}
 				if act.corruptAt >= 0 {
 					data[act.corruptAt] ^= 0x80
 				}
 			}
-			if _, werr := dst.Write(data); werr != nil {
+			if !send(data) {
 				return
 			}
 		}
@@ -154,4 +156,52 @@ func (p *Proxy) pump(dst, src net.Conn) {
 			return
 		}
 	}
+}
+
+// sender builds the write path for one pump direction. Without a
+// configured Latency it writes straight through. With one it is a
+// delay line: chunks are timestamped on entry and written upstream
+// Latency later by a delivery goroutine, so many chunks are "on the
+// wire" at once and order is preserved — propagation delay without a
+// bandwidth cap. flush delivers whatever is still in flight (a
+// graceful close must not eat the tail of the stream) and stops the
+// delivery goroutine.
+func (p *Proxy) sender(dst net.Conn) (send func([]byte) bool, flush func()) {
+	lat := p.inj.cfg.Latency
+	if lat <= 0 {
+		return func(b []byte) bool {
+			_, err := dst.Write(b)
+			return err == nil
+		}, func() {}
+	}
+	type parcel struct {
+		at   time.Time
+		data []byte
+	}
+	line := make(chan parcel, 4096)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for pc := range line {
+			if wait := time.Until(pc.at); wait > 0 {
+				time.Sleep(wait)
+			}
+			dst.Write(pc.data)
+		}
+	}()
+	send = func(b []byte) bool {
+		data := make([]byte, len(b)) // pump reuses its read buffer
+		copy(data, b)
+		select {
+		case line <- parcel{at: time.Now().Add(lat), data: data}: //hyperlint:allow detrand -- transit-delay stamp; latency is wall-clock by nature
+			return true
+		case <-done:
+			return false
+		}
+	}
+	flush = func() {
+		close(line)
+		<-done
+	}
+	return send, flush
 }

@@ -14,9 +14,11 @@ import (
 	"hypermodel/internal/backend/memdb"
 	"hypermodel/internal/backend/oodb"
 	"hypermodel/internal/backend/reldb"
+	"hypermodel/internal/fault"
 	"hypermodel/internal/hyper"
 	"hypermodel/internal/remote"
 	"hypermodel/internal/stats"
+	"hypermodel/internal/storage/page"
 	"hypermodel/internal/storage/store"
 	"hypermodel/internal/txn"
 	"hypermodel/internal/version"
@@ -262,6 +264,7 @@ type RemoteResult struct {
 	Frames         uint64 // request frames sent (retries included)
 	BatchFrames    uint64 // of which batched page fetches
 	Retry          remote.RetryStats
+	Inflight       remote.InflightStats
 }
 
 // RunRemote builds a database behind a page server, runs a traversal-
@@ -316,6 +319,7 @@ func RunRemote(dir string, level int, seed int64, cfg Config) ([]RemoteResult, e
 	remoteRow := RemoteResult{
 		Setting: "remote (DBMS on page server)", Results: remoteRes,
 		HasClientStats: true, Retry: client.RetryStats(),
+		Inflight: client.InflightStats(),
 	}
 	remoteRow.Hits, remoteRow.Misses, remoteRow.Fetches = client.CacheStats()
 	remoteRow.Frames, remoteRow.BatchFrames = client.FrameStats()
@@ -354,6 +358,13 @@ func RenderRemote(w io.Writer, results []RemoteResult) {
 				"%d commit checks, %d commit resends, %d commit unknowns\n",
 				r.Retry.Reconnects, r.Retry.Retries, r.Retry.Downgrades,
 				r.Retry.CommitChecks, r.Retry.CommitResends, r.Retry.CommitUnknowns)
+			fmt.Fprintf(w, "pipelining: max depth %d, queue wait %s, %d unknown responses\n",
+				r.Inflight.MaxDepth, r.Inflight.QueueWait.Round(time.Microsecond),
+				r.Inflight.UnknownResponses)
+			for _, op := range r.Inflight.Ops {
+				fmt.Fprintf(w, "  %-12s %8d round trips, mean %s\n",
+					op.Op, op.Count, op.Mean().Round(time.Microsecond))
+			}
 		}
 		fmt.Fprintln(w)
 	}
@@ -839,6 +850,187 @@ func RenderMultiUser(w io.Writer, results []MultiUserResult) {
 		rate := float64(r.Ops) / r.Elapsed.Seconds()
 		fmt.Fprintf(w, "%-12d %-28s %8d %9.0fms %10.0f %8d\n",
 			r.Users, kind, r.Ops, float64(r.Elapsed.Nanoseconds())/1e6, rate, r.Aborts)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- E18: wire concurrency (pipelined client vs request/response) ---
+
+// ConcurrencyResult is one client-count configuration of E18: the same
+// random page-read workload driven by N application goroutines through
+// one shared client, measured against the request/response baseline
+// (one connection, one request in flight — the pre-multiplexed
+// discipline) and against the pipelined client (a small connection
+// pool with unbounded per-connection multiplexing).
+type ConcurrencyResult struct {
+	Clients int
+	Window  time.Duration
+	RTT     time.Duration // simulated link round trip (0 = raw loopback)
+
+	BaselineOps  uint64
+	PipelinedOps uint64
+
+	BaselineOpsPerS  float64
+	PipelinedOpsPerS float64
+	Speedup          float64 // pipelined / baseline op/s
+
+	// Pipelining stats from the pipelined configuration.
+	MaxDepth    uint64        // peak requests in flight at once
+	QueueWait   time.Duration // cumulative wait behind the in-flight cap
+	GetPageMean time.Duration // mean GetPage round trip under load
+}
+
+// RunConcurrencySweep measures raw wire throughput under concurrency
+// (E18). A level-`level` database is generated on a local store and
+// put behind a page server; N goroutines then hammer Client.ReadPage
+// over the store's whole page set for a fixed window — uncached reads,
+// so every operation is a real server round trip and the experiment
+// isolates the transport. The baseline client is configured back to
+// the old request/response discipline (Conns=1, MaxInflight=1: every
+// goroutine queues behind one outstanding request); the pipelined
+// client spreads unbounded concurrent requests over a 4-connection
+// pool. Same server, same pages, same goroutine count — the gap is the
+// multiplexed wire protocol.
+//
+// rtt simulates the workstation/server link the paper's R6
+// architecture assumes: the wire runs through a delay-line proxy
+// adding rtt/2 of transit latency each way (order-preserving, no
+// bandwidth cap — see fault.Config.Latency). On a real network the
+// round trip is what a request/response protocol pays per operation
+// and what pipelining hides; rtt=0 measures raw loopback, where the
+// kernel's ~20µs round trip leaves almost nothing to hide.
+func RunConcurrencySweep(dir string, level int, seed int64, clientCounts []int, window, rtt time.Duration) ([]ConcurrencyResult, error) {
+	if window <= 0 {
+		window = time.Second
+	}
+	st, err := store.Open(filepath.Join(dir, "concurrency.db"), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	wdb, err := oodb.New(st, oodb.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := hyper.Generate(wdb, hyper.GenConfig{LeafLevel: level, Seed: seed}); err != nil {
+		return nil, err
+	}
+	if err := wdb.Commit(); err != nil {
+		return nil, err
+	}
+	pages := st.PageCount()
+	if pages < 2 {
+		return nil, fmt.Errorf("harness: store has %d pages, nothing to read", pages)
+	}
+
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	dialAddr := addr.String()
+	if rtt > 0 {
+		px, err := fault.NewProxy(dialAddr, fault.Config{Latency: rtt / 2})
+		if err != nil {
+			return nil, err
+		}
+		defer px.Close()
+		dialAddr = px.Addr()
+	}
+
+	measure := func(n int, opts remote.ClientOptions) (uint64, remote.InflightStats, error) {
+		opts.RequestTimeout = 30 * time.Second
+		c, err := remote.Dial(dialAddr, opts)
+		if err != nil {
+			return 0, remote.InflightStats{}, err
+		}
+		defer c.Close()
+		var ops atomic.Uint64
+		stop := make(chan struct{})
+		errs := make(chan error, n)
+		var wg sync.WaitGroup
+		for g := 0; g < n; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(g)*6151 + 1))
+				for {
+					select {
+					case <-stop:
+						errs <- nil
+						return
+					default:
+					}
+					// Page 0 is the store's metadata page; data pages
+					// start at 1.
+					id := 1 + rng.Uint64()%(pages-1)
+					if _, _, err := c.ReadPage(page.ID(id)); err != nil {
+						errs <- fmt.Errorf("reader %d: %w", g, err)
+						return
+					}
+					ops.Add(1)
+				}
+			}(g)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				return 0, remote.InflightStats{}, err
+			}
+		}
+		return ops.Load(), c.InflightStats(), nil
+	}
+
+	var out []ConcurrencyResult
+	for _, n := range clientCounts {
+		base, _, err := measure(n, remote.ClientOptions{Conns: 1, MaxInflight: 1})
+		if err != nil {
+			return nil, err
+		}
+		piped, inflight, err := measure(n, remote.ClientOptions{Conns: 4})
+		if err != nil {
+			return nil, err
+		}
+		row := ConcurrencyResult{
+			Clients: n, Window: window, RTT: rtt,
+			BaselineOps: base, PipelinedOps: piped,
+			BaselineOpsPerS:  float64(base) / window.Seconds(),
+			PipelinedOpsPerS: float64(piped) / window.Seconds(),
+			MaxDepth:         inflight.MaxDepth,
+			QueueWait:        inflight.QueueWait,
+		}
+		if base > 0 {
+			row.Speedup = float64(piped) / float64(base)
+		}
+		for _, op := range inflight.Ops {
+			if op.Op == "GetPage" {
+				row.GetPageMean = op.Mean()
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderConcurrencySweep writes the E18 table.
+func RenderConcurrencySweep(w io.Writer, level int, results []ConcurrencyResult) {
+	link := "raw loopback"
+	if len(results) > 0 && results[0].RTT > 0 {
+		link = fmt.Sprintf("%s RTT link", results[0].RTT)
+	}
+	title := fmt.Sprintf("E18: wire throughput under concurrency (page server, level %d, %s)", level, link)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-9s %18s %16s %9s %10s %12s\n",
+		"clients", "req/resp op/s", "pipelined op/s", "speedup", "max depth", "GetPage mean")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-9d %18.0f %16.0f %8.1fx %10d %12s\n",
+			r.Clients, r.BaselineOpsPerS, r.PipelinedOpsPerS, r.Speedup,
+			r.MaxDepth, r.GetPageMean.Round(time.Microsecond))
 	}
 	fmt.Fprintln(w)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"hypermodel/internal/hyper"
 )
@@ -257,5 +258,36 @@ func TestCacheSweep(t *testing.T) {
 	RenderCacheSweep(&buf, 3, results)
 	if !strings.Contains(buf.String(), "pool pages") {
 		t.Fatal("cache sweep table empty")
+	}
+}
+
+func TestConcurrencySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	results, err := RunConcurrencySweep(t.TempDir(), 2, 5, []int{4}, 150*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d client counts", len(results))
+	}
+	r := results[0]
+	if r.Clients != 4 {
+		t.Fatalf("clients = %d", r.Clients)
+	}
+	if r.BaselineOps == 0 || r.PipelinedOps == 0 {
+		t.Fatalf("a configuration did no work: baseline %d, pipelined %d",
+			r.BaselineOps, r.PipelinedOps)
+	}
+	// Four goroutines over a pooled, multiplexing client must overlap
+	// at least two requests at some point during the window.
+	if r.MaxDepth < 2 {
+		t.Fatalf("pipelined max depth = %d, want ≥2", r.MaxDepth)
+	}
+	var buf bytes.Buffer
+	RenderConcurrencySweep(&buf, 2, results)
+	if !strings.Contains(buf.String(), "wire throughput") {
+		t.Fatal("concurrency table empty")
 	}
 }

@@ -143,6 +143,24 @@ type BatchReader interface {
 	RefsToBatch(ids []NodeID) ([][]Edge, error)
 }
 
+// FrontierPrefetcher is the optional asynchronous warm-ahead
+// capability. The closure operations hand the *next* BFS frontier to
+// PrefetchFrontier as soon as they know it, then go on computing over
+// the current level; a backend over the page-server client starts the
+// next frontier's batched page fetch immediately, so the network round
+// trip overlaps with the traversal's own work instead of serializing
+// behind it.
+//
+// The kick is advisory: implementations warm caches, nothing more. The
+// returned wait function blocks until the background fetch settles and
+// reports its error; callers must invoke it before the next fetch of
+// those nodes (and before the transaction commits or aborts), but may
+// ignore the error — a failed prefetch only means the synchronous path
+// pays the round trip itself.
+type FrontierPrefetcher interface {
+	PrefetchFrontier(ids []NodeID) (wait func() error)
+}
+
 // SchemaModifier is the optional dynamic-schema extension (R4, §6.8
 // extension 1): add a class like DrawNode at runtime and attach new
 // attributes to it.

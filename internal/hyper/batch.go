@@ -97,3 +97,29 @@ func RefsToBatch(b Backend, ids []NodeID) ([][]Edge, error) {
 	}
 	return batchFallback(ids, b.RefsTo)
 }
+
+// kickFrontier starts warming the backend's caches with the next BFS
+// frontier when the backend supports asynchronous prefetch, returning
+// the wait function (nil when there is nothing to kick). The closure
+// loops call it the moment a next frontier is known, so the fetch
+// overlaps with the current level's computation.
+func kickFrontier(b Backend, ids []NodeID) func() error {
+	if len(ids) == 0 {
+		return nil
+	}
+	if fp, ok := b.(FrontierPrefetcher); ok {
+		return fp.PrefetchFrontier(ids)
+	}
+	return nil
+}
+
+// awaitFrontier settles a pending kickFrontier before the frontier is
+// fetched for real. The prefetch is advisory, so its error is
+// deliberately dropped: a page it failed to warm is simply fetched —
+// and any real failure surfaced — by the synchronous batch read that
+// follows.
+func awaitFrontier(wait func() error) {
+	if wait != nil {
+		_ = wait()
+	}
+}

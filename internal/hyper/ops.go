@@ -135,13 +135,13 @@ func SeqScan(b Backend, first, last NodeID) (int, error) {
 // children list during assembly.
 func childrenLevels(b Backend, start NodeID) (levels [][][]NodeID, total int, err error) {
 	frontier := []NodeID{start}
+	var pending func() error
 	for len(frontier) > 0 {
+		awaitFrontier(pending)
 		lists, err := ChildrenBatch(b, frontier)
 		if err != nil {
 			return nil, 0, err
 		}
-		levels = append(levels, lists)
-		total += len(frontier)
 		width := 0
 		for _, l := range lists {
 			width += len(l)
@@ -150,6 +150,9 @@ func childrenLevels(b Backend, start NodeID) (levels [][][]NodeID, total int, er
 		for _, l := range lists {
 			next = append(next, l...)
 		}
+		pending = kickFrontier(b, next)
+		levels = append(levels, lists)
+		total += len(frontier)
 		frontier = next
 	}
 	return levels, total, nil
@@ -183,7 +186,9 @@ func Closure1N(b Backend, start NodeID) ([]NodeID, error) {
 // of start, returning the sum and the number of nodes visited.
 func Closure1NAttSum(b Backend, start NodeID) (sum int64, visited int, err error) {
 	frontier := []NodeID{start}
+	var pending func() error
 	for len(frontier) > 0 {
+		awaitFrontier(pending)
 		hs, err := HundredBatch(b, frontier)
 		if err != nil {
 			return 0, 0, err
@@ -193,10 +198,14 @@ func Closure1NAttSum(b Backend, start NodeID) (sum int64, visited int, err error
 			return 0, 0, err
 		}
 		var next []NodeID
+		for _, l := range lists {
+			next = append(next, l...)
+		}
+		// Kick the next level's fetch before summing this one.
+		pending = kickFrontier(b, next)
 		for i := range frontier {
 			sum += int64(hs[i])
 			visited++
-			next = append(next, lists[i]...)
 		}
 		frontier = next
 	}
@@ -208,16 +217,12 @@ func Closure1NAttSum(b Backend, start NodeID) (sum int64, visited int, err error
 // values. It returns the number of nodes updated.
 func Closure1NAttSet(b Backend, start NodeID) (updated int, err error) {
 	frontier := []NodeID{start}
+	var pending func() error
 	for len(frontier) > 0 {
+		awaitFrontier(pending)
 		hs, err := HundredBatch(b, frontier)
 		if err != nil {
 			return 0, err
-		}
-		for i, id := range frontier {
-			if err := b.SetHundred(id, int32(HundredRange-1)-hs[i]); err != nil {
-				return 0, err
-			}
-			updated++
 		}
 		lists, err := ChildrenBatch(b, frontier)
 		if err != nil {
@@ -226,6 +231,16 @@ func Closure1NAttSet(b Backend, start NodeID) (updated int, err error) {
 		var next []NodeID
 		for _, l := range lists {
 			next = append(next, l...)
+		}
+		// Kick the next level's fetch, then update this one while the
+		// pages travel.
+		pending = kickFrontier(b, next)
+		for i, id := range frontier {
+			if err := b.SetHundred(id, int32(HundredRange-1)-hs[i]); err != nil {
+				awaitFrontier(pending)
+				return 0, err
+			}
+			updated++
 		}
 		frontier = next
 	}
@@ -245,7 +260,9 @@ func Closure1NPred(b Backend, start NodeID, x int32) ([]NodeID, error) {
 	var lists [][][]NodeID
 	total := 0
 	frontier := []NodeID{start}
+	var pending func() error
 	for len(frontier) > 0 {
+		awaitFrontier(pending)
 		nodes, err := NodesBatch(b, frontier)
 		if err != nil {
 			return nil, err
@@ -263,9 +280,6 @@ func Closure1NPred(b Backend, start NodeID, x int32) ([]NodeID, error) {
 		if err != nil {
 			return nil, err
 		}
-		flags = append(flags, keep)
-		lists = append(lists, level)
-		total += len(kept)
 		width := 0
 		for _, l := range level {
 			width += len(l)
@@ -274,6 +288,10 @@ func Closure1NPred(b Backend, start NodeID, x int32) ([]NodeID, error) {
 		for _, l := range level {
 			next = append(next, l...)
 		}
+		pending = kickFrontier(b, next)
+		flags = append(flags, keep)
+		lists = append(lists, level)
+		total += len(kept)
 		frontier = next
 	}
 	if total == 0 {
@@ -321,8 +339,10 @@ func ClosureMN(b Backend, start NodeID) ([]NodeID, error) {
 	ids := []NodeID{start}
 	offs := make([]int32, 1, 16)
 	var arena []int32
+	var pending func() error
 	for fetched := 0; fetched < len(ids); {
 		frontier := ids[fetched:]
+		awaitFrontier(pending)
 		pls, err := PartsBatch(b, frontier)
 		if err != nil {
 			return nil, err
@@ -340,6 +360,7 @@ func ClosureMN(b Backend, start NodeID) ([]NodeID, error) {
 			}
 			offs = append(offs, int32(len(arena)))
 		}
+		pending = kickFrontier(b, ids[fetched:])
 	}
 	// Replay the depth-first walk from the cache: the BFS above visited
 	// exactly the reachable set, so every parts list the walk needs is
@@ -384,8 +405,10 @@ func refsToClosure(b Backend, start NodeID, depth int) (ids []NodeID, offs []int
 	ids = []NodeID{start}
 	offs = make([]int32, 1, 16)
 	fetched := 0
+	var pending func() error
 	for level := 0; level < depth && fetched < len(ids); level++ {
 		frontier := ids[fetched:]
+		awaitFrontier(pending)
 		els, err := RefsToBatch(b, frontier)
 		if err != nil {
 			return nil, nil, nil, err
@@ -403,7 +426,13 @@ func refsToClosure(b Backend, start NodeID, depth int) (ids []NodeID, offs []int
 			}
 			offs = append(offs, int32(len(arena)))
 		}
+		if level+1 < depth {
+			pending = kickFrontier(b, ids[fetched:])
+			// The replay below needs no fetches, so a kick for the
+			// level the loop is about to cut off would go to waste.
+		}
 	}
+	awaitFrontier(pending)
 	return ids, offs, arena, nil
 }
 

@@ -18,6 +18,45 @@ type Prefetcher interface {
 	Prefetch(ids []page.ID) error
 }
 
+// AsyncPrefetcher is the optional asynchronous bulk-fetch capability
+// of a page Space: PrefetchAsync starts warming the cache and returns
+// immediately, so the fetch overlaps with the caller's computation.
+// The returned wait function blocks until the fetch settles and
+// reports its error; it must be called before the transaction commits
+// or aborts.
+type AsyncPrefetcher interface {
+	PrefetchAsync(ids []page.ID) (wait func() error)
+}
+
+// PrefetchOIDs starts warming the cache with every listed object's
+// data page, without blocking on the fetch. It returns nil when the
+// Space cannot fetch asynchronously (the caller simply proceeds to its
+// synchronous reads). Only the objects' primary data pages are warmed
+// — overflow chains reveal themselves one hop at a time and are left
+// to GetBatch's lockstep walk.
+func (s *Store) PrefetchOIDs(oids []OID) (wait func() error) {
+	ap, ok := s.sp.(AsyncPrefetcher)
+	if !ok || len(oids) == 0 {
+		return nil
+	}
+	distinct := make([]page.ID, 0, len(oids))
+	seen := make(map[page.ID]bool, len(oids))
+	for _, oid := range oids {
+		r, err := s.lookup(oid)
+		if err != nil {
+			continue // advisory: the synchronous read will surface it
+		}
+		if !seen[r.pg] {
+			seen[r.pg] = true
+			distinct = append(distinct, r.pg)
+		}
+	}
+	if len(distinct) == 0 {
+		return nil
+	}
+	return ap.PrefetchAsync(distinct)
+}
+
 // GetBatch returns a copy of each listed object's bytes, out[i] for
 // oids[i]. Records are visited grouped by data page so every page is
 // fetched and pinned once per batch regardless of how many objects it

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypermodel/internal/storage/buffer"
@@ -20,16 +21,32 @@ import (
 // the transaction's read set (for optimistic validation) and write set
 // to the server atomically.
 //
+// The transport is multiplexed: every request carries a 64-bit ID, so
+// many requests ride one connection concurrently and responses return
+// in whatever order the server finishes them. Requests spread over a
+// small connection pool (ClientOptions.Conns); each pooled connection
+// runs a demultiplexing core (see muxConn) with one writer and one
+// reader goroutine. Session state — the page cache, version table and
+// read set — stays under one mutex, but that mutex is released across
+// page-fetch round trips, so concurrent Gets from many goroutines
+// pipeline over the pool instead of queueing behind each other.
+//
 // The client survives a flaky network. Transport failures on
 // idempotent requests (page fetches, roots, stats) redial with capped
 // exponential backoff and resend; a failure with a commit in flight is
 // resolved through the commit token (see Commit) so a transaction is
-// applied at most once. Reconnecting invalidates the session's cached
-// clean pages — they may be stale by the time the connection is back —
-// while dirty pages stay resident: under the no-steal policy they
-// exist nowhere else, and the read set still guards their validity at
-// commit time.
+// applied at most once. A dead connection drains: every request in
+// flight on it fails with the same cause and retries (or surfaces)
+// independently. Reconnecting invalidates the session's cached clean
+// pages — they may be stale by the time the connection is back — while
+// dirty pages stay resident: under the no-steal policy they exist
+// nowhere else, and the read set still guards their validity at commit
+// time.
 type Client struct {
+	// mu guards session state: the pool, version table, read set,
+	// transaction bookkeeping and the root directory. It is never held
+	// across conn I/O on the fetch path — fetches run on the wire
+	// layer below and re-acquire mu to install their results.
 	mu       sync.Mutex
 	pool     *buffer.Pool
 	versions map[page.ID]uint64 // version of each cached page as fetched
@@ -38,37 +55,60 @@ type Client struct {
 
 	addr string
 	opts ClientOptions
-	rng  *rand.Rand // backoff jitter and commit tokens; guarded by mu
 
-	// connMu guards the connection separately from mu so Close never
-	// waits behind an in-flight request (and can interrupt one).
-	connMu   sync.Mutex
-	conn     net.Conn
-	closed   bool
+	rngMu sync.Mutex
+	rng   *rand.Rand // backoff jitter and commit tokens
+
+	closed   atomic.Bool
 	closedCh chan struct{}
+
+	// slots is the connection pool; next is the round-robin cursor.
+	slots []*connSlot
+	next  atomic.Uint64
+
+	// sessionGen is bumped by every successful redial. The wire layer
+	// cannot take c.mu, so session invalidation is reconciled lazily:
+	// ops compare seenGen (under mu) against sessionGen and drop clean
+	// cached state when a reconnect happened since they last looked.
+	sessionGen atomic.Uint64
+	seenGen    uint64 // guarded by mu
 
 	roots      [store.NumRoots]page.ID
 	rootsVer   uint64
 	rootsRead  bool
 	rootsDirty map[int]page.ID
 
-	// reqBuf is the grow-only request buffer: every outgoing frame is
-	// assembled in it (length header included) and sent with a single
-	// write, so steady-state requests allocate nothing.
-	reqBuf []byte
-
 	// batchOK clears when the server refuses opGetPages; the client
 	// then degrades to per-page fetches for the rest of its life.
-	batchOK bool
+	batchOK atomic.Bool
 
-	hits, misses, fetches uint64
-	frames, batchFrames   uint64
-	reconnects            uint64
-	retries               uint64
-	downgrades            uint64
-	commitChecks          uint64
-	commitResends         uint64
-	commitUnknowns        uint64
+	hits, misses        uint64 // guarded by mu
+	fetches             atomic.Uint64
+	frames, batchFrames atomic.Uint64
+	reconnects          atomic.Uint64
+	retries             atomic.Uint64
+	downgrades          atomic.Uint64
+	commitChecks        atomic.Uint64
+	commitResends       atomic.Uint64
+	commitUnknowns      atomic.Uint64
+
+	// Pipelining stats (see InflightStats).
+	curInflight  atomic.Int64
+	peakInflight atomic.Int64
+	queueWaitNs  atomic.Int64
+	unknownResps atomic.Uint64
+	histMu       sync.Mutex
+	hist         map[byte]*opHist
+}
+
+// connSlot is one pooled connection endpoint. Its mutex guards only
+// the muxConn pointer — dialing happens outside it, and replacing a
+// dead connection is effectively single-flight: racing redials detect
+// a freshly installed live connection and adopt it instead of
+// stampeding the server.
+type connSlot struct {
+	mu sync.Mutex
+	mc *muxConn
 }
 
 // ClientOptions configure a workstation client.
@@ -76,9 +116,19 @@ type ClientOptions struct {
 	// PoolPages is the size of the workstation page cache (default
 	// 1024 pages = 4 MiB).
 	PoolPages int
+	// Conns is the size of the connection pool requests are spread
+	// over (default 1). All connections are dialed up front.
+	Conns int
+	// MaxInflight caps concurrently outstanding requests per pooled
+	// connection (0 = unlimited). Conns=1 with MaxInflight=1 restores
+	// the strict one-request-per-round-trip discipline of the
+	// pre-multiplexed protocol — the E18 baseline.
+	MaxInflight int
 	// RequestTimeout bounds one request/response round trip. A request
 	// that exceeds it fails like any other transport error (and is
-	// retried if idempotent). Zero means no deadline.
+	// retried if idempotent); the connection it was riding is retired
+	// and every other request in flight on it fails and recovers too.
+	// Zero means no deadline.
 	RequestTimeout time.Duration
 	// RetryLimit is how many redial-and-resend attempts a failed
 	// request gets before its transport error surfaces (default 8;
@@ -98,6 +148,9 @@ type ClientOptions struct {
 func (o ClientOptions) withDefaults() ClientOptions {
 	if o.PoolPages <= 0 {
 		o.PoolPages = 1024
+	}
+	if o.Conns <= 0 {
+		o.Conns = 1
 	}
 	switch {
 	case o.RetryLimit == 0:
@@ -119,7 +172,7 @@ func (o ClientOptions) withDefaults() ClientOptions {
 
 // RetryStats are the client's fault-tolerance counters.
 type RetryStats struct {
-	Reconnects     uint64 // sessions re-established after a transport failure
+	Reconnects     uint64 // connections re-established after a transport failure
 	Retries        uint64 // idempotent requests resent after reconnecting
 	Downgrades     uint64 // batched fetches degraded to per-page fetches
 	CommitChecks   uint64 // commit-token probes after a mid-commit disconnect
@@ -127,66 +180,44 @@ type RetryStats struct {
 	CommitUnknowns uint64 // commits whose outcome could not be re-verified
 }
 
-// Dial connects to a page server and loads the root directory.
+// Dial connects to a page server — the whole connection pool, up
+// front — and loads the root directory.
 func Dial(addr string, opts ClientOptions) (*Client, error) {
 	opts = opts.withDefaults()
-	conn, err := opts.Dialer(addr)
-	if err != nil {
-		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
-	}
 	c := &Client{
 		addr:       addr,
 		opts:       opts,
 		rng:        rand.New(rand.NewSource(rand.Int63())),
-		conn:       conn,
 		closedCh:   make(chan struct{}),
 		pool:       buffer.New(opts.PoolPages),
 		versions:   make(map[page.ID]uint64),
 		readSet:    make(map[page.ID]uint64),
 		rootsDirty: make(map[int]page.ID),
-		batchOK:    true,
+		hist:       make(map[byte]*opHist),
 	}
-	if err := c.fetchRoots(); err != nil {
+	c.batchOK.Store(true)
+	for i := 0; i < opts.Conns; i++ {
+		conn, err := opts.Dialer(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+		}
+		c.slots = append(c.slots, &connSlot{mc: newMuxConn(c, conn)})
+	}
+	if err := func() error {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.fetchRoots()
+	}(); err != nil {
 		c.Close()
 		return nil, err
 	}
 	return c, nil
 }
 
-// newReq starts a request frame in the reusable buffer, reserving the
-// four length-header bytes. Callers append the payload and hand the
-// frame to call. Callers hold c.mu.
-func (c *Client) newReq() []byte {
-	return append(c.reqBuf[:0], 0, 0, 0, 0)
-}
-
 // errNotConnected marks the window between a dropped connection and
 // the redial; it is transport-class (retriable).
 var errNotConnected = errors.New("remote: not connected")
-
-// currentConn snapshots the live connection.
-func (c *Client) currentConn() (net.Conn, error) {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.closed {
-		return nil, ErrClosed
-	}
-	if c.conn == nil {
-		return nil, errNotConnected
-	}
-	return c.conn, nil
-}
-
-// dropConn retires a connection after a transport failure, unless a
-// newer one has already replaced it.
-func (c *Client) dropConn(conn net.Conn) {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.conn == conn {
-		conn.Close()
-		c.conn = nil
-	}
-}
 
 // transient reports whether err is a transport-class failure — the
 // request may never have reached the server, so reconnecting and
@@ -214,80 +245,78 @@ func idempotentOp(op byte) bool {
 	return false
 }
 
-// seal fills in the frame's length header and keeps the (possibly
-// grown) buffer for reuse.
-func (c *Client) seal(framed []byte) {
-	c.reqBuf = framed
-	binary.LittleEndian.PutUint32(framed[:4], uint32(len(framed)-4))
+// pickSlot returns the pool slot for the next request (round-robin).
+func (c *Client) pickSlot() *connSlot {
+	if len(c.slots) == 1 {
+		return c.slots[0]
+	}
+	return c.slots[int(c.next.Add(1))%len(c.slots)]
 }
 
-// callOnce performs one request/response round trip on the current
-// connection, under the per-request deadline. Transport failures
-// retire the connection.
-func (c *Client) callOnce(framed []byte) ([]byte, error) {
-	conn, err := c.currentConn()
+// liveMux returns the slot's live demux core, errNotConnected when the
+// slot needs a redial, or ErrClosed after Close.
+func (c *Client) liveMux(s *connSlot) (*muxConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mc == nil || s.mc.isDead() {
+		return nil, errNotConnected
+	}
+	return s.mc, nil
+}
+
+// doOnce performs one request attempt on the slot's current
+// connection, recording in-flight depth and per-opcode latency.
+// payload is opcode + body.
+func (c *Client) doOnce(s *connSlot, payload []byte) ([]byte, error) {
+	m, err := c.liveMux(s)
 	if err != nil {
 		return nil, err
 	}
-	if d := c.opts.RequestTimeout; d > 0 {
-		conn.SetDeadline(time.Now().Add(d))
-		defer conn.SetDeadline(time.Time{})
+	c.frames.Add(1)
+	depth := c.curInflight.Add(1)
+	for {
+		p := c.peakInflight.Load()
+		if depth <= p || c.peakInflight.CompareAndSwap(p, depth) {
+			break
+		}
 	}
-	c.frames++
-	if _, err := conn.Write(framed); err != nil {
-		c.dropConn(conn)
-		return nil, fmt.Errorf("remote: send: %w", err)
-	}
-	resp, err := readFrame(conn)
-	if err != nil {
-		c.dropConn(conn)
-		return nil, fmt.Errorf("remote: receive: %w", err)
-	}
-	if len(resp) == 0 {
-		// Protocol desync: retire the connection rather than guess.
-		c.dropConn(conn)
-		return nil, errors.New("remote: empty response")
-	}
-	switch resp[0] {
-	case statusOK:
-		return resp[1:], nil
-	case statusConflict:
-		return nil, ErrConflict
-	case statusBadRequest:
-		return nil, &ServerError{BadRequest: true, Msg: string(resp[1:])}
-	default:
-		return nil, &ServerError{Msg: string(resp[1:])}
-	}
+	start := time.Now()
+	resp, err := m.do(payload, c.opts.RequestTimeout)
+	c.curInflight.Add(-1)
+	c.recordOp(payload[0], time.Since(start))
+	return resp, err
 }
 
-// call performs one request/response round trip. Transport failures on
-// idempotent requests redial with backoff and resend the same frame;
-// non-idempotent requests surface the failure to their caller (Commit
-// resolves it through the commit token). framed must come from newReq.
-// Callers hold c.mu.
-func (c *Client) call(framed []byte) ([]byte, error) {
-	c.seal(framed)
-	resp, err := c.callOnce(framed)
-	if !transient(err) || !idempotentOp(framed[4]) {
+// call performs one request round trip over the pool. Transport
+// failures on idempotent requests redial with backoff and resend the
+// same payload; non-idempotent requests surface the failure to their
+// caller (Commit resolves it through the commit token).
+func (c *Client) call(payload []byte) ([]byte, error) {
+	s := c.pickSlot()
+	resp, err := c.doOnce(s, payload)
+	if !transient(err) || !idempotentOp(payload[0]) {
 		return resp, err
 	}
-	return c.retryCall(framed, err)
+	return c.retryCall(s, payload, err)
 }
 
-// retryCall redials and resends an idempotent frame until it gets a
-// definite answer or the retry budget runs out.
-func (c *Client) retryCall(framed []byte, first error) ([]byte, error) {
+// retryCall redials the slot and resends an idempotent payload until
+// it gets a definite answer or the retry budget runs out.
+func (c *Client) retryCall(s *connSlot, payload []byte, first error) ([]byte, error) {
 	lastErr := first
 	for attempt := 0; attempt < c.opts.RetryLimit; attempt++ {
-		if err := c.redial(attempt); err != nil {
+		if err := c.redial(s, attempt); err != nil {
 			if errors.Is(err, ErrClosed) {
 				return nil, err
 			}
 			lastErr = err
 			continue
 		}
-		c.retries++
-		resp, err := c.callOnce(framed)
+		c.retries.Add(1)
+		resp, err := c.doOnce(s, payload)
 		if !transient(err) {
 			return resp, err
 		}
@@ -296,30 +325,42 @@ func (c *Client) retryCall(framed []byte, first error) ([]byte, error) {
 	return nil, fmt.Errorf("remote: request failed after %d attempts: %w", c.opts.RetryLimit+1, lastErr)
 }
 
-// redial re-establishes the server session: capped exponential backoff
-// with full jitter, a fresh connection, and session invalidation.
-// Callers hold c.mu.
-func (c *Client) redial(attempt int) error {
+// redial re-establishes one pool slot: capped exponential backoff with
+// full jitter, then a fresh connection. Concurrent requests that raced
+// into the same dead slot adopt whichever dial lands first instead of
+// each opening a connection. A successful dial bumps the session
+// generation; session state is invalidated lazily (syncSessionLocked)
+// because the wire layer never takes c.mu.
+func (c *Client) redial(s *connSlot, attempt int) error {
 	if err := c.backoff(attempt); err != nil {
 		return err
+	}
+	s.mu.Lock()
+	prev := s.mc
+	s.mu.Unlock()
+	if prev != nil && !prev.isDead() {
+		return nil // another request already redialed while we backed off
 	}
 	conn, err := c.opts.Dialer(c.addr)
 	if err != nil {
 		return fmt.Errorf("remote: redial %s: %w", c.addr, err)
 	}
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
-		conn.Close()
+	fresh := newMuxConn(c, conn)
+	s.mu.Lock()
+	if c.closed.Load() {
+		s.mu.Unlock()
+		fresh.kill(ErrClosed)
 		return ErrClosed
 	}
-	if c.conn != nil {
-		c.conn.Close()
+	if s.mc != prev && s.mc != nil && !s.mc.isDead() {
+		s.mu.Unlock()
+		fresh.kill(errNotConnected) // lost the dial race; use the winner's connection
+		return nil
 	}
-	c.conn = conn
-	c.connMu.Unlock()
-	c.reconnects++
-	c.invalidateSessionLocked()
+	s.mc = fresh
+	s.mu.Unlock()
+	c.reconnects.Add(1)
+	c.sessionGen.Add(1)
 	return nil
 }
 
@@ -333,12 +374,27 @@ func (c *Client) backoff(attempt int) error {
 	if cap > c.opts.BackoffMax || cap <= 0 {
 		cap = c.opts.BackoffMax
 	}
+	c.rngMu.Lock()
 	d := time.Duration(1 + c.rng.Int63n(int64(cap)))
+	c.rngMu.Unlock()
 	select {
 	case <-time.After(d):
 		return nil
 	case <-c.closedCh:
 		return ErrClosed
+	}
+}
+
+// syncSessionLocked applies any reconnect-induced invalidation that
+// happened since session state was last touched. Ops call it on entry
+// and again after any round trip made while holding c.mu, so cached
+// clean pages never outlive the connection generation that fetched
+// them by more than one reconciliation point.
+func (c *Client) syncSessionLocked() {
+	gen := c.sessionGen.Load()
+	if gen != c.seenGen {
+		c.seenGen = gen
+		c.invalidateSessionLocked()
 	}
 }
 
@@ -370,13 +426,14 @@ func (c *Client) conflictResetLocked() error {
 }
 
 func (c *Client) fetchRoots() error {
-	resp, err := c.call(append(c.newReq(), opRoots))
+	resp, err := c.call([]byte{opRoots})
 	if err != nil {
 		return err
 	}
 	if len(resp) != 8+8*store.NumRoots {
 		return errors.New("remote: bad roots response")
 	}
+	c.syncSessionLocked()
 	c.rootsVer = binary.LittleEndian.Uint64(resp)
 	for i := 0; i < store.NumRoots; i++ {
 		c.roots[i] = page.ID(binary.LittleEndian.Uint64(resp[8+8*i:]))
@@ -394,10 +451,12 @@ func (h *handle) Page() *page.Page { return h.f.Page }
 func (h *handle) MarkDirty()       { h.c.pool.MarkDirty(h.f) }
 func (h *handle) Release()         { h.c.pool.Release(h.f) }
 
-// fetchPageLocked fetches one page image from the server. Callers hold
-// c.mu.
-func (c *Client) fetchPageLocked(id page.ID) (uint64, *page.Page, error) {
-	req := binary.LittleEndian.AppendUint64(append(c.newReq(), opGetPage), uint64(id))
+// fetchPage fetches one page image from the server. It takes no locks
+// of its own, so any number of fetches can be in flight concurrently.
+func (c *Client) fetchPage(id page.ID) (uint64, *page.Page, error) {
+	req := make([]byte, 0, 9)
+	req = append(req, opGetPage)
+	req = binary.LittleEndian.AppendUint64(req, uint64(id))
 	resp, err := c.call(req)
 	if err != nil {
 		return 0, nil, err
@@ -405,7 +464,7 @@ func (c *Client) fetchPageLocked(id page.ID) (uint64, *page.Page, error) {
 	if len(resp) != 8+page.Size {
 		return 0, nil, errors.New("remote: bad GetPage response")
 	}
-	c.fetches++
+	c.fetches.Add(1)
 	img := &page.Page{}
 	copy(img.Bytes(), resp[8:])
 	return binary.LittleEndian.Uint64(resp), img, nil
@@ -428,19 +487,33 @@ func (c *Client) checkReadVersionLocked(id page.ID, ver uint64) error {
 }
 
 // Get pins the page, fetching it from the server on a cache miss, and
-// records it in the transaction's read set.
+// records it in the transaction's read set. The session mutex is
+// released across the server round trip, so concurrent Gets pipeline
+// over the connection pool.
 func (c *Client) Get(id page.ID) (store.Handle, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.syncSessionLocked()
 	if f := c.pool.Get(id); f != nil {
 		c.hits++
 		c.readSet[id] = c.versions[id]
+		c.mu.Unlock()
 		return &handle{c, f}, nil
 	}
 	c.misses++
-	ver, img, err := c.fetchPageLocked(id)
+	c.mu.Unlock()
+
+	ver, img, err := c.fetchPage(id)
 	if err != nil {
 		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncSessionLocked()
+	if f := c.pool.Get(id); f != nil {
+		// A concurrent Get or prefetch installed it while we fetched.
+		c.readSet[id] = c.versions[id]
+		return &handle{c, f}, nil
 	}
 	if err := c.checkReadVersionLocked(id, ver); err != nil {
 		return nil, err
@@ -451,16 +524,21 @@ func (c *Client) Get(id page.ID) (store.Handle, error) {
 	return &handle{c, f}, nil
 }
 
-// Prefetch warms the workstation cache with every listed page that is
-// not already resident, fetching all of them from the server in a
-// single opGetPages round trip (chunked only past maxBatchPages).
-// Prefetched pages enter the pool and the version table but not the
-// read set: optimistic validation covers exactly the pages the
-// transaction actually reads, and a prefetched page only joins the
-// read set when a later Get touches it.
-func (c *Client) Prefetch(ids []page.ID) error {
+// ReadPage fetches one page image straight from the server, bypassing
+// the workstation cache, the version table and the read set. It is the
+// measurement primitive for wire-level throughput experiments: every
+// call is a real server round trip, so op/s curves measure the
+// transport, not the cache.
+func (c *Client) ReadPage(id page.ID) (uint64, *page.Page, error) {
+	return c.fetchPage(id)
+}
+
+// missingOf dedups ids and drops the ones already resident, under the
+// session mutex.
+func (c *Client) missingOf(ids []page.ID) []page.ID {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncSessionLocked()
 	var missing []page.ID
 	var seen map[page.ID]bool
 	for _, id := range ids {
@@ -477,12 +555,24 @@ func (c *Client) Prefetch(ids []page.ID) error {
 		seen[id] = true
 		missing = append(missing, id)
 	}
+	return missing
+}
+
+// Prefetch warms the workstation cache with every listed page that is
+// not already resident, fetching all of them from the server in a
+// single opGetPages round trip (chunked only past maxBatchPages).
+// Prefetched pages enter the pool and the version table but not the
+// read set: optimistic validation covers exactly the pages the
+// transaction actually reads, and a prefetched page only joins the
+// read set when a later Get touches it.
+func (c *Client) Prefetch(ids []page.ID) error {
+	missing := c.missingOf(ids)
 	for len(missing) > 0 {
 		n := len(missing)
 		if n > maxBatchPages {
 			n = maxBatchPages
 		}
-		if err := c.fetchPagesLocked(missing[:n]); err != nil {
+		if err := c.fetchPages(missing[:n], true); err != nil {
 			return err
 		}
 		missing = missing[n:]
@@ -490,48 +580,89 @@ func (c *Client) Prefetch(ids []page.ID) error {
 	return nil
 }
 
-// fetchPagesLocked brings one chunk of pages into the pool, batched
-// when the server supports it. When the server refuses opGetPages (an
-// older server, or a policy rejection) the client records the
-// downgrade and degrades gracefully to per-page fetches — slower, but
-// the traversal completes. Callers hold c.mu.
-func (c *Client) fetchPagesLocked(ids []page.ID) error {
-	if c.batchOK {
-		err := c.fetchPageBatchLocked(ids)
+// PrefetchAsync starts warming the cache with the listed pages and
+// returns a wait function reporting the fetch's error. The fetch
+// overlaps with whatever the caller does next — closure traversals
+// kick off the next frontier's opGetPages before computing on the
+// current one. Pages install as responses arrive; a page whose fetched
+// version contradicts the transaction's read set is skipped (never
+// installed stale), leaving the conflict for the synchronous path to
+// surface. The wait function must be called before the transaction
+// commits or aborts; calling it more than once is allowed.
+func (c *Client) PrefetchAsync(ids []page.ID) (wait func() error) {
+	missing := c.missingOf(ids)
+	if len(missing) == 0 {
+		return func() error { return nil }
+	}
+	done := make(chan error, 1)
+	go func() {
+		var err error
+		rest := missing
+		for len(rest) > 0 && err == nil {
+			n := len(rest)
+			if n > maxBatchPages {
+				n = maxBatchPages
+			}
+			err = c.fetchPages(rest[:n], false)
+			rest = rest[n:]
+		}
+		done <- err
+	}()
+	var once sync.Once
+	var err error
+	return func() error {
+		once.Do(func() { err = <-done })
+		return err
+	}
+}
+
+// fetchPages brings one chunk of pages into the pool, batched when the
+// server supports it. When the server refuses opGetPages (an older
+// server, or a policy rejection) the client records the downgrade and
+// degrades gracefully to per-page fetches — slower, but the traversal
+// completes. strict propagates to installFetchedLocked.
+func (c *Client) fetchPages(ids []page.ID, strict bool) error {
+	if c.batchOK.Load() {
+		err := c.fetchPageBatch(ids, strict)
 		var se *ServerError
 		if err == nil || !errors.As(err, &se) {
 			return err // success, or transport retries exhausted
 		}
-		c.batchOK = false
-		c.downgrades++
+		c.batchOK.Store(false)
+		c.downgrades.Add(1)
 	}
 	for _, id := range ids {
+		c.mu.Lock()
 		if f := c.pool.Get(id); f != nil {
 			c.pool.Release(f)
+			c.mu.Unlock()
 			continue
 		}
-		ver, img, err := c.fetchPageLocked(id)
+		c.mu.Unlock()
+		ver, img, err := c.fetchPage(id)
 		if err != nil {
 			return err
 		}
-		if err := c.checkReadVersionLocked(id, ver); err != nil {
+		c.mu.Lock()
+		err = c.installFetchedLocked(id, ver, img, strict)
+		c.mu.Unlock()
+		if err != nil {
 			return err
 		}
-		c.pool.Release(c.pool.Insert(id, img))
-		c.versions[id] = ver
 	}
 	return nil
 }
 
-// fetchPageBatchLocked requests one chunk of pages in a single frame
-// and inserts them into the pool. Callers hold c.mu.
-func (c *Client) fetchPageBatchLocked(ids []page.ID) error {
-	req := append(c.newReq(), opGetPages)
+// fetchPageBatch requests one chunk of pages in a single frame and
+// installs them into the pool.
+func (c *Client) fetchPageBatch(ids []page.ID, strict bool) error {
+	req := make([]byte, 0, 5+8*len(ids))
+	req = append(req, opGetPages)
 	req = binary.LittleEndian.AppendUint32(req, uint32(len(ids)))
 	for _, id := range ids {
 		req = binary.LittleEndian.AppendUint64(req, uint64(id))
 	}
-	c.batchFrames++
+	c.batchFrames.Add(1)
 	resp, err := c.call(req)
 	if err != nil {
 		return err
@@ -539,47 +670,63 @@ func (c *Client) fetchPageBatchLocked(ids []page.ID) error {
 	if len(resp) != len(ids)*(8+page.Size) {
 		return errors.New("remote: bad GetPages response")
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	off := 0
 	for _, id := range ids {
 		ver := binary.LittleEndian.Uint64(resp[off:])
 		img := &page.Page{}
 		copy(img.Bytes(), resp[off+8:off+8+page.Size])
 		off += 8 + page.Size
-		if f := c.pool.Get(id); f != nil {
-			// Already resident (Insert would refuse a duplicate).
-			c.pool.Release(f)
-			continue
-		}
-		if err := c.checkReadVersionLocked(id, ver); err != nil {
+		c.fetches.Add(1)
+		if err := c.installFetchedLocked(id, ver, img, strict); err != nil {
 			return err
 		}
-		c.fetches++
-		c.pool.Release(c.pool.Insert(id, img))
-		c.versions[id] = ver
 	}
 	return nil
 }
 
-// FrameStats reports how many frames the client has sent in total
-// (retries included) and how many of them were batched page fetches
-// (opGetPages).
+// installFetchedLocked installs one fetched page under c.mu. In strict
+// mode a read-set version mismatch surfaces as ErrConflict (the
+// synchronous prefetch path, same contract as Get); in async mode the
+// page is simply not installed — a background prefetch must never turn
+// the cache stale or raise a conflict nobody is positioned to handle.
+func (c *Client) installFetchedLocked(id page.ID, ver uint64, img *page.Page, strict bool) error {
+	c.syncSessionLocked()
+	if f := c.pool.Get(id); f != nil {
+		c.pool.Release(f) // already resident (Insert would refuse a duplicate)
+		return nil
+	}
+	if prev, ok := c.readSet[id]; ok && prev != ver {
+		if !strict {
+			return nil
+		}
+		if err := c.conflictResetLocked(); err != nil {
+			return err
+		}
+		return ErrConflict
+	}
+	c.pool.Release(c.pool.Insert(id, img))
+	c.versions[id] = ver
+	return nil
+}
+
+// FrameStats reports how many request frames the client has sent in
+// total (retries included) and how many of them were batched page
+// fetches (opGetPages).
 func (c *Client) FrameStats() (total, batched uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.frames, c.batchFrames
+	return c.frames.Load(), c.batchFrames.Load()
 }
 
 // RetryStats reports the client's fault-tolerance counters.
 func (c *Client) RetryStats() RetryStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return RetryStats{
-		Reconnects:     c.reconnects,
-		Retries:        c.retries,
-		Downgrades:     c.downgrades,
-		CommitChecks:   c.commitChecks,
-		CommitResends:  c.commitResends,
-		CommitUnknowns: c.commitUnknowns,
+		Reconnects:     c.reconnects.Load(),
+		Retries:        c.retries.Load(),
+		Downgrades:     c.downgrades.Load(),
+		CommitChecks:   c.commitChecks.Load(),
+		CommitResends:  c.commitResends.Load(),
+		CommitUnknowns: c.commitUnknowns.Load(),
 	}
 }
 
@@ -588,13 +735,14 @@ func (c *Client) RetryStats() RetryStats {
 func (c *Client) Alloc(t page.Type) (page.ID, store.Handle, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.call(append(c.newReq(), opAlloc, byte(t)))
+	resp, err := c.call([]byte{opAlloc, byte(t)})
 	if err != nil {
 		return page.Invalid, nil, err
 	}
 	if len(resp) != 16 {
 		return page.Invalid, nil, errors.New("remote: bad Alloc response")
 	}
+	c.syncSessionLocked()
 	id := page.ID(binary.LittleEndian.Uint64(resp))
 	img := page.New(t)
 	f := c.pool.Insert(id, img)
@@ -630,6 +778,8 @@ func (c *Client) SetRoot(slot int, id page.ID) {
 
 // newCommitToken draws a fresh nonzero commit token.
 func (c *Client) newCommitToken() uint64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
 	for {
 		if tok := c.rng.Uint64(); tok != 0 {
 			return tok
@@ -651,6 +801,7 @@ func (c *Client) newCommitToken() uint64 {
 func (c *Client) Commit() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncSessionLocked()
 
 	dirty := c.pool.DirtyFrames()
 	if len(dirty) == 0 && len(c.rootsDirty) == 0 && len(c.frees) == 0 {
@@ -676,12 +827,13 @@ func (c *Client) Commit() error {
 	}
 	req.frees = c.frees
 
-	framed := appendCommit(c.newReq(), req)
-	c.seal(framed)
-	_, err := c.callOnce(framed)
+	payload := encodeCommit(req)
+	s := c.pickSlot()
+	_, err := c.doOnce(s, payload)
 	if transient(err) {
-		_, err = c.resolveCommit(framed, req.token, err)
+		_, err = c.resolveCommit(s, payload, req.token, err)
 	}
+	c.syncSessionLocked()
 	if errors.Is(err, ErrConflict) {
 		if rerr := c.conflictResetLocked(); rerr != nil {
 			return rerr
@@ -706,22 +858,21 @@ func (c *Client) Commit() error {
 
 // resolveCommit restores certainty about a commit whose connection
 // died mid-flight: reconnect, ask the server whether the token was
-// applied, and resend the frame only on a confirmed non-application.
-// Callers hold c.mu; framed stays valid in c.reqBuf throughout.
-func (c *Client) resolveCommit(framed []byte, token uint64, cause error) ([]byte, error) {
-	var check []byte
+// applied, and resend the payload only on a confirmed non-application.
+func (c *Client) resolveCommit(s *connSlot, payload []byte, token uint64, cause error) ([]byte, error) {
 	for attempt := 0; attempt < c.opts.RetryLimit; attempt++ {
-		if err := c.redial(attempt); err != nil {
+		if err := c.redial(s, attempt); err != nil {
 			if errors.Is(err, ErrClosed) {
 				return nil, err
 			}
 			cause = err
 			continue
 		}
-		check = binary.LittleEndian.AppendUint64(append(check[:0], 0, 0, 0, 0, opCommitCheck), token)
-		binary.LittleEndian.PutUint32(check[:4], uint32(len(check)-4))
-		c.commitChecks++
-		resp, err := c.callOnce(check)
+		check := make([]byte, 0, 9)
+		check = append(check, opCommitCheck)
+		check = binary.LittleEndian.AppendUint64(check, token)
+		c.commitChecks.Add(1)
+		resp, err := c.doOnce(s, check)
 		if transient(err) {
 			cause = err
 			continue
@@ -739,14 +890,14 @@ func (c *Client) resolveCommit(framed []byte, token uint64, cause error) ([]byte
 		}
 		// Confirmed not applied: resending is safe, and the token
 		// still deduplicates against any race.
-		c.commitResends++
-		resp, err = c.callOnce(framed)
+		c.commitResends.Add(1)
+		resp, err = c.doOnce(s, payload)
 		if !transient(err) {
 			return resp, err
 		}
 		cause = err
 	}
-	c.commitUnknowns++
+	c.commitUnknowns.Add(1)
 	return nil, fmt.Errorf("%w: %v", ErrCommitUnknown, cause)
 }
 
@@ -788,22 +939,18 @@ func (c *Client) DropCache() error {
 func (c *Client) CacheStats() (hits, misses, reads uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.fetches
+	return c.hits, c.misses, c.fetches.Load()
 }
 
 // Ping checks connectivity.
 func (c *Client) Ping() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, err := c.call(append(c.newReq(), opPing))
+	_, err := c.call([]byte{opPing})
 	return err
 }
 
 // ServerStats fetches the server's commit/abort/fetch counters.
 func (c *Client) ServerStats() (commits, aborts, fetches uint64, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	resp, err := c.call(append(c.newReq(), opStats))
+	resp, err := c.call([]byte{opStats})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -813,23 +960,24 @@ func (c *Client) ServerStats() (commits, aborts, fetches uint64, err error) {
 	return binary.LittleEndian.Uint64(resp), binary.LittleEndian.Uint64(resp[8:]), binary.LittleEndian.Uint64(resp[16:]), nil
 }
 
-// Close terminates the connection. Uncommitted local changes are
+// Close terminates the connection pool. Uncommitted local changes are
 // discarded, as when a workstation disconnects. Close is idempotent
-// and safe to call concurrently with an in-flight request: the request
-// is interrupted and fails with ErrClosed instead of being retried.
+// and safe to call concurrently with in-flight requests: every pending
+// request on every pooled connection drains promptly with ErrClosed
+// instead of being retried.
 func (c *Client) Close() error {
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
+	if !c.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	c.closed = true
 	close(c.closedCh)
-	conn := c.conn
-	c.conn = nil
-	c.connMu.Unlock()
-	if conn != nil {
-		return conn.Close()
+	for _, s := range c.slots {
+		s.mu.Lock()
+		mc := s.mc
+		s.mc = nil
+		s.mu.Unlock()
+		if mc != nil {
+			mc.kill(ErrClosed)
+		}
 	}
 	return nil
 }

@@ -34,8 +34,12 @@ type scriptStep struct {
 
 // scriptedServer fronts a real *Server with a per-frame script indexed
 // by a global frame counter (across reconnects), so tests can stage
-// transport failures at exact protocol moments. Frames beyond the
-// script are served normally.
+// transport failures at exact protocol moments. The script sees the
+// request body (opcode first, request ID already stripped); responses
+// echo the request's ID per the multiplexed framing. Requests are
+// served in arrival order on each connection — the determinism the
+// exact-count assertions below rely on. Frames beyond the script are
+// served normally.
 func scriptedServer(t *testing.T, srv *Server, script func(frame int, req []byte) scriptStep) string {
 	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -54,20 +58,27 @@ func scriptedServer(t *testing.T, srv *Server, script func(frame int, req []byte
 			go func(conn net.Conn) {
 				defer conn.Close()
 				for {
-					req, err := readFrame(conn)
-					if err != nil {
+					raw, err := readFrame(conn)
+					if err != nil || len(raw) < muxHeaderLen {
 						return
 					}
+					id := binary.LittleEndian.Uint64(raw)
+					req := raw[muxHeaderLen:]
 					mu.Lock()
 					idx := frame
 					frame++
 					mu.Unlock()
+					withID := func(status byte, payload []byte) []byte {
+						full := binary.LittleEndian.AppendUint64(nil, id)
+						full = append(full, status)
+						return append(full, payload...)
+					}
 					step := script(idx, req)
 					switch step.act {
 					case actDropBefore:
 						return
 					case actReject:
-						if writeFrame(conn, append([]byte{statusError}, "scripted rejection"...)) != nil {
+						if writeFrame(conn, withID(statusError, []byte("scripted rejection"))) != nil {
 							return
 						}
 						continue
@@ -76,11 +87,11 @@ func scriptedServer(t *testing.T, srv *Server, script func(frame int, req []byte
 					var full []byte
 					switch {
 					case conflict:
-						full = []byte{statusConflict}
+						full = withID(statusConflict, nil)
 					case rerr != nil:
-						full = append([]byte{statusError}, rerr.Error()...)
+						full = withID(statusError, []byte(rerr.Error()))
 					default:
-						full = append([]byte{statusOK}, resp...)
+						full = withID(statusOK, resp)
 					}
 					switch step.act {
 					case actDropAfter:
@@ -132,8 +143,9 @@ func fastRetry() ClientOptions {
 // transport failure, redial, resend, and come up healthy.
 func TestClientRetriesTruncatedResponse(t *testing.T) {
 	srv := newBackedServer(t)
-	// Full roots response frame: header + status + rootsVer + roots.
-	frameLen := 4 + 1 + 8 + 8*store.NumRoots
+	// Full roots response frame: header + request ID + status +
+	// rootsVer + roots.
+	frameLen := 4 + muxHeaderLen + 1 + 8 + 8*store.NumRoots
 	for k := 0; k < frameLen; k++ {
 		addr := scriptedServer(t, srv, func(frame int, req []byte) scriptStep {
 			if frame == 0 {

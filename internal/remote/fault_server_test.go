@@ -43,8 +43,11 @@ func startServerWith(t *testing.T, cfg func(*Server)) (string, *Server) {
 // keep serving well-formed clients.
 func TestServerSurvivesTruncatedRequests(t *testing.T) {
 	addr, _ := startServerWith(t, nil)
-	// A full opGetPage request frame: header + opcode + pageID.
-	payload := binary.LittleEndian.AppendUint64([]byte{opGetPage}, 1)
+	// A full opGetPage request frame: header + request ID + opcode +
+	// pageID.
+	payload := binary.LittleEndian.AppendUint64(nil, 7) // request ID
+	payload = append(payload, opGetPage)
+	payload = binary.LittleEndian.AppendUint64(payload, 1)
 	framed := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
 	framed = append(framed, payload...)
 
@@ -59,7 +62,7 @@ func TestServerSurvivesTruncatedRequests(t *testing.T) {
 		conn.Close()
 	}
 
-	// The server is still healthy after 13 mangled connections.
+	// The server is still healthy after 21 mangled connections.
 	c := dial(t, addr)
 	if err := c.Ping(); err != nil {
 		t.Fatalf("ping after truncated-request barrage: %v", err)

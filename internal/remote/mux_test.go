@@ -1,0 +1,228 @@
+package remote
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hypermodel/internal/storage/page"
+)
+
+// TestUnknownResponseCounted: a response frame whose ID matches no
+// waiter must be counted and dropped — never misrouted to another
+// request, never fatal to the connection.
+func TestUnknownResponseCounted(t *testing.T) {
+	c := &Client{opts: ClientOptions{}.withDefaults(), hist: make(map[byte]*opHist)}
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	m := newMuxConn(c, cli)
+	defer m.kill(ErrClosed)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.do([]byte{opPing}, 0)
+		done <- err
+	}()
+	// Consume the request and answer the wrong ID first, then the
+	// right one (the request got ID 1).
+	if _, err := readFrame(srv); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(srv, muxFrame(42, statusOK)[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(srv, muxFrame(1, statusOK)[4:]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("request failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request never resolved")
+	}
+	if got := c.unknownResps.Load(); got != 1 {
+		t.Fatalf("unknown responses = %d, want 1", got)
+	}
+	if m.isDead() {
+		t.Fatal("unknown-ID response killed the connection")
+	}
+}
+
+// TestOutOfOrderResponsesRoute: two pipelined requests answered in
+// reverse order must each receive their own response.
+func TestOutOfOrderResponsesRoute(t *testing.T) {
+	c := &Client{opts: ClientOptions{}.withDefaults(), hist: make(map[byte]*opHist)}
+	cli, srv := net.Pipe()
+	defer srv.Close()
+	m := newMuxConn(c, cli)
+	defer m.kill(ErrClosed)
+
+	type res struct {
+		id      uint64
+		payload []byte
+		err     error
+	}
+	results := make(chan res, 2)
+	var wg sync.WaitGroup
+	launch := func() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload, err := m.do([]byte{opPing}, 0)
+			results <- res{payload: payload, err: err}
+		}()
+	}
+	launch()
+	launch()
+	var ids []uint64
+	for i := 0; i < 2; i++ {
+		req, err := readFrame(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, binary.LittleEndian.Uint64(req))
+	}
+	// Answer in reverse arrival order, each with its ID as payload.
+	for i := len(ids) - 1; i >= 0; i-- {
+		body := append(muxFrame(ids[i], statusOK)[4:], byte(ids[i]))
+		if err := writeFrame(srv, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(results)
+	seen := 0
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("pipelined request failed: %v", r.err)
+		}
+		if len(r.payload) != 1 {
+			t.Fatalf("payload = %v", r.payload)
+		}
+		seen++
+	}
+	if seen != 2 {
+		t.Fatalf("resolved %d requests, want 2", seen)
+	}
+}
+
+// TestPipelinedGetsConcurrent: many goroutines hammering Get on one
+// client must all succeed with correct contents — the session mutex is
+// released across fetches, so this exercises the demux under real
+// concurrency (and under -race).
+func TestPipelinedGetsConcurrent(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, ClientOptions{Conns: 2, MaxInflight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const pages = 16
+	ids := make([]page.ID, pages)
+	for i := range ids {
+		id, h, err := c.Alloc(page.TypeSlotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Page().Payload()[0] = byte(i + 1)
+		h.MarkDirty()
+		h.Release()
+		ids[i] = id
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 32; k++ {
+				i := (g + k) % pages
+				h, err := c.Get(ids[i])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if h.Page().Payload()[0] != byte(i+1) {
+					t.Errorf("page %d corrupted under pipelining", i)
+				}
+				h.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent Get: %v", err)
+	}
+	if st := c.InflightStats(); st.MaxDepth == 0 {
+		t.Fatal("InflightStats recorded no concurrent depth")
+	}
+}
+
+// TestPrefetchAsyncWarmsCache: an async prefetch must land every page
+// in the workstation cache — subsequent Gets are pure hits — and its
+// wait function must be callable more than once.
+func TestPrefetchAsyncWarmsCache(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var ids []page.ID
+	for i := 0; i < 8; i++ {
+		id, h, err := c.Alloc(page.TypeSlotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Page().Payload()[0] = byte(i + 1)
+		h.MarkDirty()
+		h.Release()
+		ids = append(ids, id)
+	}
+	if err := c.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	wait := c.PrefetchAsync(ids)
+	if err := wait(); err != nil {
+		t.Fatalf("async prefetch: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("second wait: %v", err)
+	}
+	_, _, readsBefore := c.CacheStats()
+	for i, id := range ids {
+		h, err := c.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Page().Payload()[0] != byte(i+1) {
+			t.Fatalf("page %d content %d after async prefetch", i, h.Page().Payload()[0])
+		}
+		h.Release()
+	}
+	if _, _, readsAfter := c.CacheStats(); readsAfter != readsBefore {
+		t.Fatalf("Gets after async prefetch still fetched %d pages", readsAfter-readsBefore)
+	}
+	// An async prefetch of already-resident pages is a no-op wait.
+	if err := c.PrefetchAsync(ids)(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -82,6 +82,38 @@ func (e *ServerError) Error() string {
 
 const maxFrame = 64 << 20 // sanity bound on frame sizes
 
+// Multiplexed framing: after the u32 length prefix, every frame — in
+// both directions — opens with a u64 request ID. The client assigns
+// IDs (monotonically per connection, never zero), pumps many requests
+// down one connection without waiting, and routes each response back
+// to its requester by ID; the server dispatches each request on its
+// own goroutine and may answer out of order.
+//
+// Request:  u32 len | u64 id | u8 opcode | body
+// Response: u32 len | u64 id | u8 status | body
+//
+// ID zero is reserved for connection-level errors the server raises
+// outside any request — e.g. the "server busy" refusal at the
+// connection limit — which the client treats as fatal to the whole
+// connection rather than to one request.
+const muxHeaderLen = 8
+
+// connReqID is the reserved request ID for connection-level errors.
+const connReqID = 0
+
+// frameID reads the request ID that opens every multiplexed frame.
+func frameID(frame []byte) uint64 {
+	return binary.LittleEndian.Uint64(frame)
+}
+
+// appendFrameID appends the request ID that opens every multiplexed
+// frame. The opcodes analyzer holds this (and frameID) to exactly one
+// server-side and one client-side call, so the two ends of the framing
+// cannot drift apart.
+func appendFrameID(b []byte, id uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, id)
+}
+
 // maxBatchPages bounds one opGetPages request so its response — one
 // version and one page image per id, plus the status byte — always
 // fits a frame. Clients chunk larger prefetches.

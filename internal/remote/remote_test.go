@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"encoding/binary"
 	"errors"
 	"net"
 	"path/filepath"
@@ -318,23 +319,41 @@ func TestServerRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if err := writeFrame(conn, []byte{200}); err != nil {
+	send := func(id uint64, body ...byte) {
+		t.Helper()
+		frame := binary.LittleEndian.AppendUint64(nil, id)
+		if err := writeFrame(conn, append(frame, body...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func() (id uint64, status byte) {
+		t.Helper()
+		resp, err := readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp) < muxHeaderLen+1 {
+			t.Fatalf("runt response (%d bytes)", len(resp))
+		}
+		return binary.LittleEndian.Uint64(resp), resp[muxHeaderLen]
+	}
+
+	send(1, 200) // unknown opcode
+	if id, status := recv(); id != 1 || status != statusBadRequest {
+		t.Fatalf("unknown opcode got id %d status %d, want 1 / statusBadRequest", id, status)
+	}
+	// A frame too short for a request ID is answered on the
+	// connection-level ID zero rather than killing the connection.
+	if err := writeFrame(conn, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := readFrame(conn)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp[0] != statusBadRequest {
-		t.Fatalf("unknown opcode got status %d, want statusBadRequest", resp[0])
+	if id, status := recv(); id != connReqID || status != statusBadRequest {
+		t.Fatalf("runt request got id %d status %d, want 0 / statusBadRequest", id, status)
 	}
 	// The connection stays usable.
-	if err := writeFrame(conn, []byte{opPing}); err != nil {
-		t.Fatal(err)
-	}
-	resp, err = readFrame(conn)
-	if err != nil || resp[0] != statusOK {
-		t.Fatalf("ping after error: %v %v", resp, err)
+	send(2, opPing)
+	if id, status := recv(); id != 2 || status != statusOK {
+		t.Fatalf("ping after error: id %d status %d", id, status)
 	}
 }
 

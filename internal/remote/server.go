@@ -67,7 +67,15 @@ type Server struct {
 
 	idleTimeout time.Duration
 	maxConns    int
+	maxInflight int
 	refused     atomic.Uint64
+
+	// Request-level accounting, independent of the connection
+	// counters: one multiplexed connection can carry many concurrent
+	// requests, so requests and connections are counted separately.
+	reqsTotal    atomic.Uint64
+	reqsInflight atomic.Int64
+	reqsPeak     atomic.Int64
 
 	logf func(format string, args ...any)
 }
@@ -121,6 +129,13 @@ func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
 // default, means unlimited). Must be set before Serve.
 func (s *Server) SetMaxConns(n int) { s.maxConns = n }
 
+// SetMaxInflight caps how many requests one connection may have
+// dispatched concurrently (zero, the default, means unlimited). Excess
+// requests are not refused: the connection's read loop simply stops
+// pulling frames until a slot frees, so the cap backpressures through
+// TCP instead of failing work. Must be set before Serve.
+func (s *Server) SetMaxInflight(n int) { s.maxInflight = n }
+
 // Serve starts accepting connections on ln and returns immediately.
 func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
@@ -158,10 +173,12 @@ func (s *Server) admit(conn net.Conn) bool {
 		s.refused.Add(1)
 		s.connMu.Unlock()
 		s.logf("remote: refusing %s: connection limit (%d) reached", conn.RemoteAddr(), s.maxConns)
-		// A well-formed refusal frame, so the client's first request
-		// fails with a ServerError instead of a silent close.
+		// A well-formed refusal frame on the reserved connection-level
+		// request ID, so the client fails every request it has pending
+		// on this connection with a ServerError instead of a silent
+		// close.
 		conn.SetWriteDeadline(time.Now().Add(time.Second))
-		writeFrame(conn, append([]byte{statusError}, "server busy"...))
+		writeFrame(conn, s.respFrame(connReqID, statusError, []byte("server busy")))
 		conn.Close()
 		return false
 	}
@@ -209,6 +226,23 @@ func (s *Server) FaultStats() (dupCommits, refused uint64) {
 	return s.dupCommits.Load(), s.refused.Load()
 }
 
+// RequestStats reports request-level counters: total request frames
+// read and the peak number dispatched concurrently across all
+// connections. These move independently of the connection counters —
+// one multiplexed connection can put hundreds of requests in flight —
+// which is why SetMaxConns refusal and FaultStats stay keyed to
+// connections while the load picture lives here.
+func (s *Server) RequestStats() (total, peakInflight uint64) {
+	return s.reqsTotal.Load(), uint64(s.reqsPeak.Load())
+}
+
+// ConnCount reports how many client connections are currently open.
+func (s *Server) ConnCount() int {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return len(s.conns)
+}
+
 // badRequestError marks a failure the client caused (malformed frame,
 // unknown opcode) as opposed to a server-side fault. The distinction
 // drives both the response status and the logging: a bad request is
@@ -221,6 +255,10 @@ func badReq(format string, args ...any) error {
 	return &badRequestError{msg: fmt.Sprintf(format, args...)}
 }
 
+// handle runs one multiplexed connection: the read loop pulls request
+// frames and dispatches each on its own goroutine; responses — possibly
+// out of order — funnel through respCh into a single writer goroutine,
+// which is the only thing that touches the connection's write side.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		s.connMu.Lock()
@@ -228,30 +266,91 @@ func (s *Server) handle(conn net.Conn) {
 		s.connMu.Unlock()
 		conn.Close()
 	}()
+
+	respCh := make(chan []byte, 32)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		dead := false
+		for frame := range respCh {
+			if dead {
+				continue // drain so dispatchers never block on a dead peer
+			}
+			if err := writeFrame(conn, frame); err != nil {
+				dead = true
+				conn.Close() // unblocks the read loop too
+				continue
+			}
+			if s.idleTimeout > 0 {
+				// A connection receiving responses is not idle, even if
+				// the client is quiet while it waits on them.
+				conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+			}
+		}
+	}()
+
+	var reqWG sync.WaitGroup
+	var sem chan struct{}
+	if s.maxInflight > 0 {
+		sem = make(chan struct{}, s.maxInflight)
+	}
 	for {
 		if s.idleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
 		req, err := readFrame(conn)
 		if err != nil {
-			return // client went away (or idled out)
+			break // client went away (or idled out)
 		}
-		resp, conflict, rerr := s.dispatch(req)
-		switch {
-		case conflict:
-			if err := writeFrame(conn, []byte{statusConflict}); err != nil {
-				return
-			}
-		case rerr != nil:
-			if !s.respondErr(conn, rerr) {
-				return
-			}
-		default:
-			if err := writeFrame(conn, append([]byte{statusOK}, resp...)); err != nil {
-				return
+		s.reqsTotal.Add(1)
+		if len(req) < muxHeaderLen {
+			// No request ID to echo: answer on the connection-level ID.
+			respCh <- s.respFrame(connReqID, statusBadRequest, []byte("remote: frame too short for a request ID"))
+			continue
+		}
+		if sem != nil {
+			sem <- struct{}{}
+		}
+		in := s.reqsInflight.Add(1)
+		for {
+			p := s.reqsPeak.Load()
+			if in <= p || s.reqsPeak.CompareAndSwap(p, in) {
+				break
 			}
 		}
+		reqWG.Add(1)
+		go func(req []byte) {
+			defer reqWG.Done()
+			defer s.reqsInflight.Add(-1)
+			if sem != nil {
+				defer func() { <-sem }()
+			}
+			id := frameID(req)
+			resp, conflict, rerr := s.dispatch(req[muxHeaderLen:])
+			switch {
+			case conflict:
+				respCh <- s.respFrame(id, statusConflict, nil)
+			case rerr != nil:
+				respCh <- s.errFrame(conn.RemoteAddr(), id, rerr)
+			default:
+				respCh <- s.respFrame(id, statusOK, resp)
+			}
+		}(req)
 	}
+	reqWG.Wait() // in-flight requests still get their answers written
+	close(respCh)
+	<-writerDone
+}
+
+// respFrame assembles one response frame: request ID, status byte,
+// payload. The server's single appendFrameID site — the opcodes
+// analyzer pins the framing encoder here so it cannot drift from the
+// client's decoder.
+func (s *Server) respFrame(id uint64, status byte, payload []byte) []byte {
+	b := make([]byte, 0, muxHeaderLen+1+len(payload))
+	b = appendFrameID(b, id)
+	b = append(b, status)
+	return append(b, payload...)
 }
 
 // dispatch executes one request frame. A panic while executing it is
@@ -290,18 +389,18 @@ func (s *Server) dispatch(req []byte) (resp []byte, conflict bool, rerr error) {
 	return resp, conflict, rerr
 }
 
-// respondErr answers a failed request, distinguishing client-caused
-// errors (statusBadRequest, the client's bug) from server faults
-// (statusError, ours — logged with the peer's address so an operator
-// can correlate).
-func (s *Server) respondErr(conn net.Conn, err error) bool {
+// errFrame builds the response frame for a failed request,
+// distinguishing client-caused errors (statusBadRequest, the client's
+// bug) from server faults (statusError, ours — logged with the peer's
+// address so an operator can correlate).
+func (s *Server) errFrame(peer net.Addr, id uint64, err error) []byte {
 	var br *badRequestError
 	if errors.As(err, &br) {
-		s.logf("remote: bad request from %s: %v", conn.RemoteAddr(), err)
-		return writeFrame(conn, append([]byte{statusBadRequest}, err.Error()...)) == nil
+		s.logf("remote: bad request from %s: %v", peer, err)
+		return s.respFrame(id, statusBadRequest, []byte(err.Error()))
 	}
-	s.logf("remote: server fault serving %s: %v", conn.RemoteAddr(), err)
-	return writeFrame(conn, append([]byte{statusError}, err.Error()...)) == nil
+	s.logf("remote: server fault serving %s: %v", peer, err)
+	return s.respFrame(id, statusError, []byte(err.Error()))
 }
 
 // pageVersion reads one version-table entry under the narrow lock.
@@ -528,7 +627,7 @@ func (s *Server) statsResp() ([]byte, error) {
 
 // ListenAndServeStore is a convenience for cmd/hyperserver: open the
 // store at path, serve on addr, and block until the listener fails.
-func ListenAndServeStore(path, addr string, opts *store.Options, idleTimeout time.Duration, maxConns int) error {
+func ListenAndServeStore(path, addr string, opts *store.Options, idleTimeout time.Duration, maxConns, maxInflight int) error {
 	st, err := store.Open(path, opts)
 	if err != nil {
 		return err
@@ -538,6 +637,7 @@ func ListenAndServeStore(path, addr string, opts *store.Options, idleTimeout tim
 	srv.SetLogf(log.Printf)
 	srv.SetIdleTimeout(idleTimeout)
 	srv.SetMaxConns(maxConns)
+	srv.SetMaxInflight(maxInflight)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
