@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos stress
+.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos stress writers externalcheck
 
 all: build test
 
 # Pre-merge gate: static checks, the race detector, the concurrency
 # stress, the chaos soak, and a short fuzz smoke of the wire-protocol
 # decoder.
-check: vet test-race stress chaos
+check: vet test-race stress chaos writers externalcheck
 	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 5s ./internal/remote
 
 # Single-writer/multi-reader stress: concurrent readers race a
@@ -24,6 +24,19 @@ stress:
 # results must match a fault-free run and commits apply exactly once.
 chaos:
 	$(GO) test -race -run 'TestChaosRemoteMatrix|TestClientThroughFlakyProxy' -count=1 -v . ./internal/remote
+
+# Multi-writer gate for group commit: W concurrent writer clients on
+# disjoint and contended pages (exactly-once rotation ground truth),
+# the serialized baseline, the group-commit crash-point sweeps, and
+# the 4-writer chaos soak — all under the race detector.
+writers:
+	$(GO) test -race -run 'Writers|GroupCommitCrash' -count=1 -v . ./internal/storage/store
+
+# The external consumer module: compiles and runs against the exported
+# facade only (it cannot import internal packages), so it breaks first
+# when the public API leaks internal types or semantics.
+externalcheck:
+	cd testmod && $(GO) mod tidy -diff && $(GO) test ./...
 
 build:
 	$(GO) build ./...

@@ -33,9 +33,11 @@ import (
 
 	"hypermodel"
 	"hypermodel/internal/acl"
+	"hypermodel/internal/backend/oodb"
 	"hypermodel/internal/harness"
 	"hypermodel/internal/hyper"
 	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/store"
 	"hypermodel/internal/txn"
 	"hypermodel/internal/version"
 )
@@ -605,6 +607,17 @@ func BenchmarkClusterAblation(b *testing.B) {
 
 // --- E13: workstation/server ---
 
+// remoteClientOf unwraps the page-server client under a DB returned by
+// DialServer (ok is false for local backends).
+func remoteClientOf(db hypermodel.DB) (*remote.Client, bool) {
+	odb, ok := db.(*oodb.DB)
+	if !ok {
+		return nil, false
+	}
+	client, ok := odb.Store().(*remote.Client)
+	return client, ok
+}
+
 func BenchmarkRemote(b *testing.B) {
 	dir, err := os.MkdirTemp("", "hmbench-remote-*")
 	if err != nil {
@@ -665,7 +678,7 @@ func BenchmarkRemote(b *testing.B) {
 	// frontier with any missing pages). The per-node baseline instead
 	// pays roughly one frame per page it touches.
 	b.Run("coldClosure1NRoundTrips", func(b *testing.B) {
-		client, ok := db.Store().(*remote.Client)
+		client, ok := remoteClientOf(db)
 		if !ok {
 			b.Skip("store is not a remote client")
 		}
@@ -684,7 +697,7 @@ func BenchmarkRemote(b *testing.B) {
 		b.ReportMetric(float64(batched-startBatched)/float64(b.N), "batchframes/op")
 	})
 	b.Run("coldClosure1NPerNodeRoundTrips", func(b *testing.B) {
-		client, ok := db.Store().(*remote.Client)
+		client, ok := remoteClientOf(db)
 		if !ok {
 			b.Skip("store is not a remote client")
 		}
@@ -820,4 +833,114 @@ func drawIDs(n int, draw func() hypermodel.NodeID) []hypermodel.NodeID {
 		out[i] = draw()
 	}
 	return out
+}
+
+// --- E19: group commit ---
+
+// BenchmarkCommit measures ns/commit through the page server's commit
+// path as the number of concurrent committers grows. batch=1 is the
+// floor — every commit pays its own fsync; at batch=4 and batch=16 the
+// group-commit leader absorbs the queue and amortises the fsync, so
+// ns/commit should fall while commits/fsync rises toward the batch
+// size. Each committer rotates its own TextNode (disjoint pages), so
+// the benchmark isolates commit-path cost from validation conflicts.
+func BenchmarkCommit(b *testing.B) {
+	for _, batch := range []int{1, 4, 16} {
+		batch := batch
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			benchCommit(b, batch)
+		})
+	}
+}
+
+func benchCommit(b *testing.B, writers int) {
+	dir, err := os.MkdirTemp("", "hmbench-commit-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.Open(dir+"/bench.db", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	boot, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bdb, err := oodb.New(boot, oodb.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const level = 3
+	if _, _, err := hyper.Generate(bdb, hyper.GenConfig{LeafLevel: level, Seed: benchSeed}); err != nil {
+		b.Fatal(err)
+	}
+	if err := bdb.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	if err := bdb.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	firstLeaf, lastLeaf := hyper.LevelIDs(level)
+	leaves := int(lastLeaf - firstLeaf + 1)
+	dbs := make([]*oodb.DB, writers)
+	targets := make([]hyper.NodeID, writers)
+	for u := 0; u < writers; u++ {
+		j := u * (leaves / writers)
+		if hyper.IsFormLeaf(j) {
+			j = (j + 1) % leaves
+		}
+		targets[u] = firstLeaf + hyper.NodeID(j)
+		client, err := remote.Dial(addr.String(), remote.ClientOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbs[u], err = oodb.New(client, oodb.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer dbs[u].Close()
+	}
+
+	flushes0, _, _, _, _ := srv.GroupCommitStats()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for u := 0; u < writers; u++ {
+		n := b.N / writers
+		if u < b.N%writers {
+			n++
+		}
+		wg.Add(1)
+		go func(u, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := txn.RunN(dbs[u], 300, rotateTxn(dbs[u], targets[u])); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(u, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	flushes, _, _, _, _ := srv.GroupCommitStats()
+	if df := flushes - flushes0; df > 0 {
+		b.ReportMetric(float64(b.N)/float64(df), "commits/fsync")
+	}
 }

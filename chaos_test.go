@@ -1,7 +1,9 @@
 package hypermodel_test
 
 import (
+	"math/rand"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -158,6 +160,209 @@ func TestChaosRemoteMatrix(t *testing.T) {
 	// the token ring, not applied — and the client never blindly
 	// resent: every resend was preceded by a verified-not-applied
 	// probe, and no commit outcome was left unknown.
+	if chaos.commits != control.commits {
+		t.Fatalf("faulted run applied %d commits, clean run %d", chaos.commits, control.commits)
+	}
+	if chaos.retry.CommitUnknowns != 0 {
+		t.Fatalf("%d commits left unresolved", chaos.retry.CommitUnknowns)
+	}
+	if chaos.retry.CommitResends > chaos.retry.CommitChecks {
+		t.Fatalf("resends (%d) not covered by verification probes (%d)",
+			chaos.retry.CommitResends, chaos.retry.CommitChecks)
+	}
+}
+
+// chaosWritersRun is one multi-writer soak pass: the final text of
+// every writer's target plus the server's commit accounting.
+type chaosWritersRun struct {
+	texts      []string
+	commits    uint64
+	dupCommits uint64
+	retry      remote.RetryStats
+	faults     fault.Stats
+}
+
+// runChaosWriters drives 4 concurrent writer clients, each committing
+// a fixed number of one-byte text rotations to its own TextNode
+// through the server's group-commit path, optionally through the fault
+// proxy. Group commit batches whatever lands in the leader's queue, so
+// under faults the batches also carry resent transactions whose first
+// acknowledgement was lost — the token ring must absorb those inside
+// batches exactly as it does alone.
+func runChaosWriters(t *testing.T, faulty bool) chaosWritersRun {
+	t.Helper()
+	const (
+		writers   = 4
+		perWriter = 15
+		level     = 3
+	)
+	dir := t.TempDir()
+	st, err := store.Open(filepath.Join(dir, "chaosw.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	dialAddr := addr.String()
+	var px *fault.Proxy
+	if faulty {
+		px, err = fault.NewProxy(dialAddr, fault.Config{
+			Seed:        43,
+			DropProb:    0.01,
+			DelayProb:   0.02,
+			MaxDelay:    2 * time.Millisecond,
+			PartialProb: 0.01,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer px.Close()
+		px.SetEnabled(false) // generation runs fault-free
+		dialAddr = px.Addr()
+	}
+
+	boot, err := remote.Dial(dialAddr, remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb, err := oodb.New(boot, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hyper.Generate(bdb, hyper.GenConfig{LeafLevel: level, Seed: 13}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bdb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	firstLeaf, lastLeaf := hyper.LevelIDs(level)
+	leaves := int(lastLeaf - firstLeaf + 1)
+	targets := make([]hyper.NodeID, writers)
+	for u := range targets {
+		j := u * (leaves / writers)
+		if hyper.IsFormLeaf(j) {
+			j = (j + 1) % leaves
+		}
+		targets[u] = firstLeaf + hyper.NodeID(j)
+	}
+
+	if faulty {
+		px.SetEnabled(true)
+	}
+	commitsBefore, _, _ := srv.Stats()
+	var retryMu sync.Mutex
+	var retry remote.RetryStats
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for u := 0; u < writers; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			client, err := remote.Dial(dialAddr, remote.ClientOptions{
+				RequestTimeout: 10 * time.Second,
+				BackoffBase:    200 * time.Microsecond,
+				BackoffMax:     5 * time.Millisecond,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			db, err := oodb.New(client, oodb.DefaultOptions())
+			if err != nil {
+				client.Close()
+				errs <- err
+				return
+			}
+			defer db.Close()
+			rng := rand.New(rand.NewSource(int64(u) + 17))
+			err = commitN(db, targets[u], perWriter, rng)
+			r := client.RetryStats()
+			retryMu.Lock()
+			retry.Reconnects += r.Reconnects
+			retry.Retries += r.Retries
+			retry.CommitChecks += r.CommitChecks
+			retry.CommitResends += r.CommitResends
+			retry.CommitUnknowns += r.CommitUnknowns
+			retryMu.Unlock()
+			errs <- err
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if faulty {
+		px.SetEnabled(false)
+	}
+
+	out := chaosWritersRun{retry: retry}
+	out.commits, _, _ = srv.Stats()
+	out.commits -= commitsBefore
+	out.dupCommits, _ = srv.FaultStats()
+	if faulty {
+		out.faults = px.Stats()
+	}
+
+	check, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := oodb.New(check, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+	for _, id := range targets {
+		text, err := cdb.Text(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.texts = append(out.texts, text)
+	}
+	return out
+}
+
+// TestChaosWriters is the multi-writer fault-injection soak: four
+// concurrent writers commit through group commit twice — once over a
+// clean network, once through the dropping/delaying/frame-cutting
+// proxy — and the final texts must be byte-for-byte identical, with
+// the same number of transactions applied (duplicate resends absorbed
+// by the token ring, even when they land inside another leader's
+// batch).
+func TestChaosWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	control := runChaosWriters(t, false)
+	chaos := runChaosWriters(t, true)
+
+	if chaos.faults.Total() == 0 {
+		t.Fatal("proxy injected no faults; the soak exercised nothing")
+	}
+	t.Logf("faults injected: %+v", chaos.faults)
+	t.Logf("client recovery: %+v, dup commits absorbed: %d", chaos.retry, chaos.dupCommits)
+
+	if control.retry.Reconnects != 0 || control.retry.Retries != 0 {
+		t.Fatalf("clean run used retries: %+v", control.retry)
+	}
+	for i := range control.texts {
+		if control.texts[i] != chaos.texts[i] {
+			t.Fatalf("writer %d: final text diverged under faults", i)
+		}
+	}
 	if chaos.commits != control.commits {
 		t.Fatalf("faulted run applied %d commits, clean run %d", chaos.commits, control.commits)
 	}

@@ -11,6 +11,7 @@
 //	hyperbench -exp remote                     # E13 workstation/server
 //	hyperbench -exp multiuser -users 4         # E15
 //	hyperbench -exp concurrency -clients 1024  # E18 pipelined wire throughput
+//	hyperbench -exp writers -writers 8         # E19 group-commit throughput
 //	hyperbench -csv results.csv                # machine-readable output
 package main
 
@@ -30,7 +31,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser, throughput, concurrency or all")
+		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser, throughput, concurrency, writers or all")
 		backends = flag.String("backends", "all", "comma-separated backends (oodb,reldb,memdb) or all")
 		level    = flag.Int("level", 4, "leaf level (paper: 4, 5, 6)")
 		iters    = flag.Int("iters", 50, "iterations per operation (paper: 50)")
@@ -40,6 +41,7 @@ func main() {
 		userOps  = flag.Int("userops", 10, "transactions per user for the multiuser experiment")
 		parallel = flag.Int("parallel", 4, "max concurrent readers for the throughput experiment")
 		clients  = flag.Int("clients", 1024, "max concurrent clients for the concurrency experiment")
+		writers  = flag.Int("writers", 8, "max concurrent writers for the writers experiment")
 		rtt      = flag.Duration("rtt", time.Millisecond, "simulated link round trip for the concurrency experiment (0 = raw loopback)")
 		window   = flag.Duration("window", time.Second, "measurement window per throughput configuration")
 		opsList  = flag.String("ops", "", "comma-separated operation filter, e.g. O10,O14")
@@ -202,6 +204,25 @@ func main() {
 			log.Fatalf("concurrency: %v", err)
 		}
 		harness.RenderConcurrencySweep(os.Stdout, min(*level, 4), results)
+	}
+
+	if want("writers") {
+		wdir := workdir + "/writers"
+		if err := os.MkdirAll(wdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		counts := []int{}
+		for n := 1; n < *writers; n *= 2 {
+			counts = append(counts, n)
+		}
+		if *writers >= 1 {
+			counts = append(counts, *writers)
+		}
+		results, err := harness.RunWriters(wdir, min(*level, 4), *seed, counts, *window)
+		if err != nil {
+			log.Fatalf("writers: %v", err)
+		}
+		harness.RenderWriters(os.Stdout, min(*level, 4), results)
 	}
 
 	if want("multiuser") {

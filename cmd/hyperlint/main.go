@@ -1,5 +1,5 @@
 // Command hyperlint machine-checks the repo's correctness invariants
-// with the five analyzers in internal/analysis (detrand, erris,
+// with the six analyzers in internal/analysis (detrand, erris, facade,
 // framerelease, mutexio, opcodes).
 //
 // It runs two ways:

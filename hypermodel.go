@@ -16,6 +16,16 @@
 //	results, err := hypermodel.RunBenchmark(db, layout, hypermodel.BenchConfig{})
 //	hypermodel.RenderResults(os.Stdout, "level 4, oodb", results)
 //
+// Every constructor (OpenOODB, OpenRelDB, OpenMemDB, DialServer and
+// their ...With variants) returns the DB interface: the twenty-
+// operation Backend mapping plus transaction control — Commit, Abort,
+// Snapshot and CommitStats. Earlier releases returned concrete
+// pointers from internal packages, which downstream code could not
+// even name in a variable declaration; code that relied on those
+// concrete types compiles unchanged against DB unless it referenced
+// the pointer type itself, in which case declaring the variable as
+// hypermodel.DB is the whole migration.
+//
 // The package is a facade over the implementation packages; everything
 // here is stable, documented API for downstream users. See DESIGN.md
 // for the system inventory and EXPERIMENTS.md for the reproduced
@@ -66,6 +76,19 @@ const (
 // implements; all benchmark operations run against it.
 type Backend = hyper.Backend
 
+// DB is what every constructor returns: the Backend mapping plus the
+// transaction control all realizations support — Abort for rollback,
+// Snapshot for version-pinned read views, CommitStats for the
+// commit/flush counters. Optional capabilities (SchemaModifier,
+// StatsReporter, ...) remain discoverable by type assertion.
+type DB = hyper.DB
+
+// CommitStats are a database's transaction counters (see DB): commits,
+// optimistic-validation conflicts, durable flushes, and the group-
+// commit batching evidence — Commits/Flushes is the amortization
+// factor.
+type CommitStats = hyper.CommitStats
+
 // Optional backend extensions.
 type (
 	// SchemaModifier adds classes and attributes at runtime (R4).
@@ -91,6 +114,13 @@ var (
 	// re-verified after the connection to the page server died
 	// mid-commit (the client never blindly resends a commit).
 	ErrCommitUnknown = remote.ErrCommitUnknown
+	// ErrNoSnapshots reports a DB.Snapshot call on a backend without
+	// version retention (the image backend, or a page-server session).
+	ErrNoSnapshots = hyper.ErrNoSnapshots
+	// ErrSnapshotTooOld reports a read through a snapshot whose pinned
+	// version has aged out of the store's version ring; re-snapshot to
+	// continue.
+	ErrSnapshotTooOld = store.ErrSnapshotTooOld
 )
 
 // Generation (§5.2).
@@ -102,6 +132,8 @@ type (
 	// Layout lets the benchmark driver draw inputs (random node on
 	// level 3, random text node, ...).
 	Layout = hyper.Layout
+	// Order selects the creation order of the generated tree.
+	Order = hyper.Order
 )
 
 // Creation orders.
@@ -119,34 +151,114 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 	return hyper.Generate(b, cfg)
 }
 
+// StorageOptions tune the page store under a disk-backed backend. The
+// zero value selects the defaults noted on each field.
+type StorageOptions struct {
+	// PoolPages is the buffer-pool capacity in pages (default 1024
+	// pages = 4 MiB).
+	PoolPages int
+	// CheckpointBytes triggers an automatic checkpoint when the WAL
+	// grows past this size (default 8 MiB; negative disables automatic
+	// checkpoints).
+	CheckpointBytes int64
+	// NoSync makes commits skip the WAL fsync — faster, not crash-safe;
+	// for bulk loads that checkpoint at the end.
+	NoSync bool
+	// VersionRing is how many committed versions stay pinnable for
+	// DB.Snapshot (default 8; negative disables retention, so a
+	// snapshot goes stale at the first commit after the pin).
+	VersionRing int
+}
+
+func (o StorageOptions) toStore() store.Options {
+	return store.Options{
+		PoolPages:       o.PoolPages,
+		CheckpointBytes: o.CheckpointBytes,
+		NoSync:          o.NoSync,
+		VersionRing:     o.VersionRing,
+	}
+}
+
 // OODBOptions configure the object-database backend.
-type OODBOptions = oodb.Options
+type OODBOptions struct {
+	// Clustering places children next to their parents along the 1-N
+	// hierarchy (§5.2). OpenOODB enables it; the E11 ablation opens
+	// with it off.
+	Clustering bool
+	// Scatter deliberately de-clusters object placement (the E11 "no
+	// clustering" configuration). Ignored when Clustering is true.
+	Scatter bool
+	// Storage tunes the underlying page store.
+	Storage StorageOptions
+}
+
+// RelDBOptions configure the relational backend.
+type RelDBOptions struct {
+	// Storage tunes the underlying page store.
+	Storage StorageOptions
+}
+
+// MemDBOptions configure the in-memory image backend.
+type MemDBOptions struct {
+	// Volatile ignores the path: no snapshot file is read or written,
+	// Commit and DropCaches are no-ops, Abort cannot roll back.
+	Volatile bool
+}
 
 // OpenOODB opens (creating if needed) the object-database mapping: a
 // single-file object store with WAL crash recovery, a buffer pool,
 // key/attribute B+tree indexes, and clustering along the 1-N
 // hierarchy.
-func OpenOODB(path string) (*oodb.DB, error) {
-	return oodb.Open(path, oodb.DefaultOptions())
+func OpenOODB(path string) (DB, error) {
+	return OpenOODBWith(path, OODBOptions{Clustering: true})
 }
 
 // OpenOODBWith opens the object-database mapping with explicit
 // options (e.g. clustering off for the E11 ablation).
-func OpenOODBWith(path string, opts OODBOptions) (*oodb.DB, error) {
-	return oodb.Open(path, opts)
+func OpenOODBWith(path string, opts OODBOptions) (DB, error) {
+	db, err := oodb.Open(path, oodb.Options{
+		Clustering: opts.Clustering,
+		Scatter:    opts.Scatter,
+		Store:      opts.Storage.toStore(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // OpenRelDB opens the relational mapping: NODE/CHILD/PART/REF tables
 // and attribute indexes over the same storage engine, with content out
 // of line and no object identifiers.
-func OpenRelDB(path string) (*reldb.DB, error) {
-	return reldb.Open(path, reldb.Options{})
+func OpenRelDB(path string) (DB, error) {
+	return OpenRelDBWith(path, RelDBOptions{})
+}
+
+// OpenRelDBWith opens the relational mapping with explicit options.
+func OpenRelDBWith(path string, opts RelDBOptions) (DB, error) {
+	db, err := reldb.Open(path, reldb.Options{Store: opts.Storage.toStore()})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // OpenMemDB opens the in-memory image mapping with whole-image
 // snapshot persistence (an empty path keeps it volatile).
-func OpenMemDB(path string) (*memdb.DB, error) {
-	return memdb.Open(path)
+func OpenMemDB(path string) (DB, error) {
+	return OpenMemDBWith(path, MemDBOptions{})
+}
+
+// OpenMemDBWith opens the image mapping with explicit options.
+func OpenMemDBWith(path string, opts MemDBOptions) (DB, error) {
+	if opts.Volatile {
+		path = ""
+	}
+	db, err := memdb.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
 }
 
 // ClientOptions configure the workstation client: cache size, the
@@ -174,18 +286,23 @@ type ClientInflightStats = remote.InflightStats
 // object-database mapping running over the workstation client — the
 // paper's R6 architecture. Cold runs fetch pages from the server; the
 // warm working set lives in the workstation cache.
-func DialServer(addr string) (*oodb.DB, error) {
+func DialServer(addr string) (DB, error) {
 	return DialServerWith(addr, ClientOptions{})
 }
 
 // DialServerWith is DialServer with explicit client options — request
 // deadlines and reconnect backoff for flaky networks.
-func DialServerWith(addr string, opts ClientOptions) (*oodb.DB, error) {
+func DialServerWith(addr string, opts ClientOptions) (DB, error) {
 	c, err := remote.Dial(addr, opts)
 	if err != nil {
 		return nil, err
 	}
-	return oodb.New(c, oodb.DefaultOptions())
+	db, err := oodb.New(c, oodb.DefaultOptions())
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return db, nil
 }
 
 // StartServer opens (or creates) the database at path and serves it as

@@ -4,7 +4,7 @@
 //
 // The repo vendors its own copy (rather than depending on x/tools)
 // because the build environment is hermetic — the module has no
-// external dependencies — and because the five hyperlint analyzers
+// external dependencies — and because the six hyperlint analyzers
 // need only a small slice of the framework: no facts, no modular
 // result passing, no suggested fixes. What is kept mirrors the
 // upstream shape closely enough that migrating to x/tools later is a

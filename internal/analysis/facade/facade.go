@@ -1,0 +1,266 @@
+// Package facade checks that the public hypermodel package is a real
+// facade: no exported symbol may mention an internal/... named type in
+// its signature unless the package declares an exported alias for that
+// type.
+//
+// Invariant: downstream code imports only "hypermodel"; internal
+// packages are invisible to it (the Go toolchain refuses the import).
+// An exported constructor returning *internal/backend/oodb.DB, or a
+// var whose type lives under internal/, is therefore surface the
+// caller can hold but never name — it cannot declare a variable of the
+// type, write the type in its own signatures, or construct the zero
+// value. The facade stays usable only if every internal type that
+// crosses the boundary does so under an exported alias (type DB =
+// hyper.DB), which re-homes the name in the public package. The
+// analyzer makes a leak a vet failure instead of an API regression
+// discovered by the first external importer.
+//
+// Classification: the checked surface is every exported package-level
+// symbol of package hypermodel — functions (parameters and results),
+// methods on exported types, vars, typed consts, and the exported
+// fields and interface methods of exported defined types. Aliases
+// themselves are exempt (they are the sanctioned mechanism), and a
+// mention of an internal named type that has an exported alias in the
+// package is allowed anywhere, since callers can spell it. Unexported
+// symbols and test files are not API and are skipped.
+package facade
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"hypermodel/internal/analysis"
+)
+
+// facadePath is the only package this analyzer applies to.
+const facadePath = "hypermodel"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "facade",
+	Doc: "exported hypermodel symbols must not mention internal/... types " +
+		"without an exported alias (API leaks caught at vet time)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() != facadePath {
+		return nil
+	}
+
+	// First pass: exported aliases sanction the internal types they
+	// re-home.
+	allowed := make(map[*types.Named]bool)
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Assign.IsValid() || !ts.Name.IsExported() {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if named, ok := types.Unalias(obj.Type()).(*types.Named); ok {
+					allowed[named] = true
+				}
+			}
+		}
+	}
+
+	// Second pass: walk every exported symbol's type for internal
+	// named types outside the allowed set.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !exportedReceiver(pass, d) {
+					continue
+				}
+				if fn, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+					report(pass, d.Name, allowed, fn.Type())
+				}
+			case *ast.GenDecl:
+				switch d.Tok {
+				case token.VAR, token.CONST:
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, name := range vs.Names {
+							if !name.IsExported() {
+								continue
+							}
+							if obj := pass.TypesInfo.Defs[name]; obj != nil {
+								report(pass, name, allowed, obj.Type())
+							}
+						}
+					}
+				case token.TYPE:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						// Aliases are the sanctioned leak; defined types
+						// expose their structure.
+						if !ok || ts.Assign.IsValid() || !ts.Name.IsExported() {
+							continue
+						}
+						obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+						if !ok {
+							continue
+						}
+						report(pass, ts.Name, allowed, exposedStructure(obj.Type())...)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// exportedReceiver reports whether fd is a package-level function or a
+// method on an exported named type (methods on unexported types are
+// not reachable API even when their own name is exported).
+func exportedReceiver(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return true
+	}
+	fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	named := analysis.ReceiverNamed(fn)
+	return named != nil && named.Obj().Exported()
+}
+
+// exposedStructure returns the types a defined type's declaration
+// exposes to callers: exported struct fields and all interface method
+// signatures plus embeddings. The underlying of other kinds (slice,
+// map, func) is exposed wholesale.
+func exposedStructure(t types.Type) []types.Type {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		var out []types.Type
+		for i := 0; i < u.NumFields(); i++ {
+			if f := u.Field(i); f.Exported() {
+				out = append(out, f.Type())
+			}
+		}
+		return out
+	case *types.Interface:
+		var out []types.Type
+		for i := 0; i < u.NumExplicitMethods(); i++ {
+			out = append(out, u.ExplicitMethod(i).Type())
+		}
+		for i := 0; i < u.NumEmbeddeds(); i++ {
+			out = append(out, u.EmbeddedType(i))
+		}
+		return out
+	case *types.Basic:
+		return nil
+	default:
+		return []types.Type{u}
+	}
+}
+
+// report walks the given types and reports each distinct offending
+// internal named type once, in a stable order.
+func report(pass *analysis.Pass, id *ast.Ident, allowed map[*types.Named]bool, roots ...types.Type) {
+	leaks := make(map[*types.Named]bool)
+	seen := make(map[types.Type]bool)
+	for _, t := range roots {
+		walk(t, allowed, leaks, seen)
+	}
+	if len(leaks) == 0 {
+		return
+	}
+	names := make([]string, 0, len(leaks))
+	for n := range leaks {
+		names = append(names, n.Obj().Pkg().Path()+"."+n.Obj().Name())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pass.Reportf(id.Pos(),
+			"exported %s mentions internal type %s in its signature (declare an exported alias)",
+			id.Name, n)
+	}
+}
+
+// walk descends through composite type structure collecting internal
+// named types that lack an exported alias. Named types are boundaries:
+// an allowed (or non-internal) name is the caller's handle, and what
+// it hides inside is its own package's business.
+func walk(t types.Type, allowed map[*types.Named]bool, leaks map[*types.Named]bool, seen map[types.Type]bool) {
+	if t == nil || seen[t] {
+		return
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Alias:
+		walk(types.Unalias(u), allowed, leaks, seen)
+	case *types.Named:
+		if isInternal(u) && !allowed[u] {
+			leaks[u] = true
+		}
+		if args := u.TypeArgs(); args != nil {
+			for i := 0; i < args.Len(); i++ {
+				walk(args.At(i), allowed, leaks, seen)
+			}
+		}
+	case *types.Pointer:
+		walk(u.Elem(), allowed, leaks, seen)
+	case *types.Slice:
+		walk(u.Elem(), allowed, leaks, seen)
+	case *types.Array:
+		walk(u.Elem(), allowed, leaks, seen)
+	case *types.Chan:
+		walk(u.Elem(), allowed, leaks, seen)
+	case *types.Map:
+		walk(u.Key(), allowed, leaks, seen)
+		walk(u.Elem(), allowed, leaks, seen)
+	case *types.Signature:
+		walk(u.Params(), allowed, leaks, seen)
+		walk(u.Results(), allowed, leaks, seen)
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			walk(u.At(i).Type(), allowed, leaks, seen)
+		}
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			walk(u.Field(i).Type(), allowed, leaks, seen)
+		}
+	case *types.Interface:
+		for i := 0; i < u.NumExplicitMethods(); i++ {
+			walk(u.ExplicitMethod(i).Type(), allowed, leaks, seen)
+		}
+		for i := 0; i < u.NumEmbeddeds(); i++ {
+			walk(u.EmbeddedType(i), allowed, leaks, seen)
+		}
+	}
+}
+
+// isInternal reports whether the named type's package sits under an
+// internal/ path element.
+func isInternal(n *types.Named) bool {
+	pkg := n.Obj().Pkg()
+	if pkg == nil {
+		return false // error, comparable: universe scope
+	}
+	path := pkg.Path()
+	return strings.HasPrefix(path, "internal/") ||
+		strings.Contains(path, "/internal/") ||
+		strings.HasSuffix(path, "/internal")
+}

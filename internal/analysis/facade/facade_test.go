@@ -1,0 +1,12 @@
+package facade_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/facade"
+)
+
+func TestFacade(t *testing.T) {
+	analysistest.Run(t, facade.Analyzer, "hypermodel")
+}

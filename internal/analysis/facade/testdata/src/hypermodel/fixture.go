@@ -1,0 +1,56 @@
+// Fixture for the facade analyzer: a miniature public package that
+// aliases one internal type correctly, leaks others through a
+// constructor, a var, a struct field and an interface method, and
+// holds one sanctioned leak behind a directive.
+package hypermodel
+
+import "hypermodel/internal/engine"
+
+// DB is the sanctioned alias: engine.Handle is now spellable by
+// callers, so mentioning it anywhere in the API is fine.
+type DB = engine.Handle
+
+// Open returns the aliased type — no leak.
+func Open(path string) (DB, error) {
+	return engine.Open(path, engine.Options{})
+}
+
+// OpenRaw takes the un-aliased options type by pointer.
+func OpenRaw(path string, opts *engine.Options) (DB, error) { // want `exported OpenRaw mentions internal type hypermodel/internal/engine\.Options in its signature \(declare an exported alias\)`
+	return engine.Open(path, *opts)
+}
+
+// DefaultStats leaks through a package var.
+var DefaultStats engine.Stats // want `exported DefaultStats mentions internal type hypermodel/internal/engine\.Stats in its signature`
+
+// Config leaks through an exported struct field; the unexported field
+// is not API and stays quiet.
+type Config struct { // want `exported Config mentions internal type hypermodel/internal/engine\.Options in its signature`
+	Engine engine.Options
+	hidden engine.Stats
+}
+
+// Session leaks through an interface method result.
+type Session interface { // want `exported Session mentions internal type hypermodel/internal/engine\.Stats in its signature`
+	Stats() engine.Stats
+}
+
+// EngineID re-homes the scalar, so the typed const below is fine.
+type EngineID = engine.ID
+
+const FirstID EngineID = 1
+
+// root is unexported: internal types in its signature are not API.
+func root(o engine.Options) engine.Stats { return engine.Stats{} }
+
+// Handles mentions engine.Handle only through composite structure
+// (slice of aliased type) — fine.
+var Handles []DB
+
+// RawOpen is a sanctioned escape hatch.
+//
+//hyperlint:allow facade -- debug-only accessor, documented as unstable
+func RawOpen(path string) (engine.Handle, engine.Stats, error) {
+	h, err := engine.Open(path, engine.Options{})
+	return h, engine.Stats{}, err
+}

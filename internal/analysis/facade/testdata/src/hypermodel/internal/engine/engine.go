@@ -1,0 +1,24 @@
+// Stub internal package for the facade fixture: the types the public
+// package might leak.
+package engine
+
+// Handle is the engine's database handle.
+type Handle interface {
+	Commit() error
+}
+
+// Options tunes an engine.
+type Options struct {
+	Pages int
+}
+
+// Stats are engine counters.
+type Stats struct {
+	Commits uint64
+}
+
+// ID is a scalar engine type.
+type ID uint64
+
+// Open is referenced by the facade's constructors.
+func Open(path string, o Options) (Handle, error) { return nil, nil }

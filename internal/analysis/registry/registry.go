@@ -7,6 +7,7 @@ import (
 	"hypermodel/internal/analysis"
 	"hypermodel/internal/analysis/detrand"
 	"hypermodel/internal/analysis/erris"
+	"hypermodel/internal/analysis/facade"
 	"hypermodel/internal/analysis/framerelease"
 	"hypermodel/internal/analysis/mutexio"
 	"hypermodel/internal/analysis/opcodes"
@@ -17,6 +18,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detrand.Analyzer,
 		erris.Analyzer,
+		facade.Analyzer,
 		framerelease.Analyzer,
 		mutexio.Analyzer,
 		opcodes.Analyzer,

@@ -65,15 +65,18 @@ func newImage() *image {
 // parallel; every mutation (including Commit/DropCaches, which swap the
 // image) takes the write half.
 type DB struct {
-	mu    sync.RWMutex
-	path  string // snapshot file; empty = volatile (no persistence)
-	img   *image
-	dirty bool // image differs from the last snapshot
+	mu      sync.RWMutex
+	path    string // snapshot file; empty = volatile (no persistence)
+	img     *image
+	dirty   bool   // image differs from the last snapshot
+	commits uint64 // snapshots written (guarded by mu)
+	reloads uint64 // images reread from disk (guarded by mu)
 }
 
 var (
-	_ hyper.Backend        = (*DB)(nil)
+	_ hyper.DB             = (*DB)(nil)
 	_ hyper.SchemaModifier = (*DB)(nil)
+	_ hyper.StatsReporter  = (*DB)(nil)
 )
 
 // Open loads (or initializes) an image. An empty path yields a volatile
@@ -473,6 +476,7 @@ func (d *DB) commitLocked() error {
 		return fmt.Errorf("memdb: install image: %w", err)
 	}
 	d.dirty = false
+	d.commits++
 	return nil
 }
 
@@ -499,6 +503,7 @@ func (d *DB) DropCaches() error {
 	}
 	d.img = img
 	d.dirty = false
+	d.reloads++
 	return nil
 }
 
@@ -509,6 +514,28 @@ func (d *DB) Abort() error { return d.DropCaches() }
 
 // Close writes the final snapshot.
 func (d *DB) Close() error { return d.Commit() }
+
+// Snapshot is unsupported: the image is one mutable object graph with
+// no retained versions to pin a read view to.
+func (d *DB) Snapshot() (hyper.DB, error) { return nil, hyper.ErrNoSnapshots }
+
+// CommitStats reports snapshot writes. Whole-image persistence has one
+// "flush" per commit and nothing to batch, and optimistic conflicts
+// cannot arise single-node, so only the commit counters are non-zero.
+func (d *DB) CommitStats() hyper.CommitStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return hyper.CommitStats{Commits: d.commits, Flushes: d.commits}
+}
+
+// CacheStats reports the image system's cold-start counters: a "miss"
+// (and its disk read) is a whole-image reload, everything else is a
+// pointer chase in memory and is not counted.
+func (d *DB) CacheStats() (hits, misses, diskReads uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return 0, d.reloads, d.reloads
+}
 
 // NodeCount reports the number of nodes in the image (diagnostics).
 func (d *DB) NodeCount() int {

@@ -90,10 +90,16 @@ type DB struct {
 	// concurrent readers sharing one DB would race without it.
 	oidMu    sync.Mutex
 	oidCache map[hyper.NodeID]uint64
+
+	// ro is set when the space is a read-only view (a snapshot):
+	// mutating entry points then fail with store.ErrReadOnly instead of
+	// tripping the view's MarkDirty panic somewhere inside a B-tree
+	// update.
+	ro bool
 }
 
 var (
-	_ hyper.Backend        = (*DB)(nil)
+	_ hyper.DB             = (*DB)(nil)
 	_ hyper.SchemaModifier = (*DB)(nil)
 	_ hyper.StatsReporter  = (*DB)(nil)
 )
@@ -143,7 +149,20 @@ func New(st Space, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{st: st, objs: objs, uniq: uniq, hidx: hidx, midx: midx, blobs: blobs, cat: cat}, nil
+	db := &DB{st: st, objs: objs, uniq: uniq, hidx: hidx, midx: midx, blobs: blobs, cat: cat}
+	if rv, ok := st.(interface{ ReadOnly() bool }); ok && rv.ReadOnly() {
+		db.ro = true
+	}
+	return db, nil
+}
+
+// writable guards every mutating entry point: a DB opened over a
+// read-only view (DB.Snapshot) rejects updates at the API boundary.
+func (d *DB) writable() error {
+	if d.ro {
+		return store.ErrReadOnly
+	}
+	return nil
 }
 
 func (d *DB) Name() string { return "oodb" }
@@ -229,6 +248,9 @@ func (d *DB) storeObj(oid objstore.OID, o *object) error {
 }
 
 func (d *DB) create(n hyper.Node, text []byte, form []byte, near hyper.NodeID) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if _, ok, err := d.uniq.Get(btree.U64Key(uint64(n.ID))); err != nil {
 		return err
 	} else if ok {
@@ -271,6 +293,9 @@ func (d *DB) CreateFormNode(n hyper.Node, bm hyper.Bitmap, near hyper.NodeID) er
 
 // AddChild appends child to parent's ordered children.
 func (d *DB) AddChild(parent, child hyper.NodeID) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	pOID, p, err := d.load(parent)
 	if err != nil {
 		return err
@@ -293,6 +318,9 @@ func (d *DB) AddChild(parent, child hyper.NodeID) error {
 
 // AddPart relates part to whole in the M-N aggregation.
 func (d *DB) AddPart(whole, part hyper.NodeID) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	wOID, w, err := d.load(whole)
 	if err != nil {
 		return err
@@ -311,6 +339,9 @@ func (d *DB) AddPart(whole, part hyper.NodeID) error {
 
 // AddRef stores a refTo/refFrom association with offsets.
 func (d *DB) AddRef(e hyper.Edge) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	fOID, f, err := d.load(e.From)
 	if err != nil {
 		return err
@@ -354,6 +385,9 @@ func (d *DB) Hundred(id hyper.NodeID) (int32, error) {
 
 // SetHundred updates the attribute and maintains the secondary index.
 func (d *DB) SetHundred(id hyper.NodeID, v int32) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	oid, o, err := d.load(id)
 	if err != nil {
 		return err
@@ -525,6 +559,9 @@ func (d *DB) Text(id hyper.NodeID) (string, error) {
 
 // SetText replaces a TextNode's content.
 func (d *DB) SetText(id hyper.NodeID, text string) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	oid, o, err := d.contentNode(id, hyper.KindText)
 	if err != nil {
 		return err
@@ -544,6 +581,9 @@ func (d *DB) Form(id hyper.NodeID) (hyper.Bitmap, error) {
 
 // SetForm replaces a FormNode's bitmap.
 func (d *DB) SetForm(id hyper.NodeID, bm hyper.Bitmap) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	oid, o, err := d.contentNode(id, hyper.KindForm)
 	if err != nil {
 		return err
@@ -556,6 +596,9 @@ func blobKey(key string) []byte { return append([]byte("b/"), key...) }
 
 // PutBlob stores a named value as an object.
 func (d *DB) PutBlob(key string, data []byte) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if v, ok, err := d.blobs.Get(blobKey(key)); err != nil {
 		return err
 	} else if ok {
@@ -582,6 +625,9 @@ func (d *DB) GetBlob(key string) ([]byte, error) {
 
 // DeleteBlob removes a named value (idempotent).
 func (d *DB) DeleteBlob(key string) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	v, ok, err := d.blobs.Get(blobKey(key))
 	if err != nil || !ok {
 		return err
@@ -638,6 +684,48 @@ func (d *DB) CacheStats() (hits, misses, diskReads uint64) {
 	return d.st.CacheStats()
 }
 
+// Snapshot returns a read-only database pinned to the newest committed
+// version of the underlying store: the same object mapping, opened
+// over a store snapshot view, so long-running read closures see a
+// stable state while commits proceed on the parent. A space without a
+// version ring (the page-server client) returns ErrNoSnapshots.
+func (d *DB) Snapshot() (hyper.DB, error) {
+	sv, ok := d.st.(interface {
+		Snapshot() (*store.SnapshotView, error)
+	})
+	if !ok {
+		return nil, hyper.ErrNoSnapshots
+	}
+	view, err := sv.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	// Clustering options only shape writes; a read-only view doesn't
+	// need them.
+	return New(view, Options{})
+}
+
+// CommitStats reports the transaction counters of whichever layer the
+// mapping sits on: the local store's flush/batching counters, or a
+// page-server session's commit/conflict counters.
+func (d *DB) CommitStats() hyper.CommitStats {
+	if cs, ok := d.st.(interface{ CommitStats() store.CommitStats }); ok {
+		s := cs.CommitStats()
+		return hyper.CommitStats{
+			Commits:      s.Commits,
+			Flushes:      s.Flushes,
+			GroupCommits: s.GroupCommits,
+			GroupedTxns:  s.GroupedTxns,
+			MaxBatch:     s.MaxBatch,
+		}
+	}
+	if cs, ok := d.st.(interface{ CommitStats() (uint64, uint64) }); ok {
+		commits, conflicts := cs.CommitStats()
+		return hyper.CommitStats{Commits: commits, Conflicts: conflicts}
+	}
+	return hyper.CommitStats{}
+}
+
 // --- Dynamic schema (R4, §6.8 extension 1) ---
 
 func classKey(name string) []byte { return append([]byte("c/"), name...) }
@@ -650,6 +738,9 @@ func uattrKey(id hyper.NodeID, a string) []byte {
 
 // AddClass registers a new node class in the catalog.
 func (d *DB) AddClass(name string) (hyper.Kind, error) {
+	if err := d.writable(); err != nil {
+		return 0, err
+	}
 	if _, ok, err := d.cat.Get(classKey(name)); err != nil {
 		return 0, err
 	} else if ok {
@@ -682,6 +773,9 @@ func (d *DB) Classes() (map[string]hyper.Kind, error) {
 
 // AddAttribute declares a dynamic attribute on a class.
 func (d *DB) AddAttribute(class hyper.Kind, attr string) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	key := attrKey(class, attr)
 	if _, ok, err := d.cat.Get(key); err != nil {
 		return err
@@ -693,6 +787,9 @@ func (d *DB) AddAttribute(class hyper.Kind, attr string) error {
 
 // SetAttr stores a dynamic attribute value on a node.
 func (d *DB) SetAttr(id hyper.NodeID, attr string, v int64) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if _, err := d.oidOf(id); err != nil {
 		return err
 	}
@@ -716,6 +813,9 @@ func (d *DB) Attr(id hyper.NodeID, attr string) (int64, bool, error) {
 // is an orphan — typically debris from a crash between object creation
 // and index maintenance. It returns the number of objects freed.
 func (d *DB) GarbageCollect() (freed int, err error) {
+	if err := d.writable(); err != nil {
+		return 0, err
+	}
 	live := map[objstore.OID]bool{}
 	collect := func(t *btree.Tree) error {
 		return t.Scan(nil, nil, func(_, v []byte) (bool, error) {

@@ -56,9 +56,21 @@ type Options struct {
 	Store store.Options
 }
 
+// Space is what the relational mapping needs from its page layer: the
+// core page operations plus cache control and lifecycle. The local
+// store satisfies it, and so does a read-only snapshot view — which is
+// how Snapshot reopens the same mapping over a pinned version.
+type Space interface {
+	store.Space
+	DropCache() error
+	Abort() error
+	Close() error
+	CacheStats() (hits, misses, reads uint64)
+}
+
 // DB implements hyper.Backend with the relational mapping.
 type DB struct {
-	st       *store.Store
+	st       Space
 	node     *btree.Tree
 	child    *btree.Tree
 	childInv *btree.Tree
@@ -72,10 +84,16 @@ type DB struct {
 	blobs    *btree.Tree
 	cat      *btree.Tree
 	heap     *objstore.Store // out-of-line storage for text/bitmap blobs
+
+	// ro is set when the space is a read-only view (a snapshot):
+	// mutating entry points then fail with store.ErrReadOnly instead of
+	// tripping the view's MarkDirty panic somewhere inside a B-tree
+	// update.
+	ro bool
 }
 
 var (
-	_ hyper.Backend        = (*DB)(nil)
+	_ hyper.DB             = (*DB)(nil)
 	_ hyper.SchemaModifier = (*DB)(nil)
 	_ hyper.StatsReporter  = (*DB)(nil)
 )
@@ -86,6 +104,16 @@ func Open(path string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	db, err := New(st)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// New wires the relational mapping over an existing page space.
+func New(st Space) (*DB, error) {
 	d := &DB{st: st}
 	for _, x := range []struct {
 		tree **btree.Tree
@@ -99,24 +127,34 @@ func Open(path string, opts Options) (*DB, error) {
 	} {
 		t, err := btree.Open(st, x.slot)
 		if err != nil {
-			st.Close()
 			return nil, err
 		}
 		*x.tree = t
 	}
 	heap, err := objstore.Open(st, rootHeapTable, rootHeapMeta, objstore.Options{})
 	if err != nil {
-		st.Close()
 		return nil, err
 	}
 	d.heap = heap
+	if rv, ok := st.(interface{ ReadOnly() bool }); ok && rv.ReadOnly() {
+		d.ro = true
+	}
 	return d, nil
+}
+
+// writable guards every mutating entry point: a DB opened over a
+// read-only view (DB.Snapshot) rejects updates at the API boundary.
+func (d *DB) writable() error {
+	if d.ro {
+		return store.ErrReadOnly
+	}
+	return nil
 }
 
 func (d *DB) Name() string { return "reldb" }
 
-// Store exposes the underlying page store (harness diagnostics).
-func (d *DB) Store() *store.Store { return d.st }
+// Store exposes the underlying page space (harness diagnostics).
+func (d *DB) Store() Space { return d.st }
 
 // --- row codecs ---
 
@@ -186,6 +224,9 @@ func nextSeq(t *btree.Tree, owner hyper.NodeID) (uint32, error) {
 // --- creation ---
 
 func (d *DB) createRow(n hyper.Node, content []byte) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	key := idKey(n.ID)
 	if _, ok, err := d.node.Get(key); err != nil {
 		return err
@@ -241,6 +282,9 @@ func (d *DB) mustExist(id hyper.NodeID) error {
 // AddChild inserts a CHILD row with the next sequence number and the
 // CHILDINV row.
 func (d *DB) AddChild(parent, child hyper.NodeID) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if err := d.mustExist(parent); err != nil {
 		return err
 	}
@@ -264,6 +308,9 @@ func (d *DB) AddChild(parent, child hyper.NodeID) error {
 
 // AddPart inserts PART and PARTINV rows.
 func (d *DB) AddPart(whole, part hyper.NodeID) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if err := d.mustExist(whole); err != nil {
 		return err
 	}
@@ -286,6 +333,9 @@ func (d *DB) AddPart(whole, part hyper.NodeID) error {
 
 // AddRef inserts REF and REFINV rows.
 func (d *DB) AddRef(e hyper.Edge) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if err := d.mustExist(e.From); err != nil {
 		return err
 	}
@@ -331,6 +381,9 @@ func (d *DB) Hundred(id hyper.NodeID) (int32, error) {
 
 // SetHundred updates the NODE row and the hundred index.
 func (d *DB) SetHundred(id hyper.NodeID, v int32) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	n, err := d.Node(id)
 	if err != nil {
 		return err
@@ -504,6 +557,9 @@ func (d *DB) Text(id hyper.NodeID) (string, error) {
 
 // SetText replaces a TextNode's content.
 func (d *DB) SetText(id hyper.NodeID, text string) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	oid, err := d.contentBlob(id, hyper.KindText)
 	if err != nil {
 		return err
@@ -526,6 +582,9 @@ func (d *DB) Form(id hyper.NodeID) (hyper.Bitmap, error) {
 
 // SetForm replaces a FormNode's bitmap.
 func (d *DB) SetForm(id hyper.NodeID, bm hyper.Bitmap) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	oid, err := d.contentBlob(id, hyper.KindForm)
 	if err != nil {
 		return err
@@ -539,6 +598,9 @@ func blobKey(key string) []byte { return append([]byte("b/"), key...) }
 
 // PutBlob stores a named value in the heap.
 func (d *DB) PutBlob(key string, data []byte) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if v, ok, err := d.blobs.Get(blobKey(key)); err != nil {
 		return err
 	} else if ok {
@@ -565,6 +627,9 @@ func (d *DB) GetBlob(key string) ([]byte, error) {
 
 // DeleteBlob removes a named value (idempotent).
 func (d *DB) DeleteBlob(key string) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	v, ok, err := d.blobs.Get(blobKey(key))
 	if err != nil || !ok {
 		return err
@@ -597,8 +662,40 @@ func (d *DB) Close() error { return d.st.Close() }
 
 // CacheStats reports buffer-pool and disk counters.
 func (d *DB) CacheStats() (hits, misses, diskReads uint64) {
-	s := d.st.Stats()
-	return s.Pool.Hits, s.Pool.Misses, s.DiskReads
+	return d.st.CacheStats()
+}
+
+// Snapshot returns a read-only database pinned to the newest committed
+// version of the underlying store: the same relational mapping, opened
+// over a store snapshot view, so long-running read closures see a
+// stable state while commits proceed on the parent.
+func (d *DB) Snapshot() (hyper.DB, error) {
+	sv, ok := d.st.(interface {
+		Snapshot() (*store.SnapshotView, error)
+	})
+	if !ok {
+		return nil, hyper.ErrNoSnapshots
+	}
+	view, err := sv.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return New(view)
+}
+
+// CommitStats reports the underlying store's transaction counters.
+func (d *DB) CommitStats() hyper.CommitStats {
+	if cs, ok := d.st.(interface{ CommitStats() store.CommitStats }); ok {
+		s := cs.CommitStats()
+		return hyper.CommitStats{
+			Commits:      s.Commits,
+			Flushes:      s.Flushes,
+			GroupCommits: s.GroupCommits,
+			GroupedTxns:  s.GroupedTxns,
+			MaxBatch:     s.MaxBatch,
+		}
+	}
+	return hyper.CommitStats{}
 }
 
 // --- dynamic schema (R4): same catalog layout as the oodb backend ---
@@ -616,6 +713,9 @@ func uattrKey(id hyper.NodeID, a string) []byte {
 // AddClass registers a new node class: in relational terms, recording a
 // new subtype in the catalog (a new table would be created lazily).
 func (d *DB) AddClass(name string) (hyper.Kind, error) {
+	if err := d.writable(); err != nil {
+		return 0, err
+	}
 	if _, ok, err := d.cat.Get(classKey(name)); err != nil {
 		return 0, err
 	} else if ok {
@@ -647,6 +747,9 @@ func (d *DB) Classes() (map[string]hyper.Kind, error) {
 
 // AddAttribute records an ALTER TABLE ADD COLUMN in the catalog.
 func (d *DB) AddAttribute(class hyper.Kind, attr string) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	key := attrKey(class, attr)
 	if _, ok, err := d.cat.Get(key); err != nil {
 		return err
@@ -658,6 +761,9 @@ func (d *DB) AddAttribute(class hyper.Kind, attr string) error {
 
 // SetAttr stores a dynamic attribute value.
 func (d *DB) SetAttr(id hyper.NodeID, attr string, v int64) error {
+	if err := d.writable(); err != nil {
+		return err
+	}
 	if err := d.mustExist(id); err != nil {
 		return err
 	}

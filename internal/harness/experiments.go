@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -1031,6 +1032,254 @@ func RenderConcurrencySweep(w io.Writer, level int, results []ConcurrencyResult)
 		fmt.Fprintf(w, "%-9d %18.0f %16.0f %8.1fx %10d %12s\n",
 			r.Clients, r.BaselineOpsPerS, r.PipelinedOpsPerS, r.Speedup,
 			r.MaxDepth, r.GetPageMean.Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
+}
+
+// --- E19: multi-writer commit throughput (group commit vs serialized) ---
+
+// histBuckets is the number of power-of-two commit-latency buckets; the
+// top bucket is open-ended.
+const histBuckets = 16
+
+// WritersResult is one writer-count configuration of E19: the same
+// low-conflict update workload committed through the page server twice,
+// once with the server's group commit disabled (every commit validates,
+// logs and fsyncs alone — the pre-batching discipline) and once with
+// commits batched under a leader (one WAL record and one fsync per
+// batch).
+type WritersResult struct {
+	Writers int
+	Window  time.Duration
+
+	SerializedCommits uint64
+	GroupedCommits    uint64
+
+	SerializedPerS float64
+	GroupedPerS    float64
+	Speedup        float64 // grouped / serialized commit rate
+
+	SerializedAborts uint64
+	GroupedAborts    uint64
+
+	// Group-commit evidence from the grouped configuration.
+	Flushes     uint64 // durable WAL flushes that served the commits
+	Batches     uint64 // flushes carrying more than one transaction
+	GroupedTxns uint64 // transactions that shared a flush
+	MaxBatch    uint64 // largest batch
+	FastPath    uint64 // validations skipped via snapshot fast path
+
+	// Commit-latency histograms: bucket i counts transactions whose
+	// end-to-end commit (including conflict retries) took less than
+	// 2^i microseconds; the last bucket is open-ended.
+	SerializedHist [histBuckets]uint64
+	GroupedHist    [histBuckets]uint64
+}
+
+// latBucket maps a commit latency to its power-of-two bucket.
+func latBucket(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	b := bits.Len64(uint64(us))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// RunWriters measures multi-writer commit throughput (E19). A
+// level-`level` database is generated on a syncing local store and put
+// behind a page server; N writer clients then each run a read-modify-
+// write transaction loop against their own TextNode for a fixed
+// window. Each transaction reads the node's text and stores a one-byte
+// rotation of it — a same-length in-place update, so the only page a
+// writer dirties is its own node's data page (an attribute update
+// would also rewrite the shared secondary-index page and turn the
+// experiment into a conflict benchmark). Targets are spread across the
+// leaf level so concurrent transactions never touch the same page: the
+// workload is commit-rate bound, not conflict bound, and what it
+// measures is the cost of durability per transaction. Serialized mode
+// admits one commit at a
+// time (each pays its own WAL flush); grouped mode lets the leader
+// absorb the queue, validate against the in-batch overlay, and retire
+// the whole batch with one combined WAL record and one fsync.
+func RunWriters(dir string, level int, seed int64, writerCounts []int, window time.Duration) ([]WritersResult, error) {
+	if window <= 0 {
+		window = time.Second
+	}
+	st, err := store.Open(filepath.Join(dir, "writers.db"), nil)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	boot, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		return nil, err
+	}
+	bdb, err := oodb.New(boot, oodb.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := hyper.Generate(bdb, hyper.GenConfig{LeafLevel: level, Seed: seed}); err != nil {
+		return nil, err
+	}
+	if err := bdb.Commit(); err != nil {
+		return nil, err
+	}
+	bdb.Close()
+
+	firstLeaf, lastLeaf := hyper.LevelIDs(level)
+	leaves := int(lastLeaf - firstLeaf + 1)
+
+	measure := func(n int, grouped bool) (commits, aborts uint64, hist [histBuckets]uint64, err error) {
+		srv.SetGroupCommit(grouped)
+		_, abortsBefore, _ := srv.Stats()
+		var done atomic.Uint64
+		var histAt [histBuckets]atomic.Uint64
+		stop := make(chan struct{})
+		errs := make(chan error, n)
+		var wg sync.WaitGroup
+		stride := leaves / n
+		if stride < 1 {
+			stride = 1
+		}
+		for u := 0; u < n; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				client, derr := remote.Dial(addr.String(), remote.ClientOptions{})
+				if derr != nil {
+					errs <- derr
+					return
+				}
+				db, derr := oodb.New(client, oodb.DefaultOptions())
+				if derr != nil {
+					client.Close()
+					errs <- derr
+					return
+				}
+				defer db.Close()
+				// Every 125th leaf is a FormNode; step past those so the
+				// target always answers Text.
+				j := (u * stride) % leaves
+				if hyper.IsFormLeaf(j) {
+					j = (j + 1) % leaves
+				}
+				target := firstLeaf + hyper.NodeID(j)
+				for {
+					select {
+					case <-stop:
+						errs <- nil
+						return
+					default:
+					}
+					start := time.Now()
+					terr := txn.RunN(db, 300, func() error {
+						text, herr := db.Text(target)
+						if herr != nil {
+							return herr
+						}
+						rot := make([]byte, len(text))
+						copy(rot, text[1:])
+						rot[len(rot)-1] = text[0]
+						return db.SetText(target, string(rot))
+					})
+					if terr != nil {
+						errs <- fmt.Errorf("writer %d: %w", u, terr)
+						return
+					}
+					histAt[latBucket(time.Since(start))].Add(1)
+					done.Add(1)
+				}
+			}(u)
+		}
+		time.Sleep(window)
+		close(stop)
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			if e != nil {
+				return 0, 0, hist, e
+			}
+		}
+		_, abortsAfter, _ := srv.Stats()
+		for i := range hist {
+			hist[i] = histAt[i].Load()
+		}
+		return done.Load(), abortsAfter - abortsBefore, hist, nil
+	}
+
+	var out []WritersResult
+	for _, n := range writerCounts {
+		if n < 1 {
+			continue
+		}
+		serCommits, serAborts, serHist, err := measure(n, false)
+		if err != nil {
+			return nil, err
+		}
+		fBefore, bBefore, gBefore, _, fpBefore := srv.GroupCommitStats()
+		grpCommits, grpAborts, grpHist, err := measure(n, true)
+		if err != nil {
+			return nil, err
+		}
+		fAfter, bAfter, gAfter, maxBatch, fpAfter := srv.GroupCommitStats()
+		row := WritersResult{
+			Writers: n, Window: window,
+			SerializedCommits: serCommits, GroupedCommits: grpCommits,
+			SerializedPerS:   float64(serCommits) / window.Seconds(),
+			GroupedPerS:      float64(grpCommits) / window.Seconds(),
+			SerializedAborts: serAborts, GroupedAborts: grpAborts,
+			Flushes: fAfter - fBefore, Batches: bAfter - bBefore,
+			GroupedTxns: gAfter - gBefore, MaxBatch: maxBatch,
+			FastPath:       fpAfter - fpBefore,
+			SerializedHist: serHist, GroupedHist: grpHist,
+		}
+		if serCommits > 0 {
+			row.Speedup = float64(grpCommits) / float64(serCommits)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderWriters writes the E19 table and the commit-latency histogram
+// of the largest configuration.
+func RenderWriters(w io.Writer, level int, results []WritersResult) {
+	title := fmt.Sprintf("E19: multi-writer commit throughput (page server, level %d, syncing store)", level)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-9s %17s %14s %9s %9s %9s %10s %10s\n",
+		"writers", "serialized txn/s", "grouped txn/s", "speedup", "flushes", "batches", "max batch", "aborts")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-9d %17.0f %14.0f %8.1fx %9d %9d %10d %10d\n",
+			r.Writers, r.SerializedPerS, r.GroupedPerS, r.Speedup,
+			r.Flushes, r.Batches, r.MaxBatch, r.GroupedAborts)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+	last := results[len(results)-1]
+	fmt.Fprintf(w, "\ncommit latency, %d writers (count per power-of-two bucket)\n", last.Writers)
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "latency <", "serialized", "grouped")
+	for i := 0; i < histBuckets; i++ {
+		if last.SerializedHist[i] == 0 && last.GroupedHist[i] == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%dµs", uint64(1)<<i)
+		if i == histBuckets-1 {
+			label = "more"
+		}
+		fmt.Fprintf(w, "%-12s %12d %12d\n", label, last.SerializedHist[i], last.GroupedHist[i])
 	}
 	fmt.Fprintln(w)
 }

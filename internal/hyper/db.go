@@ -1,0 +1,70 @@
+package hyper
+
+import "errors"
+
+// ErrNoSnapshots is returned by Snapshot on backends that cannot pin a
+// committed version: the volatile image backend, and sessions over the
+// page-server client (snapshots are a capability of the local store's
+// version ring; a workstation reads a consistent view through its own
+// cache and optimistic validation instead).
+var ErrNoSnapshots = errors.New("hyper: backend does not support snapshots")
+
+// CommitStats are a database's transaction counters. Fields a backend
+// cannot observe from its seat are zero: a local store fills the flush
+// and batching counters, a page-server session fills Conflicts from
+// its optimistic-validation aborts, the image backend counts only
+// Commits.
+type CommitStats struct {
+	// Commits is the number of transactions committed.
+	Commits uint64
+	// Conflicts is the number of commits rejected by optimistic
+	// validation (the caller retried with fresh caches).
+	Conflicts uint64
+	// Flushes is the number of durable log flushes that served those
+	// commits; Commits/Flushes is the group-commit amortization factor.
+	Flushes uint64
+	// GroupCommits is the number of flushes that carried more than one
+	// transaction.
+	GroupCommits uint64
+	// GroupedTxns is the total number of transactions that shared a
+	// flush with others.
+	GroupedTxns uint64
+	// MaxBatch is the largest number of transactions in one flush.
+	MaxBatch uint64
+}
+
+// DB is the transaction-first surface a database handle presents: the
+// twenty-operation Backend mapping plus the transaction control every
+// realization supports. OpenOODB, OpenRelDB, OpenMemDB and DialServer
+// all return it, so downstream code is written against one interface
+// whether the pages live in a local store, behind a page server, or in
+// a volatile image.
+//
+// The optional capabilities (BatchReader, FrontierPrefetcher,
+// SchemaModifier, StatsReporter) remain discoverable by type
+// assertion, exactly as on Backend.
+type DB interface {
+	Backend
+
+	// Abort discards all uncommitted changes (rollback). Backends over
+	// the page store realize it as a cache drop (no-steal buffering);
+	// the image backend reloads its snapshot.
+	Abort() error
+
+	// Snapshot returns a read-only database pinned to the newest
+	// committed version: its reads are stable while commits proceed on
+	// the parent, until the pinned version ages out of the store's
+	// version ring (reads then fail with the store's snapshot-too-old
+	// error, and the caller re-snapshots). Mutations through a snapshot
+	// fail. Closing a snapshot releases nothing and never disturbs the
+	// parent. Backends without a version ring return ErrNoSnapshots.
+	Snapshot() (DB, error)
+
+	// CommitStats reports the database's transaction counters.
+	CommitStats() CommitStats
+
+	// CacheStats reports cache hits, misses and disk (or server) reads
+	// — the cold/warm evidence of the measurement protocol. For the
+	// image backend a miss is a whole-image reload.
+	CacheStats() (hits, misses, diskReads uint64)
+}

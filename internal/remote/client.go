@@ -78,11 +78,26 @@ type Client struct {
 	rootsRead  bool
 	rootsDirty map[int]page.ID
 
+	// snapSeq is the server commit sequence the session's caches are
+	// known-current as of: every cached page version reflects the state
+	// at that sequence (or newer, fetched while the sequence stood).
+	// Sent with every commit so the server can skip per-page read-set
+	// validation when nothing has committed since. Established by the
+	// roots fetch (which only runs on an empty cache) and advanced by a
+	// commit acknowledgement only when this session's transaction was
+	// the sole one applied since (ack seq == snapSeq+1) — a bigger jump
+	// means other transactions landed, possibly touching pages this
+	// session still caches, so the fast path is disabled (zero) until
+	// the next cache reset. Guarded by mu.
+	snapSeq uint64
+
 	// batchOK clears when the server refuses opGetPages; the client
 	// then degrades to per-page fetches for the rest of its life.
 	batchOK atomic.Bool
 
-	hits, misses        uint64 // guarded by mu
+	hits, misses        uint64        // guarded by mu
+	commitsOK           atomic.Uint64 // transactions acknowledged by the server
+	conflicts           atomic.Uint64 // commits aborted by optimistic validation
 	fetches             atomic.Uint64
 	frames, batchFrames atomic.Uint64
 	reconnects          atomic.Uint64
@@ -430,13 +445,16 @@ func (c *Client) fetchRoots() error {
 	if err != nil {
 		return err
 	}
-	if len(resp) != 8+8*store.NumRoots {
+	if len(resp) != 16+8*store.NumRoots {
 		return errors.New("remote: bad roots response")
 	}
 	c.syncSessionLocked()
 	c.rootsVer = binary.LittleEndian.Uint64(resp)
+	// Every fetchRoots call site runs on a freshly emptied cache, so the
+	// server's commit sequence is a sound snapshot for the session.
+	c.snapSeq = binary.LittleEndian.Uint64(resp[8:])
 	for i := 0; i < store.NumRoots; i++ {
-		c.roots[i] = page.ID(binary.LittleEndian.Uint64(resp[8+8*i:]))
+		c.roots[i] = page.ID(binary.LittleEndian.Uint64(resp[16+8*i:]))
 	}
 	return nil
 }
@@ -811,7 +829,7 @@ func (c *Client) Commit() error {
 		return nil
 	}
 
-	req := &commitReq{token: c.newCommitToken()}
+	req := &commitReq{token: c.newCommitToken(), snapshot: c.snapSeq}
 	for id, ver := range c.readSet {
 		req.reads = append(req.reads, readEntry{id, ver})
 	}
@@ -829,12 +847,13 @@ func (c *Client) Commit() error {
 
 	payload := encodeCommit(req)
 	s := c.pickSlot()
-	_, err := c.doOnce(s, payload)
+	resp, err := c.doOnce(s, payload)
 	if transient(err) {
-		_, err = c.resolveCommit(s, payload, req.token, err)
+		resp, err = c.resolveCommit(s, payload, req.token, err)
 	}
 	c.syncSessionLocked()
 	if errors.Is(err, ErrConflict) {
+		c.conflicts.Add(1)
 		if rerr := c.conflictResetLocked(); rerr != nil {
 			return rerr
 		}
@@ -851,9 +870,27 @@ func (c *Client) Commit() error {
 	if len(c.rootsDirty) > 0 {
 		c.rootsVer++
 	}
+	// The acknowledgement carries the server commit sequence after this
+	// transaction applied. Adopt it as the session snapshot only when
+	// this transaction was the sole one applied since the current
+	// snapshot — a bigger jump means other transactions landed, and
+	// pages this session still caches may be stale relative to the new
+	// sequence, so the fast path stays off until the next cache reset.
+	if len(resp) == 8 && c.snapSeq != 0 && binary.LittleEndian.Uint64(resp) == c.snapSeq+1 {
+		c.snapSeq++
+	} else {
+		c.snapSeq = 0
+	}
+	c.commitsOK.Add(1)
 	c.pool.MarkAllClean()
 	c.resetTxnLocked()
 	return nil
+}
+
+// CommitStats reports the session's transaction counters: commits the
+// server acknowledged and commits aborted by optimistic validation.
+func (c *Client) CommitStats() (commits, conflicts uint64) {
+	return c.commitsOK.Load(), c.conflicts.Load()
 }
 
 // resolveCommit restores certainty about a commit whose connection

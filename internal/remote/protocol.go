@@ -29,8 +29,8 @@ import (
 const (
 	opGetPage     = 1 // pageID u64 → version u64, image
 	opAlloc       = 2 // pageType u8 → pageID u64
-	opRoots       = 3 // → NumRoots × u64
-	opCommit      = 4 // token u64, read set, write set, root updates, frees → ok/conflict
+	opRoots       = 3 // → roots version u64, commit seq u64, NumRoots × u64
+	opCommit      = 4 // token u64, snapshot u64, read set, write set, root updates, frees → ok (commit seq u64)/conflict
 	opDropDead    = 5 //hyperlint:allow opcodes -- reserved fault-injection hook, intentionally unwired
 	opStats       = 6 // → server stats
 	opPing        = 7 // → ok
@@ -152,11 +152,17 @@ type commitReq struct {
 	// token identifies this commit attempt so a resend after a lost
 	// response is recognized and applied at most once. Zero means
 	// untokened (no dedup, legacy framing).
-	token  uint64
-	reads  []readEntry
-	writes []writeEntry
-	roots  []rootEntry
-	frees  []page.ID
+	token uint64
+	// snapshot is the server commit sequence the transaction's reads
+	// are based on (learned from the roots fetch or the previous commit
+	// response). If it still equals the server's current sequence at
+	// validation time, nothing has committed since the client's caches
+	// were known-current, and per-page read-set validation is skipped.
+	snapshot uint64
+	reads    []readEntry
+	writes   []writeEntry
+	roots    []rootEntry
+	frees    []page.ID
 }
 
 type readEntry struct {
@@ -175,7 +181,7 @@ type rootEntry struct {
 }
 
 func encodeCommit(req *commitReq) []byte {
-	size := 1 + 8 + 4 + 16*len(req.reads) + 4 + len(req.writes)*(8+page.Size) + 4 + 12*len(req.roots) + 4 + 8*len(req.frees)
+	size := 1 + 8 + 8 + 4 + 16*len(req.reads) + 4 + len(req.writes)*(8+page.Size) + 4 + 12*len(req.roots) + 4 + 8*len(req.frees)
 	return appendCommit(make([]byte, 0, size), req)
 }
 
@@ -184,6 +190,7 @@ func encodeCommit(req *commitReq) []byte {
 func appendCommit(b []byte, req *commitReq) []byte {
 	b = append(b, opCommit)
 	b = binary.LittleEndian.AppendUint64(b, req.token)
+	b = binary.LittleEndian.AppendUint64(b, req.snapshot)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.reads)))
 	for _, r := range req.reads {
 		b = binary.LittleEndian.AppendUint64(b, uint64(r.id))
@@ -230,6 +237,11 @@ func decodeCommit(b []byte) (*commitReq, error) {
 		return nil, err
 	}
 	req.token = tok
+	snap, err := u64()
+	if err != nil {
+		return nil, err
+	}
+	req.snapshot = snap
 	nr, err := u32()
 	if err != nil {
 		return nil, err

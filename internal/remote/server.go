@@ -15,14 +15,19 @@ import (
 )
 
 // Server exposes a local page store to workstation clients over TCP.
-// Writes stay serialized — commits and allocations hold one mutex, so
-// the server machine remains the coordination point, as in the
-// centralized-control architectures the paper discusses under R6 — but
-// page fetches no longer queue behind it: when the underlying space is
-// a local store, reads are served from its committed ReadView, so N
-// connections fetch in parallel with each other and with an in-flight
-// commit. A space that offers no read view (a fault-injection wrapper,
-// say) degrades to the old fully-serialized behavior.
+// The server machine remains the coordination point, as in the
+// centralized-control architectures the paper discusses under R6, but
+// neither reads nor commits queue one-at-a-time behind it: page
+// fetches are served from the store's committed ReadView (when the
+// space offers one), so N connections fetch in parallel with each
+// other and with an in-flight commit; and concurrent commit requests
+// are group-committed — a leader absorbs the queue, validates each
+// transaction's read set against the newest versions, and flushes the
+// whole batch under a single WAL fsync, so commit throughput scales
+// with writer concurrency instead of serializing on the sync. A space
+// that offers no read view (a fault-injection wrapper, say) degrades
+// to serialized fetches; SetGroupCommit(false) restores serialized
+// commits as a measurable baseline.
 //
 // The server is hardened against misbehaving clients and networks: a
 // malformed frame gets a statusBadRequest answer (and the connection
@@ -57,6 +62,32 @@ type Server struct {
 	aborts  atomic.Uint64
 	fetches atomic.Uint64
 
+	// commitSeq counts applied transactions. Clients learn it from the
+	// roots fetch and from every commit acknowledgement, and send it
+	// back as the snapshot their reads are based on: a commit whose
+	// snapshot still equals commitSeq at validation time needs no
+	// per-page read-set check, because nothing has committed since the
+	// client's caches were known-current.
+	commitSeq atomic.Uint64
+
+	// Group-commit queue: concurrent commit requests enqueue here; the
+	// first becomes the leader and drains the queue batch by batch,
+	// validating and applying each transaction in arrival order and
+	// flushing the whole batch under one store commit (one WAL fsync).
+	// Guarded by gcMu. SetGroupCommit(false) restores the serialized
+	// one-fsync-per-commit baseline.
+	gcMu     sync.Mutex
+	gcQueue  []*commitJob
+	gcActive bool
+	noGroup  bool
+
+	// Commit batching counters (see GroupCommitStats).
+	gcFlushes atomic.Uint64
+	gcBatches atomic.Uint64
+	gcGrouped atomic.Uint64
+	gcMax     atomic.Uint64
+	fastOK    atomic.Uint64
+
 	// Commit-token dedup ring: the tokens of the most recent applied
 	// commits, so a commit resent after a lost acknowledgement is
 	// recognized and answered OK without being applied twice. Guarded
@@ -89,6 +120,30 @@ const tokenRingSize = 4096
 // rootsVersionKey is the pseudo-page whose version covers the root
 // directory, so root changes participate in optimistic validation.
 const rootsVersionKey = page.ID(0)
+
+// commitJob is one queued commit request and the channel its dispatch
+// goroutine blocks on until a leader's flush decides it.
+type commitJob struct {
+	req  *commitReq
+	resp chan commitResult
+}
+
+// commitResult is the outcome of one queued commit: the server commit
+// sequence after it applied (echoed to the client as its new
+// snapshot), a validation conflict, or a hard error.
+type commitResult struct {
+	seq      uint64
+	conflict bool
+	err      error
+}
+
+// tokenCommitter is the optional store capability a group-commit
+// leader uses to stamp the batch's transaction tokens into the WAL's
+// commit barrier. A space without it (a fault-injection wrapper, say)
+// still commits the batch atomically under a plain Commit.
+type tokenCommitter interface {
+	CommitTokens(tokens []uint64) error
+}
 
 // NewServer wraps an open page space. The caller keeps ownership and
 // closes it after the server stops. Taking the Space interface (rather
@@ -135,6 +190,24 @@ func (s *Server) SetMaxConns(n int) { s.maxConns = n }
 // pulling frames until a slot frees, so the cap backpressures through
 // TCP instead of failing work. Must be set before Serve.
 func (s *Server) SetMaxInflight(n int) { s.maxInflight = n }
+
+// SetGroupCommit toggles commit batching. Enabled (the default),
+// concurrent commits queue behind a leader that flushes them under one
+// fsync; disabled, every commit fsyncs alone — the serialized baseline
+// the E19 experiment measures against. Must be set before Serve.
+func (s *Server) SetGroupCommit(enabled bool) { s.noGroup = !enabled }
+
+// GroupCommitStats reports commit batching counters: store flushes
+// serving commits, flushes that carried more than one transaction, the
+// total transactions that shared a flush, the largest batch, and
+// commits validated by the snapshot fast path (read-set scan skipped).
+func (s *Server) GroupCommitStats() (flushes, batches, grouped, maxBatch, fastPath uint64) {
+	return s.gcFlushes.Load(), s.gcBatches.Load(), s.gcGrouped.Load(), s.gcMax.Load(), s.fastOK.Load()
+}
+
+// CommitSeq reports the number of transactions applied since startup —
+// the logical clock clients pin their snapshots to.
+func (s *Server) CommitSeq() uint64 { return s.commitSeq.Load() }
 
 // Serve starts accepting connections on ln and returns immediately.
 func (s *Server) Serve(ln net.Listener) {
@@ -493,23 +566,30 @@ func (s *Server) alloc(body []byte) ([]byte, error) {
 }
 
 func (s *Server) roots() ([]byte, error) {
-	resp := make([]byte, 8+8*store.NumRoots)
+	resp := make([]byte, 16+8*store.NumRoots)
 	if s.view != nil {
-		// Version before roots (same ordering argument as fetchPage),
-		// and all slots from one committed meta snapshot so the
-		// directory cannot be torn by a concurrent commit.
+		// Commit sequence first, then version, then roots: each read is
+		// at least as old as the next, so a commit racing this fetch can
+		// only make the client's snapshot conservative (it thinks the
+		// state is older than it is and falls back to per-page
+		// validation), never optimistic. All slots come from one
+		// committed meta snapshot so the directory cannot be torn by a
+		// concurrent commit.
+		seq := s.commitSeq.Load()
 		binary.LittleEndian.PutUint64(resp, s.pageVersion(rootsVersionKey))
+		binary.LittleEndian.PutUint64(resp[8:], seq)
 		roots := s.view.Roots()
 		for i, id := range roots {
-			binary.LittleEndian.PutUint64(resp[8+8*i:], uint64(id))
+			binary.LittleEndian.PutUint64(resp[16+8*i:], uint64(id))
 		}
 		return resp, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	binary.LittleEndian.PutUint64(resp, s.versions[rootsVersionKey])
+	binary.LittleEndian.PutUint64(resp[8:], s.commitSeq.Load())
 	for i := 0; i < store.NumRoots; i++ {
-		binary.LittleEndian.PutUint64(resp[8+8*i:], uint64(s.st.Root(i)))
+		binary.LittleEndian.PutUint64(resp[16+8*i:], uint64(s.st.Root(i)))
 	}
 	return resp, nil
 }
@@ -537,32 +617,201 @@ func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
 	if err != nil {
 		return nil, false, badReq("%v", err)
 	}
+	var r commitResult
+	if s.noGroup {
+		r = s.commitSerialized(req)
+	} else {
+		r = s.commitGrouped(req)
+	}
+	if r.err != nil || r.conflict {
+		return nil, r.conflict, r.err
+	}
+	// The OK payload is the server commit sequence after this
+	// transaction applied — the client's new snapshot.
+	return binary.LittleEndian.AppendUint64(nil, r.seq), false, nil
+}
+
+// commitGrouped queues the request and blocks until a leader's batch
+// flush decides it. The first goroutine to find the queue idle becomes
+// the leader: it drains whatever has accumulated, runs the whole batch
+// under one store commit, and keeps draining until the queue is empty
+// before stepping down — so every commit that arrives while a flush is
+// in progress rides the next batch instead of fsyncing alone.
+func (s *Server) commitGrouped(req *commitReq) commitResult {
+	job := &commitJob{req: req, resp: make(chan commitResult, 1)}
+	s.gcMu.Lock()
+	s.gcQueue = append(s.gcQueue, job)
+	if s.gcActive {
+		s.gcMu.Unlock()
+	} else {
+		s.gcActive = true
+		for {
+			batch := s.gcQueue
+			s.gcQueue = nil
+			if len(batch) == 0 {
+				s.gcActive = false
+				s.gcMu.Unlock()
+				break
+			}
+			s.gcMu.Unlock()
+			s.commitBatch(batch)
+			s.gcMu.Lock()
+		}
+	}
+	return <-job.resp
+}
+
+// commitBatch validates and applies a batch of queued transactions in
+// arrival order and commits them under a single store flush. Later
+// transactions in the batch validate against an overlay of the earlier
+// ones' version bumps, so the batch is equivalent to running its
+// members serially; the published version table and commitSeq advance
+// only after the store commit succeeds, preserving the lost-update
+// ordering documented on versionMu.
+func (s *Server) commitBatch(batch []*commitJob) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
-	// A token we have already applied means the client lost our
-	// acknowledgement and resent: answer OK again, apply nothing.
-	if req.token != 0 && s.tokenSeenLocked(req.token) {
-		s.dupCommits.Add(1)
-		return nil, false, nil
-	}
+	overlay := make(map[page.ID]uint64)
+	rootBumps := uint64(0)
+	var applied []*commitJob
+	var tokens []uint64
 
-	// Optimistic validation: every page (and the root directory) the
-	// client read must still be at the version it saw.
-	s.versionMu.Lock()
-	for _, r := range req.reads {
-		if s.versions[r.id] != r.version {
-			s.versionMu.Unlock()
-			s.aborts.Add(1)
-			return nil, true, nil
+	fail := func(err error) {
+		// A half-applied write set cannot be peeled back per
+		// transaction: drop every uncommitted application (best effort
+		// — a plain store offers Abort; a fault wrapper may not) and
+		// fail the whole batch. Clients retry with fresh caches.
+		if ab, ok := s.st.(interface{ Abort() error }); ok {
+			ab.Abort()
+		}
+		for _, j := range batch {
+			select {
+			case j.resp <- commitResult{err: err}:
+			default: // already answered (dup or conflict)
+			}
 		}
 	}
-	s.versionMu.Unlock()
 
+	for _, job := range batch {
+		req := job.req
+		// A token we have already applied means the client lost our
+		// acknowledgement and resent: answer OK again, apply nothing.
+		if req.token != 0 && s.tokenSeenLocked(req.token) {
+			s.dupCommits.Add(1)
+			job.resp <- commitResult{seq: s.commitSeq.Load()}
+			continue
+		}
+		if s.staleLocked(req, overlay, rootBumps) {
+			s.aborts.Add(1)
+			job.resp <- commitResult{conflict: true}
+			continue
+		}
+		if err := s.applyLocked(req); err != nil {
+			fail(err)
+			return
+		}
+		for _, w := range req.writes {
+			overlay[w.id]++
+		}
+		for _, id := range req.frees {
+			overlay[id]++
+		}
+		if len(req.roots) > 0 {
+			rootBumps++
+		}
+		if req.token != 0 {
+			tokens = append(tokens, req.token)
+		}
+		applied = append(applied, job)
+	}
+	if len(applied) == 0 {
+		return
+	}
+
+	// One store commit — one WAL barrier, one fsync — for the whole
+	// batch, carrying every transaction's token so recovery and the
+	// store's commit stats see N transactions, not one.
+	var cerr error
+	if tc, ok := s.st.(tokenCommitter); ok && len(tokens) > 0 {
+		cerr = tc.CommitTokens(tokens)
+	} else {
+		cerr = s.st.Commit()
+	}
+	if cerr != nil {
+		fail(cerr)
+		return
+	}
+
+	// Versions advance only now that the store has installed the new
+	// committed images: a fetch racing this commit pairs the old
+	// version with either image — at worst a spurious abort when it
+	// validates — whereas bumping before the install could pair a new
+	// version with stale bytes, a lost update.
+	s.versionMu.Lock()
+	for id, n := range overlay {
+		s.versions[id] += n
+	}
+	s.versions[rootsVersionKey] += rootBumps
+	s.versionMu.Unlock()
+	for _, tok := range tokens {
+		s.recordTokenLocked(tok)
+	}
+	n := uint64(len(applied))
+	s.commits.Add(n)
+	s.commitSeq.Add(n)
+	seq := s.commitSeq.Load()
+	s.gcFlushes.Add(1)
+	if n > 1 {
+		s.gcBatches.Add(1)
+		s.gcGrouped.Add(n)
+	}
+	for {
+		m := s.gcMax.Load()
+		if n <= m || s.gcMax.CompareAndSwap(m, n) {
+			break
+		}
+	}
+	for _, j := range applied {
+		j.resp <- commitResult{seq: seq}
+	}
+}
+
+// staleLocked runs optimistic validation for one transaction: every
+// page (and the root directory) the client read must still be at the
+// version it saw, counting the version bumps earlier transactions in
+// the same batch will publish. When the transaction's snapshot equals
+// the current commit sequence and nothing has applied ahead of it in
+// the batch, the per-page scan is skipped: the client's caches were
+// known-current at that sequence and nothing has committed since.
+// Callers hold s.mu.
+func (s *Server) staleLocked(req *commitReq, overlay map[page.ID]uint64, rootBumps uint64) bool {
+	s.versionMu.Lock()
+	defer s.versionMu.Unlock()
+	if req.snapshot != 0 && req.snapshot == s.commitSeq.Load() && len(overlay) == 0 && rootBumps == 0 {
+		s.fastOK.Add(1)
+		return false
+	}
+	for _, r := range req.reads {
+		eff := s.versions[r.id] + overlay[r.id]
+		if r.id == rootsVersionKey {
+			eff += rootBumps
+		}
+		if eff != r.version {
+			return true
+		}
+	}
+	return false
+}
+
+// applyLocked copies one validated transaction's write set, root
+// updates and frees into the store's working state (uncommitted).
+// Callers hold s.mu.
+func (s *Server) applyLocked(req *commitReq) error {
 	for _, w := range req.writes {
 		h, err := s.st.Get(w.id)
 		if err != nil {
-			return nil, false, fmt.Errorf("remote: commit write page %d: %w", w.id, err)
+			return fmt.Errorf("remote: commit write page %d: %w", w.id, err)
 		}
 		copy(h.Page().Bytes(), w.image)
 		h.MarkDirty()
@@ -573,17 +822,42 @@ func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
 	}
 	for _, id := range req.frees {
 		if err := s.st.Free(id); err != nil {
-			return nil, false, fmt.Errorf("remote: commit free page %d: %w", id, err)
+			return fmt.Errorf("remote: commit free page %d: %w", id, err)
 		}
 	}
-	if err := s.st.Commit(); err != nil {
-		return nil, false, err
+	return nil
+}
+
+// commitSerialized is the pre-group-commit path, kept as the
+// measurable baseline (SetGroupCommit(false)): one transaction, one
+// store commit, one fsync, all under s.mu end to end.
+func (s *Server) commitSerialized(req *commitReq) commitResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if req.token != 0 && s.tokenSeenLocked(req.token) {
+		s.dupCommits.Add(1)
+		return commitResult{seq: s.commitSeq.Load()}
 	}
-	// Versions advance only now that the store has installed the new
-	// committed images: a fetch racing this commit pairs the old
-	// version with either image — at worst a spurious abort when it
-	// validates — whereas bumping before the install could pair a new
-	// version with stale bytes, a lost update.
+	if s.staleLocked(req, nil, 0) {
+		s.aborts.Add(1)
+		return commitResult{conflict: true}
+	}
+	if err := s.applyLocked(req); err != nil {
+		if ab, ok := s.st.(interface{ Abort() error }); ok {
+			ab.Abort()
+		}
+		return commitResult{err: err}
+	}
+	var cerr error
+	if tc, ok := s.st.(tokenCommitter); ok && req.token != 0 {
+		cerr = tc.CommitTokens([]uint64{req.token})
+	} else {
+		cerr = s.st.Commit()
+	}
+	if cerr != nil {
+		return commitResult{err: cerr}
+	}
 	s.versionMu.Lock()
 	for _, w := range req.writes {
 		s.versions[w.id]++
@@ -599,7 +873,9 @@ func (s *Server) commit(body []byte) (resp []byte, conflict bool, err error) {
 		s.recordTokenLocked(req.token)
 	}
 	s.commits.Add(1)
-	return nil, false, nil
+	s.commitSeq.Add(1)
+	s.gcFlushes.Add(1)
+	return commitResult{seq: s.commitSeq.Load()}
 }
 
 // commitCheck answers whether a commit token has been applied — the

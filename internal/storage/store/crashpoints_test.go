@@ -143,3 +143,111 @@ func TestEveryWALTruncationPointRecoversWithTornFile(t *testing.T) {
 		})
 	}
 }
+
+// groupCrashHistory builds a database whose WAL holds `batches` group
+// commits of `perBatch` transactions each, then crashes it. Transaction
+// j of batch k writes k into its own page (so a half-applied batch
+// would leave some pages at k and others at k-1), and the batch's last
+// transaction moves root slot 0 to 1000+k; the whole batch then
+// commits under one CommitTokens call — one combined WAL record, one
+// fsync — exactly the way the page server's group-commit leader retires
+// a batch.
+func groupCrashHistory(t *testing.T, batches, perBatch int) (ids []page.ID, dbImage, wal []byte, walFloor int64) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db")
+	s, err := Open(path, &Options{CheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < perBatch; i++ {
+		id, h, err := s.Alloc(page.TypeSlotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+		ids = append(ids, id)
+	}
+	s.SetRoot(0, page.ID(1000))
+	if err := s.Checkpoint(); err != nil { // durable baseline, empty WAL
+		t.Fatal(err)
+	}
+	base := s.CommitStats()
+	for k := 1; k <= batches; k++ {
+		tokens := make([]uint64, 0, perBatch)
+		for j, id := range ids {
+			h, err := s.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			binary.LittleEndian.PutUint64(h.Page().Payload(), uint64(k))
+			h.MarkDirty()
+			h.Release()
+			tokens = append(tokens, uint64(k*100+j+1))
+		}
+		s.SetRoot(0, page.ID(1000+k))
+		if err := s.CommitTokens(tokens); err != nil {
+			t.Fatal(err)
+		}
+		if k == 1 {
+			walFloor = s.WALSizeForTesting()
+		}
+	}
+	if cs := s.CommitStats(); cs.Commits-base.Commits != uint64(batches*perBatch) ||
+		cs.Flushes-base.Flushes != uint64(batches) {
+		t.Fatalf("commit stats: %d txns over %d flushes, want %d over %d",
+			cs.Commits-base.Commits, cs.Flushes-base.Flushes, batches*perBatch, batches)
+	}
+	s.CrashForTesting()
+
+	wal, err = os.ReadFile(path + ".wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbImage, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids, dbImage, wal, walFloor
+}
+
+// TestGroupCommitCrashAllOrNothing sweeps every WAL truncation point of
+// a history of multi-transaction group commits — the crash window the
+// leader protocol opens between its combined WAL flush and the page
+// write-backs. Recovery must land on a batch boundary: either every
+// transaction of a batch is recovered or none of it is, never a prefix
+// of a batch (the group WAL record is the batch's single commit
+// barrier, so a torn batch would mean the barrier logic leaks
+// uncommitted writes).
+func TestGroupCommitCrashAllOrNothing(t *testing.T) {
+	const batches, perBatch = 3, 5
+	ids, dbImage, wal, floor := groupCrashHistory(t, batches, perBatch)
+	stride := (len(wal)-int(floor))/256 + 1
+	for cut := int(floor); cut <= len(wal); cut += stride {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			verifyRecovered(t, t.TempDir(), dbImage, wal[:cut], ids, batches)
+		})
+	}
+}
+
+// TestGroupCommitCrashWithTornFile repeats the batch sweep with every
+// history page torn in the main file: the group record in the WAL must
+// repair all of a batch's pages together.
+func TestGroupCommitCrashWithTornFile(t *testing.T) {
+	const batches, perBatch = 2, 4
+	ids, dbImage, wal, floor := groupCrashHistory(t, batches, perBatch)
+	torn := append([]byte(nil), dbImage...)
+	for _, id := range ids {
+		for i := 0; i < 64; i++ {
+			torn[int(id)*page.Size+150+i] ^= 0xAB
+		}
+	}
+	stride := (len(wal)-int(floor))/256 + 1
+	for cut := int(floor); cut <= len(wal); cut += stride {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			verifyRecovered(t, t.TempDir(), torn, wal[:cut], ids, batches)
+		})
+	}
+}

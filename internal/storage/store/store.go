@@ -40,6 +40,28 @@
 // read/write lock still fences reader preads from the commit
 // write-back, closing the race where a page becomes resident and dirty
 // after a reader's miss but before its pread.)
+//
+// MVCC version ring (multi-version reads):
+//
+// Beyond the always-latest ReadView, the store retains the last K
+// committed versions (Options.VersionRing). Each commit publishes an
+// immutable version entry — the commit's meta snapshot plus the map of
+// page images it replaced (before-images) — instead of discarding the
+// previous state outright. Snapshot() pins a SnapshotView to the
+// current version: the view keeps reading that exact committed state
+// while later commits proceed, resolving a page to the before-image
+// recorded by the oldest later commit that overwrote it, or to the
+// live committed image when no later commit touched it. A view whose
+// version has been evicted from the ring fails with ErrSnapshotTooOld.
+//
+// Group commit:
+//
+// Concurrent Commit/CommitTokens callers coalesce: the first caller
+// becomes the leader, absorbs every request queued behind it, writes
+// the combined dirty set plus one commit barrier to the WAL, and
+// amortizes a single fsync across the whole batch while the followers
+// block on the leader's flush. CommitStats reports how well batching
+// is amortizing flushes.
 package store
 
 import (
@@ -61,6 +83,12 @@ const NumRoots = 16
 
 // ErrReadOnly is returned by mutating operations on a ReadView.
 var ErrReadOnly = errors.New("store: read-only view")
+
+// ErrSnapshotTooOld is returned by a SnapshotView whose pinned version
+// has aged out of the version ring: more than Options.VersionRing
+// commits have landed since the view was pinned, so the before-images
+// needed to reconstruct its state are gone. Re-pin with Snapshot().
+var ErrSnapshotTooOld = errors.New("store: snapshot version evicted from the ring")
 
 // Handle is a pinned reference to a cached page.
 type Handle interface {
@@ -120,10 +148,16 @@ type Options struct {
 	// NoSync makes commits skip the WAL fsync. Faster, not crash-safe;
 	// used by bulk loads that checkpoint at the end.
 	NoSync bool
+	// VersionRing is the number of committed versions kept for pinned
+	// snapshots (see Snapshot). A SnapshotView stays readable until
+	// VersionRing commits have landed after it was pinned. Zero selects
+	// the default (8); negative disables retention, so snapshots go
+	// stale at the first commit after the pin.
+	VersionRing int
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{PoolPages: 1024, CheckpointBytes: 8 << 20}
+	out := Options{PoolPages: 1024, CheckpointBytes: 8 << 20, VersionRing: 8}
 	if o == nil {
 		return out
 	}
@@ -132,6 +166,11 @@ func (o *Options) withDefaults() Options {
 	}
 	if o.CheckpointBytes != 0 {
 		out.CheckpointBytes = o.CheckpointBytes
+	}
+	if o.VersionRing > 0 {
+		out.VersionRing = o.VersionRing
+	} else if o.VersionRing < 0 {
+		out.VersionRing = 0
 	}
 	out.NoSync = o.NoSync
 	return out
@@ -166,8 +205,48 @@ type Store struct {
 	// complete. Readers validate multi-page operations against it.
 	rseq atomic.Uint64
 
+	// ring holds the last Options.VersionRing committed versions in
+	// ascending sequence order, published atomically as an immutable
+	// slice inside the commit's seqlock window. Pinned SnapshotViews
+	// resolve historical page images against it.
+	ring    atomic.Pointer[[]*version]
+	ringCap int
+
+	// Group-commit queue: concurrent committers enqueue; the first
+	// becomes leader and flushes the whole batch under one fsync.
+	gcMu     sync.Mutex
+	gcQueue  []*gcWaiter
+	gcActive bool
+
+	// Commit batching counters (see CommitStats).
+	txnCommits   atomic.Uint64
+	flushes      atomic.Uint64
+	groupFlushes atomic.Uint64
+	groupedTxns  atomic.Uint64
+	maxBatch     atomic.Uint64
+
 	closed    bool
 	recovered bool // recovery ran at open (for tests/diagnostics)
+}
+
+// version is one committed state retained in the ring: the sequence
+// number it published, its committed meta image, and the page images
+// it replaced (the before-images a pinned view older than this commit
+// needs to reconstruct its state). All fields are immutable once the
+// entry is published.
+type version struct {
+	seq    uint64
+	meta   *page.Page
+	before map[page.ID]*page.Page
+}
+
+// gcWaiter is one queued commit request: the transaction tokens it
+// carries (empty for anonymous local commits) and the channel its
+// caller blocks on until a leader's flush covers it.
+type gcWaiter struct {
+	tokens []uint64
+	txns   uint64
+	ch     chan error
 }
 
 // Stats is a snapshot of store activity counters.
@@ -178,6 +257,24 @@ type Stats struct {
 	WALAppends uint64
 	WALSyncs   uint64
 	Commits    uint64
+}
+
+// CommitStats report how effectively concurrent commits are being
+// batched under shared WAL flushes.
+type CommitStats struct {
+	// Commits is the number of transactions durably committed.
+	Commits uint64
+	// Flushes is the number of physical commit barriers written to the
+	// WAL; Commits/Flushes is the average batch size.
+	Flushes uint64
+	// GroupCommits is the number of barriers that carried more than
+	// one transaction.
+	GroupCommits uint64
+	// GroupedTxns is the number of transactions that shared their
+	// barrier with at least one other.
+	GroupedTxns uint64
+	// MaxBatch is the largest number of transactions under one barrier.
+	MaxBatch uint64
 }
 
 // Open opens (creating if necessary) the database at path. The WAL is
@@ -194,6 +291,9 @@ func Open(path string, opts *Options) (*Store, error) {
 	}
 	s := &Store{pg: pg, log: log, opts: opts.withDefaults()}
 	s.pool = buffer.New(s.opts.PoolPages)
+	s.ringCap = s.opts.VersionRing
+	empty := []*version{}
+	s.ring.Store(&empty)
 
 	if log.Size() > 0 {
 		if err := log.Replay(func(id page.ID, p *page.Page) error {
@@ -397,14 +497,70 @@ func (s *Store) SetRoot(slot int, id page.ID) {
 // page images go to the WAL, a commit record is appended and synced,
 // then the images are written back to the main file (unsynced), fresh
 // committed snapshots are installed for readers, and the frames marked
-// clean.
+// clean. Concurrent callers coalesce into group commits: the first
+// becomes the leader and flushes every request queued behind it under
+// a single fsync.
 func (s *Store) Commit() error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	return s.commitLocked()
+	return s.groupCommit(nil, 1)
 }
 
-func (s *Store) commitLocked() error {
+// CommitTokens is Commit for a leader acting on behalf of a batch of
+// transactions: the commit barrier written to the WAL records the
+// batch's transaction tokens (kindGroup), and the batch counts as
+// len(tokens) transactions in CommitStats. An empty token list behaves
+// exactly like Commit.
+func (s *Store) CommitTokens(tokens []uint64) error {
+	txns := uint64(len(tokens))
+	if txns == 0 {
+		txns = 1
+	}
+	return s.groupCommit(tokens, txns)
+}
+
+// groupCommit enqueues one commit request and either waits for an
+// active leader's flush to cover it or becomes the leader and drains
+// the queue itself, batch by batch, until it is empty.
+func (s *Store) groupCommit(tokens []uint64, txns uint64) error {
+	w := &gcWaiter{tokens: tokens, txns: txns, ch: make(chan error, 1)}
+	s.gcMu.Lock()
+	s.gcQueue = append(s.gcQueue, w)
+	if s.gcActive {
+		s.gcMu.Unlock()
+		return <-w.ch
+	}
+	s.gcActive = true
+	for {
+		batch := s.gcQueue
+		s.gcQueue = nil
+		if len(batch) == 0 {
+			s.gcActive = false
+			s.gcMu.Unlock()
+			break
+		}
+		s.gcMu.Unlock()
+
+		var toks []uint64
+		var n uint64
+		for _, b := range batch {
+			toks = append(toks, b.tokens...)
+			n += b.txns
+		}
+		s.writeMu.Lock()
+		err := s.commitLocked(toks, n)
+		s.writeMu.Unlock()
+		for _, b := range batch {
+			b.ch <- err
+		}
+		s.gcMu.Lock()
+	}
+	return <-w.ch
+}
+
+// commitLocked flushes the current dirty set as one commit covering
+// txns transactions identified by tokens (both may describe a batch
+// when a group-commit leader is calling). Direct callers that are not
+// leaders (Checkpoint, Backup, Close) pass nil, 1.
+func (s *Store) commitLocked(tokens []uint64, txns uint64) error {
 	dirty := s.pool.DirtyFrames()
 	s.metaMu.RLock()
 	metaDirty := s.metaDirty
@@ -426,7 +582,11 @@ func (s *Store) commitLocked() error {
 	if _, err := s.log.AppendPage(0, s.meta); err != nil {
 		return err
 	}
-	if s.opts.NoSync {
+	if len(tokens) > 0 {
+		if _, err := s.log.AppendCommitGroup(newSeq, tokens, s.opts.NoSync); err != nil {
+			return err
+		}
+	} else if s.opts.NoSync {
 		if _, err := s.log.AppendCommitNoSync(newSeq); err != nil {
 			return err
 		}
@@ -454,12 +614,35 @@ func (s *Store) commitLocked() error {
 
 	// Install the new committed state for readers. The odd/even seqlock
 	// generation lets a reader detect that this window overlapped its
-	// operation and re-run it (ReadView.Atomically).
+	// operation and re-run it (ReadView.Atomically). The version-ring
+	// entry — this commit's before-images plus its meta snapshot — is
+	// published inside the same window, so a reader that saw a stable
+	// generation saw a ring covering every completed commit.
 	s.rseq.Add(1)
+	var before map[page.ID]*page.Page
+	if s.ringCap > 0 {
+		before = make(map[page.ID]*page.Page, len(dirty))
+		for _, f := range dirty {
+			if old := f.Snapshot(); old != nil {
+				before[f.ID] = old
+			}
+		}
+	}
 	for _, f := range dirty {
 		f.InstallSnapshot()
 	}
 	s.installMetaSnap()
+	if s.ringCap > 0 {
+		old := *s.ring.Load()
+		start := 0
+		if len(old)+1 > s.ringCap {
+			start = len(old) + 1 - s.ringCap
+		}
+		entries := make([]*version, 0, len(old)+1-start)
+		entries = append(entries, old[start:]...)
+		entries = append(entries, &version{seq: newSeq, meta: s.metaSnap.Load(), before: before})
+		s.ring.Store(&entries)
+	}
 	s.seq.Store(newSeq)
 	s.rseq.Add(1)
 
@@ -467,6 +650,19 @@ func (s *Store) commitLocked() error {
 	s.metaMu.Lock()
 	s.metaDirty = false
 	s.metaMu.Unlock()
+
+	s.txnCommits.Add(txns)
+	s.flushes.Add(1)
+	if txns > 1 {
+		s.groupFlushes.Add(1)
+		s.groupedTxns.Add(txns)
+	}
+	for {
+		cur := s.maxBatch.Load()
+		if txns <= cur || s.maxBatch.CompareAndSwap(cur, txns) {
+			break
+		}
+	}
 
 	if s.opts.CheckpointBytes > 0 && s.log.Size() > s.opts.CheckpointBytes {
 		return s.checkpointLocked()
@@ -478,7 +674,7 @@ func (s *Store) commitLocked() error {
 func (s *Store) Checkpoint() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	if err := s.commitLocked(); err != nil {
+	if err := s.commitLocked(nil, 1); err != nil {
 		return err
 	}
 	return s.checkpointLocked()
@@ -513,7 +709,7 @@ func (s *Store) DropCache() error {
 func (s *Store) Backup(destPath string) error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	if err := s.commitLocked(); err != nil {
+	if err := s.commitLocked(nil, 1); err != nil {
 		return err
 	}
 	if err := s.checkpointLocked(); err != nil {
@@ -594,6 +790,19 @@ func (s *Store) CacheStats() (hits, misses, reads uint64) {
 	return st.Pool.Hits, st.Pool.Misses, st.DiskReads
 }
 
+// CommitStats reports how many transactions committed, how many
+// physical WAL flushes carried them, and the batching shape — the
+// group-commit amortization evidence.
+func (s *Store) CommitStats() CommitStats {
+	return CommitStats{
+		Commits:      s.txnCommits.Load(),
+		Flushes:      s.flushes.Load(),
+		GroupCommits: s.groupFlushes.Load(),
+		GroupedTxns:  s.groupedTxns.Load(),
+		MaxBatch:     s.maxBatch.Load(),
+	}
+}
+
 // Recovered reports whether crash recovery ran when the store was
 // opened.
 func (s *Store) Recovered() bool { return s.recovered }
@@ -609,7 +818,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	if err := s.commitLocked(); err != nil {
+	if err := s.commitLocked(nil, 1); err != nil {
 		return err
 	}
 	if err := s.checkpointLocked(); err != nil {
@@ -636,6 +845,11 @@ type ReadView struct {
 // Views are cheap: they share the store's buffer pool (reads through a
 // view warm it) and hold no state of their own.
 func (s *Store) ReadView() *ReadView { return &ReadView{s} }
+
+// ReadOnly marks the view for layers above the page store: structures
+// opened over it should refuse mutations up front (with ErrReadOnly)
+// instead of tripping the MarkDirty panic mid-update.
+func (v *ReadView) ReadOnly() bool { return true }
 
 // roHandle is a Handle over an immutable committed snapshot. There is
 // no pin to release: the snapshot outlives any frame bookkeeping.
@@ -723,6 +937,11 @@ func (v *ReadView) CacheStats() (hits, misses, reads uint64) {
 // Seq returns the committed commit-sequence number, as Store.Seq.
 func (v *ReadView) Seq() uint64 { return v.s.Seq() }
 
+// Snapshot pins the store's current committed version, as
+// Store.Snapshot: the returned view keeps reading that version while
+// this ReadView continues to track the latest.
+func (v *ReadView) Snapshot() (*SnapshotView, error) { return v.s.Snapshot() }
+
 // Atomically runs op so that every page it reads through the view
 // belongs to one committed state. If a commit installs while op runs
 // (or is installing when it starts), op is re-run — so op must be
@@ -742,7 +961,152 @@ func (v *ReadView) Atomically(op func() error) error {
 	}
 }
 
+// SnapshotView is a read-only Space pinned to one committed version.
+// Unlike a ReadView — which always tracks the latest committed state —
+// a SnapshotView keeps resolving every page and root exactly as they
+// were at the version it was pinned to, while commits proceed
+// underneath it. It stays valid until Options.VersionRing commits have
+// landed after the pin, after which reads fail with ErrSnapshotTooOld.
+type SnapshotView struct {
+	s    *Store
+	seq  uint64
+	meta *page.Page
+}
+
+// Snapshot pins a view to the current committed version. Pinning is
+// cheap — it captures the committed sequence number and meta snapshot,
+// nothing else — and never blocks the writer.
+func (s *Store) Snapshot() (*SnapshotView, error) {
+	for {
+		r0 := s.rseq.Load()
+		if r0&1 == 0 {
+			seq := s.seq.Load()
+			meta := s.metaSnap.Load()
+			if s.rseq.Load() == r0 {
+				return &SnapshotView{s: s, seq: seq, meta: meta}, nil
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// Get returns the image of a page as of the pinned version: the
+// before-image recorded by the oldest later commit that overwrote the
+// page, or the live committed image when no later commit touched it.
+func (v *SnapshotView) Get(id page.ID) (Handle, error) {
+	if id == 0 || id == page.Invalid {
+		return nil, fmt.Errorf("store: get page %d: reserved page", id)
+	}
+	for {
+		r0 := v.s.rseq.Load()
+		if r0&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		ring := *v.s.ring.Load()
+		// The reconstruction below is sound only while the ring still
+		// covers every commit after the pinned version.
+		if len(ring) > 0 {
+			if ring[0].seq > v.seq+1 {
+				return nil, ErrSnapshotTooOld
+			}
+		} else if v.s.seq.Load() != v.seq {
+			return nil, ErrSnapshotTooOld
+		}
+		for _, e := range ring {
+			if e.seq <= v.seq {
+				continue
+			}
+			if img, ok := e.before[id]; ok {
+				return roHandle{img}, nil
+			}
+		}
+		// No commit after the pin touched the page: the live committed
+		// image is the pinned image. Validate that no commit installed
+		// while we read it — a fresh one may have added the page's
+		// before-image to the ring, so retry resolves correctly.
+		var img *page.Page
+		if sp := v.s.pool.Snapshot(id); sp != nil {
+			img = sp
+		} else {
+			tmp := &page.Page{}
+			if err := v.s.readPage(id, tmp); err != nil {
+				return nil, err
+			}
+			f, _ := v.s.pool.GetOrInsert(id, tmp)
+			img = f.Snapshot()
+			v.s.pool.Release(f)
+		}
+		if v.s.rseq.Load() == r0 {
+			return roHandle{img}, nil
+		}
+	}
+}
+
+// Alloc fails: snapshots are read-only.
+func (v *SnapshotView) Alloc(t page.Type) (page.ID, Handle, error) {
+	return page.Invalid, nil, ErrReadOnly
+}
+
+// Free fails: snapshots are read-only.
+func (v *SnapshotView) Free(id page.ID) error { return ErrReadOnly }
+
+// Root resolves a root slot against the pinned meta image.
+func (v *SnapshotView) Root(slot int) page.ID {
+	return page.ID(binary.LittleEndian.Uint64(v.meta.Payload()[metaRootsOff+8*slot:]))
+}
+
+// Roots returns all root slots as of the pinned version.
+func (v *SnapshotView) Roots() [NumRoots]page.ID {
+	pl := v.meta.Payload()
+	var out [NumRoots]page.ID
+	for i := range out {
+		out[i] = page.ID(binary.LittleEndian.Uint64(pl[metaRootsOff+8*i:]))
+	}
+	return out
+}
+
+// SetRoot panics: snapshots are read-only.
+func (v *SnapshotView) SetRoot(slot int, id page.ID) {
+	panic("store: SetRoot through a snapshot view")
+}
+
+// Commit fails: snapshots are read-only.
+func (v *SnapshotView) Commit() error { return ErrReadOnly }
+
+// ReadOnly marks the view for layers above the page store (see
+// ReadView.ReadOnly).
+func (v *SnapshotView) ReadOnly() bool { return true }
+
+// Abort is a no-op: a snapshot holds no uncommitted state.
+func (v *SnapshotView) Abort() error { return nil }
+
+// Close is a no-op: the snapshot borrows the store's resources, and
+// the ring reclaims its version by aging regardless.
+func (v *SnapshotView) Close() error { return nil }
+
+// DropCache fails: the pool is shared with the writer and other
+// readers.
+func (v *SnapshotView) DropCache() error { return ErrReadOnly }
+
+// CacheStats reports the shared pool's hits, misses and disk reads.
+func (v *SnapshotView) CacheStats() (hits, misses, reads uint64) {
+	return v.s.CacheStats()
+}
+
+// Seq returns the pinned committed sequence number.
+func (v *SnapshotView) Seq() uint64 { return v.seq }
+
+// Snapshot returns the view itself: a snapshot of a snapshot is the
+// same version.
+func (v *SnapshotView) Snapshot() (*SnapshotView, error) { return v, nil }
+
+// Atomically runs op directly: a pinned view is stable by
+// construction, so there is nothing to re-run against.
+func (v *SnapshotView) Atomically(op func() error) error { return op() }
+
 var (
 	_ Space = (*Store)(nil)
 	_ Space = (*ReadView)(nil)
+	_ Space = (*SnapshotView)(nil)
 )

@@ -18,6 +18,14 @@
 //
 //	kindPage   (1): pageID uint64, image [page.Size]byte
 //	kindCommit (2): txn sequence number uint64
+//	kindGroup  (3): store sequence uint64, count uint32, count × txn
+//	               token uint64 — one commit barrier covering every
+//	               page image appended since the previous barrier, on
+//	               behalf of count batched transactions (group commit).
+//	               Recovery applies the batch all-or-nothing, exactly
+//	               like kindCommit: either the barrier made it to disk
+//	               and every transaction in the group replays, or it
+//	               did not and none do.
 package wal
 
 import (
@@ -36,6 +44,7 @@ import (
 const (
 	kindPage   = 1
 	kindCommit = 2
+	kindGroup  = 3
 
 	frameHeader = 8 // length + crc
 )
@@ -128,6 +137,32 @@ func (w *WAL) AppendCommitNoSync(seq uint64) (lsn uint64, err error) {
 	return w.appendFrame(body)
 }
 
+// AppendCommitGroup logs one commit barrier covering every page image
+// appended since the previous barrier on behalf of len(tokens) batched
+// transactions, and (unless nosync) forces the log to stable storage —
+// the single fsync a group commit amortizes across the whole batch.
+func (w *WAL) AppendCommitGroup(seq uint64, tokens []uint64, nosync bool) (lsn uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	body := make([]byte, 1+8+4+8*len(tokens))
+	body[0] = kindGroup
+	binary.LittleEndian.PutUint64(body[1:9], seq)
+	binary.LittleEndian.PutUint32(body[9:13], uint32(len(tokens)))
+	for i, t := range tokens {
+		binary.LittleEndian.PutUint64(body[13+8*i:], t)
+	}
+	if lsn, err = w.appendFrame(body); err != nil {
+		return 0, err
+	}
+	if nosync {
+		return lsn, nil
+	}
+	if err := w.syncLocked(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
 func (w *WAL) syncLocked() error {
 	if w.pending == 0 {
 		return nil
@@ -199,7 +234,12 @@ func (w *WAL) Replay(apply func(id page.ID, p *page.Page) error) error {
 			img := &page.Page{}
 			copy(img.Bytes(), body[9:])
 			pending = append(pending, pendingImage{page.ID(binary.LittleEndian.Uint64(body[1:9])), img})
-		case kindCommit:
+		case kindCommit, kindGroup:
+			if body[0] == kindGroup {
+				if len(body) < 1+8+4 || len(body) != 1+8+4+8*int(binary.LittleEndian.Uint32(body[9:13])) {
+					return fmt.Errorf("wal: malformed group-commit record at offset %d", off)
+				}
+			}
 			for _, pi := range pending {
 				if err := apply(pi.id, pi.p); err != nil {
 					return fmt.Errorf("wal: replay apply page %d: %w", pi.id, err)

@@ -3,7 +3,15 @@
 //
 //   - Run: execute a mutation and commit it, retrying automatically
 //     when optimistic validation fails (R8). This is the loop every
-//     multi-user HyperModel application runs.
+//     multi-user HyperModel application runs. Validation is against a
+//     version, not a global lock: the commit ships the transaction's
+//     read set and the snapshot it was based on, and the server (or
+//     store) checks both against the newest committed version — many
+//     such commits validate and flush together under group commit.
+//   - View: execute a read-only closure over a snapshot pinned to the
+//     newest committed version, so a long traversal sees a stable
+//     state while commits proceed, retrying when the pinned version
+//     ages out of the store's version ring.
 //   - Workspace: the R9 cooperation model — a user works privately
 //     (uncommitted changes visible only through their own backend
 //     connection) and makes the work shareable by publishing it.
@@ -15,6 +23,7 @@ import (
 
 	"hypermodel/internal/hyper"
 	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/store"
 )
 
 // DefaultRetries bounds Run's retry loop.
@@ -50,6 +59,38 @@ func RunN(b hyper.Backend, retries int, fn func() error) error {
 		}
 	}
 	return fmt.Errorf("%w after %d attempts", ErrTooManyConflicts, retries+1)
+}
+
+// View runs a read-only closure over a snapshot pinned to the newest
+// committed version, so the closure's reads are stable while commits
+// proceed on the live database. A backend without snapshot support
+// (the image backend, or a page-server session — whose workstation
+// cache plus optimistic validation already provides a consistent view)
+// runs the closure against the live backend instead. When the pinned
+// version ages out of the store's version ring mid-closure, the
+// closure is re-run on a fresh snapshot, up to the retry bound.
+func View(b hyper.Backend, fn func(hyper.Backend) error) error {
+	db, ok := b.(hyper.DB)
+	if !ok {
+		return fn(b)
+	}
+	var err error
+	for attempt := 0; attempt <= DefaultRetries; attempt++ {
+		var snap hyper.DB
+		snap, err = db.Snapshot()
+		if errors.Is(err, hyper.ErrNoSnapshots) {
+			return fn(b)
+		}
+		if err != nil {
+			return err
+		}
+		err = fn(snap)
+		if !errors.Is(err, store.ErrSnapshotTooOld) {
+			return err
+		}
+		// The version ring moved past our snapshot: pin a fresh one.
+	}
+	return fmt.Errorf("%w after %d attempts: %v", ErrTooManyConflicts, DefaultRetries+1, err)
 }
 
 // Workspace is a private working context for one user (R9): changes

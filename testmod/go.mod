@@ -1,0 +1,11 @@
+// testmod is a separate module on purpose: it consumes hypermodel the
+// way an external application would, so it can only see the exported
+// facade. If a facade change forces this module to import an internal
+// package, the build breaks here first.
+module hypermodel/testmod
+
+go 1.22
+
+require hypermodel v0.0.0
+
+replace hypermodel => ../

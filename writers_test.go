@@ -1,0 +1,325 @@
+package hypermodel_test
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/store"
+	"hypermodel/internal/txn"
+)
+
+// rotated returns s left-rotated by n bytes — the closed form of n
+// applications of the writers' one-byte rotation, so the final text
+// encodes exactly how many transactions really committed: a lost
+// update shows up as too few rotations, a doubled commit as too many.
+func rotated(s string, n int) string {
+	if len(s) == 0 {
+		return s
+	}
+	n %= len(s)
+	return s[n:] + s[:n]
+}
+
+// rotateTxn is one writer transaction: read the TextNode, store a
+// one-byte left rotation. Same length in, same length out — the object
+// never moves, so the only page the transaction dirties is the node's
+// own data page.
+func rotateTxn(db *oodb.DB, target hyper.NodeID) func() error {
+	return func() error {
+		text, err := db.Text(target)
+		if err != nil {
+			return err
+		}
+		rot := make([]byte, len(text))
+		copy(rot, text[1:])
+		rot[len(rot)-1] = text[0]
+		return db.SetText(target, string(rot))
+	}
+}
+
+// commitN drives exactly n committed rotate transactions through
+// txn.RunN, backing off briefly when a retry budget is exhausted under
+// heavy contention (the budget bounds each attempt; the loop, not the
+// budget, owns completion).
+func commitN(db *oodb.DB, target hyper.NodeID, n int, rng *rand.Rand) error {
+	for committed := 0; committed < n; {
+		err := txn.RunN(db, 50, rotateTxn(db, target))
+		if errors.Is(err, txn.ErrTooManyConflicts) {
+			time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		committed++
+	}
+	return nil
+}
+
+// TestConcurrentWritersGroupCommit is the multi-writer stress test for
+// the server's group commit: W writer clients each drive K committed
+// transactions through the leader/follower commit path, first against
+// disjoint TextNodes (commit-rate bound — batches form whenever a
+// commit arrives while the leader is flushing) and then all against
+// one shared TextNode (conflict bound — optimistic validation rejects
+// stale batch members and the clients retry). In both phases the final
+// state must equal exactly W×K one-byte rotations and the server must
+// have applied exactly W×K transactions: group commit may reorder and
+// batch, but never lose, double, or tear a commit.
+func TestConcurrentWritersGroupCommit(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 25
+		level     = 3
+	)
+	st, err := store.Open(filepath.Join(t.TempDir(), "writers.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	boot, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb, err := oodb.New(boot, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hyper.Generate(bdb, hyper.GenConfig{LeafLevel: level, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bdb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disjoint targets: one TextNode per writer, spread across the leaf
+	// level; the shared target reuses writer 0's.
+	firstLeaf, lastLeaf := hyper.LevelIDs(level)
+	leaves := int(lastLeaf - firstLeaf + 1)
+	targets := make([]hyper.NodeID, writers)
+	for u := range targets {
+		j := u * (leaves / writers)
+		if hyper.IsFormLeaf(j) {
+			j = (j + 1) % leaves
+		}
+		targets[u] = firstLeaf + hyper.NodeID(j)
+	}
+	before := make(map[hyper.NodeID]string)
+	for _, id := range targets {
+		text, err := bdb.Text(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[id] = text
+	}
+	if err := bdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(name string, target func(u int) hyper.NodeID) {
+		commitsBefore, _, _ := srv.Stats()
+		var wg sync.WaitGroup
+		errs := make(chan error, writers)
+		for u := 0; u < writers; u++ {
+			wg.Add(1)
+			go func(u int) {
+				defer wg.Done()
+				client, err := remote.Dial(addr.String(), remote.ClientOptions{})
+				if err != nil {
+					errs <- err
+					return
+				}
+				db, err := oodb.New(client, oodb.DefaultOptions())
+				if err != nil {
+					client.Close()
+					errs <- err
+					return
+				}
+				defer db.Close()
+				rng := rand.New(rand.NewSource(int64(u) + 99))
+				errs <- commitN(db, target(u), perWriter, rng)
+			}(u)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		commitsAfter, _, _ := srv.Stats()
+		if got := commitsAfter - commitsBefore; got != writers*perWriter {
+			t.Fatalf("%s: server applied %d transactions, want exactly %d",
+				name, got, writers*perWriter)
+		}
+	}
+
+	run("disjoint", func(u int) hyper.NodeID { return targets[u] })
+	run("contended", func(int) hyper.NodeID { return targets[0] })
+
+	flushes, batches, grouped, maxBatch, fastPath := srv.GroupCommitStats()
+	t.Logf("group commit: %d flushes, %d multi-txn batches, %d grouped txns, max batch %d, %d fast-path validations",
+		flushes, batches, grouped, maxBatch, fastPath)
+
+	// Ground truth: every target holds its original text rotated once
+	// per committed transaction — perWriter times for the disjoint
+	// phase, plus writers×perWriter more on writer 0's node from the
+	// contended phase. The one-byte rotation commutes, so the count is
+	// exact no matter how commits interleaved or batched.
+	check, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := oodb.New(check, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+	for u, id := range targets {
+		rot := perWriter
+		if id == targets[0] {
+			rot += writers * perWriter
+		}
+		want := rotated(before[id], rot)
+		got, err := cdb.Text(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("writer %d target %d: text is %d rotations off ground truth",
+				u, id, rotationDistance(t, before[id], got, want))
+		}
+	}
+}
+
+// rotationDistance reports how many rotations separate got from want
+// (for the failure message; -1 if got is not a rotation of the
+// original at all).
+func rotationDistance(t *testing.T, original, got, want string) int {
+	t.Helper()
+	for n := 0; n < len(original); n++ {
+		if rotated(original, n) == got {
+			for m := 0; m < len(original); m++ {
+				if rotated(original, m) == want {
+					return n - m
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// TestWritersSerializedBaseline runs the disjoint-writer workload with
+// group commit disabled: the pre-batching one-commit-one-fsync
+// discipline must preserve the same exactly-once guarantees (this is
+// the baseline E19 measures against, so it has to stay correct, not
+// just slow).
+func TestWritersSerializedBaseline(t *testing.T) {
+	const writers, perWriter, level = 3, 10, 3
+	st, err := store.Open(filepath.Join(t.TempDir(), "serialized.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := remote.NewServer(st)
+	srv.SetGroupCommit(false)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	boot, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdb, err := oodb.New(boot, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := hyper.Generate(bdb, hyper.GenConfig{LeafLevel: level, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bdb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	firstLeaf, _ := hyper.LevelIDs(level)
+	target := firstLeaf // leaf 0 is a TextNode (form leaves are every 125th)
+	original, err := bdb.Text(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bdb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	commitsBefore, _, _ := srv.Stats()
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for u := 0; u < writers; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			client, err := remote.Dial(addr.String(), remote.ClientOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			db, err := oodb.New(client, oodb.DefaultOptions())
+			if err != nil {
+				client.Close()
+				errs <- err
+				return
+			}
+			defer db.Close()
+			rng := rand.New(rand.NewSource(int64(u) + 7))
+			errs <- commitN(db, target, perWriter, rng)
+		}(u)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitsAfter, _, _ := srv.Stats()
+	if got := commitsAfter - commitsBefore; got != writers*perWriter {
+		t.Fatalf("serialized server applied %d transactions, want exactly %d", got, writers*perWriter)
+	}
+	_, gcBatches, _, _, _ := srv.GroupCommitStats()
+	if gcBatches != 0 {
+		t.Fatalf("serialized mode formed %d batches, want none", gcBatches)
+	}
+
+	check, err := remote.Dial(addr.String(), remote.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb, err := oodb.New(check, oodb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cdb.Close()
+	got, err := cdb.Text(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rotated(original, writers*perWriter); got != want {
+		t.Fatalf("text is %d rotations off ground truth", rotationDistance(t, original, got, want))
+	}
+}
