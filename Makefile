@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos stress writers externalcheck
+.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos stress writers externalcheck crash
 
 all: build test
 
 # Pre-merge gate: static checks, the race detector, the concurrency
-# stress, the chaos soak, and a short fuzz smoke of the wire-protocol
-# decoder.
-check: vet test-race stress chaos writers externalcheck
+# stress, the chaos soak, the crash/corruption sweeps, and a short
+# fuzz smoke of the wire-protocol decoder.
+check: vet test-race stress chaos writers crash externalcheck
 	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 5s ./internal/remote
 
 # Single-writer/multi-reader stress: concurrent readers race a
@@ -31,6 +31,15 @@ chaos:
 # the 4-writer chaos soak — all under the race detector.
 writers:
 	$(GO) test -race -run 'Writers|GroupCommitCrash' -count=1 -v . ./internal/storage/store
+
+# Power-cut and corruption gate (DESIGN.md §13): the deterministic
+# crash-point sweeps over every fsync barrier and mid-write tear
+# point, the all-or-nothing group-commit cuts, the corruption
+# taxonomy on every read path (pager, views, snapshots, remote), the
+# scrub pass, and the crash FS's own settle-model tests — all on the
+# in-memory VFS, byte-deterministic across machines.
+crash:
+	$(GO) test -run 'Crash|PowerCut|Torn|TruncationPoint|Scrub|Corrupt|Settle|Sector|Degrades' -count=1 -v ./internal/storage/... ./internal/remote
 
 # The external consumer module: compiles and runs against the exported
 # facade only (it cannot import internal packages), so it breaks first

@@ -9,6 +9,12 @@
 // Or as a REPL when no query argument is given:
 //
 //	hyperquery -backend oodb -dir ./data -level 4
+//
+// The scrub verb validates a database file's at-rest state — every
+// page checksum, the free list, the meta page, and the WAL — and
+// prints a per-page damage report. Exit status 1 means damage:
+//
+//	hyperquery scrub ./data/oodb.db
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"hypermodel"
 	"hypermodel/internal/harness"
 	"hypermodel/internal/hyper"
 	"hypermodel/internal/query"
@@ -27,6 +34,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperquery: ")
+	if len(os.Args) > 1 && os.Args[1] == "scrub" {
+		runScrub(os.Args[2:])
+		return
+	}
 	var (
 		backend = flag.String("backend", "oodb", "backend: oodb, reldb or memdb")
 		dir     = flag.String("dir", ".", "directory holding the database files")
@@ -86,5 +97,29 @@ func main() {
 			break
 		}
 		runOne(line)
+	}
+}
+
+// runScrub handles "hyperquery scrub <dbfile>": run a full scrub pass
+// and print the damage report. Exits 1 when damage was found, so the
+// verb composes with scripts and CI.
+func runScrub(args []string) {
+	fs := flag.NewFlagSet("scrub", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: hyperquery scrub <dbfile>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	rep, err := hypermodel.ScrubDatabase(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+	if !rep.Clean() {
+		os.Exit(1)
 	}
 }

@@ -97,6 +97,62 @@ func TestHyperqueryTool(t *testing.T) {
 	}
 }
 
+func TestHyperqueryScrub(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	gen := buildTool(t, "hypergen")
+	qry := buildTool(t, "hyperquery")
+	dir := t.TempDir()
+	run(t, gen, "-backend", "oodb", "-dir", dir, "-level", "3")
+	db := filepath.Join(dir, "oodb.db")
+
+	out := run(t, qry, "scrub", db)
+	if !strings.Contains(out, "clean") || strings.Contains(out, "DAMAGED") {
+		t.Fatalf("scrub of fresh database not clean:\n%s", out)
+	}
+
+	// Flip a payload byte in page 1 (4 KiB pages; offset 100 is past
+	// the header) and scrub again: the damage must be pinpointed and
+	// the exit status non-zero.
+	f, err := os.OpenFile(db, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := []byte{0}
+	if _, err := f.ReadAt(buf, 4096+100); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, 4096+100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cmd := exec.Command(qry, "scrub", db)
+	outB, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("scrub of damaged database exited 0:\n%s", outB)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("scrub of damaged database: want exit 1, got %v:\n%s", err, outB)
+	}
+	if !strings.Contains(string(outB), "PAGE 1 DAMAGED") {
+		t.Fatalf("scrub did not pinpoint page 1:\n%s", outB)
+	}
+
+	// A missing file is an error, not a freshly created empty
+	// database.
+	cmd = exec.Command(qry, "scrub", filepath.Join(dir, "nope.db"))
+	if outB, err = cmd.CombinedOutput(); err == nil {
+		t.Fatalf("scrub of missing file succeeded:\n%s", outB)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "nope.db")); err == nil {
+		t.Fatal("scrub created the missing database file")
+	}
+}
+
 func TestHyperbenchTool(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

@@ -34,6 +34,7 @@ package hypermodel
 
 import (
 	"io"
+	"os"
 
 	"hypermodel/internal/backend/memdb"
 	"hypermodel/internal/backend/oodb"
@@ -327,6 +328,33 @@ func StartServer(path, addr string) (boundAddr string, stop func() error, err er
 		}
 		return st.Close()
 	}, nil
+}
+
+// ScrubReport is the full accounting of a database file's at-rest
+// state produced by ScrubDatabase: per-page damage, free-list and meta
+// integrity, and the WAL scan.
+type ScrubReport = store.ScrubReport
+
+// PageDamage describes one damaged page in a ScrubReport.
+type PageDamage = store.PageDamage
+
+// ScrubDatabase opens the database file at path and runs a full scrub
+// pass: every page, the free list, the meta page, and the write-ahead
+// log are validated, and all damage is reported rather than failing on
+// the first bad page. Opening replays any committed WAL tail first, so
+// the report reflects the recovered state — exactly what readers would
+// see. The path must name an existing database file; unlike the Open
+// functions, ScrubDatabase never creates one.
+func ScrubDatabase(path string) (*ScrubReport, error) {
+	if _, err := os.Stat(path); err != nil {
+		return nil, err
+	}
+	st, err := store.Open(path, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.Scrub(), nil
 }
 
 // The twenty benchmark operations (§6). Each takes the backend and the

@@ -248,7 +248,7 @@ var (
 // stdRoots are the stdlib roots fixtures may import; -deps pulls in
 // everything they reference.
 var stdRoots = []string{
-	"errors", "fmt", "io", "net", "sync", "time", "math/rand",
+	"errors", "fmt", "io", "net", "os", "sync", "time", "math/rand",
 	"encoding/binary", "bytes", "strings",
 }
 

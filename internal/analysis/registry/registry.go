@@ -11,6 +11,7 @@ import (
 	"hypermodel/internal/analysis/framerelease"
 	"hypermodel/internal/analysis/mutexio"
 	"hypermodel/internal/analysis/opcodes"
+	"hypermodel/internal/analysis/vfsonly"
 )
 
 // All returns every analyzer in the suite, in stable order.
@@ -22,5 +23,6 @@ func All() []*analysis.Analyzer {
 		framerelease.Analyzer,
 		mutexio.Analyzer,
 		opcodes.Analyzer,
+		vfsonly.Analyzer,
 	}
 }

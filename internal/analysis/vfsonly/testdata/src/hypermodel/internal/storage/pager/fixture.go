@@ -1,0 +1,33 @@
+// Fixture for the vfsonly analyzer, placed inside the storage tree so
+// the gate applies: direct os file operations are bypasses of the VFS
+// seam.
+package pager
+
+import (
+	"errors"
+	"os"
+)
+
+func badOpen(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644) // want "os.OpenFile in internal/storage bypasses the VFS seam"
+}
+
+func badCreate(path string) (*os.File, error) {
+	return os.Create(path) // want "os.Create in internal/storage bypasses the VFS seam"
+}
+
+func badReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "os.ReadFile in internal/storage bypasses the VFS seam"
+}
+
+func badRemove(path string) error {
+	return os.Remove(path) // want "os.Remove in internal/storage bypasses the VFS seam"
+}
+
+func goodSentinel(err error) bool {
+	return errors.Is(err, os.ErrClosed) // sentinel errors are not filesystem access
+}
+
+func goodAllowed(path string) error {
+	return os.Truncate(path, 0) //hyperlint:allow vfsonly -- fixture: justified escape hatch
+}

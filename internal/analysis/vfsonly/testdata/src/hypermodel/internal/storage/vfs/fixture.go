@@ -1,0 +1,17 @@
+// Fixture at the vfs package's own import path: this is the
+// sanctioned boundary, so direct os file operations are fine here.
+package vfs
+
+import "os"
+
+func OsfsOpen(name string) (*os.File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+}
+
+func OsfsStat(name string) (int64, error) {
+	fi, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

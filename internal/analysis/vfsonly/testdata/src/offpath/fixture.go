@@ -1,0 +1,9 @@
+// Fixture at an import path outside internal/storage: the seam does
+// not apply, so nothing here may be flagged.
+package offpath
+
+import "os"
+
+func Fine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,79 @@
+// Package vfsonly checks that the storage engine reaches the
+// filesystem only through the VFS seam: no direct os file operations
+// anywhere under internal/storage except inside the vfs package
+// itself, whose osfs implementation is the one sanctioned boundary.
+//
+// Invariant: the crash sweeps and corruption tests are only as honest
+// as the indirection is complete. A single os.OpenFile smuggled into
+// the pager or WAL would give that code a side channel the power-cut
+// injector cannot see — its writes would survive every simulated
+// crash, and the sweep would certify recovery behavior the real
+// engine does not have. Holding every byte of durable state behind
+// vfs.FS keeps the fault injector's view of the world exhaustive.
+//
+// Sentinel errors (os.ErrClosed, os.ErrNotExist) are not filesystem
+// access and stay usable everywhere. Test files are exempt: tests may
+// stage real files when they mean to.
+package vfsonly
+
+import (
+	"go/ast"
+	"strings"
+
+	"hypermodel/internal/analysis"
+)
+
+// storagePrefix gates the check to the storage engine.
+const storagePrefix = "hypermodel/internal/storage/"
+
+// vfsPackage is the one package allowed to touch the os filesystem:
+// it is the boundary the rest of the engine goes through.
+const vfsPackage = "hypermodel/internal/storage/vfs"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "vfsonly",
+	Doc: "internal/storage must reach the filesystem only through vfs.FS; " +
+		"direct os file operations hide durable state from the crash injector",
+	Run: run,
+}
+
+// fsFuncs are the os package-level functions that touch the
+// filesystem. Anything here appearing outside the vfs package is a
+// bypass of the injection seam.
+var fsFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Truncate": true,
+	"Remove": true, "RemoveAll": true, "Rename": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"Stat": true, "Lstat": true, "ReadDir": true, "Link": true,
+	"Symlink": true, "Chmod": true, "Chtimes": true,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if !strings.HasPrefix(path, storagePrefix) || path == vfsPackage {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "os" && analysis.ReceiverNamed(fn) == nil && fsFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"os.%s in internal/storage bypasses the VFS seam; route file access through vfs.FS",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

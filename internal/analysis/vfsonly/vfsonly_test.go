@@ -1,0 +1,15 @@
+package vfsonly_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/vfsonly"
+)
+
+func TestVfsonly(t *testing.T) {
+	analysistest.Run(t, vfsonly.Analyzer,
+		"hypermodel/internal/storage/pager",
+		"hypermodel/internal/storage/vfs",
+		"offpath")
+}

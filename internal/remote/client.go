@@ -12,6 +12,7 @@ import (
 
 	"hypermodel/internal/storage/buffer"
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/pager"
 	"hypermodel/internal/storage/store"
 )
 
@@ -106,6 +107,7 @@ type Client struct {
 	commitChecks        atomic.Uint64
 	commitResends       atomic.Uint64
 	commitUnknowns      atomic.Uint64
+	corruptRefetches    atomic.Uint64
 
 	// Pipelining stats (see InflightStats).
 	curInflight  atomic.Int64
@@ -193,6 +195,10 @@ type RetryStats struct {
 	CommitChecks   uint64 // commit-token probes after a mid-commit disconnect
 	CommitResends  uint64 // commits resent after the server confirmed non-application
 	CommitUnknowns uint64 // commits whose outcome could not be re-verified
+	// CorruptRefetches counts page images that failed validation on
+	// arrival and were fetched again — transit corruption the checksum
+	// caught before the bytes could enter the cache.
+	CorruptRefetches uint64
 }
 
 // Dial connects to a page server — the whole connection pool, up
@@ -237,9 +243,15 @@ var errNotConnected = errors.New("remote: not connected")
 // transient reports whether err is a transport-class failure — the
 // request may never have reached the server, so reconnecting and
 // retrying can help. Definite outcomes (server replies, conflicts,
-// Close) are final.
+// corruption reports, Close) are final: a statusCorrupt answer means
+// the page's stored image is damaged on the server's disk, and
+// resending the fetch would read the same bad bytes.
 func transient(err error) bool {
 	if err == nil || errors.Is(err, ErrConflict) || errors.Is(err, ErrClosed) {
+		return false
+	}
+	var ce *pager.ErrCorruptPage
+	if errors.As(err, &ce) {
 		return false
 	}
 	var se *ServerError
@@ -471,21 +483,43 @@ func (h *handle) Release()         { h.c.pool.Release(h.f) }
 
 // fetchPage fetches one page image from the server. It takes no locks
 // of its own, so any number of fetches can be in flight concurrently.
+//
+// Every received image is validated before it can enter the cache. The
+// server seals what it sends, so a failure here means the bytes were
+// damaged between the server's memory and ours — a fault the protocol's
+// length-checks cannot see — and a refetch reads the server's (good)
+// copy again. Refetches share the retry budget; if the image never
+// arrives intact, the typed corruption error surfaces with the page
+// pinned, exactly like a local checksum failure.
 func (c *Client) fetchPage(id page.ID) (uint64, *page.Page, error) {
 	req := make([]byte, 0, 9)
 	req = append(req, opGetPage)
 	req = binary.LittleEndian.AppendUint64(req, uint64(id))
-	resp, err := c.call(req)
-	if err != nil {
-		return 0, nil, err
+	var lastDetail string
+	for attempt := 0; ; attempt++ {
+		resp, err := c.call(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(resp) != 8+page.Size {
+			return 0, nil, errors.New("remote: bad GetPage response")
+		}
+		img := &page.Page{}
+		copy(img.Bytes(), resp[8:])
+		if verr := img.Validate(); verr != nil {
+			lastDetail = verr.Error()
+			if attempt < c.opts.RetryLimit {
+				c.corruptRefetches.Add(1)
+				continue
+			}
+			return 0, nil, &pager.ErrCorruptPage{
+				ID:     id,
+				Detail: "image corrupted in transit: " + lastDetail,
+			}
+		}
+		c.fetches.Add(1)
+		return binary.LittleEndian.Uint64(resp), img, nil
 	}
-	if len(resp) != 8+page.Size {
-		return 0, nil, errors.New("remote: bad GetPage response")
-	}
-	c.fetches.Add(1)
-	img := &page.Page{}
-	copy(img.Bytes(), resp[8:])
-	return binary.LittleEndian.Uint64(resp), img, nil
 }
 
 // checkReadVersionLocked guards snapshot consistency: if the
@@ -643,11 +677,23 @@ func (c *Client) fetchPages(ids []page.ID, strict bool) error {
 	if c.batchOK.Load() {
 		err := c.fetchPageBatch(ids, strict)
 		var se *ServerError
-		if err == nil || !errors.As(err, &se) {
-			return err // success, or transport retries exhausted
+		var ce *pager.ErrCorruptPage
+		switch {
+		case err == nil:
+			return nil
+		case errors.As(err, &ce):
+			// One corrupt item poisons a batch response (the server
+			// fails the whole frame, and a transit fault fails our
+			// validation of it). Degrade this call to per-page fetches —
+			// refetching the damaged page alone, installing the rest —
+			// without writing off batching for the connection's life.
+			c.downgrades.Add(1)
+		case errors.As(err, &se):
+			c.batchOK.Store(false)
+			c.downgrades.Add(1)
+		default:
+			return err // transport retries exhausted
 		}
-		c.batchOK.Store(false)
-		c.downgrades.Add(1)
 	}
 	for _, id := range ids {
 		c.mu.Lock()
@@ -696,6 +742,15 @@ func (c *Client) fetchPageBatch(ids []page.ID, strict bool) error {
 		img := &page.Page{}
 		copy(img.Bytes(), resp[off+8:off+8+page.Size])
 		off += 8 + page.Size
+		if verr := img.Validate(); verr != nil {
+			// One damaged item fails the whole batch with the typed
+			// error; fetchPages degrades to per-page fetches, which
+			// refetch this page alone and install the rest unharmed.
+			return &pager.ErrCorruptPage{
+				ID:     id,
+				Detail: "image corrupted in transit: " + verr.Error(),
+			}
+		}
 		c.fetches.Add(1)
 		if err := c.installFetchedLocked(id, ver, img, strict); err != nil {
 			return err
@@ -739,12 +794,13 @@ func (c *Client) FrameStats() (total, batched uint64) {
 // RetryStats reports the client's fault-tolerance counters.
 func (c *Client) RetryStats() RetryStats {
 	return RetryStats{
-		Reconnects:     c.reconnects.Load(),
-		Retries:        c.retries.Load(),
-		Downgrades:     c.downgrades.Load(),
-		CommitChecks:   c.commitChecks.Load(),
-		CommitResends:  c.commitResends.Load(),
-		CommitUnknowns: c.commitUnknowns.Load(),
+		Reconnects:       c.reconnects.Load(),
+		Retries:          c.retries.Load(),
+		Downgrades:       c.downgrades.Load(),
+		CommitChecks:     c.commitChecks.Load(),
+		CommitResends:    c.commitResends.Load(),
+		CommitUnknowns:   c.commitUnknowns.Load(),
+		CorruptRefetches: c.corruptRefetches.Load(),
 	}
 }
 

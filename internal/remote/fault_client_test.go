@@ -25,6 +25,7 @@ const (
 	actReject                         // answer statusError without dispatching
 	actSwallow                        // dispatch but never answer (hang the client)
 	actTruncate                       // dispatch, send truncateAt bytes of the answer, close
+	actCorrupt                        // dispatch, flip the answer's last payload byte, send
 )
 
 type scriptStep struct {
@@ -104,6 +105,13 @@ func scriptedServer(t *testing.T, srv *Server, script func(frame int, req []byte
 						framed := append(hdr[:], full...)
 						conn.Write(framed[:step.truncateAt])
 						return
+					case actCorrupt:
+						// Framing stays intact; only the payload is
+						// damaged — the fault a checksum must catch.
+						full[len(full)-1] ^= 0xFF
+						if writeFrame(conn, full) != nil {
+							return
+						}
 					default:
 						if writeFrame(conn, full) != nil {
 							return

@@ -171,6 +171,8 @@ func decodeStatus(body []byte) ([]byte, error) {
 		return nil, ErrConflict
 	case statusBadRequest:
 		return nil, &ServerError{BadRequest: true, Msg: string(body[1:])}
+	case statusCorrupt:
+		return nil, decodeCorrupt(body[1:])
 	default:
 		return nil, &ServerError{Msg: string(body[1:])}
 	}

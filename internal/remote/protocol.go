@@ -23,6 +23,7 @@ import (
 	"io"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/pager"
 )
 
 // Protocol opcodes (client → server).
@@ -44,6 +45,7 @@ const (
 	statusError      = 1 // server-side fault while executing the request
 	statusConflict   = 2
 	statusBadRequest = 3 // client-caused: malformed frame or unknown opcode
+	statusCorrupt    = 4 // a page image failed validation on the server's disk
 )
 
 // ErrConflict is returned by Client.Commit when optimistic validation
@@ -78,6 +80,29 @@ func (e *ServerError) Error() string {
 		return "remote: server rejected request: " + e.Msg
 	}
 	return "remote: server error: " + e.Msg
+}
+
+// statusCorrupt body: pageID u64 | seq u64 | detail string. The client
+// reconstructs the storage layer's typed *pager.ErrCorruptPage from it,
+// so errors.As works identically against a local store and a remote
+// one. Corruption is a definite server-side answer — the page's stored
+// image is damaged, and resending the request cannot help — so the
+// decoded error is never retried (see transient).
+func appendCorrupt(b []byte, ce *pager.ErrCorruptPage) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(ce.ID))
+	b = binary.LittleEndian.AppendUint64(b, ce.Seq)
+	return append(b, ce.Detail...)
+}
+
+func decodeCorrupt(body []byte) error {
+	if len(body) < 16 {
+		return &ServerError{Msg: "malformed corrupt-page response"}
+	}
+	return &pager.ErrCorruptPage{
+		ID:     page.ID(binary.LittleEndian.Uint64(body)),
+		Seq:    binary.LittleEndian.Uint64(body[8:]),
+		Detail: string(body[16:]),
+	}
 }
 
 const maxFrame = 64 << 20 // sanity bound on frame sizes

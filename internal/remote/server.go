@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/pager"
 	"hypermodel/internal/storage/store"
 )
 
@@ -100,6 +101,7 @@ type Server struct {
 	maxConns    int
 	maxInflight int
 	refused     atomic.Uint64
+	corrupt     atomic.Uint64 // requests answered with statusCorrupt
 
 	// Request-level accounting, independent of the connection
 	// counters: one multiplexed connection can carry many concurrent
@@ -299,6 +301,11 @@ func (s *Server) FaultStats() (dupCommits, refused uint64) {
 	return s.dupCommits.Load(), s.refused.Load()
 }
 
+// CorruptServed reports how many requests were answered with a
+// corrupt-page status — each one is a page whose stored image failed
+// validation, worth an operator's scrub.
+func (s *Server) CorruptServed() uint64 { return s.corrupt.Load() }
+
 // RequestStats reports request-level counters: total request frames
 // read and the peak number dispatched concurrently across all
 // connections. These move independently of the connection counters —
@@ -465,12 +472,21 @@ func (s *Server) dispatch(req []byte) (resp []byte, conflict bool, rerr error) {
 // errFrame builds the response frame for a failed request,
 // distinguishing client-caused errors (statusBadRequest, the client's
 // bug) from server faults (statusError, ours — logged with the peer's
-// address so an operator can correlate).
+// address so an operator can correlate). Storage corruption gets its
+// own status so the client can resurface the typed error: the damage
+// is on the server's disk, and the client must report it per page
+// rather than retry or fail the connection.
 func (s *Server) errFrame(peer net.Addr, id uint64, err error) []byte {
 	var br *badRequestError
 	if errors.As(err, &br) {
 		s.logf("remote: bad request from %s: %v", peer, err)
 		return s.respFrame(id, statusBadRequest, []byte(err.Error()))
+	}
+	var ce *pager.ErrCorruptPage
+	if errors.As(err, &ce) {
+		s.corrupt.Add(1)
+		s.logf("remote: corrupt page served to %s: %v", peer, err)
+		return s.respFrame(id, statusCorrupt, appendCorrupt(nil, ce))
 	}
 	s.logf("remote: server fault serving %s: %v", peer, err)
 	return s.respFrame(id, statusError, []byte(err.Error()))
@@ -517,6 +533,12 @@ func (s *Server) getPage(body []byte) ([]byte, error) {
 	resp := make([]byte, 8+page.Size)
 	binary.LittleEndian.PutUint64(resp, ver)
 	copy(resp[8:], h.Page().Bytes())
+	// Reseal the copy: an in-memory image may predate its first
+	// write-out (a freshly allocated page, say), so its stored checksum
+	// is not yet meaningful. Sealing here lets the client validate every
+	// received image and distinguish transit corruption (refetchable)
+	// from server-disk corruption (statusCorrupt above).
+	page.SealBytes(resp[8:])
 	return resp, nil
 }
 
@@ -543,6 +565,7 @@ func (s *Server) getPages(body []byte) ([]byte, error) {
 		binary.LittleEndian.PutUint64(resp[off:], ver)
 		copy(resp[off+8:], h.Page().Bytes())
 		h.Release()
+		page.SealBytes(resp[off+8:]) // see getPage
 		off += 8 + page.Size
 	}
 	return resp, nil

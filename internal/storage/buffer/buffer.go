@@ -22,6 +22,7 @@ package buffer
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -263,9 +264,13 @@ func (p *Pool) MarkDirty(f *Frame) {
 	sh.unlistLocked(f)
 }
 
-// DirtyFrames returns the frames currently flagged dirty, in
-// unspecified order. The frames are not pinned; the caller must hold
-// the store's writer lock while using them.
+// DirtyFrames returns the frames currently flagged dirty, sorted by
+// page ID. The order matters: the commit path logs and writes back the
+// dirty set in this order, so a given workload produces byte-identical
+// WAL and file images on every machine — which the seeded crash-point
+// sweeps rely on (map iteration order would reshuffle every run). The
+// frames are not pinned; the caller must hold the store's writer lock
+// while using them.
 func (p *Pool) DirtyFrames() []*Frame {
 	var out []*Frame
 	for i := range p.shards {
@@ -278,6 +283,7 @@ func (p *Pool) DirtyFrames() []*Frame {
 		}
 		sh.mu.Unlock()
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -111,10 +111,22 @@ func (p *Page) UpdateChecksum() {
 }
 
 // VerifyChecksum reports whether the stored checksum matches the page
-// contents. A page of all zero bytes verifies (fresh pages).
+// contents. An all-zero page does NOT verify (the CRC of zeros is
+// nonzero): unwritten pages are indistinguishable from damage at this
+// layer, and callers that must tell them apart check for zeros first.
 func (p *Page) VerifyChecksum() bool {
 	want := binary.LittleEndian.Uint32(p.buf[0:4])
 	return crc32.Checksum(p.buf[4:], castagnoli) == want
+}
+
+// SealBytes recomputes and stores the header checksum of a raw page
+// image held in a byte slice (len must be at least Size) without
+// copying it into a Page. The page server uses it to seal response
+// buffers: an in-memory image may predate its first write-out, so its
+// stored checksum is not yet meaningful.
+func SealBytes(b []byte) {
+	sum := crc32.Checksum(b[4:Size], castagnoli)
+	binary.LittleEndian.PutUint32(b[0:4], sum)
 }
 
 // Validate performs basic structural checks on a page read from disk.

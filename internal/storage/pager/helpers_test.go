@@ -1,31 +1,33 @@
 package pager
 
 import (
-	"os"
 	"testing"
+
+	"hypermodel/internal/storage/vfs"
 )
 
-// corrupt flips one byte at offset in the file at path.
-func corrupt(t *testing.T, path string, offset int64) {
+// openMem returns a pager over a fresh in-memory FS, plus the FS for
+// out-of-band damage injection.
+func openMem(t *testing.T) (*Pager, *vfs.MemFS) {
 	t.Helper()
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	fs := vfs.NewMem()
+	p, err := OpenFS(fs, "db")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.Close()
-	var b [1]byte
-	if _, err := f.ReadAt(b[:], offset); err != nil {
-		t.Fatal(err)
-	}
-	b[0] ^= 0xFF
-	if _, err := f.WriteAt(b[:], offset); err != nil {
-		t.Fatal(err)
-	}
+	t.Cleanup(func() { p.Close() })
+	return p, fs
 }
 
-func writeFile(t *testing.T, path string, data []byte) {
+// corrupt flips one byte at offset in the named in-memory file.
+func corrupt(t *testing.T, fs *vfs.MemFS, name string, offset int64) {
 	t.Helper()
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	data, err := fs.ReadFile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[offset] ^= 0xFF
+	if err := fs.WriteFile(name, data); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,55 +5,92 @@
 // caching and logging live in the layers above (storage/store,
 // storage/buffer, storage/wal).
 //
-// Reads take no lock: os.File.ReadAt is safe for concurrent use, so N
+// Reads take no lock: File.ReadAt is safe for concurrent use, so N
 // readers issue N preads in parallel. The page count and the I/O
 // counters are atomic; only Extend (file growth) serializes, and growth
 // is a single-writer operation anyway. Keeping concurrent reads away
 // from concurrent writes of the same page is the caller's job — the
 // store's no-steal policy guarantees it (a page being written back is
 // always resident, so readers hit the pool instead of the disk).
+//
+// All file I/O flows through a vfs.FS (vfs.OS by default), so tests
+// can run the pager over deterministic in-memory files or a seeded
+// power-cut injector.
 package pager
 
 import (
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/vfs"
 )
+
+// ErrCorruptPage reports a page whose stored image failed checksum or
+// header validation — the typed taxonomy for at-rest corruption.
+// Detection sites fill ID and Detail; the store stamps Seq with the
+// committed sequence number current when the damage surfaced, and the
+// remote tier carries the triple across the wire, so a client can
+// tell exactly which page of which committed state was unreadable.
+type ErrCorruptPage struct {
+	// ID is the damaged page.
+	ID page.ID
+	// Seq is the committed store sequence at detection time (zero when
+	// detected below the store, e.g. by a bare pager).
+	Seq uint64
+	// Detail says what failed: checksum mismatch, bad type byte, …
+	Detail string
+}
+
+func (e *ErrCorruptPage) Error() string {
+	if e.Seq != 0 {
+		return fmt.Sprintf("pager: page %d corrupt (seq %d): %s", e.ID, e.Seq, e.Detail)
+	}
+	return fmt.Sprintf("pager: page %d corrupt: %s", e.ID, e.Detail)
+}
 
 // Pager reads and writes pages of a single database file.
 type Pager struct {
-	mu    sync.Mutex // serializes Extend
-	f     *os.File
+	mu    sync.Mutex // serializes Extend and EnsurePages
+	f     vfs.File
 	count atomic.Uint64 // number of pages in the file
 	reads atomic.Uint64 // pages read from disk (statistics)
 	wr    atomic.Uint64 // pages written to disk (statistics)
+	torn  bool          // the file ended mid-page at open (crash tail)
 }
 
-// Open opens (or creates) the database file at path.
+// Open opens (or creates) the database file at path on the real
+// filesystem.
 func Open(path string) (*Pager, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(vfs.OS(), path)
+}
+
+// OpenFS opens (or creates) the database file at path on fs. A file
+// whose size is not a page multiple — the tail a power cut can leave
+// when it tears the last write — is usable: the partial page is
+// ignored (recovery rewrites it from the WAL) and TornTail reports it.
+func OpenFS(fs vfs.FS, path string) (*Pager, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("pager: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+		return nil, fmt.Errorf("pager: size %s: %w", path, err)
 	}
-	if st.Size()%page.Size != 0 {
-		f.Close()
-		return nil, fmt.Errorf("pager: %s: size %d is not a multiple of the page size", path, st.Size())
-	}
-	p := &Pager{f: f}
-	p.count.Store(uint64(st.Size()) / page.Size)
+	p := &Pager{f: f, torn: size%page.Size != 0}
+	p.count.Store(uint64(size) / page.Size)
 	return p, nil
 }
 
 // PageCount reports the number of pages currently in the file.
 func (p *Pager) PageCount() uint64 { return p.count.Load() }
+
+// TornTail reports whether the file ended mid-page when it was opened
+// — evidence of a torn final write that a crash left behind.
+func (p *Pager) TornTail() bool { return p.torn }
 
 // Extend grows the file by one zeroed page and returns its ID.
 func (p *Pager) Extend() (page.ID, error) {
@@ -67,9 +104,42 @@ func (p *Pager) Extend() (page.ID, error) {
 	return page.ID(n), nil
 }
 
+// EnsurePages grows the file (zero-filled) until it holds at least n
+// pages. Recovery uses it before replaying an image past the current
+// end: a crash can lose unsynced file growth, leaving committed WAL
+// images pointing beyond EOF.
+func (p *Pager) EnsurePages(n uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.count.Load()
+	if n <= cur {
+		return nil
+	}
+	if err := p.f.Truncate(int64(n) * page.Size); err != nil {
+		return fmt.Errorf("pager: ensure %d pages: %w", n, err)
+	}
+	p.count.Store(n)
+	return nil
+}
+
 // Read fills dst with the stored image of page id and validates its
-// checksum. Safe for concurrent use.
+// checksum, failing with *ErrCorruptPage when the image is damaged.
+// Safe for concurrent use.
 func (p *Pager) Read(id page.ID, dst *page.Page) error {
+	if err := p.ReadNoVerify(id, dst); err != nil {
+		return err
+	}
+	if err := dst.Validate(); err != nil {
+		return &ErrCorruptPage{ID: id, Detail: err.Error()}
+	}
+	return nil
+}
+
+// ReadNoVerify fills dst with the raw stored image of page id without
+// validating it — the scrub path, which classifies damage itself. (A
+// torn final partial page, see TornTail, lies past PageCount and is
+// not readable; recovery rewrites it from the WAL.)
+func (p *Pager) ReadNoVerify(id page.ID, dst *page.Page) error {
 	if n := p.count.Load(); uint64(id) >= n {
 		return fmt.Errorf("pager: read page %d: beyond end of file (%d pages)", id, n)
 	}
@@ -77,9 +147,6 @@ func (p *Pager) Read(id page.ID, dst *page.Page) error {
 		return fmt.Errorf("pager: read page %d: %w", id, err)
 	}
 	p.reads.Add(1)
-	if err := dst.Validate(); err != nil {
-		return fmt.Errorf("pager: page %d: %w", id, err)
-	}
 	return nil
 }
 

@@ -1,10 +1,12 @@
 package pager
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/vfs"
 )
 
 func openTemp(t *testing.T) *Pager {
@@ -17,6 +19,7 @@ func openTemp(t *testing.T) *Pager {
 	return p
 }
 
+// TestExtendWriteRead runs against a real file: the osfs default path.
 func TestExtendWriteRead(t *testing.T) {
 	p := openTemp(t)
 	if got := p.PageCount(); got != 0 {
@@ -44,7 +47,7 @@ func TestExtendWriteRead(t *testing.T) {
 }
 
 func TestWriteExtendsAtBoundary(t *testing.T) {
-	p := openTemp(t)
+	p, _ := openMem(t)
 	img := page.New(page.TypeSlotted)
 	if err := p.Write(0, img); err != nil {
 		t.Fatal(err)
@@ -59,7 +62,7 @@ func TestWriteExtendsAtBoundary(t *testing.T) {
 }
 
 func TestReadBeyondEOF(t *testing.T) {
-	p := openTemp(t)
+	p, _ := openMem(t)
 	var img page.Page
 	if err := p.Read(0, &img); err == nil {
 		t.Fatal("read of empty file succeeded")
@@ -67,9 +70,8 @@ func TestReadBeyondEOF(t *testing.T) {
 }
 
 func TestReadDetectsCorruption(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "db")
-	p, err := Open(path)
+	fs := vfs.NewMem()
+	p, err := OpenFS(fs, "db")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,29 +83,77 @@ func TestReadDetectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Flip a byte in the payload on disk.
-	corrupt(t, path, 100)
-	p2, err := Open(path)
+	corrupt(t, fs, "db", 100)
+	p2, err := OpenFS(fs, "db")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer p2.Close()
 	var back page.Page
-	if err := p2.Read(0, &back); err == nil {
+	err = p2.Read(0, &back)
+	if err == nil {
 		t.Fatal("corrupted page read succeeded")
+	}
+	var ce *ErrCorruptPage
+	if !errors.As(err, &ce) {
+		t.Fatalf("corruption surfaced as %T (%v), want *ErrCorruptPage", err, err)
+	}
+	if ce.ID != 0 || ce.Detail == "" {
+		t.Fatalf("taxonomy incomplete: %+v", ce)
+	}
+	// ReadNoVerify serves the raw damaged bytes for scrub-style
+	// classification.
+	if err := p2.ReadNoVerify(0, &back); err != nil {
+		t.Fatalf("ReadNoVerify: %v", err)
 	}
 }
 
-func TestOpenRejectsPartialPage(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "db")
-	writeFile(t, path, make([]byte, page.Size+100))
-	if _, err := Open(path); err == nil {
-		t.Fatal("open of misaligned file succeeded")
+// TestOpenToleratesTornTail: a power cut can tear the final page
+// write, leaving a non-page-multiple file. Open must cope — the
+// partial page is ignored (recovery rewrites it from the WAL) and
+// TornTail reports it.
+func TestOpenToleratesTornTail(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := fs.WriteFile("db", make([]byte, page.Size+100)); err != nil {
+		t.Fatal(err)
+	}
+	p, err := OpenFS(fs, "db")
+	if err != nil {
+		t.Fatalf("open of torn file failed: %v", err)
+	}
+	defer p.Close()
+	if p.PageCount() != 1 || !p.TornTail() {
+		t.Fatalf("count=%d torn=%v, want 1 full page and a torn tail", p.PageCount(), p.TornTail())
+	}
+	whole, _ := openMem(t)
+	if whole.TornTail() {
+		t.Fatal("fresh aligned file reports a torn tail")
+	}
+}
+
+func TestEnsurePages(t *testing.T) {
+	p, _ := openMem(t)
+	if err := p.EnsurePages(3); err != nil {
+		t.Fatal(err)
+	}
+	if p.PageCount() != 3 {
+		t.Fatalf("count = %d, want 3", p.PageCount())
+	}
+	// Shrinking is not EnsurePages' job: asking for fewer is a no-op.
+	if err := p.EnsurePages(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.PageCount() != 3 {
+		t.Fatalf("count shrank to %d", p.PageCount())
+	}
+	img := page.New(page.TypeSlotted)
+	if err := p.Write(2, img); err != nil {
+		t.Fatalf("write into ensured region: %v", err)
 	}
 }
 
 func TestStatsCount(t *testing.T) {
-	p := openTemp(t)
+	p, _ := openMem(t)
 	img := page.New(page.TypeSlotted)
 	for i := 0; i < 3; i++ {
 		if err := p.Write(page.ID(i), img); err != nil {

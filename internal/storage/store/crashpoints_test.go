@@ -3,25 +3,24 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
-	"path/filepath"
 	"testing"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/vfs"
 )
 
-// crashHistory builds a database with a checkpointed baseline followed
-// by `txns` committed transactions (never checkpointed, so the WAL
-// holds them all). Transaction k writes k into three pages and
+// crashHistory builds a database (on an in-memory FS — no temp dirs,
+// byte-deterministic across machines) with a checkpointed baseline
+// followed by `txns` committed transactions (never checkpointed, so
+// the WAL holds them all). Transaction k writes k into three pages and
 // 1000+k into root slot 0. It returns the page ids, the raw database
 // image and WAL bytes at crash time, and the WAL size right after the
 // first transaction's commit (the earliest reachable crash point that
 // proves a commit).
 func crashHistory(t *testing.T, txns int) (ids []page.ID, dbImage, wal []byte, walFloor int64) {
 	t.Helper()
-	dir := t.TempDir()
-	path := filepath.Join(dir, "db")
-	s, err := Open(path, &Options{CheckpointBytes: -1})
+	fs := vfs.NewMem()
+	s, err := Open("db", &Options{CheckpointBytes: -1, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +56,11 @@ func crashHistory(t *testing.T, txns int) (ids []page.ID, dbImage, wal []byte, w
 	}
 	s.CrashForTesting()
 
-	wal, err = os.ReadFile(path + ".wal")
+	wal, err = fs.ReadFile("db.wal")
 	if err != nil {
 		t.Fatal(err)
 	}
-	dbImage, err = os.ReadFile(path)
+	dbImage, err = fs.ReadFile("db")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,16 +69,16 @@ func crashHistory(t *testing.T, txns int) (ids []page.ID, dbImage, wal []byte, w
 
 // verifyRecovered opens a crash image and checks internal consistency:
 // the recovered state is transaction k for a single k in [1, txns].
-func verifyRecovered(t *testing.T, dir string, dbImage, walPrefix []byte, ids []page.ID, txns int) {
+func verifyRecovered(t *testing.T, dbImage, walPrefix []byte, ids []page.ID, txns int) {
 	t.Helper()
-	cpath := filepath.Join(dir, "db")
-	if err := os.WriteFile(cpath, dbImage, 0o644); err != nil {
+	fs := vfs.NewMem()
+	if err := fs.WriteFile("db", dbImage); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(cpath+".wal", walPrefix, 0o644); err != nil {
+	if err := fs.WriteFile("db.wal", walPrefix); err != nil {
 		t.Fatal(err)
 	}
-	s, err := Open(cpath, nil)
+	s, err := Open("db", &Options{FS: fs})
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
@@ -114,7 +113,7 @@ func TestEveryWALTruncationPointRecovers(t *testing.T) {
 	for cut := int(floor); cut <= len(wal); cut += stride {
 		cut := cut
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
-			verifyRecovered(t, t.TempDir(), dbImage, wal[:cut], ids, txns)
+			verifyRecovered(t, dbImage, wal[:cut], ids, txns)
 		})
 	}
 }
@@ -139,7 +138,7 @@ func TestEveryWALTruncationPointRecoversWithTornFile(t *testing.T) {
 	for cut := int(floor); cut <= len(wal); cut += stride {
 		cut := cut
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
-			verifyRecovered(t, t.TempDir(), torn, wal[:cut], ids, txns)
+			verifyRecovered(t, torn, wal[:cut], ids, txns)
 		})
 	}
 }
@@ -154,9 +153,8 @@ func TestEveryWALTruncationPointRecoversWithTornFile(t *testing.T) {
 // a batch.
 func groupCrashHistory(t *testing.T, batches, perBatch int) (ids []page.ID, dbImage, wal []byte, walFloor int64) {
 	t.Helper()
-	dir := t.TempDir()
-	path := filepath.Join(dir, "db")
-	s, err := Open(path, &Options{CheckpointBytes: -1})
+	fs := vfs.NewMem()
+	s, err := Open("db", &Options{CheckpointBytes: -1, FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,11 +198,11 @@ func groupCrashHistory(t *testing.T, batches, perBatch int) (ids []page.ID, dbIm
 	}
 	s.CrashForTesting()
 
-	wal, err = os.ReadFile(path + ".wal")
+	wal, err = fs.ReadFile("db.wal")
 	if err != nil {
 		t.Fatal(err)
 	}
-	dbImage, err = os.ReadFile(path)
+	dbImage, err = fs.ReadFile("db")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +224,7 @@ func TestGroupCommitCrashAllOrNothing(t *testing.T) {
 	for cut := int(floor); cut <= len(wal); cut += stride {
 		cut := cut
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
-			verifyRecovered(t, t.TempDir(), dbImage, wal[:cut], ids, batches)
+			verifyRecovered(t, dbImage, wal[:cut], ids, batches)
 		})
 	}
 }
@@ -247,7 +245,7 @@ func TestGroupCommitCrashWithTornFile(t *testing.T) {
 	for cut := int(floor); cut <= len(wal); cut += stride {
 		cut := cut
 		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
-			verifyRecovered(t, t.TempDir(), torn, wal[:cut], ids, batches)
+			verifyRecovered(t, torn, wal[:cut], ids, batches)
 		})
 	}
 }

@@ -75,6 +75,7 @@ import (
 	"hypermodel/internal/storage/buffer"
 	"hypermodel/internal/storage/page"
 	"hypermodel/internal/storage/pager"
+	"hypermodel/internal/storage/vfs"
 	"hypermodel/internal/storage/wal"
 )
 
@@ -89,6 +90,12 @@ var ErrReadOnly = errors.New("store: read-only view")
 // commits have landed since the view was pinned, so the before-images
 // needed to reconstruct its state are gone. Re-pin with Snapshot().
 var ErrSnapshotTooOld = errors.New("store: snapshot version evicted from the ring")
+
+// ErrCorruptPage is the typed at-rest corruption error every read path
+// — Get, ReadView.Get, SnapshotView.Get, recovery, Scrub — surfaces
+// when a page's stored image fails validation. Match with errors.As to
+// learn which page (and which committed sequence) was damaged.
+type ErrCorruptPage = pager.ErrCorruptPage
 
 // Handle is a pinned reference to a cached page.
 type Handle interface {
@@ -154,10 +161,15 @@ type Options struct {
 	// the default (8); negative disables retention, so snapshots go
 	// stale at the first commit after the pin.
 	VersionRing int
+	// FS is the filesystem the database and WAL files live on. Nil
+	// selects the real filesystem (vfs.OS); tests substitute vfs.NewMem
+	// for deterministic no-temp-dir runs or vfs.NewCrash for seeded
+	// power-cut and corruption injection.
+	FS vfs.FS
 }
 
 func (o *Options) withDefaults() Options {
-	out := Options{PoolPages: 1024, CheckpointBytes: 8 << 20, VersionRing: 8}
+	out := Options{PoolPages: 1024, CheckpointBytes: 8 << 20, VersionRing: 8, FS: vfs.OS()}
 	if o == nil {
 		return out
 	}
@@ -173,6 +185,9 @@ func (o *Options) withDefaults() Options {
 		out.VersionRing = 0
 	}
 	out.NoSync = o.NoSync
+	if o.FS != nil {
+		out.FS = o.FS
+	}
 	return out
 }
 
@@ -278,18 +293,20 @@ type CommitStats struct {
 }
 
 // Open opens (creating if necessary) the database at path. The WAL is
-// kept in path+".wal". Pending committed work is recovered.
+// kept in path+".wal", both on Options.FS (the real filesystem by
+// default). Pending committed work is recovered.
 func Open(path string, opts *Options) (*Store, error) {
-	pg, err := pager.Open(path)
+	o := opts.withDefaults()
+	pg, err := pager.OpenFS(o.FS, path)
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(path + ".wal")
+	log, err := wal.OpenFS(o.FS, path+".wal")
 	if err != nil {
 		pg.Close()
 		return nil, err
 	}
-	s := &Store{pg: pg, log: log, opts: opts.withDefaults()}
+	s := &Store{pg: pg, log: log, opts: o}
 	s.pool = buffer.New(s.opts.PoolPages)
 	s.ringCap = s.opts.VersionRing
 	empty := []*version{}
@@ -297,6 +314,12 @@ func Open(path string, opts *Options) (*Store, error) {
 
 	if log.Size() > 0 {
 		if err := log.Replay(func(id page.ID, p *page.Page) error {
+			// A crash can lose unsynced file growth: a committed image
+			// may lie past the surviving end of the file (or inside a
+			// torn final page). Regrow before writing.
+			if err := pg.EnsurePages(uint64(id) + 1); err != nil {
+				return err
+			}
 			return pg.Write(id, p)
 		}); err != nil {
 			s.closeFiles()
@@ -319,8 +342,22 @@ func Open(path string, opts *Options) (*Store, error) {
 			return nil, err
 		}
 	} else if err := s.loadMeta(); err != nil {
-		s.closeFiles()
-		return nil, err
+		// A power cut during first-ever initialization can leave the
+		// file grown but page 0 all zero (the meta write-back never
+		// ran, and no WAL barrier committed a copy). An all-zero meta
+		// can never be a committed state — every commit stores a
+		// checksummed one — so it is safe to initialize afresh.
+		// Anything else (garbage magic, foreign contents) stays fatal.
+		var raw page.Page
+		if rerr := s.readRaw(0, &raw); rerr == nil && isZeroPage(&raw) {
+			if ierr := s.initFresh(); ierr != nil {
+				s.closeFiles()
+				return nil, ierr
+			}
+		} else {
+			s.closeFiles()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -331,8 +368,10 @@ func (s *Store) closeFiles() {
 }
 
 func (s *Store) initFresh() error {
-	if _, err := s.pg.Extend(); err != nil { // reserve page 0
-		return err
+	if s.pg.PageCount() == 0 {
+		if _, err := s.pg.Extend(); err != nil { // reserve page 0
+			return err
+		}
 	}
 	m := page.New(page.TypeMeta)
 	pl := m.Payload()
@@ -409,10 +448,17 @@ func (s *Store) Get(id page.ID) (Handle, error) {
 }
 
 // readPage reads a page from the main file under the write-back fence.
+// Corruption errors are stamped with the committed sequence current at
+// detection, completing the ErrCorruptPage{ID, Seq} taxonomy.
 func (s *Store) readPage(id page.ID, dst *page.Page) error {
 	s.backMu.RLock()
-	defer s.backMu.RUnlock()
-	return s.pg.Read(id, dst)
+	err := s.pg.Read(id, dst)
+	s.backMu.RUnlock()
+	var ce *pager.ErrCorruptPage
+	if errors.As(err, &ce) && ce.Seq == 0 {
+		ce.Seq = s.seq.Load()
+	}
+	return err
 }
 
 // Alloc allocates a fresh zeroed page of type t, pinned and dirty.
@@ -715,7 +761,7 @@ func (s *Store) Backup(destPath string) error {
 	if err := s.checkpointLocked(); err != nil {
 		return err
 	}
-	dst, err := pager.Open(destPath)
+	dst, err := pager.OpenFS(s.opts.FS, destPath)
 	if err != nil {
 		return fmt.Errorf("store: backup: %w", err)
 	}

@@ -2,11 +2,11 @@ package store
 
 import (
 	"encoding/binary"
-	"os"
 	"path/filepath"
 	"testing"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/vfs"
 )
 
 func openTemp(t *testing.T, opts *Options) (*Store, string) {
@@ -108,8 +108,8 @@ func TestFreeReservedPageRejected(t *testing.T) {
 }
 
 func TestRecoveryRepairsTornWriteback(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "db")
-	s, err := Open(path, nil)
+	fs := vfs.NewMem()
+	s, err := Open("db", &Options{FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,17 +127,9 @@ func TestRecoveryRepairsTornWriteback(t *testing.T) {
 	// Simulate a crash: no checkpoint, underlying files abandoned, and
 	// the main-file write-back torn (corrupted page image on disk).
 	s.CrashForTesting()
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	junk := make([]byte, 50)
-	if _, err := f.WriteAt(junk, int64(id)*page.Size+100); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
+	corruptPage(t, fs, "db", id, 100, 50)
 
-	s2, err := Open(path, nil)
+	s2, err := Open("db", &Options{FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,8 +151,8 @@ func TestRecoveryRepairsTornWriteback(t *testing.T) {
 }
 
 func TestUncommittedWorkIsLostOnCrash(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "db")
-	s, err := Open(path, nil)
+	fs := vfs.NewMem()
+	s, err := Open("db", &Options{FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +177,7 @@ func TestUncommittedWorkIsLostOnCrash(t *testing.T) {
 	h.Release()
 	s.CrashForTesting()
 
-	s2, err := Open(path, nil)
+	s2, err := Open("db", &Options{FS: fs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,15 +248,36 @@ func TestGetReservedPageRejected(t *testing.T) {
 }
 
 func TestOpenRejectsForeignFile(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "db")
+	fs := vfs.NewMem()
 	junk := make([]byte, page.Size)
 	binary.LittleEndian.PutUint32(junk[0:4], 0xDEAD)
-	if err := os.WriteFile(path, junk, 0o644); err != nil {
+	if err := fs.WriteFile("db", junk); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path, nil); err == nil {
+	if _, err := Open("db", &Options{FS: fs}); err == nil {
 		t.Fatal("opened a non-hypermodel file")
+	}
+}
+
+// TestOpenReinitializesZeroMeta: a power cut during first-ever
+// initialization can leave the file grown but page 0 all zero, with no
+// committed WAL barrier. That state must reopen as a fresh database,
+// not brick the file.
+func TestOpenReinitializesZeroMeta(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := fs.WriteFile("db", make([]byte, page.Size)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open("db", &Options{FS: fs})
+	if err != nil {
+		t.Fatalf("zero-meta file did not reinitialize: %v", err)
+	}
+	defer s.Close()
+	if got := s.Root(0); got != page.Invalid {
+		t.Fatalf("root = %d, want Invalid on fresh init", got)
+	}
+	if rep := s.Scrub(); !rep.Clean() {
+		t.Fatalf("reinitialized store scrubs dirty:\n%s", rep)
 	}
 }
 

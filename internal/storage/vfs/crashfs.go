@@ -1,0 +1,375 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// CrashConfig parameterizes a crash FS. The zero value is a transparent
+// wrapper that never crashes and injects no faults — useful for
+// counting sync barriers in a workload before sweeping them.
+type CrashConfig struct {
+	// Seed drives every random decision (which unsynced sectors
+	// survive a cut, where a write tears, which reads fault). The same
+	// seed and operation sequence settle identically on every machine.
+	Seed int64
+	// SectorSize is the granularity at which a power cut drops or
+	// tears unsynced writes. Zero selects 512 bytes, the classic disk
+	// sector: a 4 KiB page write-back spans 8 sectors, any subset of
+	// which may survive.
+	SectorSize int
+	// CrashAtSync, when non-zero, fires the power cut at the Nth Sync
+	// call across the FS (1-based). Sweeping n over every barrier of a
+	// scripted workload visits every crash point a real power loss
+	// could hit.
+	CrashAtSync uint64
+	// SyncApplied selects which side of the CrashAtSync barrier the
+	// cut lands on: false cuts just before the fsync (its writes are
+	// unsynced and settle randomly), true cuts just after (the syncing
+	// file's writes are durable; only other files' pending writes
+	// settle randomly).
+	SyncApplied bool
+	// CrashAtWrite, when non-zero, fires the power cut at the Nth
+	// WriteAt call across the FS (1-based), mid-workload: the
+	// triggering write is buffered and then settles — torn, dropped,
+	// or applied — along with everything else pending.
+	CrashAtWrite uint64
+	// TornWriteProb is the probability that a surviving unsynced
+	// sector is torn at the cut: only a prefix of it reaches the
+	// platter.
+	TornWriteProb float64
+	// DropWriteProb is the probability that an unsynced sector (or
+	// truncate) is dropped entirely at the cut. Because each buffered
+	// sector write survives or drops independently, later writes can
+	// land while earlier ones vanish — the write reordering a real
+	// disk cache exhibits.
+	DropWriteProb float64
+	// ReadBitFlipProb is the per-ReadAt probability that one bit of
+	// the returned data is flipped — transient read-side corruption
+	// (the stored bytes are not modified).
+	ReadBitFlipProb float64
+	// ReadErrProb is the per-ReadAt probability of a transient
+	// ErrInjectedIO failure.
+	ReadErrProb float64
+}
+
+// CrashFS wraps an inner FS with deterministic, seeded fault
+// injection. Writes are buffered in memory until Sync, which applies
+// them to the inner FS — so at any instant the inner FS holds exactly
+// the synced (durable) state. A power cut — at a configured sync or
+// write count, or via PowerCut — settles each still-unsynced sector
+// write independently (applied, torn, or dropped, per the config's
+// probabilities), then latches the FS: every later operation fails
+// with ErrPowerCut. Reopening the inner FS afterwards is the
+// post-reboot view a recovery path must cope with.
+type CrashFS struct {
+	mu      sync.Mutex
+	inner   FS
+	cfg     CrashConfig
+	rng     *rand.Rand
+	files   map[string]*crashFile
+	order   []*crashFile // settle order: deterministic, unlike map range
+	syncs   uint64
+	writes  uint64
+	crashed bool
+}
+
+// NewCrash wraps inner with a crash FS configured by cfg.
+func NewCrash(inner FS, cfg CrashConfig) *CrashFS {
+	if cfg.SectorSize <= 0 {
+		cfg.SectorSize = 512
+	}
+	return &CrashFS{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		files: make(map[string]*crashFile),
+	}
+}
+
+// crashFile buffers one file's unsynced state. buf is the complete
+// current contents (what the OS page cache would serve back); ops is
+// the ordered log of unsynced sector writes and truncates that a power
+// cut settles against the inner file.
+type crashFile struct {
+	fs    *CrashFS
+	name  string
+	inner File
+	buf   []byte
+	ops   []pendingOp
+}
+
+// pendingOp is one unsynced mutation: a sector's post-write contents,
+// or a truncation.
+type pendingOp struct {
+	truncate bool
+	size     int64 // truncate target
+	sector   int64
+	data     []byte // sector image after the write (short at file end)
+}
+
+// Open opens the named file through the inner FS and caches its
+// current (synced) contents. Handles on one name share state.
+func (fs *CrashFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, ErrPowerCut
+	}
+	if f := fs.files[name]; f != nil {
+		return f, nil
+	}
+	inner, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	size, err := inner.Size()
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := inner.ReadAt(buf, 0); err != nil && !errors.Is(err, io.EOF) {
+			inner.Close()
+			return nil, err
+		}
+	}
+	f := &crashFile{fs: fs, name: name, inner: inner, buf: buf}
+	fs.files[name] = f
+	fs.order = append(fs.order, f)
+	return f, nil
+}
+
+// Syncs reports how many Sync calls the FS has seen — the number of
+// fsync barriers a workload crosses, hence the sweep range for
+// CrashAtSync.
+func (fs *CrashFS) Syncs() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.syncs
+}
+
+// Writes reports how many WriteAt calls the FS has seen — the sweep
+// range for CrashAtWrite.
+func (fs *CrashFS) Writes() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.writes
+}
+
+// Crashed reports whether the power cut has fired.
+func (fs *CrashFS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed
+}
+
+// PowerCut fires the power cut now: every unsynced write settles
+// (applied, torn, or dropped per the config), and all further
+// operations fail with ErrPowerCut. Idempotent.
+func (fs *CrashFS) PowerCut() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.cutLocked(nil)
+}
+
+// cutLocked settles every file's pending ops and latches the crash.
+// If applied is non-nil, that file's pending ops are flushed in full
+// first (the fsync that completed as the power died).
+func (fs *CrashFS) cutLocked(applied *crashFile) {
+	if fs.crashed {
+		return
+	}
+	fs.crashed = true
+	if applied != nil {
+		applied.flushLocked()
+	}
+	for _, f := range fs.order {
+		f.settleLocked()
+	}
+}
+
+// flushLocked applies every pending op to the inner file, in order,
+// and syncs it — a completed fsync.
+func (f *crashFile) flushLocked() error {
+	ss := int64(f.fs.cfg.SectorSize)
+	for _, op := range f.ops {
+		if op.truncate {
+			if err := f.inner.Truncate(op.size); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := f.inner.WriteAt(op.data, op.sector*ss); err != nil {
+			return err
+		}
+	}
+	f.ops = nil
+	return f.inner.Sync()
+}
+
+// settleLocked is the power cut hitting this file: each pending op
+// independently applies, tears, or drops, per the config's seeded
+// probabilities. Because ops settle independently, a later write can
+// survive an earlier one's loss — reordering. The inner file ends up
+// with some physically plausible post-crash state.
+func (f *crashFile) settleLocked() {
+	cfg, rng, ss := f.fs.cfg, f.fs.rng, int64(f.fs.cfg.SectorSize)
+	for _, op := range f.ops {
+		r := rng.Float64()
+		if op.truncate {
+			if r >= cfg.DropWriteProb {
+				f.inner.Truncate(op.size)
+			}
+			continue
+		}
+		switch {
+		case r < cfg.DropWriteProb:
+			// dropped: never reached the platter
+		case r < cfg.DropWriteProb+cfg.TornWriteProb:
+			n := rng.Intn(len(op.data) + 1)
+			f.inner.WriteAt(op.data[:n], op.sector*ss)
+		default:
+			f.inner.WriteAt(op.data, op.sector*ss)
+		}
+	}
+	f.ops = nil
+	f.inner.Sync()
+}
+
+func (f *crashFile) ReadAt(p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrPowerCut
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: read at negative offset %d", off)
+	}
+	if fs.cfg.ReadErrProb > 0 && fs.rng.Float64() < fs.cfg.ReadErrProb {
+		return 0, ErrInjectedIO
+	}
+	if off >= int64(len(f.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.buf[off:])
+	if fs.cfg.ReadBitFlipProb > 0 && n > 0 && fs.rng.Float64() < fs.cfg.ReadBitFlipProb {
+		i := fs.rng.Intn(n)
+		p[i] ^= 1 << fs.rng.Intn(8)
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *crashFile) WriteAt(p []byte, off int64) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrPowerCut
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: write at negative offset %d", off)
+	}
+	fs.writes++
+	ss := int64(fs.cfg.SectorSize)
+	if end := off + int64(len(p)); end > int64(len(f.buf)) {
+		grown := make([]byte, end)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	copy(f.buf[off:], p)
+	// Record the post-write image of every touched sector. The cut
+	// settles whole sectors: that is the granularity at which real
+	// hardware commits or loses data.
+	if len(p) > 0 {
+		first, last := off/ss, (off+int64(len(p))-1)/ss
+		for s := first; s <= last; s++ {
+			lo := s * ss
+			hi := lo + ss
+			if hi > int64(len(f.buf)) {
+				hi = int64(len(f.buf))
+			}
+			f.ops = append(f.ops, pendingOp{
+				sector: s,
+				data:   append([]byte(nil), f.buf[lo:hi]...),
+			})
+		}
+	}
+	if fs.cfg.CrashAtWrite > 0 && fs.writes == fs.cfg.CrashAtWrite {
+		fs.cutLocked(nil)
+		return 0, ErrPowerCut
+	}
+	return len(p), nil
+}
+
+func (f *crashFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrPowerCut
+	}
+	fs.syncs++
+	if fs.cfg.CrashAtSync > 0 && fs.syncs == fs.cfg.CrashAtSync {
+		if fs.cfg.SyncApplied {
+			fs.cutLocked(f)
+		} else {
+			fs.cutLocked(nil)
+		}
+		return ErrPowerCut
+	}
+	return f.flushLocked()
+}
+
+func (f *crashFile) Truncate(size int64) error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrPowerCut
+	}
+	if size < 0 {
+		return fmt.Errorf("vfs: truncate to negative size %d", size)
+	}
+	if size <= int64(len(f.buf)) {
+		f.buf = f.buf[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, f.buf)
+		f.buf = grown
+	}
+	f.ops = append(f.ops, pendingOp{truncate: true, size: size})
+	return nil
+}
+
+func (f *crashFile) Size() (int64, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return 0, ErrPowerCut
+	}
+	return int64(len(f.buf)), nil
+}
+
+// Close makes nothing durable: like a process exit, unsynced writes
+// stay at the mercy of a later cut. The state remains reachable via
+// Open (handles on one name share state), mirroring the inode-like
+// model of MemFS.
+func (f *crashFile) Close() error {
+	fs := f.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return ErrPowerCut
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestCrashBuffersUntilSync: unsynced writes are visible through the
+// crash FS (the page cache) but not in the inner FS (the platter)
+// until Sync applies them.
+func TestCrashBuffersUntilSync(t *testing.T) {
+	mem := NewMem()
+	cfs := NewCrash(mem, CrashConfig{Seed: 1})
+	f, err := cfs.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("unsynced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if string(got) != "unsynced" {
+		t.Fatalf("cache read %q", got)
+	}
+	if inner, _ := mem.ReadFile("db"); len(inner) != 0 {
+		t.Fatalf("inner file has %d unsynced bytes", len(inner))
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	inner, _ := mem.ReadFile("db")
+	if string(inner) != "unsynced" {
+		t.Fatalf("inner file after sync: %q", inner)
+	}
+}
+
+// TestPowerCutDropsUnsynced: with DropWriteProb=1 every unsynced write
+// vanishes at the cut, while everything a completed Sync covered
+// survives.
+func TestPowerCutDropsUnsynced(t *testing.T) {
+	mem := NewMem()
+	cfs := NewCrash(mem, CrashConfig{Seed: 1, DropWriteProb: 1})
+	f, _ := cfs.Open("db")
+	f.WriteAt([]byte("durable!"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte("lost"), 8)
+	cfs.PowerCut()
+	if !cfs.Crashed() {
+		t.Fatal("not crashed")
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("sync after cut: %v", err)
+	}
+	if _, err := cfs.Open("other"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("open after cut: %v", err)
+	}
+	inner, _ := mem.ReadFile("db")
+	if string(inner) != "durable!" {
+		t.Fatalf("post-crash contents %q", inner)
+	}
+}
+
+// TestCrashAtSyncBarrier: the cut fires at the configured sync, and
+// SyncApplied selects whether that barrier's writes survive.
+func TestCrashAtSyncBarrier(t *testing.T) {
+	for _, applied := range []bool{false, true} {
+		mem := NewMem()
+		cfs := NewCrash(mem, CrashConfig{Seed: 3, CrashAtSync: 2, SyncApplied: applied, DropWriteProb: 1})
+		f, _ := cfs.Open("db")
+		f.WriteAt([]byte("one"), 0)
+		if err := f.Sync(); err != nil { // barrier 1: survives
+			t.Fatal(err)
+		}
+		f.WriteAt([]byte("two"), 3)
+		if err := f.Sync(); !errors.Is(err, ErrPowerCut) { // barrier 2: the cut
+			t.Fatalf("sync 2: %v", err)
+		}
+		inner, _ := mem.ReadFile("db")
+		want := "one"
+		if applied {
+			want = "onetwo"
+		}
+		if string(inner) != want {
+			t.Fatalf("applied=%v: post-crash contents %q, want %q", applied, inner, want)
+		}
+	}
+}
+
+// TestCrashAtWrite: the cut fires mid-workload at the Nth write; the
+// triggering write settles with everything else pending.
+func TestCrashAtWrite(t *testing.T) {
+	mem := NewMem()
+	cfs := NewCrash(mem, CrashConfig{Seed: 5, CrashAtWrite: 2, DropWriteProb: 1})
+	f, _ := cfs.Open("db")
+	if _, err := f.WriteAt([]byte("a"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("b"), 1); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write 2: %v", err)
+	}
+	if cfs.Writes() != 2 {
+		t.Fatalf("writes = %d", cfs.Writes())
+	}
+	if inner, _ := mem.ReadFile("db"); len(inner) != 0 {
+		t.Fatalf("all writes unsynced and dropped, yet inner holds %q", inner)
+	}
+}
+
+// TestTornWriteIsPrefix: with TornWriteProb=1 a surviving sector keeps
+// only a prefix of the written bytes — never interleaved garbage.
+func TestTornWriteIsPrefix(t *testing.T) {
+	mem := NewMem()
+	cfs := NewCrash(mem, CrashConfig{Seed: 7, TornWriteProb: 1})
+	f, _ := cfs.Open("db")
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	f.WriteAt(payload, 0)
+	cfs.PowerCut()
+	inner, _ := mem.ReadFile("db")
+	if len(inner) > 100 {
+		t.Fatalf("inner grew past the write: %d", len(inner))
+	}
+	for i, b := range inner {
+		if b != 0xAB {
+			t.Fatalf("byte %d = %#x: torn write is not a prefix", i, b)
+		}
+	}
+}
+
+// TestSettleIsDeterministic: the same seed and operation sequence
+// settle to byte-identical post-crash state.
+func TestSettleIsDeterministic(t *testing.T) {
+	run := func() []byte {
+		mem := NewMem()
+		cfs := NewCrash(mem, CrashConfig{Seed: 42, DropWriteProb: 0.4, TornWriteProb: 0.4})
+		f, _ := cfs.Open("db")
+		for i := 0; i < 16; i++ {
+			buf := bytes.Repeat([]byte{byte(i + 1)}, 700)
+			f.WriteAt(buf, int64(i)*700)
+		}
+		cfs.PowerCut()
+		got, _ := mem.ReadFile("db")
+		return got
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed settled differently")
+	}
+	// And some sector must have dropped or torn (the config makes
+	// survival-of-everything astronomically unlikely).
+	if len(a) == 16*700 && !bytes.Contains(a, []byte{0}) {
+		full := true
+		for i := 0; i < 16 && full; i++ {
+			for j := 0; j < 700; j++ {
+				if a[i*700+j] != byte(i+1) {
+					full = false
+					break
+				}
+			}
+		}
+		if full {
+			t.Fatal("no write dropped or tore under 0.8 combined probability")
+		}
+	}
+}
+
+// TestSectorIndependence: dropping is per sector, so one multi-sector
+// write can survive partially — some sectors present, others zero.
+func TestSectorIndependence(t *testing.T) {
+	mem := NewMem()
+	cfs := NewCrash(mem, CrashConfig{Seed: 11, DropWriteProb: 0.5, SectorSize: 512})
+	f, _ := cfs.Open("db")
+	f.WriteAt(bytes.Repeat([]byte{0xFF}, 8*512), 0)
+	cfs.PowerCut()
+	inner, _ := mem.ReadFile("db")
+	kept, dropped := 0, 0
+	for s := 0; s*512 < len(inner); s++ {
+		sector := inner[s*512 : (s+1)*512]
+		if sector[0] == 0xFF {
+			kept++
+		} else {
+			dropped++
+		}
+	}
+	// Trailing dropped sectors shorten the file instead.
+	dropped += 8 - kept - dropped
+	if kept == 0 || dropped == 0 {
+		t.Fatalf("seed 11 settled all-or-nothing (kept=%d dropped=%d); want a mix", kept, dropped)
+	}
+}
+
+// TestReadFaults: seeded read-side bit flips corrupt the returned
+// bytes, not the stored ones; injected EIO is transient.
+func TestReadFaults(t *testing.T) {
+	mem := NewMem()
+	cfs := NewCrash(mem, CrashConfig{Seed: 13, ReadBitFlipProb: 1})
+	f, _ := cfs.Open("db")
+	f.WriteAt([]byte{0x00, 0x00, 0x00, 0x00}, 0)
+	got := make([]byte, 4)
+	if _, err := f.ReadAt(got, 0); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatal("bit flip did not fire at probability 1")
+	}
+
+	cfs2 := NewCrash(NewMem(), CrashConfig{Seed: 13, ReadErrProb: 1})
+	f2, _ := cfs2.Open("db")
+	f2.WriteAt([]byte{1}, 0)
+	if _, err := f2.ReadAt(got[:1], 0); !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("want injected EIO, got %v", err)
+	}
+}
+
+// TestSyncCountsAcrossFiles: Syncs counts barriers across every file
+// of the FS, giving a workload's sweep range.
+func TestSyncCountsAcrossFiles(t *testing.T) {
+	cfs := NewCrash(NewMem(), CrashConfig{Seed: 1})
+	a, _ := cfs.Open("db")
+	b, _ := cfs.Open("db.wal")
+	a.WriteAt([]byte{1}, 0)
+	a.Sync()
+	b.WriteAt([]byte{2}, 0)
+	b.Sync()
+	b.Sync()
+	if got := cfs.Syncs(); got != 3 {
+		t.Fatalf("syncs = %d, want 3", got)
+	}
+}

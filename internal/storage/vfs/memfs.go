@@ -1,0 +1,158 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// MemFS is a fully deterministic in-memory FS. Files live in the FS
+// for its lifetime, so close-and-reopen (crash-recovery tests) works
+// without touching the real filesystem, and identical operation
+// sequences produce identical bytes on every machine.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memData
+}
+
+// NewMem returns an empty in-memory FS.
+func NewMem() *MemFS {
+	return &MemFS{files: make(map[string]*memData)}
+}
+
+// memData is the shared state behind every handle opened on one name.
+type memData struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// Open opens (creating if necessary) the named in-memory file. All
+// handles on one name share contents, like file descriptors on one
+// inode.
+func (fs *MemFS) Open(name string) (File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	d := fs.files[name]
+	if d == nil {
+		d = &memData{}
+		fs.files[name] = d
+	}
+	return &memFile{d: d}, nil
+}
+
+// ReadFile returns a copy of the named file's contents — a test
+// convenience mirroring os.ReadFile.
+func (fs *MemFS) ReadFile(name string) ([]byte, error) {
+	fs.mu.Lock()
+	d := fs.files[name]
+	fs.mu.Unlock()
+	if d == nil {
+		return nil, fmt.Errorf("vfs: read %s: %w", name, os.ErrNotExist)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]byte(nil), d.buf...), nil
+}
+
+// WriteFile replaces the named file's contents — a test convenience
+// mirroring os.WriteFile.
+func (fs *MemFS) WriteFile(name string, data []byte) error {
+	fs.mu.Lock()
+	d := fs.files[name]
+	if d == nil {
+		d = &memData{}
+		fs.files[name] = d
+	}
+	fs.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buf = append([]byte(nil), data...)
+	return nil
+}
+
+type memFile struct {
+	d      *memData
+	closed bool
+}
+
+func (f *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("vfs: read: %w", os.ErrClosed)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: read at negative offset %d", off)
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	if off >= int64(len(f.d.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.d.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.closed {
+		return 0, fmt.Errorf("vfs: write: %w", os.ErrClosed)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("vfs: write at negative offset %d", off)
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if end := off + int64(len(p)); end > int64(len(f.d.buf)) {
+		grown := make([]byte, end)
+		copy(grown, f.d.buf)
+		f.d.buf = grown
+	}
+	copy(f.d.buf[off:], p)
+	return len(p), nil
+}
+
+// Sync is a no-op: memory is as stable as this FS gets.
+func (f *memFile) Sync() error {
+	if f.closed {
+		return fmt.Errorf("vfs: sync: %w", os.ErrClosed)
+	}
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	if f.closed {
+		return fmt.Errorf("vfs: truncate: %w", os.ErrClosed)
+	}
+	if size < 0 {
+		return fmt.Errorf("vfs: truncate to negative size %d", size)
+	}
+	f.d.mu.Lock()
+	defer f.d.mu.Unlock()
+	if size <= int64(len(f.d.buf)) {
+		f.d.buf = f.d.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, f.d.buf)
+	f.d.buf = grown
+	return nil
+}
+
+func (f *memFile) Size() (int64, error) {
+	if f.closed {
+		return 0, fmt.Errorf("vfs: size: %w", os.ErrClosed)
+	}
+	f.d.mu.RLock()
+	defer f.d.mu.RUnlock()
+	return int64(len(f.d.buf)), nil
+}
+
+func (f *memFile) Close() error {
+	if f.closed {
+		return fmt.Errorf("vfs: close: %w", os.ErrClosed)
+	}
+	f.closed = true
+	return nil
+}

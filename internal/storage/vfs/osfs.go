@@ -1,0 +1,45 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+)
+
+// osFS is the real-filesystem FS. It is stateless; OS() returns a
+// shared instance.
+type osFS struct{}
+
+var theOS FS = osFS{}
+
+// OS returns the real-filesystem FS — the storage tier's default, with
+// exactly the semantics the pager and WAL had when they called os.*
+// directly.
+func OS() FS { return theOS }
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("vfs: open %s: %w", name, err)
+	}
+	return osFile{f}, nil
+}
+
+// osFile adapts *os.File, which already implements ReadAt/WriteAt/
+// Sync/Truncate/Close; only Size needs a stat.
+type osFile struct {
+	f *os.File
+}
+
+func (o osFile) ReadAt(p []byte, off int64) (int, error)  { return o.f.ReadAt(p, off) }
+func (o osFile) WriteAt(p []byte, off int64) (int, error) { return o.f.WriteAt(p, off) }
+func (o osFile) Sync() error                              { return o.f.Sync() }
+func (o osFile) Truncate(size int64) error                { return o.f.Truncate(size) }
+func (o osFile) Close() error                             { return o.f.Close() }
+
+func (o osFile) Size() (int64, error) {
+	st, err := o.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

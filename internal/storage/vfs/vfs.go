@@ -1,0 +1,64 @@
+// Package vfs abstracts the files the storage tier does I/O against.
+//
+// The interface is deliberately tiny — open, positioned read/write,
+// sync, truncate, size, close — exactly the operations the pager and
+// the WAL use. Three implementations cover the repo's needs:
+//
+//   - OS():     real files (the default; the behavior the store always had)
+//   - NewMem(): deterministic in-memory files, for tests that want no
+//     temp dirs and byte-identical runs on every machine
+//   - NewCrash(): a seeded fault injector wrapping any other FS, which
+//     models the real failure surface of a disk — writes buffered until
+//     Sync, a simulated power cut at any chosen crash point that drops,
+//     tears, or reorders unsynced writes at sector granularity, plus
+//     read-side bit corruption and transient I/O errors
+//
+// The storage tier (pager, wal, store) takes an FS; path-based
+// constructors default to OS(). A hyperlint analyzer (vfsonly) keeps
+// direct os file calls out of internal/storage so the seam cannot
+// silently regress.
+package vfs
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrPowerCut is returned by every operation on a crash FS after its
+// simulated power cut has fired. Like a machine that lost power, the
+// FS is unusable from that point on; reopen the synced state through
+// the inner FS to model the post-reboot recovery.
+var ErrPowerCut = errors.New("vfs: simulated power cut")
+
+// ErrInjectedIO is the transient read fault injected by a crash FS
+// (the EIO a flaky disk or controller returns). Unlike ErrPowerCut it
+// does not latch: the next read may succeed.
+var ErrInjectedIO = errors.New("vfs: injected I/O error")
+
+// FS opens named files. Implementations must allow the same name to be
+// opened, closed, and reopened with its contents preserved for the
+// lifetime of the FS (for OS() that lifetime is the real filesystem's).
+type FS interface {
+	// Open opens the named file, creating it empty if it does not
+	// exist.
+	Open(name string) (File, error)
+}
+
+// File is one open database or log file. ReadAt must be safe for
+// concurrent use with other ReadAts (the store issues reader preads in
+// parallel); writes are serialized by the callers (the store's
+// single-writer discipline).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync flushes all buffered writes to stable storage. This is the
+	// durability barrier: a crash FS only guarantees writes that a
+	// completed Sync covered.
+	Sync() error
+	// Truncate changes the file size, zero-filling on growth.
+	Truncate(size int64) error
+	// Size reports the current file size in bytes.
+	Size() (int64, error)
+	// Close releases the handle. Contents persist in the FS.
+	Close() error
+}

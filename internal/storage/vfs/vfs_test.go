@@ -1,0 +1,192 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// conformance runs the same behavioral checks against every FS
+// implementation — the C2FO/vfs idiom of one testsuite, N backends.
+// The crash FS participates with a zero config (no faults), in which
+// mode it must be transparent.
+func TestConformance(t *testing.T) {
+	impls := []struct {
+		name string
+		fs   func(t *testing.T) FS
+	}{
+		{"os", func(t *testing.T) FS { return prefixed{OS(), t.TempDir()} }},
+		{"mem", func(t *testing.T) FS { return NewMem() }},
+		{"crash-transparent", func(t *testing.T) FS { return NewCrash(NewMem(), CrashConfig{}) }},
+	}
+	for _, impl := range impls {
+		t.Run(impl.name, func(t *testing.T) {
+			conformance(t, impl.fs(t))
+		})
+	}
+}
+
+// prefixed roots an FS at a directory, so the OS implementation works
+// against a temp dir with the same relative names as the others.
+type prefixed struct {
+	fs  FS
+	dir string
+}
+
+func (p prefixed) Open(name string) (File, error) {
+	return p.fs.Open(filepath.Join(p.dir, name))
+}
+
+func conformance(t *testing.T, fs FS) {
+	f, err := fs.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Size(); err != nil || n != 0 {
+		t.Fatalf("fresh file: size=%d err=%v", n, err)
+	}
+
+	// Reads past the end report EOF; short reads report EOF with the
+	// partial count — the io.ReaderAt contract the pager and WAL rely
+	// on.
+	buf := make([]byte, 8)
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, io.EOF) {
+		t.Fatalf("read of empty file: err=%v, want io.EOF", err)
+	}
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.ReadAt(buf, 0); !errors.Is(err, io.EOF) || n != 5 {
+		t.Fatalf("short read: n=%d err=%v, want 5, io.EOF", n, err)
+	}
+	if string(buf[:5]) != "hello" {
+		t.Fatalf("read back %q", buf[:5])
+	}
+
+	// Writes past the end zero-fill the gap.
+	if _, err := f.WriteAt([]byte("x"), 9); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := f.Size(); n != 10 {
+		t.Fatalf("size after gapped write = %d, want 10", n)
+	}
+	full := make([]byte, 10)
+	if _, err := f.ReadAt(full, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, []byte("hello\x00\x00\x00\x00x")) {
+		t.Fatalf("contents %q", full)
+	}
+
+	// Truncate shrinks and grows (zero-filled).
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(full[:6], 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full[:6], []byte("hel\x00\x00\x00")) {
+		t.Fatalf("contents after shrink+grow: %q", full[:6])
+	}
+
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: contents persist within the FS lifetime.
+	f2, err := fs.Open("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if n, err := f2.Size(); err != nil || n != 6 {
+		t.Fatalf("reopened: size=%d err=%v, want 6", n, err)
+	}
+	got := make([]byte, 6)
+	if _, err := f2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hel\x00\x00\x00")) {
+		t.Fatalf("reopened contents %q", got)
+	}
+
+	// A second name is independent.
+	other, err := fs.Open("db.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if n, _ := other.Size(); n != 0 {
+		t.Fatalf("second file not empty: %d", n)
+	}
+}
+
+func TestMemFileHandlesShareContents(t *testing.T) {
+	fs := NewMem()
+	a, _ := fs.Open("f")
+	b, _ := fs.Open("f")
+	if _, err := a.WriteAt([]byte("shared"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := b.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared" {
+		t.Fatalf("handle b read %q", got)
+	}
+}
+
+func TestMemClosedHandleFails(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Open("f")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("read through closed handle succeeded")
+	}
+	if _, err := f.WriteAt([]byte{1}, 0); err == nil {
+		t.Fatal("write through closed handle succeeded")
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+}
+
+func TestMemReadWriteFile(t *testing.T) {
+	fs := NewMem()
+	if _, err := fs.ReadFile("missing"); err == nil {
+		t.Fatal("ReadFile of missing file succeeded")
+	}
+	if err := fs.WriteFile("f", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("ReadFile = %q", got)
+	}
+	// The returned slice is a copy: mutating it must not alter the file.
+	got[0] = 'z'
+	again, _ := fs.ReadFile("f")
+	if string(again) != "abc" {
+		t.Fatal("ReadFile returned an aliased slice")
+	}
+}
+
+func TestSentinelErrorsDistinct(t *testing.T) {
+	if errors.Is(ErrPowerCut, ErrInjectedIO) {
+		t.Fatal("sentinels alias")
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/vfs"
 )
 
 const (
@@ -47,6 +48,12 @@ const (
 	kindGroup  = 3
 
 	frameHeader = 8 // length + crc
+
+	// maxFrameBody bounds a plausible frame body: far above any real
+	// record (a page record is ~4 KiB, a group record grows 8 bytes per
+	// token) but small enough that random garbage in a length field is
+	// recognized as corruption rather than a torn tail.
+	maxFrameBody = 1 << 24
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -54,7 +61,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // WAL is an append-only redo log.
 type WAL struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       vfs.File
 	size    int64 // current log size = next LSN
 	pending int64 // bytes appended but not yet synced
 	// Counters are atomic so Stats never blocks behind a commit fsync
@@ -63,19 +70,25 @@ type WAL struct {
 	appends atomic.Uint64
 }
 
-// Open opens (or creates) the log file at path. The caller is expected
-// to run Replay before appending new records.
+// Open opens (or creates) the log file at path on the real
+// filesystem. The caller is expected to run Replay before appending
+// new records.
 func Open(path string) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(vfs.OS(), path)
+}
+
+// OpenFS opens (or creates) the log file at path on fs.
+func OpenFS(fs vfs.FS, path string) (*WAL, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	st, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("wal: stat %s: %w", path, err)
+		return nil, fmt.Errorf("wal: size %s: %w", path, err)
 	}
-	return &WAL{f: f, size: st.Size()}, nil
+	return &WAL{f: f, size: size}, nil
 }
 
 func (w *WAL) appendFrame(body []byte) (lsn uint64, err error) {
@@ -260,6 +273,95 @@ func (w *WAL) Replay(apply func(id page.ID, p *page.Page) error) error {
 		w.size = committed
 	}
 	return nil
+}
+
+// ScanReport summarizes a read-only integrity pass over the log (see
+// Scan).
+type ScanReport struct {
+	// Records is the number of well-formed records scanned, committed
+	// or not.
+	Records int
+	// Commits is the number of commit barriers (kindCommit or
+	// kindGroup) among them.
+	Commits int
+	// CommittedBytes is the length of the log prefix covered by the
+	// last commit barrier — exactly what Replay would keep.
+	CommittedBytes int64
+	// TailBytes is the length of the log past that prefix: appended
+	// records no barrier covers yet, a torn final frame, or a
+	// mid-frame corruption that ended the scan. Recovery discards
+	// these bytes by design, so a tail is not damage — Malformed says
+	// whether it was cut short by an invalid frame.
+	TailBytes int64
+	// Malformed reports that the scan stopped at a structurally
+	// invalid frame (bad CRC, impossible length, unknown kind) before
+	// the physical end of the log.
+	Malformed bool
+}
+
+// Scan walks the log read-only and reports what Replay would find,
+// without applying or truncating anything — the scrub path. Unlike
+// Replay it never fails on a damaged log: damage ends the scan and is
+// reported in the result.
+func (w *WAL) Scan() ScanReport {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var rep ScanReport
+	var off int64
+	for off < w.size {
+		var hdr [frameHeader]byte
+		if _, err := io.ReadFull(io.NewSectionReader(w.f, off, frameHeader), hdr[:]); err != nil {
+			break
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > maxFrameBody {
+			// No legitimate frame is this large; a torn in-progress
+			// frame carries a plausible length. This is garbage.
+			rep.Malformed = true
+			break
+		}
+		if n <= 0 || off+frameHeader+n > w.size {
+			break
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(io.NewSectionReader(w.f, off+frameHeader, n), body); err != nil {
+			break
+		}
+		if crc32.Checksum(body, castagnoli) != want {
+			rep.Malformed = true
+			break
+		}
+		switch body[0] {
+		case kindPage:
+			if len(body) != 1+8+page.Size {
+				rep.Malformed = true
+			}
+		case kindCommit:
+			rep.Commits++
+			rep.CommittedBytes = off + frameHeader + n
+		case kindGroup:
+			if len(body) < 1+8+4 || len(body) != 1+8+4+8*int(binary.LittleEndian.Uint32(body[9:13])) {
+				rep.Malformed = true
+			} else {
+				rep.Commits++
+				rep.CommittedBytes = off + frameHeader + n
+			}
+		default:
+			rep.Malformed = true
+		}
+		if rep.Malformed {
+			return rep.withTail(w.size)
+		}
+		rep.Records++
+		off += frameHeader + n
+	}
+	return rep.withTail(w.size)
+}
+
+func (r ScanReport) withTail(size int64) ScanReport {
+	r.TailBytes = size - r.CommittedBytes
+	return r
 }
 
 // Truncate discards the entire log (after a checkpoint has made the

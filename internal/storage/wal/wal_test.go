@@ -1,22 +1,34 @@
 package wal
 
 import (
-	"os"
 	"path/filepath"
 	"testing"
 
 	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/vfs"
 )
 
-func openTemp(t *testing.T) (*WAL, string) {
+// openMem opens a log named "wal" on a fresh in-memory FS so tests can
+// corrupt and truncate the raw bytes without touching the real disk.
+func openMem(t *testing.T) (*WAL, *vfs.MemFS) {
 	t.Helper()
-	path := filepath.Join(t.TempDir(), "wal")
-	w, err := Open(path)
+	fs := vfs.NewMem()
+	w, err := OpenFS(fs, "wal")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { w.Close() })
-	return w, path
+	return w, fs
+}
+
+func reopen(t *testing.T, fs *vfs.MemFS) *WAL {
+	t.Helper()
+	w, err := OpenFS(fs, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
 }
 
 func mkPage(t *testing.T, fill byte) *page.Page {
@@ -30,7 +42,7 @@ func mkPage(t *testing.T, fill byte) *page.Page {
 }
 
 func TestReplayAppliesCommittedOnly(t *testing.T) {
-	w, _ := openTemp(t)
+	w, _ := openMem(t)
 	if _, err := w.AppendPage(1, mkPage(t, 0xAA)); err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +80,7 @@ func TestReplayAppliesCommittedOnly(t *testing.T) {
 }
 
 func TestReplayToleratesTornTail(t *testing.T) {
-	w, path := openTemp(t)
+	w, fs := openMem(t)
 	if _, err := w.AppendPage(7, mkPage(t, 0x77)); err != nil {
 		t.Fatal(err)
 	}
@@ -87,14 +99,14 @@ func TestReplayToleratesTornTail(t *testing.T) {
 	}
 
 	// Tear the second transaction in half.
-	if err := os.Truncate(path, goodSize+10); err != nil {
-		t.Fatal(err)
-	}
-	w2, err := Open(path)
+	raw, err := fs.ReadFile("wal")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer w2.Close()
+	if err := fs.WriteFile("wal", raw[:goodSize+10]); err != nil {
+		t.Fatal(err)
+	}
+	w2 := reopen(t, fs)
 	var got []page.ID
 	if err := w2.Replay(func(id page.ID, p *page.Page) error {
 		got = append(got, id)
@@ -111,7 +123,7 @@ func TestReplayToleratesTornTail(t *testing.T) {
 }
 
 func TestReplayDetectsCorruptBody(t *testing.T) {
-	w, path := openTemp(t)
+	w, fs := openMem(t)
 	if _, err := w.AppendPage(1, mkPage(t, 0x11)); err != nil {
 		t.Fatal(err)
 	}
@@ -127,26 +139,17 @@ func TestReplayDetectsCorruptBody(t *testing.T) {
 	w.Close()
 
 	// Corrupt a byte inside the second transaction's page image.
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	raw, err := fs.ReadFile("wal")
 	if err != nil {
 		t.Fatal(err)
 	}
 	firstTxnEnd := int64(frameHeader+1+8+page.Size) + frameHeader + 9
-	var b [1]byte
-	if _, err := f.ReadAt(b[:], firstTxnEnd+100); err != nil {
+	raw[firstTxnEnd+100] ^= 0xFF
+	if err := fs.WriteFile("wal", raw); err != nil {
 		t.Fatal(err)
 	}
-	b[0] ^= 0xFF
-	if _, err := f.WriteAt(b[:], firstTxnEnd+100); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
 
-	w2, err := Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer w2.Close()
+	w2 := reopen(t, fs)
 	var got []page.ID
 	if err := w2.Replay(func(id page.ID, p *page.Page) error {
 		got = append(got, id)
@@ -160,7 +163,7 @@ func TestReplayDetectsCorruptBody(t *testing.T) {
 }
 
 func TestTruncate(t *testing.T) {
-	w, _ := openTemp(t)
+	w, _ := openMem(t)
 	if _, err := w.AppendPage(1, mkPage(t, 0x01)); err != nil {
 		t.Fatal(err)
 	}
@@ -185,8 +188,14 @@ func TestTruncate(t *testing.T) {
 	}
 }
 
+// TestLSNMonotonic runs on a real temp dir so the default path-based
+// constructor keeps coverage.
 func TestLSNMonotonic(t *testing.T) {
-	w, _ := openTemp(t)
+	w, err := Open(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
 	var last uint64
 	for i := 0; i < 5; i++ {
 		lsn, err := w.AppendPage(page.ID(i), mkPage(t, byte(i)))
@@ -201,7 +210,7 @@ func TestLSNMonotonic(t *testing.T) {
 }
 
 func TestAppendCommitNoSyncIsReplayable(t *testing.T) {
-	w, _ := openTemp(t)
+	w, _ := openMem(t)
 	if _, err := w.AppendPage(4, mkPage(t, 0x44)); err != nil {
 		t.Fatal(err)
 	}
@@ -214,5 +223,74 @@ func TestAppendCommitNoSyncIsReplayable(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("replayed %d pages, want 1", n)
+	}
+}
+
+// TestScanIsReadOnly: Scan reports the same commit structure Replay
+// acts on, but never mutates the log — the uncommitted tail survives.
+func TestScanIsReadOnly(t *testing.T) {
+	w, _ := openMem(t)
+	if _, err := w.AppendPage(1, mkPage(t, 0x01)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendPage(2, mkPage(t, 0x02)); err != nil { // uncommitted tail
+		t.Fatal(err)
+	}
+	before := w.Size()
+
+	rep := w.Scan()
+	if rep.Records != 3 || rep.Commits != 1 {
+		t.Fatalf("scan saw %d records, %d commits, want 3, 1", rep.Records, rep.Commits)
+	}
+	if rep.TailBytes == 0 {
+		t.Fatal("scan missed the uncommitted tail")
+	}
+	if rep.Malformed {
+		t.Fatal("well-formed log reported malformed")
+	}
+	if rep.CommittedBytes+rep.TailBytes != before {
+		t.Fatalf("committed %d + tail %d != size %d", rep.CommittedBytes, rep.TailBytes, before)
+	}
+	if w.Size() != before {
+		t.Fatal("Scan mutated the log")
+	}
+}
+
+// TestScanFlagsMalformedTail: garbage after the last commit is
+// reported as malformed, still without mutation.
+func TestScanFlagsMalformedTail(t *testing.T) {
+	w, fs := openMem(t)
+	if _, err := w.AppendPage(1, mkPage(t, 0x01)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendCommit(1); err != nil {
+		t.Fatal(err)
+	}
+	good := w.Size()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fs.ReadFile("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, 0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06)
+	if err := fs.WriteFile("wal", raw); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := reopen(t, fs)
+	rep := w2.Scan()
+	if !rep.Malformed {
+		t.Fatal("garbage tail not flagged")
+	}
+	if rep.Commits != 1 || rep.CommittedBytes != good {
+		t.Fatalf("scan lost the committed prefix: %+v", rep)
+	}
+	if w2.Size() != good+10 {
+		t.Fatal("Scan mutated the log")
 	}
 }
