@@ -1,6 +1,7 @@
 // Command hyperlint machine-checks the repo's correctness invariants
-// with the six analyzers in internal/analysis (detrand, erris, facade,
-// framerelease, mutexio, opcodes).
+// with the ten analyzers in internal/analysis (detrand, erris, facade,
+// framerelease, lifecycle, lockorder, mutexio, opcodes, vfsonly,
+// wiresym).
 //
 // It runs two ways:
 //

@@ -223,3 +223,61 @@ func TestVetTool(t *testing.T) {
 		})
 	}
 }
+
+// scratchWire holds one wiresym violation: the encoder writes a u32
+// slot where the dispatch handler reads a u64.
+const scratchWire = `package scratch
+
+import "encoding/binary"
+
+const opSwap = 1
+
+func encodeSwap(slot uint32) []byte {
+	b := []byte{opSwap}
+	b = binary.LittleEndian.AppendUint32(b, slot)
+	return b
+}
+
+func serve(req []byte) []byte {
+	switch req[0] {
+	case opSwap:
+		return handleSwap(req[1:])
+	}
+	return nil
+}
+
+func handleSwap(body []byte) []byte {
+	_ = binary.LittleEndian.Uint64(body)
+	return nil
+}
+`
+
+// TestJSONGolden pins the -json schema byte for byte: map from
+// package path to analyzer to [{posn, message}], tab-indented, keys
+// sorted. The module directory in posn strings is normalized since
+// the test runs in a temp dir.
+func TestJSONGolden(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  scratchGoMod,
+		"x.go":    scratchBad,
+		"wire.go": scratchWire,
+	})
+	code, stdout, stderr := runTool(t, dir, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, stderr)
+	}
+	real, err := filepath.EvalSymlinks(dir)
+	if err != nil {
+		real = dir
+	}
+	got := strings.ReplaceAll(stdout, real, "MODULE")
+	got = strings.ReplaceAll(got, dir, "MODULE")
+	golden := filepath.Join("testdata", "json.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("-json output diverges from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}

@@ -4,14 +4,19 @@
 //
 // The repo vendors its own copy (rather than depending on x/tools)
 // because the build environment is hermetic — the module has no
-// external dependencies — and because the six hyperlint analyzers
-// need only a small slice of the framework: no facts, no modular
-// result passing, no suggested fixes. What is kept mirrors the
-// upstream shape closely enough that migrating to x/tools later is a
-// mechanical change.
+// external dependencies — and because the hyperlint analyzers need
+// only a small slice of the framework: no facts, no modular result
+// passing, no suggested fixes. What is kept mirrors the upstream
+// shape closely enough that migrating to x/tools later is a
+// mechanical change. The package also houses the dataflow engine the
+// interprocedural analyzers build on: per-function CFGs (cfg.go), a
+// generic forward fixpoint (dataflow.go), a package call graph
+// (callgraph.go) and summary caching (summary.go).
 //
 // Suppression: a diagnostic is suppressed by an explicit directive
-// comment on the flagged line or the line directly above it:
+// comment on the flagged line, the line directly above it, or — when
+// the flagged position sits inside a statement spanning several
+// lines — any line of that statement:
 //
 //	//hyperlint:allow detrand -- wall-clock timing metric
 //
@@ -80,21 +85,66 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Allowed reports whether an "//hyperlint:allow name" directive on the
-// position's line (or the line directly above it) suppresses the named
-// analyzer.
+// Allowed reports whether an "//hyperlint:allow name" directive
+// suppresses the named analyzer at pos. A directive covers its own
+// line, the line directly below it, and — when the diagnostic sits
+// inside a statement spanning several lines — every line of the
+// innermost enclosing statement, so annotating the first line of a
+// multi-line call suppresses diagnostics anchored to any of its
+// continuation lines.
 func (p *Pass) Allowed(name string, pos token.Pos) bool {
 	if p.allow == nil {
 		p.allow = buildAllowMap(p.Fset, p.Files)
 	}
 	posn := p.Fset.Position(pos)
 	lines := p.allow[posn.Filename]
-	for _, ln := range [...]int{posn.Line, posn.Line - 1} {
-		if names := lines[ln]; names != nil && (names[name] || names["all"]) {
-			return true
+	if len(lines) == 0 {
+		return false
+	}
+	allowedAt := func(ln int) bool {
+		names := lines[ln]
+		return names != nil && (names[name] || names["all"])
+	}
+	if allowedAt(posn.Line) || allowedAt(posn.Line-1) {
+		return true
+	}
+	if start, end, ok := p.stmtSpan(pos); ok && end > start {
+		for ln := start - 1; ln <= end; ln++ {
+			if allowedAt(ln) {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// stmtSpan returns the line span of the innermost statement enclosing
+// pos. The innermost statement — not an outer one — bounds suppression,
+// so a directive inside a long function literal only covers the small
+// statement it annotates.
+func (p *Pass) stmtSpan(pos token.Pos) (startLine, endLine int, ok bool) {
+	for _, f := range p.Files {
+		if pos < f.Pos() || pos >= f.End() {
+			continue
+		}
+		var best ast.Stmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if pos < n.Pos() || pos >= n.End() {
+				return false
+			}
+			if s, isStmt := n.(ast.Stmt); isStmt {
+				best = s // deeper statements visit later
+			}
+			return true
+		})
+		if best != nil {
+			return p.Fset.Position(best.Pos()).Line, p.Fset.Position(best.End()).Line, true
+		}
+	}
+	return 0, 0, false
 }
 
 const directivePrefix = "//hyperlint:allow"

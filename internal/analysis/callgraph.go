@@ -1,0 +1,195 @@
+// Package-level call graph with interface resolution.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A FuncInfo pairs one function that has a body in the analyzed
+// package with its syntax: either a declared function/method (Obj and
+// Decl set) or a function literal (Lit set, Obj nil).
+type FuncInfo struct {
+	Obj  *types.Func   // nil for function literals
+	Decl *ast.FuncDecl // nil for function literals
+	Lit  *ast.FuncLit  // nil for declared functions
+}
+
+// Body returns the function's body, which is never nil for a FuncInfo
+// produced by NewCallGraph.
+func (f *FuncInfo) Body() *ast.BlockStmt {
+	if f.Decl != nil {
+		return f.Decl.Body
+	}
+	return f.Lit.Body
+}
+
+// Name returns a human-readable name for diagnostics: the declared
+// name, or "func literal".
+func (f *FuncInfo) Name() string {
+	if f.Obj != nil {
+		return f.Obj.Name()
+	}
+	return "func literal"
+}
+
+// A CallGraph indexes the analyzed package's functions and resolves
+// call expressions to the functions they may invoke — through static
+// calls directly, and through interface method calls by scanning every
+// named type visible in the package and its import graph for concrete
+// implementations.
+type CallGraph struct {
+	pkg  *types.Package
+	info *types.Info
+
+	funcs map[*types.Func]*FuncInfo // declared functions with bodies
+	all   []*FuncInfo               // decls then literals, source order
+
+	candidates []types.Type                  // named types considered as interface implementations
+	implCache  map[*types.Func][]*types.Func // interface method → concrete methods
+}
+
+// NewCallGraph indexes every function declaration and function literal
+// in files.
+func NewCallGraph(pkg *types.Package, info *types.Info, files []*ast.File) *CallGraph {
+	g := &CallGraph{
+		pkg:       pkg,
+		info:      info,
+		funcs:     make(map[*types.Func]*FuncInfo),
+		implCache: make(map[*types.Func][]*types.Func),
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &FuncInfo{Obj: obj, Decl: fd}
+			g.funcs[obj] = fi
+			g.all = append(g.all, fi)
+		}
+	}
+	// Function literals are separate analysis roots: they run on their
+	// own goroutine or at an unknown time, so their facts must not leak
+	// into the enclosing function's straight-line state. Literals nested
+	// inside other literals are covered by the outer visit.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					g.all = append(g.all, &FuncInfo{Lit: lit})
+				}
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// Funcs returns every function with a body in the package: declared
+// functions first, then function literals, in source order.
+func (g *CallGraph) Funcs() []*FuncInfo { return g.all }
+
+// FuncOf returns the FuncInfo for a declared function, or nil if obj
+// has no body in the analyzed package (external functions, interface
+// methods).
+func (g *CallGraph) FuncOf(obj *types.Func) *FuncInfo { return g.funcs[obj] }
+
+// Callees resolves a call expression to the set of functions it may
+// invoke. Static calls resolve to one function. Calls through an
+// interface method resolve to that method on every visible concrete
+// type implementing the interface (over-approximating the dynamic
+// dispatch). Builtins, conversions and calls through function values
+// resolve to nil.
+func (g *CallGraph) Callees(call *ast.CallExpr) []*types.Func {
+	fn := Callee(g.info, call)
+	if fn == nil {
+		return nil
+	}
+	if recv := recvType(fn); recv != nil {
+		if iface, ok := recv.Underlying().(*types.Interface); ok {
+			return g.resolveInterface(fn, iface)
+		}
+	}
+	return []*types.Func{fn}
+}
+
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// resolveInterface finds the concrete methods an interface method call
+// may dispatch to, caching per interface method.
+func (g *CallGraph) resolveInterface(m *types.Func, iface *types.Interface) []*types.Func {
+	if impls, ok := g.implCache[m]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, t := range g.candidateTypes() {
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		var impl types.Type
+		switch {
+		case types.Implements(t, iface):
+			impl = t
+		case types.Implements(types.NewPointer(t), iface):
+			impl = types.NewPointer(t)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		if cm, ok := obj.(*types.Func); ok {
+			impls = append(impls, cm)
+		}
+	}
+	g.implCache[m] = impls
+	return impls
+}
+
+// candidateTypes lists every named non-interface type declared in the
+// analyzed package or anywhere in its import graph, the universe an
+// interface call may dispatch into.
+func (g *CallGraph) candidateTypes() []types.Type {
+	if g.candidates != nil {
+		return g.candidates
+	}
+	seen := map[*types.Package]bool{g.pkg: true}
+	queue := []*types.Package{g.pkg}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if named, ok := tn.Type().(*types.Named); ok {
+				g.candidates = append(g.candidates, named)
+			}
+		}
+		for _, imp := range p.Imports() {
+			if !seen[imp] {
+				seen[imp] = true
+				queue = append(queue, imp)
+			}
+		}
+	}
+	if g.candidates == nil {
+		g.candidates = []types.Type{}
+	}
+	return g.candidates
+}

@@ -1,0 +1,267 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"sort"
+	"strings"
+	"testing"
+
+	"hypermodel/internal/analysis"
+	"hypermodel/internal/analysis/loader"
+)
+
+func findCall(t *testing.T, file *ast.File, fnName, selName string) *ast.CallExpr {
+	t.Helper()
+	var found *ast.CallExpr
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == selName {
+				found = call
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == selName {
+				found = call
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no call to %s in %s", selName, fnName)
+	}
+	return found
+}
+
+func calleeNames(fns []*types.Func) []string {
+	var names []string
+	for _, fn := range fns {
+		name := fn.Name()
+		if recv := analysis.ReceiverNamed(fn); recv != nil {
+			name = recv.Obj().Name() + "." + name
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func TestCallGraphStaticAndInterface(t *testing.T) {
+	_, file, pkg, info := parseAndCheck(t, `package p
+
+type Closer interface{ Close() error }
+
+type A struct{}
+
+func (A) Close() error { return nil }
+
+type B struct{}
+
+func (*B) Close() error { return nil }
+
+type NotCloser struct{}
+
+func (NotCloser) Shut() {}
+
+func helper() {}
+
+func static() { helper() }
+
+func shut(c Closer) { _ = c.Close() }
+`)
+	g := analysis.NewCallGraph(pkg, info, []*ast.File{file})
+
+	// Static call resolves to exactly the named function.
+	call := findCall(t, file, "static", "helper")
+	got := calleeNames(g.Callees(call))
+	if len(got) != 1 || got[0] != "helper" {
+		t.Errorf("static call resolves to %v, want [helper]", got)
+	}
+
+	// Interface call resolves to every implementing concrete method,
+	// through both value and pointer receivers, and nothing else.
+	call = findCall(t, file, "shut", "Close")
+	got = calleeNames(g.Callees(call))
+	want := []string{"A.Close", "B.Close"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("interface call resolves to %v, want %v", got, want)
+	}
+
+	// FuncOf finds declared bodies and not externals.
+	for _, fi := range g.Funcs() {
+		if fi.Obj != nil && g.FuncOf(fi.Obj) != fi {
+			t.Errorf("FuncOf(%s) does not round-trip", fi.Name())
+		}
+	}
+}
+
+func TestSummarizerRecursiveCycle(t *testing.T) {
+	_, file, pkg, info := parseAndCheck(t, `package p
+
+type T struct{}
+
+func (t T) even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return t.odd(n - 1)
+}
+
+func (t T) odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return t.even(n - 1)
+}
+
+func standalone(n int) {
+	if n > 0 {
+		standalone(n - 1)
+	}
+}
+`)
+	g := analysis.NewCallGraph(pkg, info, []*ast.File{file})
+
+	// Summary: the set of package functions transitively reachable
+	// from each function. The even/odd pair is a two-function cycle and
+	// standalone a self-cycle; the fixpoint must terminate with the
+	// full transitive closure.
+	type calls = map[string]bool
+	s := analysis.Summarizer[calls]{
+		Graph: g,
+		Equal: setEqual,
+		Compute: func(fn *analysis.FuncInfo, get func(*types.Func) (calls, bool)) calls {
+			out := calls{}
+			ast.Inspect(fn.Body(), func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, callee := range g.Callees(call) {
+					out[callee.Name()] = true
+					if sub, ok := get(callee); ok {
+						for k := range sub {
+							out[k] = true
+						}
+					}
+				}
+				return true
+			})
+			return out
+		},
+	}
+	summaries := s.Run()
+
+	byName := map[string]calls{}
+	for obj, sum := range summaries {
+		byName[obj.Name()] = sum
+	}
+	wantSet(t, "summary(even)", byName["even"], "even", "odd")
+	wantSet(t, "summary(odd)", byName["odd"], "even", "odd")
+	wantSet(t, "summary(standalone)", byName["standalone"], "standalone")
+}
+
+// TestCallGraphRepoInterfaces resolves interface calls through the
+// repo's own hyper.Backend and vfs.FS, loading real export data via
+// the go command, and checks that the concrete backend and filesystem
+// implementations are found.
+func TestCallGraphRepoInterfaces(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go command unavailable: %v", err)
+	}
+	deps := []string{
+		"hypermodel/internal/hyper",
+		"hypermodel/internal/storage/vfs",
+		"hypermodel/internal/backend/oodb",
+		"hypermodel/internal/backend/memdb",
+	}
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, deps...)...)
+	cmd.Dir = "../.." // module root
+	out, err := cmd.Output()
+	if err != nil {
+		var stderr []byte
+		if ee, ok := err.(*exec.ExitError); ok {
+			stderr = ee.Stderr
+		}
+		t.Fatalf("go list -export: %v\n%s", err, stderr)
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err != nil {
+			t.Fatalf("decode go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	src := `package q
+
+import (
+	"hypermodel/internal/backend/memdb"
+	"hypermodel/internal/backend/oodb"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/storage/vfs"
+)
+
+var _ *oodb.DB
+var _ *memdb.DB
+
+func use(b hyper.Backend, fs vfs.FS, id hyper.NodeID) {
+	_, _ = b.Node(id)
+	_, _ = fs.Open("x")
+}
+`
+	file, err := parser.ParseFile(fset, "q.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	imp := loader.NewExportImporter(fset, nil, exports)
+	pkg, info, err := loader.Check("q", fset, []*ast.File{file}, imp, "")
+	if err != nil {
+		t.Fatalf("typecheck against export data: %v", err)
+	}
+
+	g := analysis.NewCallGraph(pkg, info, []*ast.File{file})
+
+	got := calleeNames(g.Callees(findCall(t, file, "use", "Node")))
+	for _, want := range []string{"DB.Node"} {
+		if !containsStr(got, want) {
+			t.Errorf("Backend.Node resolves to %v, want it to include %s (backend impls)", got, want)
+		}
+	}
+	if len(got) < 2 {
+		t.Errorf("Backend.Node resolves to %v, want at least the oodb and memdb implementations", got)
+	}
+
+	// The unexported osFS is invisible here: gc export data only
+	// carries unexported types reachable from the exported API, a
+	// documented soundness bound on cross-package interface resolution.
+	got = calleeNames(g.Callees(findCall(t, file, "use", "Open")))
+	for _, want := range []string{"MemFS.Open", "CrashFS.Open"} {
+		if !containsStr(got, want) {
+			t.Errorf("vfs.FS.Open resolves to %v, want it to include %s", got, want)
+		}
+	}
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

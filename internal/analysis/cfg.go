@@ -1,0 +1,395 @@
+// Control-flow graphs for the dataflow engine.
+//
+// NewCFG builds an intraprocedural CFG from a function body: basic
+// blocks of statements (and the control expressions evaluated on the
+// way into a branch) connected by edges that follow Go's control
+// statements — if/else, for, range, switch (with fallthrough), type
+// switch, select, labeled break/continue, goto, return and panic.
+// The graph is deliberately statement-granular: analyzers walk the
+// expressions inside each node themselves, so the builder does not
+// have to linearize expression evaluation order.
+//
+// Conventions analyzers rely on:
+//
+//   - A block that ends at a two-way branch stores the condition in
+//     Cond; Succs[0] is the true edge and Succs[1] the false edge, so
+//     edge-sensitive analyses (Flow.Edge) can refine facts on err-nil
+//     checks and the like.
+//   - A select statement appears as a single node (the *ast.SelectStmt
+//     itself) in the block where it executes; its clause bodies are
+//     separate blocks. Analyzers treat the select node as one atomic
+//     channel operation.
+//   - A range statement likewise appears as its own node in the loop
+//     head block, so the range expression's calls are visible there.
+//   - Deferred statements stay in their block as nodes and are also
+//     collected in Defers: they run at function exit, so analyses
+//     model their effect against the exit state, not the local one.
+//   - Code made unreachable by return/goto/panic lands in blocks that
+//     no edge reaches; Forward never visits them, and reporting passes
+//     iterate only the blocks the fixpoint returned.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of nodes with its successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	// Cond is set when the block ends at a two-way branch on this
+	// condition: Succs[0] is the true edge, Succs[1] the false edge.
+	Cond ast.Expr
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block // synthetic; every return and panic edges here
+	Blocks []*Block
+	Defers []*ast.DeferStmt // every defer, in lexical order
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+
+	// Innermost-first stacks of break/continue/fallthrough targets.
+	breaks    []*Block
+	continues []*Block
+	fallthrus []*Block
+
+	labels map[string]*labelInfo
+	// pendingLabel carries a label down to the loop or switch it
+	// prefixes, so labeled break/continue resolve to the right targets.
+	pendingLabel *labelInfo
+}
+
+type labelInfo struct {
+	start *Block // goto target
+	brk   *Block // labeled break target (set by the labeled construct)
+	cont  *Block // labeled continue target (loops only)
+}
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: make(map[string]*labelInfo)}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// terminate ends the current path (return, goto, panic): subsequent
+// statements land in a fresh block no edge reaches.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) labelOf(name string) *labelInfo {
+	li := b.labels[name]
+	if li == nil {
+		li = &labelInfo{start: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// Any statement other than a labeled loop/switch consumes the
+	// pending label without break/continue targets.
+	pending := b.pendingLabel
+	b.pendingLabel = nil
+
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.labelOf(s.Label.Name)
+		b.edge(b.cur, li.start)
+		b.cur = li.start
+		b.pendingLabel = li
+		b.stmt(s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		b.cur.Cond = s.Cond
+		head := b.cur
+		then := b.newBlock()
+		join := b.newBlock()
+		b.edge(head, then) // Succs[0]: condition true
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els) // Succs[1]: condition false
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(head, join) // Succs[1]: condition false
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		body := b.newBlock()
+		join := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Cond = s.Cond
+			b.edge(head, body) // true
+			b.edge(head, join) // false
+		} else {
+			b.edge(head, body) // for {}: join only reachable via break
+		}
+		if pending != nil {
+			pending.brk, pending.cont = join, post
+		}
+		b.breaks = append(b.breaks, join)
+		b.continues = append(b.continues, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.edge(b.cur, post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = join
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		// The range statement itself is the head's node: the range
+		// expression and the per-iteration key/value assignment both
+		// live there.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock()
+		join := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, join)
+		if pending != nil {
+			pending.brk, pending.cont = join, head
+		}
+		b.breaks = append(b.breaks, join)
+		b.continues = append(b.continues, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		b.edge(b.cur, head)
+		b.cur = join
+
+	case *ast.SwitchStmt:
+		b.switchStmt(pending, s.Init, s.Tag, nil, s.Body)
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(pending, s.Init, nil, s.Assign, s.Body)
+
+	case *ast.SelectStmt:
+		b.add(s) // the select is one atomic channel operation
+		head := b.cur
+		join := b.newBlock()
+		if pending != nil {
+			pending.brk = join
+		}
+		b.breaks = append(b.breaks, join)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		// select{} blocks forever: join is then unreachable, which is
+		// exactly right.
+		b.cur = join
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.brk != nil {
+					b.edge(b.cur, li.brk)
+				}
+			} else if n := len(b.breaks); n > 0 {
+				b.edge(b.cur, b.breaks[n-1])
+			}
+			b.terminate()
+		case token.CONTINUE:
+			if s.Label != nil {
+				if li := b.labels[s.Label.Name]; li != nil && li.cont != nil {
+					b.edge(b.cur, li.cont)
+				}
+			} else if n := len(b.continues); n > 0 {
+				b.edge(b.cur, b.continues[n-1])
+			}
+			b.terminate()
+		case token.GOTO:
+			b.edge(b.cur, b.labelOf(s.Label.Name).start)
+			b.terminate()
+		case token.FALLTHROUGH:
+			if n := len(b.fallthrus); n > 0 && b.fallthrus[n-1] != nil {
+				b.edge(b.cur, b.fallthrus[n-1])
+			}
+			b.terminate()
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.terminate()
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+				b.edge(b.cur, b.cfg.Exit)
+				b.terminate()
+			}
+		}
+
+	default:
+		// Assignments, declarations, sends, increments, go statements,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// WalkNode traverses one CFG node like ast.Inspect, but respects the
+// block structure: it does not descend into function literals (they
+// are separate analysis roots), nor into a range statement's body or a
+// select clause's body (the CFG broke those out into their own
+// blocks). fn still sees the FuncLit, RangeStmt and SelectStmt nodes
+// themselves, and a select's communication operations; returning false
+// skips a node's children as usual.
+func WalkNode(root ast.Node, fn func(ast.Node) bool) {
+	skip := map[ast.Node]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if skip[n] {
+			return false
+		}
+		if !fn(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			skip[n.Body] = true
+		case *ast.CommClause:
+			for _, s := range n.Body {
+				skip[s] = true
+			}
+		}
+		return true
+	})
+}
+
+// switchStmt builds both expression and type switches: head evaluates
+// init plus the tag (or the type-switch assign), each case body is a
+// block, fallthrough edges to the next case body, and a missing
+// default adds a head→join edge.
+func (b *cfgBuilder) switchStmt(pending *labelInfo, init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	join := b.newBlock()
+	if pending != nil {
+		pending.brk = join
+	}
+
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+
+	b.breaks = append(b.breaks, join)
+	for i, cc := range clauses {
+		var next *Block
+		if i+1 < len(blocks) {
+			next = blocks[i+1]
+		}
+		b.fallthrus = append(b.fallthrus, next)
+		b.cur = blocks[i]
+		// Case expressions are evaluated on the way in; calls inside
+		// them belong to this arm's path.
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+		b.fallthrus = b.fallthrus[:len(b.fallthrus)-1]
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = join
+}

@@ -1,0 +1,452 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+
+	"hypermodel/internal/analysis"
+)
+
+// parseAndCheck type-checks one import-free source string. Engine unit
+// tests stay import-free because the test binary has no compiled
+// export data for the standard library on hand; analyzer fixtures get
+// stdlib imports through the analysistest harness instead.
+func parseAndCheck(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, file, pkg, info
+}
+
+func funcBody(t *testing.T, file *ast.File, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+// callNames collects the names of functions called inside a CFG node,
+// skipping deferred statements (exit-time effects) and the builtin
+// panic; WalkNode keeps it out of function literals and out of bodies
+// the CFG broke into separate blocks.
+func callNames(n ast.Node, into map[string]bool) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	analysis.WalkNode(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if id, ok := m.Fun.(*ast.Ident); ok && id.Name != "panic" {
+				into[id.Name] = true
+			}
+		}
+		return true
+	})
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func setEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// mayCalls runs a may-execute union analysis over the CFG and returns
+// the set of function names that can have been called on some path to
+// the exit, plus whether the exit is reachable at all.
+func mayCalls(t *testing.T, g *analysis.CFG) (map[string]bool, bool) {
+	t.Helper()
+	flow := analysis.Flow[map[string]bool]{
+		Entry: func() map[string]bool { return map[string]bool{} },
+		Join: func(a, b map[string]bool) map[string]bool {
+			u := cloneSet(a)
+			for k := range b {
+				u[k] = true
+			}
+			return u
+		},
+		Equal: setEqual,
+		Transfer: func(b *analysis.Block, in map[string]bool) map[string]bool {
+			out := cloneSet(in)
+			for _, n := range b.Nodes {
+				callNames(n, out)
+			}
+			return out
+		},
+	}
+	in, err := analysis.Forward(g, flow)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	st, ok := analysis.ExitState(g, flow, in)
+	return st, ok
+}
+
+// mustFlow is the dual must-execute intersection analysis: names
+// called on every path reaching a point.
+func mustFlow() analysis.Flow[map[string]bool] {
+	return analysis.Flow[map[string]bool]{
+		Entry: func() map[string]bool { return map[string]bool{} },
+		Join: func(a, b map[string]bool) map[string]bool {
+			u := map[string]bool{}
+			for k := range a {
+				if b[k] {
+					u[k] = true
+				}
+			}
+			return u
+		},
+		Equal: setEqual,
+		Transfer: func(b *analysis.Block, in map[string]bool) map[string]bool {
+			out := cloneSet(in)
+			for _, n := range b.Nodes {
+				callNames(n, out)
+			}
+			return out
+		},
+	}
+}
+
+// mustCalls returns the must-execute set at the function exit.
+func mustCalls(t *testing.T, g *analysis.CFG) (map[string]bool, bool) {
+	t.Helper()
+	flow := mustFlow()
+	in, err := analysis.Forward(g, flow)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	st, ok := analysis.ExitState(g, flow, in)
+	return st, ok
+}
+
+// mustAtCall returns the must-execute set on entry to the block
+// containing a call of the named function.
+func mustAtCall(t *testing.T, g *analysis.CFG, name string) map[string]bool {
+	t.Helper()
+	in, err := analysis.Forward(g, mustFlow())
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	for blk, st := range in {
+		calls := map[string]bool{}
+		for _, n := range blk.Nodes {
+			callNames(n, calls)
+		}
+		if calls[name] {
+			return st
+		}
+	}
+	t.Fatalf("no reachable block calls %s", name)
+	return nil
+}
+
+func wantSet(t *testing.T, what string, got map[string]bool, want ...string) {
+	t.Helper()
+	w := map[string]bool{}
+	for _, n := range want {
+		w[n] = true
+	}
+	if !setEqual(got, w) {
+		var g []string
+		for k := range got {
+			g = append(g, k)
+		}
+		sort.Strings(g)
+		t.Errorf("%s = {%s}, want {%s}", what, strings.Join(g, " "), strings.Join(want, " "))
+	}
+}
+
+const cfgStubs = `
+func a()             {}
+func b()             {}
+func d()             {}
+func body()          {}
+func after()         {}
+func inner()         {}
+func done()          {}
+func zero()          {}
+func one()           {}
+func def()           {}
+func other()         {}
+func recv(int)       {}
+func pre()           {}
+func post()          {}
+func work()          {}
+func cleanup()       {}
+func first()         {}
+func dead()          {}
+func ok()            {}
+func cond() bool     { return false }
+`
+
+func TestCFGIfElse(t *testing.T) {
+	_, file, _, _ := parseAndCheck(t, `package p
+func f(c bool) {
+	a()
+	if c {
+		b()
+		return
+	}
+	d()
+}
+`+cfgStubs)
+	g := analysis.NewCFG(funcBody(t, file, "f"))
+	may, ok := mayCalls(t, g)
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	wantSet(t, "may", may, "a", "b", "d")
+	must, _ := mustCalls(t, g)
+	wantSet(t, "must", must, "a")
+
+	// The branch head carries the condition with the then-edge first.
+	var head *analysis.Block
+	for _, blk := range g.Blocks {
+		if blk.Cond != nil {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatal("no block carries the if condition")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("branch head has %d successors, want 2", len(head.Succs))
+	}
+	thenCalls := map[string]bool{}
+	for _, n := range head.Succs[0].Nodes {
+		callNames(n, thenCalls)
+	}
+	if !thenCalls["b"] {
+		t.Errorf("Succs[0] (true edge) does not contain the then-branch call b(): %v", thenCalls)
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	_, file, _, _ := parseAndCheck(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		body()
+	}
+	after()
+}
+`+cfgStubs)
+	g := analysis.NewCFG(funcBody(t, file, "f"))
+	may, ok := mayCalls(t, g)
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	wantSet(t, "may", may, "body", "after")
+	must, _ := mustCalls(t, g)
+	wantSet(t, "must", must, "after") // zero iterations possible
+}
+
+func TestCFGLabeledBreakContinueGoto(t *testing.T) {
+	_, file, _, _ := parseAndCheck(t, `package p
+func f(xs []int) {
+outer:
+	for _, x := range xs {
+		for {
+			if x == 0 {
+				continue outer
+			}
+			if x == 1 {
+				break outer
+			}
+			inner()
+		}
+	}
+	done()
+}
+
+func g(n int) {
+	i := 0
+loop:
+	if i < n {
+		work()
+		i++
+		goto loop
+	}
+	done()
+}
+`+cfgStubs)
+
+	cg := analysis.NewCFG(funcBody(t, file, "f"))
+	may, ok := mayCalls(t, cg)
+	if !ok {
+		t.Fatal("f: exit unreachable")
+	}
+	wantSet(t, "f may", may, "inner", "done")
+	must, _ := mustCalls(t, cg)
+	wantSet(t, "f must", must, "done")
+
+	gg := analysis.NewCFG(funcBody(t, file, "g"))
+	may, ok = mayCalls(t, gg)
+	if !ok {
+		t.Fatal("g: exit unreachable")
+	}
+	wantSet(t, "g may", may, "work", "done")
+	must, _ = mustCalls(t, gg)
+	wantSet(t, "g must", must, "done")
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	_, file, _, _ := parseAndCheck(t, `package p
+func f(x int) {
+	switch x {
+	case 0:
+		zero()
+		fallthrough
+	case 1:
+		one()
+	default:
+		def()
+	}
+	after()
+}
+
+func g(x int) {
+	switch x {
+	case 0:
+		return
+	default:
+		other()
+	}
+	after()
+}
+`+cfgStubs)
+
+	fg := analysis.NewCFG(funcBody(t, file, "f"))
+	may, ok := mayCalls(t, fg)
+	if !ok {
+		t.Fatal("f: exit unreachable")
+	}
+	wantSet(t, "f may", may, "zero", "one", "def", "after")
+	must, _ := mustCalls(t, fg)
+	wantSet(t, "f must", must, "after")
+
+	// With a default present and the only other arm returning, every
+	// path to after() runs other(): there must be no head→join edge.
+	gg := analysis.NewCFG(funcBody(t, file, "g"))
+	wantSet(t, "g must at after()", mustAtCall(t, gg, "after"), "other")
+}
+
+func TestCFGSelect(t *testing.T) {
+	_, file, _, _ := parseAndCheck(t, `package p
+func f(ch chan int) {
+	select {
+	case v := <-ch:
+		recv(v)
+	default:
+		def()
+	}
+	after()
+}
+
+func g() {
+	pre()
+	select {}
+	post()
+}
+`+cfgStubs)
+
+	fg := analysis.NewCFG(funcBody(t, file, "f"))
+	may, ok := mayCalls(t, fg)
+	if !ok {
+		t.Fatal("f: exit unreachable")
+	}
+	wantSet(t, "f may", may, "recv", "def", "after")
+	must, _ := mustCalls(t, fg)
+	wantSet(t, "f must", must, "after")
+
+	// select{} blocks forever: nothing after it runs, and the exit is
+	// unreachable.
+	gg := analysis.NewCFG(funcBody(t, file, "g"))
+	if _, ok := mayCalls(t, gg); ok {
+		t.Error("g: exit reachable past select{}")
+	}
+}
+
+func TestCFGDeferAndUnreachable(t *testing.T) {
+	_, file, _, _ := parseAndCheck(t, `package p
+func f() {
+	defer cleanup()
+	if cond() {
+		return
+	}
+	work()
+}
+
+func g() {
+	first()
+	return
+	dead()
+}
+
+func h(c bool) {
+	if c {
+		panic("x")
+	}
+	ok()
+}
+`+cfgStubs)
+
+	fg := analysis.NewCFG(funcBody(t, file, "f"))
+	if len(fg.Defers) != 1 {
+		t.Fatalf("f: %d defers recorded, want 1", len(fg.Defers))
+	}
+	may, _ := mayCalls(t, fg)
+	wantSet(t, "f may", may, "cond", "work")
+
+	// Statements after return are never visited.
+	gg := analysis.NewCFG(funcBody(t, file, "g"))
+	may, ok := mayCalls(t, gg)
+	if !ok {
+		t.Fatal("g: exit unreachable")
+	}
+	wantSet(t, "g may", may, "first")
+
+	// panic terminates its path: ok() is not on it, so the must-set at
+	// exit is empty while the may-set still sees ok().
+	hg := analysis.NewCFG(funcBody(t, file, "h"))
+	may, _ = mayCalls(t, hg)
+	wantSet(t, "h may", may, "ok")
+	must, _ := mustCalls(t, hg)
+	wantSet(t, "h must", must)
+}

@@ -1,0 +1,87 @@
+// Generic forward dataflow fixpoint over a CFG.
+package analysis
+
+import "fmt"
+
+// Flow defines one forward dataflow problem over a CFG. The state type
+// T forms a join-semilattice: Join must be commutative, associative,
+// and monotone, and Transfer must be monotone in its input, or the
+// fixpoint is not guaranteed to terminate (Forward still stops at a
+// safety cap and reports the overrun via the error return).
+type Flow[T any] struct {
+	// Entry produces the state on entry to the function.
+	Entry func() T
+	// Join merges the states of two predecessors. It must not mutate
+	// either argument.
+	Join func(a, b T) T
+	// Equal reports whether two states carry the same facts.
+	Equal func(a, b T) bool
+	// Transfer applies a block's nodes to the incoming state and
+	// returns the outgoing state. It must not mutate in.
+	Transfer func(b *Block, in T) T
+	// Edge optionally refines the outgoing state along a specific
+	// successor edge (for branch-sensitive facts such as err-nil
+	// checks). from.Cond is the branch condition; to is from.Succs[0]
+	// on the true edge and from.Succs[1] on the false edge. Nil means
+	// no refinement.
+	Edge func(from, to *Block, out T) T
+}
+
+// forwardCap bounds worklist processing: each block may be revisited at
+// most this many times before Forward gives up. Real lattices in this
+// package (small named-resource sets) converge in a handful of rounds;
+// the cap only guards against a non-monotone Transfer.
+const forwardCap = 256
+
+// Forward runs the worklist algorithm and returns the incoming state
+// of every reachable block. Unreachable blocks have no entry in the
+// result, so reporting passes that iterate it never diagnose dead
+// code. The error is non-nil only if the cap was hit (a bug in the
+// Flow), in which case the partial result is still safe to read as an
+// over-approximation.
+func Forward[T any](g *CFG, f Flow[T]) (map[*Block]T, error) {
+	in := make(map[*Block]T)
+	seen := make(map[*Block]bool)
+	visits := make(map[*Block]int)
+
+	in[g.Entry] = f.Entry()
+	seen[g.Entry] = true
+	work := []*Block{g.Entry}
+
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		if visits[b]++; visits[b] > forwardCap {
+			return in, fmt.Errorf("analysis: dataflow did not converge at block %d", b.Index)
+		}
+		out := f.Transfer(b, in[b])
+		for _, succ := range b.Succs {
+			e := out
+			if f.Edge != nil {
+				e = f.Edge(b, succ, out)
+			}
+			if !seen[succ] {
+				seen[succ] = true
+				in[succ] = e
+				work = append(work, succ)
+				continue
+			}
+			merged := f.Join(in[succ], e)
+			if !f.Equal(merged, in[succ]) {
+				in[succ] = merged
+				work = append(work, succ)
+			}
+		}
+	}
+	return in, nil
+}
+
+// ExitState joins the incoming states of the synthetic exit block's
+// predecessors as recorded in the fixpoint result, i.e. the state that
+// holds when the function returns on any path. The second return is
+// false when no path reaches the exit (e.g. the body ends in an
+// infinite loop).
+func ExitState[T any](g *CFG, f Flow[T], in map[*Block]T) (T, bool) {
+	st, ok := in[g.Exit]
+	return st, ok
+}

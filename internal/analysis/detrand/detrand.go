@@ -1,7 +1,7 @@
 // Package detrand checks that packages on the deterministic path
 // draw no entropy from ambient sources: no global math/rand
-// top-level functions and no time.Now outside explicitly allowlisted
-// timing sites.
+// top-level functions and no time.Now, time.Since or time.Until
+// outside explicitly allowlisted timing sites.
 //
 // Invariant: the benchmark's credibility rests on reproducibility — a
 // fanout-5 tree generated from seed S must be byte-identical across
@@ -12,7 +12,8 @@
 // configuration. The global math/rand source is process-wide state
 // any import can perturb; time.Now is nondeterministic by definition
 // (and rand.New(rand.NewSource(time.Now().UnixNano())) is caught
-// through its time.Now call).
+// through its time.Now call). time.Since and time.Until read the same
+// wall clock through a one-call veneer, so they are flagged alike.
 //
 // Wall-clock timing sites that are genuinely about measuring (the
 // generator's phase timings) carry "//hyperlint:allow detrand"
@@ -42,7 +43,7 @@ var deterministic = struct {
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
 	Doc: "deterministic-path packages must not use global math/rand or " +
-		"time.Now; randomness flows through injected seeded *rand.Rand values",
+		"time.Now/Since/Until; randomness flows through injected seeded *rand.Rand values",
 	Run: run,
 }
 
@@ -82,9 +83,13 @@ func run(pass *analysis.Pass) error {
 						fn.Name())
 				}
 			case "time":
-				if fn.Name() == "Now" && analysis.ReceiverNamed(fn) == nil {
-					pass.Reportf(call.Pos(),
-						"time.Now on the deterministic path; inject a clock or annotate a timing site with //hyperlint:allow detrand")
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					if analysis.ReceiverNamed(fn) == nil {
+						pass.Reportf(call.Pos(),
+							"time.%s on the deterministic path; inject a clock or annotate a timing site with //hyperlint:allow detrand",
+							fn.Name())
+					}
 				}
 			}
 			return true

@@ -31,3 +31,27 @@ func goodTimingSite() time.Duration {
 	start := time.Now() //hyperlint:allow detrand -- fixture timing site
 	return time.Since(start)
 }
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since on the deterministic path"
+}
+
+func badUntil(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time.Until on the deterministic path"
+}
+
+func goodAnnotatedSince() time.Duration {
+	start := time.Now()      //hyperlint:allow detrand -- fixture timing site
+	return time.Since(start) //hyperlint:allow detrand -- fixture timing site
+}
+
+// goodMultiLineAllow: the directive on the first line of a multi-line
+// statement suppresses diagnostics anchored to its continuation lines.
+func goodMultiLineAllow() int64 {
+	return combine( //hyperlint:allow detrand -- fixture: one directive covers the whole statement
+		rand.Int63(),
+		time.Now().UnixNano(),
+	)
+}
+
+func combine(a, b int64) int64 { return a ^ b }

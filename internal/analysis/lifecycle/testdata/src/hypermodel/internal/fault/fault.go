@@ -1,0 +1,13 @@
+// Stub of the real fault package for the lifecycle fixtures.
+package fault
+
+type Config struct {
+	Latency int
+}
+
+type Proxy struct{}
+
+func NewProxy(upstream string, cfg Config) (*Proxy, error) { return &Proxy{}, nil }
+
+func (p *Proxy) Addr() string { return "" }
+func (p *Proxy) Close() error { return nil }

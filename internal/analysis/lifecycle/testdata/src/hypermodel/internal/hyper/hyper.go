@@ -1,0 +1,12 @@
+// Stub of the real hyper package for the lifecycle fixtures.
+package hyper
+
+import "errors"
+
+var ErrNoSnapshots = errors.New("no snapshots")
+
+type DB interface {
+	Snapshot() (DB, error)
+	Root(slot int) uint64
+	Close() error
+}

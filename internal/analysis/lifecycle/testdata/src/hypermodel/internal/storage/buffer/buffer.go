@@ -1,0 +1,16 @@
+// Stub of the real buffer package: just enough surface for the
+// lifecycle fixtures to type-check against the tracked producers.
+package buffer
+
+type Frame struct {
+	ID   uint64
+	Page []byte
+}
+
+type Pool struct{}
+
+func (p *Pool) Get(id uint64) *Frame                             { return nil }
+func (p *Pool) Insert(id uint64, img []byte) *Frame              { return &Frame{ID: id, Page: img} }
+func (p *Pool) GetOrInsert(id uint64, img []byte) (*Frame, bool) { return &Frame{ID: id}, false }
+func (p *Pool) Release(f *Frame)                                 {}
+func (p *Pool) MarkDirty(f *Frame)                               {}

@@ -1,0 +1,20 @@
+// Stub of the real store package for the lifecycle fixtures.
+package store
+
+import "errors"
+
+var ErrSnapshotTooOld = errors.New("snapshot too old")
+
+type Store struct{}
+
+func (s *Store) Snapshot() (*SnapshotView, error) { return &SnapshotView{}, nil }
+func (s *Store) ReadView() *ReadView              { return &ReadView{} }
+
+type SnapshotView struct{}
+
+func (v *SnapshotView) Get(id uint64) ([]byte, error) { return nil, nil }
+func (v *SnapshotView) Close() error                  { return nil }
+
+type ReadView struct{}
+
+func (v *ReadView) Close() error { return nil }

@@ -1,0 +1,13 @@
+// Stub of the real vfs package for the lifecycle fixtures.
+package vfs
+
+type FS interface {
+	Open(name string) (File, error)
+	Remove(name string) error
+}
+
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Close() error
+}

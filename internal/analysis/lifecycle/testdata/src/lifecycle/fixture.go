@@ -1,0 +1,278 @@
+// Fixture for the lifecycle analyzer: must-release tracking for
+// frames, files, snapshots and proxies across branches, error paths
+// and helper calls.
+package lifecycle
+
+import (
+	"errors"
+
+	"hypermodel/internal/fault"
+	"hypermodel/internal/hyper"
+	"hypermodel/internal/storage/buffer"
+	"hypermodel/internal/storage/store"
+	"hypermodel/internal/storage/vfs"
+)
+
+// --- flagging: a path to return leaks the obligation ---
+
+func badFileEarlyReturn(fs vfs.FS, skip bool) error {
+	f, err := fs.Open("data") // want `file opened here is not released via Close on every path to return`
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil // leaks f
+	}
+	return f.Close()
+}
+
+func badFrameNoRelease(p *buffer.Pool) {
+	f := p.Get(7) // want `frame pinned here is not released via Pool.Release on every path to return`
+	if f == nil {
+		return
+	}
+	f.Page[0] = 1
+}
+
+// badSnapshotBorrow lends the snapshot to a reader but never closes
+// it: lending is not releasing.
+func badSnapshotBorrow(st *store.Store) error {
+	snap, err := st.Snapshot() // want `snapshot pinned here is not released via Close on every path to return`
+	if err != nil {
+		return err
+	}
+	return readAll(snap)
+}
+
+// badSnapshotRetryLoop is the txn.View shape: each iteration pins a
+// fresh snapshot and the previous one is abandoned.
+func badSnapshotRetryLoop(db hyper.DB) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var snap hyper.DB
+		snap, err = db.Snapshot() // want `snapshot pinned here is not released via Close on every path to return`
+		if err != nil {
+			return err
+		}
+		err = use(snap)
+		if !errors.Is(err, store.ErrSnapshotTooOld) {
+			return err
+		}
+	}
+	return err
+}
+
+func badProxyLeak(addr string) (string, error) {
+	px, err := fault.NewProxy(addr, fault.Config{}) // want `proxy started here is not released via Close on every path to return`
+	if err != nil {
+		return "", err
+	}
+	return px.Addr(), nil
+}
+
+func badDiscard(p *buffer.Pool) {
+	p.Insert(3, nil) // want `result of Insert discarded: the frame it returns can never be released via Pool.Release`
+}
+
+func badBlank(st *store.Store) {
+	_, _ = st.Snapshot() // want `result of Snapshot discarded: the snapshot it returns can never be released via Close`
+}
+
+// --- non-flagging shapes ---
+
+func goodDeferClose(fs vfs.FS) error {
+	f, err := fs.Open("data")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.ReadAt(nil, 0)
+	return err
+}
+
+func goodReleaseBothArms(p *buffer.Pool, dirty bool) {
+	f := p.Get(1)
+	if f == nil {
+		return
+	}
+	if dirty {
+		p.MarkDirty(f)
+	} else {
+		p.Release(f)
+	}
+}
+
+// goodNilCheckMiss: Pool.Get returns nil on a miss; the nil arm owes
+// nothing.
+func goodNilCheckMiss(p *buffer.Pool) {
+	f := p.Get(2)
+	if f != nil {
+		p.Release(f)
+	}
+}
+
+func goodErrPath(st *store.Store) error {
+	snap, err := st.Snapshot()
+	if err != nil {
+		return err // snap was never produced
+	}
+	return snap.Close()
+}
+
+// goodErrorsIsGuard: the errors.Is arm implies a non-nil error, so no
+// snapshot exists there.
+func goodErrorsIsGuard(db hyper.DB) error {
+	snap, err := db.Snapshot()
+	if errors.Is(err, hyper.ErrNoSnapshots) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer snap.Close()
+	_ = snap.Root(0)
+	return nil
+}
+
+// goodReturned: the caller receives the obligation with the value.
+func goodReturned(fs vfs.FS) (vfs.File, error) {
+	return fs.Open("handoff")
+}
+
+func goodReturnedVar(p *buffer.Pool) *buffer.Frame {
+	f := p.Insert(9, nil)
+	return f
+}
+
+type holder struct {
+	f    *buffer.Frame
+	file vfs.File
+}
+
+// goodFieldStore: storing into a structure transfers ownership.
+func goodFieldStore(h *holder, p *buffer.Pool) {
+	h.f = p.Insert(4, nil)
+}
+
+// goodCompositeEscape: the frame leaves inside a returned literal.
+func goodCompositeEscape(p *buffer.Pool) *holder {
+	f := p.Insert(5, nil)
+	return &holder{f: f}
+}
+
+// goodWrapReturn: the resource leaves with a constructor's result.
+func goodWrapReturn(st *store.Store) (*reader, error) {
+	snap, err := st.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return newReader(snap), nil
+}
+
+// goodErasedWrap: the constructor's parameter erases the resource kind
+// behind a local interface, which means it wraps or stores the value —
+// ownership moves with the call (the oodb/reldb Snapshot shape).
+type space interface{ Close() error }
+
+type wrapped struct{ st space }
+
+func newWrapped(st space, n int) (*wrapped, error) { return &wrapped{st: st}, nil }
+
+func goodErasedWrap(st *store.Store) (*wrapped, error) {
+	view, err := st.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return newWrapped(view, 0)
+}
+
+// goodHelperConsumes: stash stores its argument (fixpoint summary says
+// param 0 is consumed), so the caller's obligation is discharged.
+func goodHelperConsumes(h *holder, fs vfs.FS) error {
+	f, err := fs.Open("kept")
+	if err != nil {
+		return err
+	}
+	stash(h, f)
+	return nil
+}
+
+// goodHelperChain: consumption is visible through two helper levels.
+func goodHelperChain(h *holder, fs vfs.FS) error {
+	f, err := fs.Open("chained")
+	if err != nil {
+		return err
+	}
+	stashVia(h, f)
+	return nil
+}
+
+// goodSnapshotLentThenClosed: lending a snapshot to a reader does not
+// discharge it; the close afterwards does.
+func goodSnapshotLentThenClosed(st *store.Store) error {
+	snap, err := st.Snapshot()
+	if err != nil {
+		return err
+	}
+	rerr := readAll(snap)
+	cerr := snap.Close()
+	if rerr != nil {
+		return rerr
+	}
+	return cerr
+}
+
+// goodGoroutineHandoff: the goroutine inherits the frame.
+func goodGoroutineHandoff(p *buffer.Pool) {
+	f := p.Insert(6, nil)
+	go func() {
+		p.Release(f)
+	}()
+}
+
+// goodFrameHandoffUnknown: an unresolved callee (function value) takes
+// frame ownership.
+var sink func(*buffer.Frame)
+
+func goodFrameHandoffUnknown(p *buffer.Pool) {
+	f := p.Insert(8, nil)
+	sink(f)
+}
+
+// --- helpers the fixtures call ---
+
+// readAll only borrows the snapshot: it neither closes nor stores it.
+func readAll(v *store.SnapshotView) error {
+	_, err := v.Get(0)
+	return err
+}
+
+func use(snap hyper.DB) error {
+	_ = snap.Root(1)
+	return nil
+}
+
+type reader struct {
+	v *store.SnapshotView
+}
+
+func newReader(v *store.SnapshotView) *reader { return &reader{v: v} }
+
+func stash(h *holder, f vfs.File) {
+	h.file = f
+}
+
+func stashVia(h *holder, f vfs.File) {
+	stash(h, f)
+}
+
+// --- suppressed ---
+
+func suppressedLeak(fs vfs.FS) error {
+	f, err := fs.Open("pidfile") //hyperlint:allow lifecycle -- held open for the process lifetime as an advisory lock
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}

@@ -1,0 +1,194 @@
+package loader_test
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hypermodel/internal/analysis/loader"
+)
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// exportFile asks the toolchain for one stdlib package's export data
+// (compiled into the build cache, so this works offline).
+func exportFile(t *testing.T, pkg string) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", pkg).Output()
+	if err != nil {
+		t.Skipf("go list -export %s: %v", pkg, err)
+	}
+	file := strings.TrimSpace(string(out))
+	if file == "" {
+		t.Skipf("go list -export %s: no export file", pkg)
+	}
+	return file
+}
+
+// TestImportMapTranslatesVendoredPath covers the vendored-path
+// mismatch: the import is written as a vendor path in source, the
+// export data is registered under the canonical path, and the
+// importMap bridges the two without touching the fallback.
+func TestImportMapTranslatesVendoredPath(t *testing.T) {
+	fset := token.NewFileSet()
+	exp := loader.NewExportImporter(fset,
+		map[string]string{"example.com/app/vendor/errors": "errors"},
+		map[string]string{"errors": exportFile(t, "errors")})
+	fallbackHit := false
+	exp.Fallback = importerFunc(func(path string) (*types.Package, error) {
+		fallbackHit = true
+		return nil, fmt.Errorf("unexpected fallback for %q", path)
+	})
+	pkg, err := exp.Import("example.com/app/vendor/errors")
+	if err != nil {
+		t.Fatalf("Import(vendored path): %v", err)
+	}
+	if pkg.Path() != "errors" {
+		t.Errorf("imported package path = %q, want %q", pkg.Path(), "errors")
+	}
+	if fallbackHit {
+		t.Error("fallback consulted although export data covers the canonical path")
+	}
+}
+
+func TestHasAndAdd(t *testing.T) {
+	fset := token.NewFileSet()
+	exp := loader.NewExportImporter(fset, nil, map[string]string{})
+	if exp.Has("errors") {
+		t.Error("Has reported export data before Add")
+	}
+	exp.Add("errors", exportFile(t, "errors"))
+	if !exp.Has("errors") {
+		t.Error("Has missed export data after Add")
+	}
+	pkg, err := exp.Import("errors")
+	if err != nil {
+		t.Fatalf("Import after Add: %v", err)
+	}
+	if pkg.Path() != "errors" {
+		t.Errorf("imported package path = %q, want %q", pkg.Path(), "errors")
+	}
+}
+
+func TestFallbackWhenExportDataMissing(t *testing.T) {
+	fset := token.NewFileSet()
+	exp := loader.NewExportImporter(fset, nil, map[string]string{})
+	want := types.NewPackage("example.com/sourcepkg", "sourcepkg")
+	var asked string
+	exp.Fallback = importerFunc(func(path string) (*types.Package, error) {
+		asked = path
+		return want, nil
+	})
+	pkg, err := exp.Import("example.com/sourcepkg")
+	if err != nil {
+		t.Fatalf("Import with fallback: %v", err)
+	}
+	if pkg != want {
+		t.Error("fallback package not returned")
+	}
+	if asked != "example.com/sourcepkg" {
+		t.Errorf("fallback asked for %q, want the path as written", asked)
+	}
+
+	exp.Fallback = nil
+	if _, err := exp.Import("example.com/nowhere"); err == nil {
+		t.Error("Import without export data or fallback succeeded")
+	}
+}
+
+// TestCheckSourceFallback type-checks a package whose dependency has
+// no export data: the fallback parses and checks the dependency from
+// source, the way the fixture harness resolves testdata imports.
+func TestCheckSourceFallback(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("b/b.go", "package b\n\nfunc Answer() int { return 42 }\n")
+	write("a/a.go", "package a\n\nimport \"example.com/b\"\n\nvar X = b.Answer()\n")
+
+	fset := token.NewFileSet()
+	exp := loader.NewExportImporter(fset, nil, map[string]string{})
+	exp.Fallback = importerFunc(func(path string) (*types.Package, error) {
+		rel, ok := strings.CutPrefix(path, "example.com/")
+		if !ok {
+			return nil, fmt.Errorf("unexpected import %q", path)
+		}
+		files, err := loader.ParseDir(fset, filepath.Join(root, rel))
+		if err != nil {
+			return nil, err
+		}
+		pkg, _, err := loader.Check(path, fset, files, exp, "")
+		return pkg, err
+	})
+
+	files, err := loader.ParseDir(fset, filepath.Join(root, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The toolchain-suffixed version string exercises normalization:
+	// types.Config would reject it verbatim.
+	pkg, info, err := loader.Check("example.com/a", fset, files, exp, "go1.22.0 X:nocoverageredesign")
+	if err != nil {
+		t.Fatalf("Check with source fallback: %v", err)
+	}
+	if pkg.Name() != "a" {
+		t.Errorf("checked package name = %q, want %q", pkg.Name(), "a")
+	}
+	if len(info.Uses) == 0 || len(info.Defs) == 0 {
+		t.Error("type info not populated")
+	}
+}
+
+// TestParseDirExcludesTestFiles covers a package that only compiles
+// with its test files excluded: the in-package test references a
+// symbol the production files never declare.
+func TestParseDirExcludesTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("p.go", "package p\n\nconst OK = 1\n")
+	write("p_test.go", "package p\n\nvar broken = helperDefinedNowhere()\n")
+	write("notes.txt", "not a Go file\n")
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o777); err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	files, err := loader.ParseDir(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("ParseDir returned %d files, want 1 (tests and non-Go files excluded)", len(files))
+	}
+	if _, _, err := loader.Check("example.com/p", fset, files, nil, ""); err != nil {
+		t.Errorf("Check failed although the broken file is a test file: %v", err)
+	}
+
+	empty := t.TempDir()
+	if err := os.WriteFile(filepath.Join(empty, "q_test.go"), []byte("package q\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.ParseDir(fset, empty); err == nil {
+		t.Error("ParseDir succeeded on a directory holding only test files")
+	}
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "lockorder", "hypermodel/internal/remote")
+}

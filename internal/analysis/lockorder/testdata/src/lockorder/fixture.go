@@ -1,0 +1,180 @@
+// Fixture for lockorder's order and self-deadlock checks, which run
+// in every package (the blocking check is exercised by the remote
+// fixture). Each scenario uses its own lock fields so order edges
+// never bleed between scenarios.
+package lockorder
+
+import "sync"
+
+// --- inconsistent acquisition order, lexical ---
+
+type ab struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *ab) forward() {
+	p.a.Lock()
+	p.b.Lock() // want `acquiring ab.b while holding ab.a creates a lock-order cycle among \{ab.a, ab.b\}`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *ab) reverse() {
+	p.b.Lock()
+	p.a.Lock() // want `acquiring ab.a while holding ab.b creates a lock-order cycle among \{ab.a, ab.b\}`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// --- inconsistent order through a helper (interprocedural) ---
+
+type cd struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (p *cd) lockD() {
+	p.d.Lock()
+}
+
+func (p *cd) viaHelper() {
+	p.c.Lock()
+	p.lockD() // want `acquiring cd.d while holding cd.c creates a lock-order cycle among \{cd.c, cd.d\}`
+	p.d.Unlock()
+	p.c.Unlock()
+}
+
+func (p *cd) reverseOrder() {
+	p.d.Lock()
+	p.c.Lock() // want `acquiring cd.c while holding cd.d creates a lock-order cycle among \{cd.c, cd.d\}`
+	p.c.Unlock()
+	p.d.Unlock()
+}
+
+// --- self-deadlock, lexical and through a helper ---
+
+type m struct {
+	mu sync.Mutex
+}
+
+func (x *m) relock() {
+	x.mu.Lock()
+	x.mu.Lock() // want `m.mu acquired while already held`
+	x.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func (x *m) lockIt() {
+	x.mu.Lock()
+}
+
+func (x *m) relockViaHelper() {
+	x.mu.Lock()
+	x.lockIt() // want `call to lockIt acquires m.mu, which is already held`
+	x.mu.Unlock()
+}
+
+// --- consistent order everywhere: no diagnostics ---
+
+type ef struct {
+	e sync.Mutex
+	f sync.Mutex
+}
+
+func (p *ef) lockF() {
+	p.f.Lock()
+}
+
+func (p *ef) one() {
+	p.e.Lock()
+	p.f.Lock()
+	p.f.Unlock()
+	p.e.Unlock()
+}
+
+func (p *ef) two() {
+	p.e.Lock()
+	p.lockF()
+	p.f.Unlock()
+	p.e.Unlock()
+}
+
+// branchRelease releases on one arm and returns on the other: the
+// dataflow must not think the lock is held after the if/else join.
+func (p *ef) branchRelease(cond bool) {
+	p.e.Lock()
+	if cond {
+		p.e.Unlock()
+	} else {
+		p.e.Unlock()
+	}
+	p.f.Lock() // no e held here: no edge, no diagnostic
+	p.f.Unlock()
+}
+
+// leaderLoop is the group-commit leader shape from the page server:
+// the lock is dropped before each batch call and re-taken at the loop
+// bottom, so the re-acquisition must not be mistaken for a re-lock of
+// a held mutex.
+type leader struct {
+	gcMu   sync.Mutex
+	active bool
+	queue  []int
+}
+
+func (l *leader) process([]int) {}
+
+func (l *leader) leaderLoop() {
+	l.gcMu.Lock()
+	if l.active {
+		l.gcMu.Unlock()
+		return
+	}
+	l.active = true
+	for {
+		batch := l.queue
+		l.queue = nil
+		if len(batch) == 0 {
+			l.active = false
+			l.gcMu.Unlock()
+			break
+		}
+		l.gcMu.Unlock()
+		l.process(batch)
+		l.gcMu.Lock()
+	}
+}
+
+// --- suppression, including a directive inside a multi-line statement ---
+
+type sup struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (q *sup) lockX(a, b int) {
+	_ = a + b
+	q.x.Lock()
+}
+
+// suppressedEdge takes y then x through a multi-line call. The allow
+// directive sits on an argument line, not the line the diagnostic
+// anchors to (the call's first line): the statement-span rule must
+// cover it. No want comment here — that is the regression assertion.
+func (q *sup) suppressedEdge() {
+	q.y.Lock()
+	q.lockX(
+		1, //hyperlint:allow lockorder -- quarantined reverse acquisition; pairs with reverseForSup below
+		2,
+	)
+	q.x.Unlock()
+	q.y.Unlock()
+}
+
+func (q *sup) reverseForSup() {
+	q.x.Lock()
+	q.y.Lock() // want `acquiring sup.y while holding sup.x creates a lock-order cycle among \{sup.x, sup.y\}`
+	q.y.Unlock()
+	q.x.Unlock()
+}

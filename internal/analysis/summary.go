@@ -1,0 +1,67 @@
+// Interprocedural function summaries with fixpoint iteration.
+package analysis
+
+import "go/types"
+
+// summaryRounds bounds the rounds of summary recomputation. Monotone
+// Compute functions over the small lattices in this package converge
+// in a few rounds even through recursive cycles; the cap only guards
+// against non-monotone Compute bugs.
+const summaryRounds = 64
+
+// A Summarizer computes one summary of type S per declared function in
+// a call graph, iterating to a fixpoint so that summaries are correct
+// through recursive call cycles.
+//
+// Compute derives a function's summary, consulting callee summaries
+// through get: get returns the callee's current summary and true when
+// the callee is declared in the analyzed package, or the zero S and
+// false for external functions. The zero value of S must therefore be
+// the lattice bottom ("no effects known yet"): on the first round a
+// recursive callee reports zero, and rounds repeat until every summary
+// is stable. Compute must be monotone — growing callee summaries must
+// not shrink the result — for the iteration to terminate.
+type Summarizer[S any] struct {
+	Graph *CallGraph
+	// Equal reports whether two summaries carry the same facts; it
+	// decides convergence.
+	Equal   func(a, b S) bool
+	Compute func(fn *FuncInfo, get func(*types.Func) (S, bool)) S
+}
+
+// Run computes the summary map. Function literals are not summarized:
+// they are analysis roots, not callees resolvable by name.
+func (s *Summarizer[S]) Run() map[*types.Func]S {
+	summaries := make(map[*types.Func]S)
+	var order []*FuncInfo
+	for _, fi := range s.Graph.Funcs() {
+		if fi.Obj != nil {
+			order = append(order, fi)
+		}
+	}
+	get := func(obj *types.Func) (S, bool) {
+		if s.Graph.FuncOf(obj) == nil {
+			var zero S
+			return zero, false
+		}
+		return summaries[obj], true
+	}
+	for round := 0; round < summaryRounds; round++ {
+		changed := false
+		for _, fi := range order {
+			next := s.Compute(fi, get)
+			if !s.Equal(summaries[fi.Obj], next) {
+				changed = true
+			}
+			// Store unconditionally: every summarized function must
+			// have an entry, so consumers can treat absence from the
+			// result map as "not declared in this package" even when a
+			// function's fixpoint equals the zero summary.
+			summaries[fi.Obj] = next
+		}
+		if !changed {
+			break
+		}
+	}
+	return summaries
+}

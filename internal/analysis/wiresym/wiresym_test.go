@@ -1,0 +1,12 @@
+package wiresym_test
+
+import (
+	"testing"
+
+	"hypermodel/internal/analysis/analysistest"
+	"hypermodel/internal/analysis/wiresym"
+)
+
+func TestWiresym(t *testing.T) {
+	analysistest.Run(t, wiresym.Analyzer, "wiresym")
+}

@@ -183,7 +183,7 @@ func (p *Proxy) sender(dst net.Conn) (send func([]byte) bool, flush func()) {
 	go func() {
 		defer close(done)
 		for pc := range line {
-			if wait := time.Until(pc.at); wait > 0 {
+			if wait := time.Until(pc.at); wait > 0 { //hyperlint:allow detrand -- latency shaping delivers parcels on a wall-clock schedule by design
 				time.Sleep(wait)
 			}
 			dst.Write(pc.data)

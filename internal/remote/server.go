@@ -722,12 +722,12 @@ func (s *Server) commitBatch(batch []*commitJob) {
 		// acknowledgement and resent: answer OK again, apply nothing.
 		if req.token != 0 && s.tokenSeenLocked(req.token) {
 			s.dupCommits.Add(1)
-			job.resp <- commitResult{seq: s.commitSeq.Load()}
+			job.resp <- commitResult{seq: s.commitSeq.Load()} //hyperlint:allow lockorder -- resp is buffered with capacity 1 and gets exactly one response per job; the send cannot park
 			continue
 		}
 		if s.staleLocked(req, overlay, rootBumps) {
 			s.aborts.Add(1)
-			job.resp <- commitResult{conflict: true}
+			job.resp <- commitResult{conflict: true} //hyperlint:allow lockorder -- resp is buffered with capacity 1 and gets exactly one response per job; the send cannot park
 			continue
 		}
 		if err := s.applyLocked(req); err != nil {
@@ -796,7 +796,7 @@ func (s *Server) commitBatch(batch []*commitJob) {
 		}
 	}
 	for _, j := range applied {
-		j.resp <- commitResult{seq: seq}
+		j.resp <- commitResult{seq: seq} //hyperlint:allow lockorder -- resp is buffered with capacity 1 and gets exactly one response per job; the send cannot park
 	}
 }
 

@@ -85,7 +85,13 @@ func View(b hyper.Backend, fn func(hyper.Backend) error) error {
 			return err
 		}
 		err = fn(snap)
+		// Drop the pin before deciding: an open snapshot holds its
+		// version in the store's ring for as long as it lives.
+		cerr := snap.Close()
 		if !errors.Is(err, store.ErrSnapshotTooOld) {
+			if err == nil {
+				err = cerr
+			}
 			return err
 		}
 		// The version ring moved past our snapshot: pin a fresh one.
