@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos stress writers externalcheck crash
+.PHONY: all build test test-race bench bench-paper fuzz vet lint fmt examples clean check chaos stress writers externalcheck crash cluster
 
 all: build test
 
 # Pre-merge gate: static checks, the race detector, the concurrency
-# stress, the chaos soak, the crash/corruption sweeps, and a short
-# fuzz smoke of the wire-protocol decoder.
-check: vet test-race stress chaos writers crash externalcheck
+# stress, the chaos soak, the crash/corruption sweeps, the sharded
+# cluster gate, and a short fuzz smoke of the wire-protocol decoder.
+check: vet test-race stress chaos writers crash cluster externalcheck
 	$(GO) test -fuzz FuzzDecodeCommit -fuzztime 5s ./internal/remote
 
 # Single-writer/multi-reader stress: concurrent readers race a
@@ -40,6 +40,17 @@ writers:
 # in-memory VFS, byte-deterministic across machines.
 crash:
 	$(GO) test -run 'Crash|PowerCut|Torn|TruncationPoint|Scrub|Corrupt|Settle|Sector|Degrades' -count=1 -v ./internal/storage/... ./internal/remote
+
+# Sharded cluster gate (DESIGN.md §14): the routing edge cases and the
+# cross-shard 2PC paths (commit, conflict, in-doubt resolution,
+# presumed abort) under the race detector, the store's prepared-state
+# durability sweeps, and a short E20 run whose chaos soak kills and
+# restarts a shard mid-run under cross-shard traffic and checks
+# atomicity, exactly-once bounds, and byte-identical reads.
+cluster:
+	$(GO) test -race -run Cluster -count=1 -v ./internal/remote
+	$(GO) test -run 'Prepare|Decide|TokenKeep' -count=1 ./internal/storage/store
+	$(GO) run ./cmd/hyperbench -exp shards -shards 2 -window 250ms -rtt 500us -soak 1s
 
 # The external consumer module: compiles and runs against the exported
 # facade only (it cannot import internal packages), so it breaks first

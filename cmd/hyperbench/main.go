@@ -12,6 +12,8 @@
 //	hyperbench -exp multiuser -users 4         # E15
 //	hyperbench -exp concurrency -clients 1024  # E18 pipelined wire throughput
 //	hyperbench -exp writers -writers 8         # E19 group-commit throughput
+//	hyperbench -exp shards -shards 4           # E20 sharded scaling + chaos soak
+//	hyperbench -list                           # the experiment index
 //	hyperbench -csv results.csv                # machine-readable output
 package main
 
@@ -31,7 +33,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hyperbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser, throughput, concurrency, writers or all")
+		exp      = flag.String("exp", "all", "experiment: create, ops, cluster, remote, ext, cache, multiuser, throughput, concurrency, writers, shards or all (see -list)")
+		list     = flag.Bool("list", false, "print the experiment index and exit")
 		backends = flag.String("backends", "all", "comma-separated backends (oodb,reldb,memdb) or all")
 		level    = flag.Int("level", 4, "leaf level (paper: 4, 5, 6)")
 		iters    = flag.Int("iters", 50, "iterations per operation (paper: 50)")
@@ -42,13 +45,28 @@ func main() {
 		parallel = flag.Int("parallel", 4, "max concurrent readers for the throughput experiment")
 		clients  = flag.Int("clients", 1024, "max concurrent clients for the concurrency experiment")
 		writers  = flag.Int("writers", 8, "max concurrent writers for the writers experiment")
-		rtt      = flag.Duration("rtt", time.Millisecond, "simulated link round trip for the concurrency experiment (0 = raw loopback)")
+		rtt      = flag.Duration("rtt", time.Millisecond, "simulated link round trip for the concurrency and shards experiments (0 = raw loopback)")
+		shards   = flag.Int("shards", 4, "max shard count for the shards experiment (sweep doubles up to it)")
+		soak     = flag.Duration("soak", 2*time.Second, "chaos-soak duration for the shards experiment (0 = skip the soak)")
 		window   = flag.Duration("window", time.Second, "measurement window per throughput configuration")
 		opsList  = flag.String("ops", "", "comma-separated operation filter, e.g. O10,O14")
 		dir      = flag.String("dir", "", "working directory (default: a temp dir, removed afterwards)")
 		csvPath  = flag.String("csv", "", "also write the operation matrix as CSV to this file")
 	)
 	flag.Parse()
+
+	if *list {
+		printExperiments()
+		return
+	}
+	known := map[string]bool{
+		"all": true, "create": true, "ops": true, "cluster": true, "remote": true,
+		"ext": true, "cache": true, "multiuser": true, "throughput": true,
+		"concurrency": true, "writers": true, "shards": true,
+	}
+	if !known[*exp] {
+		log.Fatalf("unknown experiment %q; run hyperbench -list for the index", *exp)
+	}
 
 	workdir := *dir
 	if workdir == "" {
@@ -225,6 +243,32 @@ func main() {
 		harness.RenderWriters(os.Stdout, min(*level, 4), results)
 	}
 
+	if want("shards") {
+		sdir := workdir + "/shards"
+		if err := os.MkdirAll(sdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		counts := []int{}
+		for n := 1; n < *shards; n *= 2 {
+			counts = append(counts, n)
+		}
+		if *shards >= 1 {
+			counts = append(counts, *shards)
+		}
+		results, err := harness.RunShardSweep(sdir, counts, *window, *rtt, 0, 0)
+		if err != nil {
+			log.Fatalf("shards: %v", err)
+		}
+		harness.RenderShardSweep(os.Stdout, results)
+		if *soak > 0 && *shards >= 2 {
+			chaos, err := harness.RunShardChaos(sdir+"/chaos", min(*shards, 4), *soak)
+			if err != nil {
+				log.Fatalf("shards chaos: %v", err)
+			}
+			harness.RenderShardChaos(os.Stdout, chaos)
+		}
+	}
+
 	if want("multiuser") {
 		mdir := workdir + "/multi"
 		if err := os.MkdirAll(mdir, 0o755); err != nil {
@@ -243,6 +287,28 @@ func min(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// printExperiments writes the E1–E20 index: what each -exp value runs.
+func printExperiments() {
+	index := []struct{ name, id, desc string }{
+		{"create", "E1", "database creation and open timings (§5.3)"},
+		{"ops", "E2–E10", "the twenty operations under the cold/warm protocol (§6)"},
+		{"cluster", "E11", "clustering ablation: closure traversals with placement on/off"},
+		{"ops (all backends)", "E12", "backend comparison axis: oodb vs reldb vs memdb"},
+		{"remote", "E13", "workstation/server architecture: local vs page-server backend"},
+		{"ext", "E14", "schema extension and dynamic-class operations (R4)"},
+		{"multiuser", "E15", "multi-user optimistic concurrency with conflict retries (R8)"},
+		{"cache", "E16", "workstation cache-size sweep (cold/warm sensitivity)"},
+		{"throughput", "E17", "concurrent read-closure throughput on a shared store"},
+		{"concurrency", "E18", "pipelined wire throughput vs the request/response baseline"},
+		{"writers", "E19", "multi-writer commit throughput: group commit vs serialized"},
+		{"shards", "E20", "horizontal shard scaling sweep plus the cross-shard chaos soak"},
+	}
+	fmt.Println("experiments (-exp NAME; default all):")
+	for _, e := range index {
+		fmt.Printf("  %-7s %-20s %s\n", e.id, e.name, e.desc)
+	}
 }
 
 // hypLayout reconstructs the layout of a database generated with the

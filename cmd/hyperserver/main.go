@@ -7,18 +7,33 @@
 //
 //	hyperserver -db ./data/shared.db -addr 127.0.0.1:7077
 //
+// As one shard of a horizontally sharded cluster, give every server
+// the full membership and its own index in it; clients bootstrap the
+// routing table from any shard (hypermodel.DialCluster):
+//
+//	hyperserver -db shard0.db -addr :7077 -shard 0 -peers host0:7077,host1:7078
+//	hyperserver -db shard1.db -addr :7078 -shard 1 -peers host0:7077,host1:7078
+//
 // Robustness knobs: -idle-timeout reaps connections that sit silent
 // between requests, -max-conns refuses clients beyond a concurrency
 // limit with a clean "server busy" error, and -max-inflight
 // backpressures any one connection that pipelines more than that many
-// concurrent requests.
+// concurrent requests. On SIGINT or SIGTERM the server stops
+// accepting, drains in-flight requests up to the -drain deadline, and
+// exits cleanly — a checkpointed store, nothing to recover.
 package main
 
 import (
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/store"
 )
 
 func main() {
@@ -30,9 +45,59 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 0, "disconnect clients idle this long (0 = never)")
 		maxConns    = flag.Int("max-conns", 0, "refuse connections beyond this many (0 = unlimited)")
 		maxInflight = flag.Int("max-inflight", 0, "per-connection cap on concurrently executing requests (0 = unlimited)")
+		shard       = flag.Int("shard", 0, "this server's shard ID within -peers")
+		peers       = flag.String("peers", "", "comma-separated shard addresses, index = shard ID (empty = standalone)")
+		routeEpoch  = flag.Uint64("route-epoch", 1, "routing-table epoch served to clients (with -peers)")
+		drain       = flag.Duration("drain", 5*time.Second, "in-flight drain deadline on SIGINT/SIGTERM")
 	)
 	flag.Parse()
-	if err := remote.ListenAndServeStore(*db, *addr, nil, *idleTimeout, *maxConns, *maxInflight); err != nil {
+
+	var opts *store.Options
+	if *peers != "" {
+		// A shard must remember applied cross-shard commit tokens well
+		// past the WAL generation that carried them, so resent decides
+		// and in-doubt status polls get definite answers after restarts.
+		opts = &store.Options{TokenKeep: 1024}
+	}
+	st, err := store.Open(*db, opts)
+	if err != nil {
 		log.Fatal(err)
 	}
+	srv := remote.NewServer(st)
+	srv.SetLogf(log.Printf)
+	srv.SetIdleTimeout(*idleTimeout)
+	srv.SetMaxConns(*maxConns)
+	srv.SetMaxInflight(*maxInflight)
+	if *peers != "" {
+		addrs := strings.Split(*peers, ",")
+		if *shard < 0 || *shard >= len(addrs) {
+			log.Fatalf("-shard %d out of range for %d peers", *shard, len(addrs))
+		}
+		srv.SetShardID(*shard)
+		srv.SetRouteTable(*routeEpoch, addrs)
+	}
+
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		st.Close()
+		log.Fatal(err)
+	}
+	if *peers != "" {
+		log.Printf("serving %s on %s as shard %d of %d (route epoch %d)",
+			*db, bound, *shard, len(strings.Split(*peers, ",")), *routeEpoch)
+	} else {
+		log.Printf("serving %s on %s", *db, bound)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	log.Printf("%s: draining (deadline %s)", sig, *drain)
+	if err := srv.Shutdown(*drain); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("clean shutdown")
 }

@@ -306,6 +306,59 @@ func DialServerWith(addr string, opts ClientOptions) (DB, error) {
 	return db, nil
 }
 
+// ClusterOptions configure a shard-cluster client session; the Client
+// field applies to every per-shard connection.
+type ClusterOptions = remote.ClusterOptions
+
+// ClusterRouteTable maps a shard cluster: Shards[i] is the address of
+// shard i, Epoch versions the mapping. Every shard serves its table to
+// clients, which adopt only strictly newer epochs.
+type ClusterRouteTable = remote.RouteTable
+
+// ClusterStats are a cluster session's routing and commit counters:
+// one-shard fast commits, two-phase cross-shard commits and aborts,
+// and routing-table refresh activity.
+type ClusterStats = remote.ClusterStats
+
+// DialCluster connects to a horizontally sharded page service,
+// bootstrapping the routing table from any one reachable shard, and
+// returns the object-database mapping over the cluster session.
+// Transactions whose footprint stays on one shard commit exactly as
+// against a single server; cross-shard transactions run two-phase
+// commit transparently.
+func DialCluster(seed string) (DB, error) {
+	return DialClusterWith(seed, ClusterOptions{})
+}
+
+// DialClusterWith is DialCluster with explicit options.
+func DialClusterWith(seed string, opts ClusterOptions) (DB, error) {
+	cc, err := remote.DialCluster(seed, opts)
+	if err != nil {
+		return nil, err
+	}
+	db, err := oodb.New(cc, oodb.DefaultOptions())
+	if err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// DialClusterTable dials every shard of an explicitly supplied routing
+// table — for deployments that distribute the table out of band.
+func DialClusterTable(table ClusterRouteTable, opts ClusterOptions) (DB, error) {
+	cc, err := remote.DialClusterTable(table, opts)
+	if err != nil {
+		return nil, err
+	}
+	db, err := oodb.New(cc, oodb.DefaultOptions())
+	if err != nil {
+		cc.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
 // StartServer opens (or creates) the database at path and serves it as
 // a page server on addr ("127.0.0.1:0" picks a free port). It returns
 // the bound address and a stop function that shuts the server down and

@@ -12,6 +12,7 @@ const (
 	opGhost    = 2 // want "opcode opGhost has 0 server dispatch cases, want exactly 1" "opcode opGhost has 0 client encoding sites, want exactly 1"
 	opDouble   = 3 // want "opcode opDouble has 2 server dispatch cases, want exactly 1"
 	opReserved = 4 //hyperlint:allow opcodes -- reserved for a future extension
+	opToken    = 5
 )
 
 func (s *Server) dispatch(op byte) int {
@@ -28,8 +29,31 @@ func (s *Server) dispatch(op byte) int {
 	return 0
 }
 
+func (s *Server) dispatchToken(op byte) int {
+	switch op {
+	case opToken:
+		return 5
+	}
+	return 0
+}
+
 func encodePing(buf []byte) []byte {
 	return append(buf, opPing)
+}
+
+func encodeToken(buf []byte) []byte {
+	return append(buf, opToken)
+}
+
+// idempotent is a client-side opcode classifier: its case clauses live
+// outside any Server method, so they count as neither dispatch sites
+// nor encoding sites — opToken and opPing must stay well-wired.
+func idempotent(op byte) bool {
+	switch op {
+	case opToken, opPing:
+		return false
+	}
+	return true
 }
 
 func encodeDouble(buf []byte) []byte {

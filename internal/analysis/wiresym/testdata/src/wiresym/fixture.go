@@ -17,6 +17,9 @@ const (
 	opGhost  = 8  // dispatched, never encoded
 	opDrop   = 9  // want `opcode opDrop is neither encoded nor dispatched: dead wire surface`
 	opHeld   = 10 //hyperlint:allow wiresym -- reserved wire number, intentionally unwired
+	opStore  = 11 // matched: u64, shares its decoder with opStage
+	opStage  = 12 // matched: u64, same handler as opStore
+	opFlag   = 13 // matched: u64 token + u8 flag from a byte variable
 )
 
 const (
@@ -75,6 +78,34 @@ func encodeOrphan() []byte {
 	return []byte{opOrphan} // want `opOrphan is encoded here but the request dispatch has no case for it`
 }
 
+// encodeStore and encodeStage build byte-identical bodies; the dispatch
+// routes both to one handler, so each encoder is checked against the
+// same decoder script (the prepare/decide token shape).
+func encodeStore(tok uint64) []byte {
+	b := []byte{opStore}
+	b = binary.LittleEndian.AppendUint64(b, tok)
+	return b
+}
+
+func encodeStage(tok uint64) []byte {
+	b := []byte{opStage}
+	b = binary.LittleEndian.AppendUint64(b, tok)
+	return b
+}
+
+// encodeFlag appends a computed flag byte after the token: the u8 write
+// must be recognized from a byte-typed variable, not only a literal.
+func encodeFlag(tok uint64, commit bool) []byte {
+	flag := byte(0)
+	if commit {
+		flag = 1
+	}
+	b := []byte{opFlag}
+	b = binary.LittleEndian.AppendUint64(b, tok)
+	b = append(b, flag)
+	return b
+}
+
 // --- dispatch ---
 
 func serve(req []byte) []byte {
@@ -96,6 +127,12 @@ func serve(req []byte) []byte {
 		return nil
 	case opGhost: // want `opGhost has a dispatch case but no encoder builds its request`
 		return handleGhost(req[1:])
+	case opStore:
+		return handleStore(req[1:])
+	case opStage:
+		return handleStore(req[1:])
+	case opFlag:
+		return handleFlag(req[1:])
 	}
 	return nil
 }
@@ -155,6 +192,19 @@ func handleSwap(body []byte) []byte {
 
 func handleGhost(body []byte) []byte {
 	_ = binary.LittleEndian.Uint64(body)
+	return nil
+}
+
+// handleStore serves two opcodes whose requests share one shape.
+func handleStore(body []byte) []byte {
+	_ = binary.LittleEndian.Uint64(body)
+	return nil
+}
+
+func handleFlag(body []byte) []byte {
+	tok := binary.LittleEndian.Uint64(body)
+	commit := body[8] == 1
+	_, _ = tok, commit
 	return nil
 }
 

@@ -1,0 +1,615 @@
+// E20: horizontal scaling of the sharded page service, and the chaos
+// soak that pins its cross-shard commit guarantees.
+//
+// The sweep answers the scaling question: with each shard modeled as a
+// fixed-capacity process (a global in-flight cap) behind a realistic
+// link (a delay-line proxy adding transit latency), does aggregate
+// read-closure throughput grow with the shard count? One shard is the
+// single-server baseline; the same reader population is then pointed
+// at 2, 4, 8 shards holding the same per-shard page population.
+//
+// The chaos soak answers the correctness question: writers drive
+// cross-shard transactions that must stay atomic — each transaction
+// increments a counter on two different shards — while one shard is
+// killed and restarted mid-run. At the end every counter pair must
+// agree (all-or-nothing), every acknowledged commit must be present
+// and no attempt applied twice (exactly-once bounds), no transaction
+// may remain in doubt once the resolvers settle, and independent
+// fresh sessions must read byte-identical page images.
+package harness
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypermodel/internal/fault"
+	"hypermodel/internal/remote"
+	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/store"
+)
+
+// shardProc is one running shard: its store, server, and (optionally)
+// the latency proxy clients dial through.
+type shardProc struct {
+	dir   string
+	st    *store.Store
+	srv   *remote.Server
+	px    *fault.Proxy
+	addr  string // direct server address
+	front string // address clients dial (proxy when rtt > 0)
+}
+
+// shardFleet manages the lifecycle of an n-shard cluster for one
+// experiment configuration.
+type shardFleet struct {
+	procs   []*shardProc
+	rtt     time.Duration
+	cap     int           // per-shard global in-flight cap (0 = unlimited)
+	service time.Duration // per-request execution-time floor (0 = none)
+}
+
+func (f *shardFleet) fronts() []string {
+	out := make([]string, len(f.procs))
+	for i, p := range f.procs {
+		out[i] = p.front
+	}
+	return out
+}
+
+func (f *shardFleet) directs() []string {
+	out := make([]string, len(f.procs))
+	for i, p := range f.procs {
+		out[i] = p.addr
+	}
+	return out
+}
+
+// startShard launches (or relaunches, for the chaos kill) shard i of
+// the fleet from its directory, leaving the routing table for the
+// caller to publish.
+func (f *shardFleet) startShard(i int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	st, err := store.Open(filepath.Join(dir, "shard.db"), &store.Options{TokenKeep: 1024})
+	if err != nil {
+		return err
+	}
+	srv := remote.NewServer(st)
+	srv.SetShardID(i)
+	srv.SetResolver(100*time.Millisecond, 500*time.Millisecond)
+	if f.cap > 0 {
+		srv.SetMaxInflightTotal(f.cap)
+	}
+	if f.service > 0 {
+		srv.SetServiceTime(f.service)
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return err
+	}
+	p := &shardProc{dir: dir, st: st, srv: srv, addr: addr.String(), front: addr.String()}
+	if f.rtt > 0 {
+		px, err := fault.NewProxy(p.addr, fault.Config{Latency: f.rtt / 2})
+		if err != nil {
+			srv.Close()
+			st.Close()
+			return err
+		}
+		p.px = px
+		p.front = px.Addr()
+	}
+	for len(f.procs) <= i {
+		f.procs = append(f.procs, nil)
+	}
+	f.procs[i] = p
+	return nil
+}
+
+// publish installs the given epoch's table (client-facing addresses)
+// on every live shard.
+func (f *shardFleet) publish(epoch uint64) {
+	addrs := f.fronts()
+	for _, p := range f.procs {
+		if p != nil {
+			p.srv.SetRouteTable(epoch, addrs)
+		}
+	}
+}
+
+// killShard stops shard i's server and store, keeping its directory
+// for a restart.
+func (f *shardFleet) killShard(i int) string {
+	p := f.procs[i]
+	if p.px != nil {
+		p.px.Close()
+	}
+	p.srv.Close()
+	p.st.Close()
+	f.procs[i] = nil
+	return p.dir
+}
+
+func (f *shardFleet) close() {
+	for i, p := range f.procs {
+		if p == nil {
+			continue
+		}
+		f.killShard(i)
+	}
+}
+
+func startShardFleet(dir string, n int, rtt time.Duration, inflightCap int, service time.Duration) (*shardFleet, error) {
+	f := &shardFleet{rtt: rtt, cap: inflightCap, service: service}
+	for i := 0; i < n; i++ {
+		if err := f.startShard(i, filepath.Join(dir, fmt.Sprintf("shard%d", i))); err != nil {
+			f.close()
+			return nil, err
+		}
+	}
+	f.publish(1)
+	return f, nil
+}
+
+// --- the scaling sweep ---
+
+// ShardSweepResult is one shard-count configuration of E20.
+type ShardSweepResult struct {
+	Shards  int
+	Window  time.Duration
+	RTT     time.Duration
+	Readers int
+
+	Ops     uint64
+	OpsPerS float64
+	Speedup float64 // vs the 1-shard row
+
+	CrossCommits uint64 // 2PC commits during seeding (0 for one shard)
+	BadPayloads  uint64 // pages whose bytes did not match their ID
+}
+
+// shardSweepPages is how many pages the seeding phase places on each
+// shard.
+const shardSweepPages = 256
+
+// shardServiceTime is the per-request execution floor the sweep gives
+// every shard: with the in-flight cap n, shard capacity is
+// n/shardServiceTime requests per second.
+const shardServiceTime = time.Millisecond
+
+// RunShardSweep measures aggregate uncached read throughput against 1,
+// 2, 4, ... shards (E20). Every shard is capped to `inflightCap`
+// concurrently executing requests — a fixed-capacity server process —
+// and sits behind an rtt-round-trip link, so a reader population large
+// enough to saturate one shard has headroom exactly proportional to
+// the shard count. Seeding goes through the cluster allocator (so a
+// multi-shard configuration exercises cross-shard 2PC on the way in),
+// and every page carries its own cluster-wide ID in its payload, which
+// readers verify on every fetch — a byte-level routing check riding
+// the throughput measurement.
+func RunShardSweep(dir string, shardCounts []int, window, rtt time.Duration, readers, inflightCap int) ([]ShardSweepResult, error) {
+	if window <= 0 {
+		window = time.Second
+	}
+	if readers <= 0 {
+		readers = 32
+	}
+	if inflightCap <= 0 {
+		inflightCap = 2
+	}
+	var out []ShardSweepResult
+	for _, n := range shardCounts {
+		res, err := runShardConfig(filepath.Join(dir, fmt.Sprintf("sweep%d", n)), n, window, rtt, readers, inflightCap)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %d shards: %w", n, err)
+		}
+		if len(out) > 0 && out[0].OpsPerS > 0 {
+			res.Speedup = res.OpsPerS / out[0].OpsPerS
+		} else {
+			res.Speedup = 1
+		}
+		out = append(out, *res)
+	}
+	return out, nil
+}
+
+func runShardConfig(dir string, n int, window, rtt time.Duration, readers, inflightCap int) (*ShardSweepResult, error) {
+	fleet, err := startShardFleet(dir, n, rtt, inflightCap, shardServiceTime)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.close()
+
+	// Seed through the cluster allocator on the direct addresses (the
+	// proxy latency would only slow the load phase down).
+	seeder, err := remote.DialClusterTable(remote.RouteTable{Epoch: 1, Shards: fleet.directs()},
+		remote.ClusterOptions{Client: remote.ClientOptions{RequestTimeout: 30 * time.Second}})
+	if err != nil {
+		return nil, err
+	}
+	var ids []page.ID
+	for len(ids) < n*shardSweepPages {
+		id, h, err := seeder.Alloc(page.TypeSlotted)
+		if err != nil {
+			seeder.Close()
+			return nil, err
+		}
+		binary.LittleEndian.PutUint64(h.Page().Payload(), uint64(id))
+		h.MarkDirty()
+		h.Release()
+		ids = append(ids, id)
+		if len(ids)%512 == 0 {
+			if err := seeder.Commit(); err != nil {
+				seeder.Close()
+				return nil, err
+			}
+		}
+	}
+	if err := seeder.Commit(); err != nil {
+		seeder.Close()
+		return nil, err
+	}
+	crossCommits := seeder.Stats().CrossCommits
+	if err := seeder.Close(); err != nil {
+		return nil, err
+	}
+
+	// The measured population dials through the latency proxies. All
+	// sessions are connected before the clock starts, so the window
+	// measures reads, not dials.
+	table := remote.RouteTable{Epoch: 1, Shards: fleet.fronts()}
+	sessions := make([]*remote.ClusterClient, readers)
+	for g := range sessions {
+		cc, err := remote.DialClusterTable(table,
+			remote.ClusterOptions{Client: remote.ClientOptions{RequestTimeout: 30 * time.Second}})
+		if err != nil {
+			return nil, err
+		}
+		defer cc.Close()
+		sessions[g] = cc
+	}
+	var ops, bad atomic.Uint64
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cc := sessions[g]
+			rng := rand.New(rand.NewSource(int64(g)*7919 + 1))
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				id := ids[rng.Intn(len(ids))]
+				_, p, err := cc.ReadPage(id)
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: page %#x: %w", g, uint64(id), err)
+					return
+				}
+				if binary.LittleEndian.Uint64(p.Payload()) != uint64(id) {
+					bad.Add(1)
+				}
+				ops.Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ShardSweepResult{
+		Shards: n, Window: window, RTT: rtt, Readers: readers,
+		Ops: ops.Load(), OpsPerS: float64(ops.Load()) / window.Seconds(),
+		CrossCommits: crossCommits, BadPayloads: bad.Load(),
+	}, nil
+}
+
+// RenderShardSweep writes the E20 scaling table.
+func RenderShardSweep(w io.Writer, results []ShardSweepResult) {
+	if len(results) == 0 {
+		return
+	}
+	r0 := results[0]
+	title := fmt.Sprintf("E20: sharded read throughput (%d readers, %s RTT, per-shard capacity-capped)",
+		r0.Readers, r0.RTT)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-8s %14s %9s %14s %12s\n", "shards", "reads/s", "speedup", "2PC commits", "bad payloads")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8d %14.0f %8.2fx %14d %12d\n",
+			r.Shards, r.OpsPerS, r.Speedup, r.CrossCommits, r.BadPayloads)
+	}
+	fmt.Fprintln(w)
+}
+
+// --- the chaos soak ---
+
+// ShardChaosResult is the outcome of the cross-shard chaos soak: the
+// commit accounting, what the recovery machinery had to do, and the
+// final-state verdicts.
+type ShardChaosResult struct {
+	Shards  int
+	Soak    time.Duration
+	Writers int
+
+	Attempts  uint64 // commit attempts issued
+	Acked     uint64 // commits acknowledged to a writer
+	Conflicts uint64 // optimistic-validation conflicts retried
+	Unknowns  uint64 // commits whose outcome needed after-the-fact reads
+
+	CrossCommits uint64 // server-side 2PC commit decisions (all shards)
+	Resolved     uint64 // in-doubt transactions settled by resolvers
+	InDoubt      int    // prepared transactions left after settling (want 0)
+
+	PairsEqual    bool // every counter pair agreed (atomicity)
+	ExactlyOnce   bool // acked ≤ counter ≤ attempts for every pair
+	ByteIdentical bool // two fresh sessions read identical page images
+}
+
+// RunShardChaos soaks an n-shard cluster in cross-shard transactions
+// while one shard is killed and restarted mid-run. Each writer owns a
+// disjoint pair of counter pages on two different shards and
+// repeatedly increments both in one transaction, so atomicity and
+// exactly-once delivery are directly observable in the final counter
+// values. The victim shard's death makes in-flight transactions fail
+// or go in doubt; the restarted shard recovers its prepared state from
+// the WAL and its resolver settles with the coordinator.
+func RunShardChaos(dir string, shards int, soak time.Duration) (*ShardChaosResult, error) {
+	if shards < 2 {
+		return nil, errors.New("harness: chaos soak needs at least 2 shards")
+	}
+	if soak <= 0 {
+		soak = 2 * time.Second
+	}
+	const writers = 4
+	fleet, err := startShardFleet(dir, shards, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.close()
+
+	// Seed one counter pair per writer: page A on shard 0 (the
+	// coordinator for every pair — it is always the lowest dirty
+	// shard), page B on one of the others.
+	type pair struct{ a, b page.ID }
+	pairs := make([]pair, writers)
+	seedLocal := func(shard int) (page.ID, error) {
+		c, err := remote.Dial(fleet.procs[shard].addr, remote.ClientOptions{})
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		local, h, err := c.Alloc(page.TypeSlotted)
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint64(h.Page().Payload(), 0)
+		h.MarkDirty()
+		h.Release()
+		if err := c.Commit(); err != nil {
+			return 0, err
+		}
+		return remote.ClusterPageID(shard, local), nil
+	}
+	for w := 0; w < writers; w++ {
+		if pairs[w].a, err = seedLocal(0); err != nil {
+			return nil, err
+		}
+		if pairs[w].b, err = seedLocal(1 + w%(shards-1)); err != nil {
+			return nil, err
+		}
+	}
+
+	table := remote.RouteTable{Epoch: 1, Shards: fleet.fronts()}
+	copts := remote.ClusterOptions{Client: remote.ClientOptions{
+		RequestTimeout: 2 * time.Second,
+		RetryLimit:     2,
+	}}
+	var attempts, acked, conflicts, unknowns atomic.Uint64
+	deadline := time.Now().Add(soak)
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc, err := remote.DialClusterTable(table, copts)
+			if err != nil {
+				errs <- fmt.Errorf("writer %d: %w", w, err)
+				return
+			}
+			defer cc.Close()
+			pr := pairs[w]
+			bump := func(id page.ID) error {
+				h, err := cc.Get(id)
+				if err != nil {
+					return err
+				}
+				v := binary.LittleEndian.Uint64(h.Page().Payload())
+				binary.LittleEndian.PutUint64(h.Page().Payload(), v+1)
+				h.MarkDirty()
+				h.Release()
+				return nil
+			}
+			for time.Now().Before(deadline) {
+				if err := bump(pr.a); err == nil {
+					err = bump(pr.b)
+					if err == nil {
+						attempts.Add(1)
+						err = cc.Commit()
+					}
+					if err == nil {
+						acked.Add(1)
+						continue
+					}
+					if errors.Is(err, remote.ErrConflict) {
+						conflicts.Add(1)
+						continue
+					}
+				}
+				// A read or commit failed outright, or the outcome is
+				// unknown: the shard we need may be mid-restart. Refresh
+				// the table until it answers, give the resolvers a beat,
+				// and re-read the pair — the counters themselves say
+				// whether the in-flight transaction landed.
+				unknowns.Add(1)
+				for time.Now().Before(deadline) {
+					cc.Abort()
+					if rerr := cc.RefreshTable(); rerr == nil {
+						if _, gerr := cc.Get(pr.b); gerr == nil {
+							break
+						}
+					}
+					time.Sleep(50 * time.Millisecond)
+				}
+				cc.Abort()
+			}
+			errs <- nil
+		}(w)
+	}
+
+	// Mid-soak chaos: kill the highest shard, restart it from its own
+	// directory, and publish the new address at the next epoch.
+	time.Sleep(soak / 2)
+	victim := shards - 1
+	victimDir := fleet.killShard(victim)
+	if err := fleet.startShard(victim, victimDir); err != nil {
+		return nil, err
+	}
+	fleet.publish(2)
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Let the resolvers settle everything that went in doubt.
+	res := &ShardChaosResult{
+		Shards: shards, Soak: soak, Writers: writers,
+		Attempts: attempts.Load(), Acked: acked.Load(),
+		Conflicts: conflicts.Load(), Unknowns: unknowns.Load(),
+	}
+	settleBy := time.Now().Add(10 * time.Second)
+	for {
+		inDoubt := 0
+		for _, p := range fleet.procs {
+			inDoubt += p.srv.PreparedCount()
+		}
+		res.InDoubt = inDoubt
+		if inDoubt == 0 || time.Now().After(settleBy) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, p := range fleet.procs {
+		_, commits, _, resolved := p.srv.CrossCommitStats()
+		res.CrossCommits += commits
+		res.Resolved += resolved
+	}
+
+	// Final-state verification from two independent fresh sessions.
+	verify := remote.RouteTable{Epoch: 2, Shards: fleet.fronts()}
+	c1, err := remote.DialClusterTable(verify, remote.ClusterOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer c1.Close()
+	c2, err := remote.DialClusterTable(verify, remote.ClusterOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer c2.Close()
+	res.PairsEqual, res.ExactlyOnce, res.ByteIdentical = true, true, true
+	perPairAttempts := attempts.Load() // loose per-pair upper bound
+	for w := 0; w < writers; w++ {
+		readPage := func(cc *remote.ClusterClient, id page.ID) (*page.Page, error) {
+			_, p, err := cc.ReadPage(id)
+			return p, err
+		}
+		pa, err := readPage(c1, pairs[w].a)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := readPage(c1, pairs[w].b)
+		if err != nil {
+			return nil, err
+		}
+		va := binary.LittleEndian.Uint64(pa.Payload())
+		vb := binary.LittleEndian.Uint64(pb.Payload())
+		if va != vb {
+			res.PairsEqual = false
+		}
+		if va > perPairAttempts {
+			res.ExactlyOnce = false
+		}
+		pa2, err := readPage(c2, pairs[w].a)
+		if err != nil {
+			return nil, err
+		}
+		pb2, err := readPage(c2, pairs[w].b)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(pa.Bytes(), pa2.Bytes()) || !bytes.Equal(pb.Bytes(), pb2.Bytes()) {
+			res.ByteIdentical = false
+		}
+	}
+	// Every acknowledged commit must be present: the counters sum to at
+	// least the acked total (each acked commit added exactly 1 to one
+	// pair), and at most the attempted total (nothing applied twice).
+	var sum uint64
+	for w := 0; w < writers; w++ {
+		_, p, err := c1.ReadPage(pairs[w].a)
+		if err != nil {
+			return nil, err
+		}
+		sum += binary.LittleEndian.Uint64(p.Payload())
+	}
+	if sum < res.Acked || sum > res.Attempts {
+		res.ExactlyOnce = false
+	}
+	return res, nil
+}
+
+// RenderShardChaos writes the chaos-soak verdict.
+func RenderShardChaos(w io.Writer, r *ShardChaosResult) {
+	title := fmt.Sprintf("E20 chaos soak: %d shards, %s, one shard killed and restarted mid-run", r.Shards, r.Soak)
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "writers %d: %d attempts, %d acked, %d conflicts, %d outcome probes\n",
+		r.Writers, r.Attempts, r.Acked, r.Conflicts, r.Unknowns)
+	fmt.Fprintf(w, "servers: %d 2PC commit decisions, %d in-doubt resolved, %d left in doubt\n",
+		r.CrossCommits, r.Resolved, r.InDoubt)
+	verdict := func(ok bool) string {
+		if ok {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	fmt.Fprintf(w, "atomicity (pairs equal): %s\n", verdict(r.PairsEqual))
+	fmt.Fprintf(w, "exactly-once bounds:     %s\n", verdict(r.ExactlyOnce))
+	fmt.Fprintf(w, "byte-identical reads:    %s\n", verdict(r.ByteIdentical))
+	fmt.Fprintln(w)
+}

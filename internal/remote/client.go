@@ -262,11 +262,14 @@ func transient(err error) bool {
 // transport failure. Fetches and probes are read-only. Alloc is
 // retriable too: a lost Alloc response can at worst leave an
 // unreferenced page allocated server-side (reclaimable by GC), never
-// an inconsistency. Commits are the exception — they go through the
-// token-resolution path instead.
+// an inconsistency. Prepare and decide are token-guarded on the server
+// (a resent prepare is a no-op vote, a resent decide a duplicate
+// acknowledgement), so they resend safely too. Commits are the
+// exception — they go through the token-resolution path instead.
 func idempotentOp(op byte) bool {
 	switch op {
-	case opGetPage, opGetPages, opRoots, opPing, opStats, opAlloc, opCommitCheck:
+	case opGetPage, opGetPages, opRoots, opPing, opStats, opAlloc,
+		opCommitCheck, opPrepare, opDecide, opRouteTable:
 		return true
 	}
 	return false
@@ -861,6 +864,131 @@ func (c *Client) newCommitToken() uint64 {
 	}
 }
 
+// buildCommitReqLocked assembles the session's transaction — read set,
+// sealed write set, root updates, frees — into a commit request
+// carrying the given token. Shared by the single-server commit and the
+// cluster's per-shard prepare, so the two paths cannot drift.
+func (c *Client) buildCommitReqLocked(token uint64) *commitReq {
+	req := &commitReq{token: token, snapshot: c.snapSeq}
+	for id, ver := range c.readSet {
+		req.reads = append(req.reads, readEntry{id, ver})
+	}
+	if c.rootsRead || len(c.rootsDirty) > 0 {
+		req.reads = append(req.reads, readEntry{rootsVersionKey, c.rootsVer})
+	}
+	for _, f := range c.pool.DirtyFrames() {
+		f.Page.UpdateChecksum()
+		req.writes = append(req.writes, writeEntry{f.ID, f.Page.Bytes()})
+	}
+	for slot, id := range c.rootsDirty {
+		req.roots = append(req.roots, rootEntry{slot, id})
+	}
+	req.frees = c.frees
+	return req
+}
+
+// txnState reports the session's transaction footprint: whether it has
+// read anything (pages or roots) and whether it holds uncommitted
+// changes. The cluster commit path uses it to pick participants and a
+// coordinator.
+func (c *Client) txnState() (reads, writes bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reads = len(c.readSet) > 0 || c.rootsRead
+	writes = len(c.pool.DirtyFrames()) > 0 || len(c.rootsDirty) > 0 || len(c.frees) > 0
+	return reads, writes
+}
+
+// CommitCheck asks the server what became of a commit token: one of
+// checkCommitted, checkAborted or checkUnknown. Exported for the
+// in-doubt resolver on a peer shard, which polls a transaction's
+// coordinator through an ordinary client.
+func (c *Client) CommitCheck(token uint64) (byte, error) {
+	c.commitChecks.Add(1)
+	resp, err := c.call(appendCommitCheck(make([]byte, 0, 9), token))
+	if err != nil {
+		return checkUnknown, err
+	}
+	if len(resp) != 1 {
+		return checkUnknown, errors.New("remote: bad CommitCheck response")
+	}
+	return resp[0], nil
+}
+
+// RouteTable fetches the server's cluster routing table: the table
+// epoch and the shard addresses in shard-ID order. A standalone server
+// answers epoch 0 with no shards.
+func (c *Client) RouteTable() (epoch uint64, addrs []string, err error) {
+	resp, err := c.call([]byte{opRouteTable})
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeRouteTable(resp)
+}
+
+// prepareShard ships the session's transaction as a two-phase-commit
+// yes-vote carrying the cluster-wide token. Nothing is applied and the
+// local dirty state is retained: the transaction finishes only through
+// decideShard. A conflict vote surfaces as ErrConflict without
+// resetting local caches — the cluster commit path aborts every shard
+// first and resets each session exactly once.
+func (c *Client) prepareShard(token uint64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncSessionLocked()
+	payload := encodePrepare(c.buildCommitReqLocked(token))
+	_, err := c.call(payload) //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
+	return err
+}
+
+// decideShard delivers the transaction outcome to a prepared shard.
+// Commit performs the same success bookkeeping as a single-shard
+// Commit (version advances, snapshot tracking, cache stays warm);
+// abort discards the transaction and refreshes the session, exactly
+// like a conflict.
+func (c *Client) decideShard(token uint64, commit bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	payload := appendDecide(make([]byte, 0, 10), token, commit)
+	resp, err := c.call(payload) //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
+	c.syncSessionLocked()
+	if !commit {
+		c.conflicts.Add(1)
+		if rerr := c.conflictResetLocked(); rerr != nil { //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
+			return rerr
+		}
+		return err
+	}
+	if err != nil {
+		return err
+	}
+	for _, f := range c.pool.DirtyFrames() {
+		c.versions[f.ID]++
+	}
+	if len(c.rootsDirty) > 0 {
+		c.rootsVer++
+	}
+	if len(resp) == 8 && c.snapSeq != 0 && binary.LittleEndian.Uint64(resp) == c.snapSeq+1 {
+		c.snapSeq++
+	} else {
+		c.snapSeq = 0
+	}
+	c.commitsOK.Add(1)
+	c.pool.MarkAllClean()
+	c.resetTxnLocked()
+	return nil
+}
+
+// resetSession discards the session's transaction and cached pages
+// and refreshes the root directory — the cluster commit path's cleanup
+// for a shard whose decision was delivered out of band (by a resolver)
+// or not at all.
+func (c *Client) resetSession() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conflictResetLocked() //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
+}
+
 // Commit ships the transaction to the server. On ErrConflict the local
 // caches are already discarded and the root directory refreshed; the
 // caller re-runs its transaction.
@@ -885,22 +1013,7 @@ func (c *Client) Commit() error {
 		return nil
 	}
 
-	req := &commitReq{token: c.newCommitToken(), snapshot: c.snapSeq}
-	for id, ver := range c.readSet {
-		req.reads = append(req.reads, readEntry{id, ver})
-	}
-	if c.rootsRead || len(c.rootsDirty) > 0 {
-		req.reads = append(req.reads, readEntry{rootsVersionKey, c.rootsVer})
-	}
-	for _, f := range dirty {
-		f.Page.UpdateChecksum()
-		req.writes = append(req.writes, writeEntry{f.ID, f.Page.Bytes()})
-	}
-	for slot, id := range c.rootsDirty {
-		req.roots = append(req.roots, rootEntry{slot, id})
-	}
-	req.frees = c.frees
-
+	req := c.buildCommitReqLocked(c.newCommitToken())
 	payload := encodeCommit(req)
 	s := c.pickSlot()
 	resp, err := c.doOnce(s, payload) //hyperlint:allow lockorder -- mu deliberately serializes the session across this round trip; Close never takes Client.mu and unparks the wait via closedCh and the mux kill
@@ -961,11 +1074,8 @@ func (c *Client) resolveCommit(s *connSlot, payload []byte, token uint64, cause 
 			cause = err
 			continue
 		}
-		check := make([]byte, 0, 9)
-		check = append(check, opCommitCheck)
-		check = binary.LittleEndian.AppendUint64(check, token)
 		c.commitChecks.Add(1)
-		resp, err := c.doOnce(s, check)
+		resp, err := c.doOnce(s, appendCommitCheck(make([]byte, 0, 9), token))
 		if transient(err) {
 			cause = err
 			continue
@@ -976,7 +1086,7 @@ func (c *Client) resolveCommit(s *connSlot, payload []byte, token uint64, cause 
 		if len(resp) != 1 {
 			return nil, errors.New("remote: bad CommitCheck response")
 		}
-		if resp[0] == 1 {
+		if resp[0] == checkCommitted {
 			// The commit landed before the connection died; the lost
 			// frame was only the acknowledgement.
 			return nil, nil

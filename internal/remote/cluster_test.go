@@ -1,0 +1,492 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hypermodel/internal/storage/page"
+	"hypermodel/internal/storage/store"
+)
+
+// startShardAt opens (or reopens, for restart tests) a shard store in
+// dir and serves it. The caller owns close order; the registered
+// cleanup only back-stops tests that bail early.
+func startShardAt(t *testing.T, dir string, cfg func(*Server)) (string, *Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(filepath.Join(dir, "shard.db"), &store.Options{TokenKeep: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	if cfg != nil {
+		cfg(srv)
+	}
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		st.Close()
+	})
+	return addr.String(), srv, st
+}
+
+// startCluster spins up n shards that all serve the same epoch-1
+// routing table and returns a cluster client over them.
+func startCluster(t *testing.T, n int) (*ClusterClient, []*Server) {
+	t.Helper()
+	addrs := make([]string, n)
+	srvs := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		addr, srv, _ := startShardAt(t, t.TempDir(), func(s *Server) {
+			s.SetShardID(i)
+		})
+		addrs[i], srvs[i] = addr, srv
+	}
+	for _, srv := range srvs {
+		srv.SetRouteTable(1, addrs)
+	}
+	cc, err := DialClusterTable(RouteTable{Epoch: 1, Shards: addrs}, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cc.Close() })
+	return cc, srvs
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestClusterEmptyTableRejected(t *testing.T) {
+	if _, err := DialClusterTable(RouteTable{}, ClusterOptions{}); err == nil {
+		t.Fatal("empty routing table accepted")
+	}
+	// A standalone server never given a table cannot anchor a cluster
+	// either: its opRouteTable answer is empty.
+	addr, _ := startServer(t)
+	if _, err := DialCluster(addr, ClusterOptions{}); err == nil {
+		t.Fatal("bootstrap from a table-less server accepted")
+	}
+}
+
+// TestClusterSingleShardByteIdentical pins the degenerate
+// configuration: a one-shard cluster must be indistinguishable from a
+// standalone server — same page IDs handed out, same roots, same
+// bytes on disk — because shard 0's global IDs equal its local IDs.
+func TestClusterSingleShardByteIdentical(t *testing.T) {
+	// The same workload against a plain client and a one-shard cluster.
+	workload := func(sp store.Space) ([]page.ID, error) {
+		ids := make([]page.ID, 3)
+		for i := range ids {
+			id, h, err := sp.Alloc(page.TypeSlotted)
+			if err != nil {
+				return nil, err
+			}
+			copy(h.Page().Payload(), fmt.Sprintf("payload %d", i))
+			h.MarkDirty()
+			h.Release()
+			ids[i] = id
+		}
+		sp.SetRoot(0, ids[0])
+		sp.SetRoot(1, ids[2])
+		return ids, sp.Commit()
+	}
+
+	addrA, _ := startServer(t)
+	plain := dial(t, addrA)
+	idsA, err := workload(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc, _ := startCluster(t, 1)
+	idsB, err := workload(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range idsA {
+		if idsA[i] != idsB[i] {
+			t.Fatalf("alloc %d: plain id %d, cluster id %d", i, idsA[i], idsB[i])
+		}
+	}
+	// Read back through fresh sessions and compare the full images.
+	checkA := dial(t, addrA)
+	checkB, err := DialClusterTable(RouteTable{Epoch: 1, Shards: []string{cc.table.Shards[0]}}, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer checkB.Close()
+	for slot := 0; slot < 2; slot++ {
+		if ra, rb := checkA.Root(slot), checkB.Root(slot); ra != rb {
+			t.Fatalf("root %d: plain %d, cluster %d", slot, ra, rb)
+		}
+	}
+	for _, id := range idsA {
+		ha, err := checkA.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := checkB.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *ha.Page() != *hb.Page() {
+			t.Fatalf("page %d differs between plain server and one-shard cluster", id)
+		}
+		ha.Release()
+		hb.Release()
+	}
+	if fast := cc.Stats().FastCommits; fast != 1 {
+		t.Fatalf("one-shard commit took the slow path (fast commits = %d)", fast)
+	}
+}
+
+func TestClusterStaleEpochRejected(t *testing.T) {
+	addr, srv, _ := startShardAt(t, t.TempDir(), nil)
+	srv.SetRouteTable(1, []string{addr})
+	// The client holds a newer epoch than the shard serves.
+	cc, err := DialClusterTable(RouteTable{Epoch: 5, Shards: []string{addr}}, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if err := cc.RefreshTable(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cc.Epoch(); got != 5 {
+		t.Fatalf("stale table adopted: epoch rolled back to %d", got)
+	}
+	st := cc.Stats()
+	if st.Refreshes != 1 || st.StaleTables != 1 {
+		t.Fatalf("refreshes=%d staleTables=%d, want 1 and 1", st.Refreshes, st.StaleTables)
+	}
+}
+
+// TestClusterShardLossRefetchesTable kills a shard, restarts it at a
+// new address, and has the surviving shard publish the new table; a
+// read routed at the dead address must recover by re-fetching the
+// table and retrying.
+func TestClusterShardLossRefetchesTable(t *testing.T) {
+	dir0, dir1 := t.TempDir(), t.TempDir()
+	addr0, srv0, _ := startShardAt(t, dir0, func(s *Server) { s.SetShardID(0) })
+	addr1, srv1, st1 := startShardAt(t, dir1, func(s *Server) { s.SetShardID(1) })
+	srv0.SetRouteTable(1, []string{addr0, addr1})
+	srv1.SetRouteTable(1, []string{addr0, addr1})
+
+	cc, err := DialClusterTable(RouteTable{Epoch: 1, Shards: []string{addr0, addr1}},
+		ClusterOptions{Client: ClientOptions{RetryLimit: -1, RequestTimeout: 500 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+
+	// Fill shard 0's allocation chunk and land one page on shard 1.
+	var last page.ID
+	for i := 0; i <= allocChunk; i++ {
+		id, h, err := cc.Alloc(page.TypeSlotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(h.Page().Payload(), "on shard one")
+		h.MarkDirty()
+		h.Release()
+		last = id
+	}
+	if shardOfID(last) != 1 {
+		t.Fatalf("allocation %d landed on shard %d, want 1", uint64(last), shardOfID(last))
+	}
+	if err := cc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 1 dies and comes back elsewhere; shard 0 publishes epoch 2.
+	srv1.Close()
+	st1.Close()
+	addr1b, srv1b, _ := startShardAt(t, dir1, func(s *Server) { s.SetShardID(1) })
+	srv0.SetRouteTable(2, []string{addr0, addr1b})
+	srv1b.SetRouteTable(2, []string{addr0, addr1b})
+
+	h, err := cc.Get(last)
+	if err != nil {
+		t.Fatalf("read after shard move did not recover: %v", err)
+	}
+	if string(h.Page().Payload()[:12]) != "on shard one" {
+		t.Fatal("recovered read returned wrong bytes")
+	}
+	h.Release()
+	if got := cc.Epoch(); got != 2 {
+		t.Fatalf("client epoch = %d, want 2 after the refresh", got)
+	}
+	if cc.Stats().Refreshes == 0 {
+		t.Fatal("recovery did not go through a table refresh")
+	}
+}
+
+func TestClusterCrossShardCommit(t *testing.T) {
+	cc, srvs := startCluster(t, 2)
+
+	// Pages on both shards, written in one transaction.
+	var ids []page.ID
+	for i := 0; i <= allocChunk; i++ {
+		id, h, err := cc.Alloc(page.TypeSlotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(h.Page().Payload(), fmt.Sprintf("cross %d", shardOfID(id)))
+		h.MarkDirty()
+		h.Release()
+		ids = append(ids, id)
+	}
+	first, last := ids[0], ids[len(ids)-1]
+	if shardOfID(first) == shardOfID(last) {
+		t.Fatal("workload did not span two shards")
+	}
+	cc.SetRoot(0, last) // a root on shard 0 naming a shard-1 page
+	if err := cc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.CrossCommits != 1 || st.FastCommits != 0 {
+		t.Fatalf("cross=%d fast=%d, want 1 and 0", st.CrossCommits, st.FastCommits)
+	}
+	for i, srv := range srvs {
+		prepares, commits, aborts, _ := srv.CrossCommitStats()
+		if prepares != 1 || commits != 1 || aborts != 0 {
+			t.Fatalf("shard %d: prepares=%d commits=%d aborts=%d", i, prepares, commits, aborts)
+		}
+		if n := srv.PreparedCount(); n != 0 {
+			t.Fatalf("shard %d: %d transactions left in doubt", i, n)
+		}
+	}
+
+	// A fresh cluster session observes the committed state.
+	check, err := DialClusterTable(RouteTable{Epoch: 1, Shards: append([]string(nil), cc.table.Shards...)}, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer check.Close()
+	if got := check.Root(0); got != last {
+		t.Fatalf("root = %#x, want %#x", uint64(got), uint64(last))
+	}
+	for _, id := range []page.ID{first, last} {
+		h, err := check.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("cross %d", shardOfID(id))
+		if string(h.Page().Payload()[:len(want)]) != want {
+			t.Fatalf("page %#x lost its cross-shard write", uint64(id))
+		}
+		h.Release()
+	}
+
+	// A follow-up touching only shard 0 takes the fast path.
+	h, err := cc.Get(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Page().Payload()[0] = 'X'
+	h.MarkDirty()
+	h.Release()
+	if err := cc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cc.Stats(); st.FastCommits != 1 {
+		t.Fatalf("single-shard follow-up fast commits = %d, want 1", st.FastCommits)
+	}
+}
+
+func TestClusterCrossShardConflict(t *testing.T) {
+	cc, _ := startCluster(t, 2)
+
+	// Seed one committed page per shard.
+	var p0, p1 page.ID
+	for i := 0; i <= allocChunk; i++ {
+		id, h, err := cc.Alloc(page.TypeSlotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.MarkDirty()
+		h.Release()
+		if i == 0 {
+			p0 = id
+		}
+		p1 = id
+	}
+	if err := cc.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	rival, err := DialClusterTable(RouteTable{Epoch: 1, Shards: append([]string(nil), cc.table.Shards...)}, ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rival.Close()
+
+	// Both sessions read and modify both pages before either commits.
+	touch := func(c *ClusterClient, v byte) {
+		for _, id := range []page.ID{p0, p1} {
+			h, err := c.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Page().Payload()[0] = v
+			h.MarkDirty()
+			h.Release()
+		}
+	}
+	touch(cc, 1)
+	touch(rival, 2)
+	if err := cc.Commit(); err != nil {
+		t.Fatalf("first committer must win: %v", err)
+	}
+	if err := rival.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("second committer got %v, want ErrConflict", err)
+	}
+	if rival.Stats().CrossAborts == 0 {
+		t.Fatal("conflict did not count a cross-shard abort")
+	}
+	// The loser retries on fresh caches and succeeds.
+	touch(rival, 3)
+	if err := rival.Commit(); err != nil {
+		t.Fatalf("retry after cross-shard conflict: %v", err)
+	}
+	h, err := rival.Get(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Page().Payload()[0] != 3 {
+		t.Fatalf("final value = %d, want the retry's 3", h.Page().Payload()[0])
+	}
+}
+
+// TestClusterInDoubtParticipantResolved crashes a participant between
+// its prepare and its decide. After the restart its resolver must
+// learn the commit decision from the coordinator and apply the staged
+// writes — exactly once, with nothing left in doubt.
+func TestClusterInDoubtParticipantResolved(t *testing.T) {
+	dir0, dir1 := t.TempDir(), t.TempDir()
+	addr0, srv0, _ := startShardAt(t, dir0, func(s *Server) { s.SetShardID(0) })
+	addr1, srv1, st1 := startShardAt(t, dir1, func(s *Server) { s.SetShardID(1) })
+	srv0.SetRouteTable(1, []string{addr0, addr1})
+	srv1.SetRouteTable(1, []string{addr0, addr1})
+
+	// Drive the phases by hand on plain per-shard sessions.
+	c0, c1 := dial(t, addr0), dial(t, addr1)
+	write := func(c *Client, text string) page.ID {
+		id, h, err := c.Alloc(page.TypeSlotted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(h.Page().Payload(), text)
+		h.MarkDirty()
+		h.Release()
+		return id
+	}
+	write(c0, "coordinator half")
+	p1 := write(c1, "participant half")
+
+	token := uint64(0)<<shardShift | 0x1234 // coordinated by shard 0
+	if err := c0.prepareShard(token); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.prepareShard(token); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.decideShard(token, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The participant crashes before its decide arrives.
+	srv1.Close()
+	st1.Close()
+	addr1b, srv1b, _ := startShardAt(t, dir1, func(s *Server) {
+		s.SetShardID(1)
+		s.SetResolver(20*time.Millisecond, 30*time.Millisecond)
+	})
+	srv1b.SetRouteTable(2, []string{addr0, addr1b})
+	if n := srv1b.PreparedCount(); n != 1 {
+		t.Fatalf("restarted participant recovered %d prepared txns, want 1", n)
+	}
+
+	waitFor(t, 5*time.Second, func() bool { return srv1b.PreparedCount() == 0 },
+		"participant resolver never settled the in-doubt transaction")
+	if _, _, _, resolved := srv1b.CrossCommitStats(); resolved != 1 {
+		t.Fatalf("resolved count = %d, want 1", resolved)
+	}
+
+	// The staged write is applied, exactly once, and visible.
+	check := dial(t, addr1b)
+	h, err := check.Get(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if string(h.Page().Payload()[:16]) != "participant half" {
+		t.Fatal("resolver did not apply the coordinator's commit decision")
+	}
+}
+
+// TestClusterPresumedAbort ages out a coordinator's own prepared
+// transaction whose client vanished before deciding: the resolver
+// must abort it with a durable tombstone and answer later status
+// polls with that decision.
+func TestClusterPresumedAbort(t *testing.T) {
+	addr, srv := startServerWith(t, func(s *Server) {
+		s.SetShardID(0)
+		s.SetResolver(20*time.Millisecond, 30*time.Millisecond)
+	})
+	c := dial(t, addr)
+	id, h, err := c.Alloc(page.TypeSlotted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(h.Page().Payload(), "never decided")
+	h.MarkDirty()
+	h.Release()
+	token := uint64(0)<<shardShift | 0x5678
+	if err := c.prepareShard(token); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.PreparedCount(); n != 1 {
+		t.Fatalf("prepared count = %d, want 1", n)
+	}
+
+	waitFor(t, 5*time.Second, func() bool { return srv.PreparedCount() == 0 },
+		"coordinator never presumed abort for its own stale prepare")
+	state, err := c.CommitCheck(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != checkAborted {
+		t.Fatalf("commit check = %d, want aborted (%d)", state, checkAborted)
+	}
+	// The staged image must not have leaked into committed state.
+	probe := dial(t, addr)
+	h2, err := probe.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if string(h2.Page().Payload()[:13]) == "never decided" {
+		t.Fatal("aborted stash leaked into the committed page")
+	}
+}

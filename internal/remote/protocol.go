@@ -36,7 +36,25 @@ const (
 	opStats       = 6 // → server stats
 	opPing        = 7 // → ok
 	opGetPages    = 8 // count u32, count × pageID u64 → count × (version u64, image)
-	opCommitCheck = 9 // token u64 → applied u8 (commit-uncertainty resolution)
+	opCommitCheck = 9 // token u64 → state u8 (commit-uncertainty resolution; see checkUnknown)
+
+	// Cluster opcodes. opPrepare carries the exact opCommit payload but
+	// stages it durably in the prepared state instead of applying it
+	// (the 2PC yes-vote); opDecide resolves a prepared token either
+	// way; opRouteTable serves the shard cluster's versioned routing
+	// table so clients can discover topology changes from any shard.
+	opRouteTable = 10 // → epoch u64, count u32, count × (len u16, addr)
+	opPrepare    = 11 // same payload as opCommit → ok/conflict (2PC vote)
+	opDecide     = 12 // token u64, commit u8 → ok (commit: seq u64)/conflict
+)
+
+// opCommitCheck answer states: the token's transaction is not known to
+// have been decided (keep waiting, or resend a plain commit), is
+// durably applied, or is durably aborted.
+const (
+	checkUnknown   = 0
+	checkCommitted = 1
+	checkAborted   = 2
 )
 
 // Response status codes (server → client).
@@ -236,6 +254,89 @@ func appendCommit(b []byte, req *commitReq) []byte {
 		b = binary.LittleEndian.AppendUint64(b, uint64(id))
 	}
 	return b
+}
+
+func encodePrepare(req *commitReq) []byte {
+	size := 1 + 8 + 8 + 4 + 16*len(req.reads) + 4 + len(req.writes)*(8+page.Size) + 4 + 12*len(req.roots) + 4 + 8*len(req.frees)
+	return appendPrepare(make([]byte, 0, size), req)
+}
+
+// appendPrepare appends the opPrepare payload: field for field the
+// opCommit payload (decoded by the same decodeCommit), under the vote
+// opcode. The writes are spelled out rather than delegated so the wire
+// linter can hold this encoder to the shared decoder script.
+func appendPrepare(b []byte, req *commitReq) []byte {
+	b = append(b, opPrepare)
+	b = binary.LittleEndian.AppendUint64(b, req.token)
+	b = binary.LittleEndian.AppendUint64(b, req.snapshot)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.reads)))
+	for _, r := range req.reads {
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.id))
+		b = binary.LittleEndian.AppendUint64(b, r.version)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.writes)))
+	for _, w := range req.writes {
+		b = binary.LittleEndian.AppendUint64(b, uint64(w.id))
+		b = append(b, w.image...)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.roots)))
+	for _, r := range req.roots {
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.slot))
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.id))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(req.frees)))
+	for _, id := range req.frees {
+		b = binary.LittleEndian.AppendUint64(b, uint64(id))
+	}
+	return b
+}
+
+// appendDecide appends an opDecide request: the prepared token and the
+// coordinator's verdict.
+func appendDecide(b []byte, token uint64, commit bool) []byte {
+	flag := byte(0)
+	if commit {
+		flag = 1
+	}
+	b = append(b, opDecide)
+	b = binary.LittleEndian.AppendUint64(b, token)
+	b = append(b, flag)
+	return b
+}
+
+// appendCommitCheck appends an opCommitCheck request — the shared
+// encode site for both the client's commit-uncertainty resolution and
+// the server's in-doubt resolver polling a coordinator.
+func appendCommitCheck(b []byte, token uint64) []byte {
+	b = append(b, opCommitCheck)
+	b = binary.LittleEndian.AppendUint64(b, token)
+	return b
+}
+
+// decodeRouteTable decodes an opRouteTable response body.
+func decodeRouteTable(body []byte) (epoch uint64, addrs []string, err error) {
+	if len(body) < 12 {
+		return 0, nil, errors.New("remote: truncated route-table response")
+	}
+	epoch = binary.LittleEndian.Uint64(body)
+	n := binary.LittleEndian.Uint32(body[8:])
+	off := 12
+	for i := uint32(0); i < n; i++ {
+		if off+2 > len(body) {
+			return 0, nil, errors.New("remote: truncated route-table response")
+		}
+		l := int(binary.LittleEndian.Uint16(body[off:]))
+		off += 2
+		if off+l > len(body) {
+			return 0, nil, errors.New("remote: truncated route-table response")
+		}
+		addrs = append(addrs, string(body[off:off+l]))
+		off += l
+	}
+	if off != len(body) {
+		return 0, nil, errors.New("remote: trailing bytes in route-table response")
+	}
+	return epoch, addrs, nil
 }
 
 func decodeCommit(b []byte) (*commitReq, error) {

@@ -97,9 +97,54 @@ type Server struct {
 	tokenLog   []uint64 // insertion order; oldest evicted past tokenRingSize
 	dupCommits atomic.Uint64
 
+	// Two-phase commit state for cross-shard transactions. prepared
+	// holds the in-doubt entries (token → staged write set metadata);
+	// abortedT/abortedLog remember durable abort decisions so a
+	// participant polling for an outcome gets a definite answer.
+	// All guarded by mu.
+	prepared   map[uint64]*prepEntry
+	abortedT   map[uint64]struct{}
+	abortedLog []uint64
+
+	// Shard identity and the routing table served by opRouteTable.
+	// shardID is this server's position in the table (set before
+	// Serve); the table itself is swappable at runtime under routeMu.
+	shardID    int
+	routeMu    sync.Mutex
+	routeEpoch uint64
+	routeAddrs []string
+
+	// In-doubt resolver configuration (see SetResolver) and counters.
+	resolveEvery    time.Duration
+	prepareAge      time.Duration
+	resolverOnce    sync.Once
+	crossPrepares   atomic.Uint64
+	crossCommits    atomic.Uint64
+	crossAborts     atomic.Uint64
+	resolvedInDoubt atomic.Uint64
+
+	// verBase rebases every published page version after a restart:
+	// the version table is in-memory, so without it a restarted server
+	// would hand out versions starting from zero again and a client
+	// holding pre-restart versions could validate against the wrong
+	// history. Shifting the store's committed sequence left 16 bits
+	// leaves room for 65536 version bumps per flush epoch — far beyond
+	// any real batch — so post-restart versions never collide with
+	// pre-restart ones.
+	verBase uint64
+
 	idleTimeout time.Duration
 	maxConns    int
 	maxInflight int
+	// globalSem, when non-nil, caps requests in flight across ALL
+	// connections (see SetMaxInflightTotal) — the knob that models a
+	// shard process of fixed capacity in the E20 scaling sweep.
+	globalSem chan struct{}
+	// serviceTime is a per-request execution-time floor (see
+	// SetServiceTime); zero disables it.
+	serviceTime time.Duration
+	maxTotal    int
+	closeOnce   sync.Once
 	refused     atomic.Uint64
 	corrupt     atomic.Uint64 // requests answered with statusCorrupt
 
@@ -122,6 +167,49 @@ const tokenRingSize = 4096
 // rootsVersionKey is the pseudo-page whose version covers the root
 // directory, so root changes participate in optimistic validation.
 const rootsVersionKey = page.ID(0)
+
+// abortRingSize bounds the server's memory of abort decisions. An
+// in-doubt participant polls its coordinator within a resolver tick or
+// two, so only recent aborts ever need to be answered; an abort that
+// ages out leaves the poller waiting (safe) rather than guessing.
+const abortRingSize = 1024
+
+// prepEntry is one transaction in the prepared-but-undecided state.
+// locked is the full footprint (reads, writes, frees, root key) other
+// transactions must not invalidate while this one is in doubt; writes
+// is the write set alone, which a new prepare's reads must also avoid.
+// A recovered entry (rebuilt from the store's WAL after a restart) has
+// locked == nil — its read set is unrecoverable, so it conflicts with
+// everything until the resolver decides it.
+type prepEntry struct {
+	at           time.Time
+	req          *commitReq // live prepares only; nil after recovery
+	writeIDs     []page.ID
+	freeIDs      []page.ID
+	rootsTouched bool
+	locked       map[page.ID]struct{}
+	writes       map[page.ID]struct{}
+}
+
+// twoPhaseStore is the optional store capability backing durable
+// prepares: Prepare stages a write set behind a WAL barrier without
+// applying it, DecidePrepared applies or durably aborts it. A space
+// without it (a fault-injection wrapper, say) still supports 2PC with
+// memory-only prepares — durable across nothing, but correct while the
+// process lives.
+type twoPhaseStore interface {
+	Prepare(token uint64, images []store.PageImage, roots []store.RootUpdate, frees []page.ID) error
+	DecidePrepared(token uint64, commit bool) error
+}
+
+// recoveredTwoPhase is the store capability a restarted server seeds
+// its 2PC memory from: tokens of applied commits, durable abort
+// decisions, and transactions still in doubt.
+type recoveredTwoPhase interface {
+	RecoveredTokens() []uint64
+	RecoveredAborts() []uint64
+	PreparedTxns() []*store.PreparedTxn
+}
 
 // commitJob is one queued commit request and the channel its dispatch
 // goroutine blocks on until a leader's flush decides it.
@@ -159,10 +247,37 @@ func NewServer(st store.Space) *Server {
 		conns:    make(map[net.Conn]struct{}),
 		closed:   make(chan struct{}),
 		tokens:   make(map[uint64]struct{}),
+		prepared: make(map[uint64]*prepEntry),
+		abortedT: make(map[uint64]struct{}),
 		logf:     func(string, ...any) {},
 	}
 	if v, ok := st.(interface{ ReadView() *store.ReadView }); ok {
 		s.view = v.ReadView()
+	}
+	if sq, ok := st.(interface{ Seq() uint64 }); ok {
+		s.verBase = sq.Seq() << 16
+		s.commitSeq.Store(s.verBase)
+	}
+	if rp, ok := st.(recoveredTwoPhase); ok {
+		// Seed the dedup ring and abort memory from what recovery
+		// replayed, so a commit or decide resent across our restart is
+		// recognized instead of reapplied; rebuild the in-doubt entries
+		// so their footprints stay interlocked until the resolver (or
+		// the coordinator's client) decides them.
+		for _, tok := range rp.RecoveredTokens() {
+			s.recordTokenLocked(tok)
+		}
+		for _, tok := range rp.RecoveredAborts() {
+			s.recordAbortLocked(tok)
+		}
+		for _, pt := range rp.PreparedTxns() {
+			e := &prepEntry{at: time.Now(), rootsTouched: len(pt.Roots) > 0}
+			for _, pi := range pt.Images {
+				e.writeIDs = append(e.writeIDs, pi.ID)
+			}
+			e.freeIDs = append([]page.ID(nil), pt.Frees...)
+			s.prepared[pt.Token] = e
+		}
 	}
 	return s
 }
@@ -193,6 +308,71 @@ func (s *Server) SetMaxConns(n int) { s.maxConns = n }
 // TCP instead of failing work. Must be set before Serve.
 func (s *Server) SetMaxInflight(n int) { s.maxInflight = n }
 
+// SetMaxInflightTotal caps how many requests the whole server may have
+// dispatched concurrently, across every connection (zero, the default,
+// means unlimited). Like SetMaxInflight, excess requests backpressure
+// through TCP rather than failing: read loops stop pulling frames until
+// a slot frees. This is the knob that models a shard process of fixed
+// service capacity — per-connection caps cannot, because adding
+// connections adds capacity. Must be set before Serve.
+func (s *Server) SetMaxInflightTotal(n int) { s.maxTotal = n }
+
+// SetServiceTime gives every request a fixed minimum execution time
+// while it occupies its inflight slots. Real page servers spend CPU
+// and disk time per request; on a loopback test rig execution is
+// near-instant, so the inflight caps never bind and a "capacity"
+// experiment measures only the wire. With a service time d and a
+// server-wide cap of n (SetMaxInflightTotal), the shard's capacity is
+// n/d requests per second — the fixed-capacity process model the E20
+// scaling sweep needs. Zero (the default) disables the floor. Must be
+// set before Serve.
+func (s *Server) SetServiceTime(d time.Duration) { s.serviceTime = d }
+
+// SetShardID declares this server's position in the cluster routing
+// table (default 0 — a standalone server is shard 0 of 1). The shard ID
+// of a commit token's coordinator is carried in the token's top byte,
+// so the in-doubt resolver compares against this to tell its own
+// coordinated transactions from ones it must poll a peer for. Must be
+// set before Serve.
+func (s *Server) SetShardID(id int) { s.shardID = id }
+
+// SetRouteTable installs the routing table this server hands to
+// clients via opRouteTable: the table epoch and the shard addresses in
+// shard-ID order. Safe to call at runtime; clients adopt a new table
+// only when its epoch is higher than the one they hold.
+func (s *Server) SetRouteTable(epoch uint64, addrs []string) {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	s.routeEpoch = epoch
+	s.routeAddrs = append([]string(nil), addrs...)
+}
+
+// SetResolver tunes the in-doubt resolver: how often it scans the
+// prepared table, and how old an undecided entry must be before it is
+// resolved (polling the coordinator for a peer's transaction, presuming
+// abort for one of our own). Zero keeps a default (500ms, 5s). Must be
+// set before Serve.
+func (s *Server) SetResolver(every, age time.Duration) {
+	s.resolveEvery = every
+	s.prepareAge = age
+}
+
+// CrossCommitStats reports the two-phase commit counters: prepares
+// accepted, cross-shard transactions committed and aborted here, and
+// in-doubt entries the background resolver decided.
+func (s *Server) CrossCommitStats() (prepares, commits, aborts, resolved uint64) {
+	return s.crossPrepares.Load(), s.crossCommits.Load(), s.crossAborts.Load(), s.resolvedInDoubt.Load()
+}
+
+// PreparedCount reports how many transactions are currently in the
+// prepared-but-undecided state — zero once every in-doubt transaction
+// has been resolved.
+func (s *Server) PreparedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.prepared)
+}
+
 // SetGroupCommit toggles commit batching. Enabled (the default),
 // concurrent commits queue behind a leader that flushes them under one
 // fsync; disabled, every commit fsyncs alone — the serialized baseline
@@ -214,6 +394,13 @@ func (s *Server) CommitSeq() uint64 { return s.commitSeq.Load() }
 // Serve starts accepting connections on ln and returns immediately.
 func (s *Server) Serve(ln net.Listener) {
 	s.ln = ln
+	if s.maxTotal > 0 && s.globalSem == nil {
+		s.globalSem = make(chan struct{}, s.maxTotal)
+	}
+	s.resolverOnce.Do(func() {
+		s.wg.Add(1)
+		go s.resolveLoop()
+	})
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -272,19 +459,37 @@ func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
-// Close stops accepting connections, disconnects active clients and
-// waits for handlers to finish.
+// Close stops accepting connections, disconnects active clients
+// immediately and waits for handlers to finish. Idempotent.
 func (s *Server) Close() error {
-	close(s.closed)
+	return s.Shutdown(0)
+}
+
+// Shutdown stops the server gracefully: the listener closes (new
+// connections are refused by the OS), requests already dispatched get
+// up to timeout to drain and have their responses written, and only
+// then are the remaining connections closed. Shutdown(0) degrades to
+// an immediate Close. Idempotent and safe to call concurrently — the
+// first caller wins and later calls return after it finishes.
+func (s *Server) Shutdown(timeout time.Duration) error {
 	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
-	}
-	s.connMu.Lock()
-	for conn := range s.conns {
-		conn.Close()
-	}
-	s.connMu.Unlock()
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.ln != nil {
+			err = s.ln.Close()
+		}
+		if timeout > 0 {
+			deadline := time.Now().Add(timeout)
+			for s.reqsInflight.Load() > 0 && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+	})
 	s.wg.Wait()
 	return err
 }
@@ -391,6 +596,12 @@ func (s *Server) handle(conn net.Conn) {
 		if sem != nil {
 			sem <- struct{}{}
 		}
+		if s.globalSem != nil {
+			// The server-wide capacity gate: like the per-connection
+			// sem, it blocks the read loop (backpressure through TCP)
+			// rather than refusing the request.
+			s.globalSem <- struct{}{}
+		}
 		in := s.reqsInflight.Add(1)
 		for {
 			p := s.reqsPeak.Load()
@@ -405,7 +616,13 @@ func (s *Server) handle(conn net.Conn) {
 			if sem != nil {
 				defer func() { <-sem }()
 			}
+			if s.globalSem != nil {
+				defer func() { <-s.globalSem }()
+			}
 			id := frameID(req)
+			if s.serviceTime > 0 {
+				time.Sleep(s.serviceTime)
+			}
 			resp, conflict, rerr := s.dispatch(req[muxHeaderLen:])
 			switch {
 			case conflict:
@@ -457,6 +674,12 @@ func (s *Server) dispatch(req []byte) (resp []byte, conflict bool, rerr error) {
 		resp, rerr = s.roots()
 	case opCommit:
 		resp, conflict, rerr = s.commit(req[1:])
+	case opPrepare:
+		resp, conflict, rerr = s.prepare(req[1:])
+	case opDecide:
+		resp, conflict, rerr = s.decide(req[1:])
+	case opRouteTable:
+		resp, rerr = s.routeTableResp()
 	case opCommitCheck:
 		resp, rerr = s.commitCheck(req[1:])
 	case opStats:
@@ -493,10 +716,12 @@ func (s *Server) errFrame(peer net.Addr, id uint64, err error) []byte {
 }
 
 // pageVersion reads one version-table entry under the narrow lock.
+// Published versions are rebased by verBase so a restart never reuses
+// a version a client may still hold.
 func (s *Server) pageVersion(id page.ID) uint64 {
 	s.versionMu.Lock()
 	defer s.versionMu.Unlock()
-	return s.versions[id]
+	return s.verBase + s.versions[id]
 }
 
 // fetchPage resolves one page to (version, handle). On the parallel
@@ -609,7 +834,7 @@ func (s *Server) roots() ([]byte, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	binary.LittleEndian.PutUint64(resp, s.versions[rootsVersionKey])
+	binary.LittleEndian.PutUint64(resp, s.verBase+s.versions[rootsVersionKey])
 	binary.LittleEndian.PutUint64(resp[8:], s.commitSeq.Load())
 	for i := 0; i < store.NumRoots; i++ {
 		binary.LittleEndian.PutUint64(resp[16+8*i:], uint64(s.st.Root(i)))
@@ -725,7 +950,7 @@ func (s *Server) commitBatch(batch []*commitJob) {
 			job.resp <- commitResult{seq: s.commitSeq.Load()} //hyperlint:allow lockorder -- resp is buffered with capacity 1 and gets exactly one response per job; the send cannot park
 			continue
 		}
-		if s.staleLocked(req, overlay, rootBumps) {
+		if s.overlapsPreparedLocked(req, false) || s.staleLocked(req, overlay, rootBumps) {
 			s.aborts.Add(1)
 			job.resp <- commitResult{conflict: true} //hyperlint:allow lockorder -- resp is buffered with capacity 1 and gets exactly one response per job; the send cannot park
 			continue
@@ -816,7 +1041,7 @@ func (s *Server) staleLocked(req *commitReq, overlay map[page.ID]uint64, rootBum
 		return false
 	}
 	for _, r := range req.reads {
-		eff := s.versions[r.id] + overlay[r.id]
+		eff := s.verBase + s.versions[r.id] + overlay[r.id]
 		if r.id == rootsVersionKey {
 			eff += rootBumps
 		}
@@ -862,7 +1087,7 @@ func (s *Server) commitSerialized(req *commitReq) commitResult {
 		s.dupCommits.Add(1)
 		return commitResult{seq: s.commitSeq.Load()}
 	}
-	if s.staleLocked(req, nil, 0) {
+	if s.overlapsPreparedLocked(req, false) || s.staleLocked(req, nil, 0) {
 		s.aborts.Add(1)
 		return commitResult{conflict: true}
 	}
@@ -901,8 +1126,16 @@ func (s *Server) commitSerialized(req *commitReq) commitResult {
 	return commitResult{seq: s.commitSeq.Load()}
 }
 
-// commitCheck answers whether a commit token has been applied — the
-// resolution step for a client whose connection died mid-commit.
+// commitCheck answers what is known about a commit token: committed,
+// aborted, or unknown. The first is the resolution step for a client
+// whose connection died mid-commit; all three serve an in-doubt 2PC
+// participant polling the coordinator. Unknown covers both "never
+// heard of it" and "prepared but undecided" — a token that aged out of
+// every ring also answers unknown, because guessing aborted for a
+// forgotten committed token would let a participant drop applied
+// writes. The poller keeps waiting; the coordinator's own resolver
+// timeout turns a genuinely dead transaction into a durable abort it
+// can report.
 func (s *Server) commitCheck(body []byte) ([]byte, error) {
 	if len(body) != 8 {
 		return nil, badReq("remote: bad CommitCheck request")
@@ -911,9 +1144,370 @@ func (s *Server) commitCheck(body []byte) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.tokenSeenLocked(tok) {
-		return []byte{1}, nil
+		return []byte{checkCommitted}, nil
 	}
-	return []byte{0}, nil
+	if _, ok := s.abortedT[tok]; ok {
+		return []byte{checkAborted}, nil
+	}
+	return []byte{checkUnknown}, nil
+}
+
+// recordAbortLocked remembers a durable abort decision, evicting the
+// oldest past the ring size. Callers hold s.mu (or run before the
+// server is shared).
+func (s *Server) recordAbortLocked(tok uint64) {
+	if tok == 0 {
+		return
+	}
+	if _, ok := s.abortedT[tok]; ok {
+		return
+	}
+	if len(s.abortedLog) >= abortRingSize {
+		delete(s.abortedT, s.abortedLog[0])
+		s.abortedLog = s.abortedLog[1:]
+	}
+	s.abortedT[tok] = struct{}{}
+	s.abortedLog = append(s.abortedLog, tok)
+}
+
+// overlapsPreparedLocked reports whether a request's footprint
+// collides with any prepared-but-undecided transaction. Writing,
+// freeing or re-rooting anything an in-doubt transaction read or wrote
+// must wait for the decision (else a later commit-decision would
+// clobber it, or the in-doubt read set would be silently invalidated
+// after its validation already passed). A new prepare additionally
+// must not read an in-doubt write — its own validation could otherwise
+// succeed against bytes that are about to change. A plain commit that
+// only reads an in-doubt write target is allowed: it serializes before
+// the undecided transaction. Callers hold s.mu.
+func (s *Server) overlapsPreparedLocked(req *commitReq, isPrepare bool) bool {
+	if len(s.prepared) == 0 {
+		return false
+	}
+	for _, e := range s.prepared {
+		if e.locked == nil {
+			// Recovered after a restart: the read set did not survive,
+			// so the entry conflicts with everything until resolved.
+			return true
+		}
+		for _, w := range req.writes {
+			if _, ok := e.locked[w.id]; ok {
+				return true
+			}
+		}
+		for _, id := range req.frees {
+			if _, ok := e.locked[id]; ok {
+				return true
+			}
+		}
+		if len(req.roots) > 0 {
+			if _, ok := e.locked[rootsVersionKey]; ok {
+				return true
+			}
+		}
+		if isPrepare {
+			for _, r := range req.reads {
+				if _, ok := e.writes[r.id]; ok {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// prepare stages one shard's slice of a cross-shard transaction: the
+// same payload as a commit, validated the same way (token dedup, the
+// prepared-transaction interlock, optimistic read-set validation), but
+// on success the write set is forced to the WAL behind a prepare
+// barrier and applied nowhere — the transaction is now a yes-vote that
+// survives a crash and can only leave the prepared state through
+// opDecide (or the in-doubt resolver). Conflict answers are final: the
+// client aborts the whole transaction on every shard.
+func (s *Server) prepare(body []byte) (resp []byte, conflict bool, rerr error) {
+	req, err := decodeCommit(body)
+	if err != nil {
+		return nil, false, badReq("%v", err)
+	}
+	if req.token == 0 {
+		return nil, false, badReq("remote: prepare requires a commit token")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tokenSeenLocked(req.token) {
+		// Already decided commit (a resent prepare after a lost
+		// acknowledgement): the yes-vote stands.
+		s.dupCommits.Add(1)
+		return nil, false, nil
+	}
+	if _, ok := s.abortedT[req.token]; ok {
+		return nil, true, nil // already decided abort
+	}
+	if _, ok := s.prepared[req.token]; ok {
+		return nil, false, nil // idempotent re-prepare
+	}
+	if s.overlapsPreparedLocked(req, true) || s.staleLocked(req, nil, 0) {
+		s.aborts.Add(1)
+		return nil, true, nil
+	}
+	e := &prepEntry{
+		at:           time.Now(),
+		req:          req,
+		rootsTouched: len(req.roots) > 0,
+		locked:       make(map[page.ID]struct{}, len(req.reads)+len(req.writes)+len(req.frees)),
+		writes:       make(map[page.ID]struct{}, len(req.writes)),
+	}
+	for _, r := range req.reads {
+		e.locked[r.id] = struct{}{}
+	}
+	for _, w := range req.writes {
+		e.locked[w.id] = struct{}{}
+		e.writes[w.id] = struct{}{}
+		e.writeIDs = append(e.writeIDs, w.id)
+	}
+	for _, id := range req.frees {
+		e.locked[id] = struct{}{}
+		e.freeIDs = append(e.freeIDs, id)
+	}
+	if e.rootsTouched {
+		e.locked[rootsVersionKey] = struct{}{}
+	}
+	if tp, ok := s.st.(twoPhaseStore); ok {
+		images := make([]store.PageImage, 0, len(req.writes))
+		for _, w := range req.writes {
+			img := &page.Page{}
+			copy(img.Bytes(), w.image)
+			images = append(images, store.PageImage{ID: w.id, Image: img})
+		}
+		roots := make([]store.RootUpdate, 0, len(req.roots))
+		for _, r := range req.roots {
+			roots = append(roots, store.RootUpdate{Slot: r.slot, ID: r.id})
+		}
+		if err := tp.Prepare(req.token, images, roots, req.frees); err != nil {
+			return nil, false, err
+		}
+	}
+	s.prepared[req.token] = e
+	s.crossPrepares.Add(1)
+	return nil, false, nil
+}
+
+// decide resolves a prepared transaction: body is token (8 bytes) and
+// a commit flag (1 byte). Commit applies the staged write set behind a
+// durable decide barrier and answers with the new commit sequence, as
+// a plain commit would; abort discards it behind a durable tombstone.
+func (s *Server) decide(body []byte) (resp []byte, conflict bool, rerr error) {
+	if len(body) != 9 {
+		return nil, false, badReq("remote: bad Decide request")
+	}
+	tok := binary.LittleEndian.Uint64(body)
+	commit := body[8] != 0
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.decideLocked(tok, commit)
+}
+
+// decideLocked is decide's body, shared with the in-doubt resolver.
+// Callers hold s.mu.
+func (s *Server) decideLocked(tok uint64, commit bool) (resp []byte, conflict bool, rerr error) {
+	if !commit {
+		// Abort is recorded durably even for a token never prepared
+		// here: a coordinator presumes abort for transactions whose
+		// client vanished before staging anything, and an in-doubt
+		// participant polling later needs the definite answer.
+		if s.tokenSeenLocked(tok) {
+			return nil, false, fmt.Errorf("remote: decide abort for already-committed transaction %#x", tok)
+		}
+		if tp, ok := s.st.(twoPhaseStore); ok {
+			if err := tp.DecidePrepared(tok, false); err != nil {
+				return nil, false, err
+			}
+		}
+		if _, ok := s.prepared[tok]; ok {
+			delete(s.prepared, tok)
+			s.aborts.Add(1)
+		}
+		s.recordAbortLocked(tok)
+		s.crossAborts.Add(1)
+		return nil, false, nil
+	}
+	if s.tokenSeenLocked(tok) {
+		// Resent decide after a lost acknowledgement.
+		s.dupCommits.Add(1)
+		return binary.LittleEndian.AppendUint64(nil, s.commitSeq.Load()), false, nil
+	}
+	if _, ok := s.abortedT[tok]; ok {
+		return nil, true, nil // decided abort already; cannot commit
+	}
+	e := s.prepared[tok]
+	if e == nil {
+		return nil, false, fmt.Errorf("remote: decide commit for unknown transaction %#x", tok)
+	}
+	if tp, ok := s.st.(twoPhaseStore); ok {
+		if err := tp.DecidePrepared(tok, true); err != nil {
+			return nil, false, err
+		}
+	} else {
+		// Memory-only prepare (the store offers no 2PC capability):
+		// apply the retained request like a plain commit.
+		if e.req == nil {
+			return nil, false, fmt.Errorf("remote: no staged write set for transaction %#x", tok)
+		}
+		if err := s.applyLocked(e.req); err != nil {
+			if ab, ok := s.st.(interface{ Abort() error }); ok {
+				ab.Abort()
+			}
+			return nil, false, err
+		}
+		var cerr error
+		if tc, ok := s.st.(tokenCommitter); ok {
+			cerr = tc.CommitTokens([]uint64{tok})
+		} else {
+			cerr = s.st.Commit()
+		}
+		if cerr != nil {
+			return nil, false, cerr
+		}
+	}
+	s.versionMu.Lock()
+	for _, id := range e.writeIDs {
+		s.versions[id]++
+	}
+	for _, id := range e.freeIDs {
+		s.versions[id]++
+	}
+	if e.rootsTouched {
+		s.versions[rootsVersionKey]++
+	}
+	s.versionMu.Unlock()
+	delete(s.prepared, tok)
+	s.recordTokenLocked(tok)
+	s.commits.Add(1)
+	s.commitSeq.Add(1)
+	s.crossCommits.Add(1)
+	s.gcFlushes.Add(1)
+	return binary.LittleEndian.AppendUint64(nil, s.commitSeq.Load()), false, nil
+}
+
+// routeTableResp serves the cluster routing table: epoch, shard count,
+// then each shard's address in shard-ID order.
+func (s *Server) routeTableResp() ([]byte, error) {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	resp := binary.LittleEndian.AppendUint64(nil, s.routeEpoch)
+	resp = binary.LittleEndian.AppendUint32(resp, uint32(len(s.routeAddrs)))
+	for _, a := range s.routeAddrs {
+		resp = binary.LittleEndian.AppendUint16(resp, uint16(len(a)))
+		resp = append(resp, a...)
+	}
+	return resp, nil
+}
+
+// resolveLoop periodically resolves prepared transactions stuck in
+// doubt — the survivors of a client that died mid-2PC or a shard
+// restart. Started by Serve; exits on Close.
+func (s *Server) resolveLoop() {
+	defer s.wg.Done()
+	every := s.resolveEvery
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case <-t.C:
+			s.resolveInDoubt()
+		}
+	}
+}
+
+// resolveInDoubt decides every prepared entry older than the prepare
+// age. A transaction this shard coordinated (the token's top byte
+// names us) whose decision never arrived is presumed aborted — the
+// tombstone is durable, so every participant polling later learns the
+// same answer. A transaction coordinated elsewhere is never guessed
+// at: the resolver polls the coordinator via opCommitCheck and applies
+// only a definite answer, waiting out unknowns (the coordinator's own
+// timeout eventually converts those to durable aborts).
+func (s *Server) resolveInDoubt() {
+	age := s.prepareAge
+	if age <= 0 {
+		age = 5 * time.Second
+	}
+	s.mu.Lock()
+	var stale []uint64
+	for tok, e := range s.prepared {
+		if time.Since(e.at) >= age {
+			stale = append(stale, tok)
+		}
+	}
+	s.mu.Unlock()
+	for _, tok := range stale {
+		coord := int(tok >> shardShift)
+		if coord == s.shardID {
+			s.mu.Lock()
+			if _, still := s.prepared[tok]; still {
+				if _, _, err := s.decideLocked(tok, false); err != nil {
+					s.logf("remote: resolver: presumed abort of %#x failed: %v", tok, err)
+				} else {
+					s.resolvedInDoubt.Add(1)
+				}
+			}
+			s.mu.Unlock()
+			continue
+		}
+		addr := s.coordAddr(coord)
+		if addr == "" {
+			continue
+		}
+		state, err := s.checkCoordinator(addr, tok)
+		if err != nil {
+			s.logf("remote: resolver: coordinator %s unreachable for %#x: %v", addr, tok, err)
+			continue
+		}
+		if state != checkCommitted && state != checkAborted {
+			continue // still in doubt; keep polling
+		}
+		s.mu.Lock()
+		if _, still := s.prepared[tok]; still {
+			if _, _, err := s.decideLocked(tok, state == checkCommitted); err != nil {
+				s.logf("remote: resolver: applying decision for %#x failed: %v", tok, err)
+			} else {
+				s.resolvedInDoubt.Add(1)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// coordAddr resolves a shard ID to its address via the routing table.
+func (s *Server) coordAddr(shard int) string {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	if shard < 0 || shard >= len(s.routeAddrs) {
+		return ""
+	}
+	return s.routeAddrs[shard]
+}
+
+// checkCoordinator asks a peer shard what became of a commit token. A
+// short-lived client with a tight budget: the resolver runs again next
+// tick, so there is no point retrying hard here.
+func (s *Server) checkCoordinator(addr string, tok uint64) (byte, error) {
+	c, err := Dial(addr, ClientOptions{
+		PoolPages:      16,
+		Conns:          1,
+		RetryLimit:     -1,
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return checkUnknown, err
+	}
+	defer c.Close()
+	return c.CommitCheck(tok)
 }
 
 func (s *Server) statsResp() ([]byte, error) {

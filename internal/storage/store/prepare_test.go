@@ -1,0 +1,235 @@
+package store
+
+import (
+	"path/filepath"
+	"testing"
+
+	"hypermodel/internal/storage/page"
+)
+
+// prepPayload builds one staged page image carrying the given text.
+func prepPayload(text string) *page.Page {
+	img := page.New(page.TypeSlotted)
+	copy(img.Payload(), text)
+	img.UpdateChecksum()
+	return img
+}
+
+// allocCommitted allocates a page and commits, so the prepared write
+// targets a page that exists in committed state.
+func allocCommitted(t *testing.T, s *Store) page.ID {
+	t.Helper()
+	id, h, err := s.Alloc(page.TypeSlotted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestPrepareSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prep.db")
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := allocCommitted(t, s)
+	img := prepPayload("staged but undecided")
+	if err := s.Prepare(0xA1, []PageImage{{ID: id, Image: img}}, []RootUpdate{{Slot: 1, ID: id}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The stash is durable but applied nowhere: committed state and the
+	// root directory are untouched.
+	if got := s.Root(1); got == id {
+		t.Fatal("prepare applied a root update before the decision")
+	}
+	s.Close()
+
+	s2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pts := s2.PreparedTxns()
+	if len(pts) != 1 || pts[0].Token != 0xA1 {
+		t.Fatalf("recovered prepared txns = %+v, want one with token 0xA1", pts)
+	}
+	if len(pts[0].Images) != 1 || pts[0].Images[0].ID != id {
+		t.Fatalf("recovered stash images = %+v", pts[0].Images)
+	}
+	if string(pts[0].Images[0].Image.Payload()[:20]) != "staged but undecided" {
+		t.Fatal("recovered image bytes differ from the staged write")
+	}
+	if len(pts[0].Roots) != 1 || pts[0].Roots[0].Slot != 1 {
+		t.Fatalf("recovered stash roots = %+v", pts[0].Roots)
+	}
+
+	// Deciding commit after the restart applies the stash.
+	if err := s2.DecidePrepared(0xA1, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Root(1); got != id {
+		t.Fatalf("root after decide = %d, want %d", got, id)
+	}
+	h, err := s2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(h.Page().Payload()[:20]) != "staged but undecided" {
+		t.Fatal("decided image not applied")
+	}
+	h.Release()
+	if n := len(s2.PreparedTxns()); n != 0 {
+		t.Fatalf("%d prepared txns remain after decide", n)
+	}
+}
+
+func TestDecideAbortIsDurableTombstone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "abort.db")
+	s, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := allocCommitted(t, s)
+	if err := s.Prepare(0xB2, []PageImage{{ID: id, Image: prepPayload("doomed")}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DecidePrepared(0xB2, false); err != nil {
+		t.Fatal(err)
+	}
+	// Aborting a token never prepared still records the tombstone (the
+	// coordinator's presumed-abort memory).
+	if err := s.DecidePrepared(0xC3, false); err != nil {
+		t.Fatal(err)
+	}
+	// A commit decision for an aborted token must fail, not resurrect.
+	if err := s.DecidePrepared(0xB2, true); err == nil {
+		t.Fatal("decide commit after abort succeeded")
+	}
+	s.Close()
+
+	s2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := len(s2.PreparedTxns()); n != 0 {
+		t.Fatalf("%d prepared txns survived an abort", n)
+	}
+	aborts := map[uint64]bool{}
+	for _, tok := range s2.RecoveredAborts() {
+		aborts[tok] = true
+	}
+	if !aborts[0xB2] || !aborts[0xC3] {
+		t.Fatalf("recovered aborts = %v, want 0xB2 and 0xC3", s2.RecoveredAborts())
+	}
+	h, err := s2.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(h.Page().Payload()[:6]) == "doomed" {
+		t.Fatal("aborted stash leaked into committed state")
+	}
+	h.Release()
+}
+
+func TestPreparedStateSurvivesCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.db")
+	s, err := Open(path, &Options{TokenKeep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := allocCommitted(t, s)
+	if err := s.Prepare(0xD4, []PageImage{{ID: id, Image: prepPayload("across the truncation")}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DecidePrepared(0xE5, false); err != nil {
+		t.Fatal(err)
+	}
+	// A checkpoint truncates the WAL generation holding the prepare and
+	// the abort tombstone; both must be re-logged into the fresh one.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(path, &Options{TokenKeep: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	pts := s2.PreparedTxns()
+	if len(pts) != 1 || pts[0].Token != 0xD4 {
+		t.Fatalf("prepared txns after checkpoint+reopen = %+v", pts)
+	}
+	found := false
+	for _, tok := range s2.RecoveredAborts() {
+		if tok == 0xE5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("abort tombstone lost across checkpoint: %v", s2.RecoveredAborts())
+	}
+}
+
+func TestTokenKeepSurvivesCheckpointAndReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tok.db")
+	s, err := Open(path, &Options{TokenKeep: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := allocCommitted(t, s)
+	if err := s.Prepare(0xF6, []PageImage{{ID: id, Image: prepPayload("kept")}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DecidePrepared(0xF6, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(path, &Options{TokenKeep: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	found := false
+	for _, tok := range s2.RecoveredTokens() {
+		if tok == 0xF6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("applied token lost across checkpoint+reopen: %v", s2.RecoveredTokens())
+	}
+	// Idempotent re-decide: the token is remembered as applied.
+	if err := s2.DecidePrepared(0xF6, true); err != nil {
+		t.Fatalf("re-decide of an applied token: %v", err)
+	}
+}
+
+func TestPrepareIdempotentAndZeroTokenRejected(t *testing.T) {
+	s, err := Open(filepath.Join(t.TempDir(), "idem.db"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id := allocCommitted(t, s)
+	if err := s.Prepare(0, []PageImage{{ID: id, Image: prepPayload("x")}}, nil, nil); err == nil {
+		t.Fatal("zero token accepted")
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Prepare(0x77, []PageImage{{ID: id, Image: prepPayload("x")}}, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.PreparedTxns()); n != 1 {
+		t.Fatalf("re-prepare duplicated the stash: %d entries", n)
+	}
+}

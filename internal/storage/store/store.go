@@ -166,6 +166,13 @@ type Options struct {
 	// for deterministic no-temp-dir runs or vfs.NewCrash for seeded
 	// power-cut and corruption injection.
 	FS vfs.FS
+	// TokenKeep, when positive, keeps a ring of that many recent
+	// applied commit tokens and re-logs it across every checkpoint
+	// truncation, so a server restarted over this store still
+	// recognizes a resent commit it already applied (exactly-once
+	// across crashes). Zero — the default — retains tokens only within
+	// one WAL generation, exactly the pre-cluster behavior.
+	TokenKeep int
 }
 
 func (o *Options) withDefaults() Options {
@@ -187,6 +194,9 @@ func (o *Options) withDefaults() Options {
 	out.NoSync = o.NoSync
 	if o.FS != nil {
 		out.FS = o.FS
+	}
+	if o.TokenKeep > 0 {
+		out.TokenKeep = o.TokenKeep
 	}
 	return out
 }
@@ -242,6 +252,21 @@ type Store struct {
 
 	closed    bool
 	recovered bool // recovery ran at open (for tests/diagnostics)
+
+	// Two-phase commit state (see prepare.go). prepared holds
+	// transactions that voted yes but have no decision; keepTokens is
+	// the ring of recently applied commit tokens re-logged across
+	// checkpoints (Options.TokenKeep); abortRing is the bounded memory
+	// of durable abort decisions. All guarded by writeMu; the recov*
+	// slices are written once at Open and read-only afterwards.
+	prepared    map[uint64]*PreparedTxn
+	prepOrder   []uint64
+	keepTokens  []uint64
+	keepSet     map[uint64]struct{}
+	abortRing   []uint64
+	abortSet    map[uint64]struct{}
+	recovTokens []uint64
+	recovAborts []uint64
 }
 
 // version is one committed state retained in the ring: the sequence
@@ -313,7 +338,7 @@ func Open(path string, opts *Options) (*Store, error) {
 	s.ring.Store(&empty)
 
 	if log.Size() > 0 {
-		if err := log.Replay(func(id page.ID, p *page.Page) error {
+		res, err := log.ReplayFull(func(id page.ID, p *page.Page) error {
 			// A crash can lose unsynced file growth: a committed image
 			// may lie past the surviving end of the file (or inside a
 			// torn final page). Regrow before writing.
@@ -321,7 +346,8 @@ func Open(path string, opts *Options) (*Store, error) {
 				return err
 			}
 			return pg.Write(id, p)
-		}); err != nil {
+		})
+		if err != nil {
 			s.closeFiles()
 			return nil, fmt.Errorf("store: recovery: %w", err)
 		}
@@ -330,6 +356,14 @@ func Open(path string, opts *Options) (*Store, error) {
 			return nil, fmt.Errorf("store: recovery: %w", err)
 		}
 		if err := log.Truncate(); err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("store: recovery: %w", err)
+		}
+		s.seedRecovery(res)
+		// Truncation just dropped the in-doubt prepared records and the
+		// token/abort memory with the rest of the log; put them back so
+		// a second crash before the next checkpoint still recovers them.
+		if err := s.relogLocked(); err != nil {
 			s.closeFiles()
 			return nil, fmt.Errorf("store: recovery: %w", err)
 		}
@@ -491,11 +525,17 @@ func (s *Store) Alloc(t page.Type) (page.ID, Handle, error) {
 
 // Free pushes page id onto the free list.
 func (s *Store) Free(id page.ID) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.freeLocked(id)
+}
+
+// freeLocked is Free with writeMu already held (DecidePrepared applies
+// a prepared transaction's frees under its own writeMu hold).
+func (s *Store) freeLocked(id page.ID) error {
 	if id == 0 || id == page.Invalid {
 		return fmt.Errorf("store: free page %d: reserved page", id)
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 	h, err := s.Get(id)
 	if err != nil {
 		return err
@@ -607,6 +647,32 @@ func (s *Store) groupCommit(tokens []uint64, txns uint64) error {
 // when a group-commit leader is calling). Direct callers that are not
 // leaders (Checkpoint, Backup, Close) pass nil, 1.
 func (s *Store) commitLocked(tokens []uint64, txns uint64) error {
+	err := s.flushLocked(txns, func(newSeq uint64) error {
+		if len(tokens) > 0 {
+			_, err := s.log.AppendCommitGroup(newSeq, tokens, s.opts.NoSync)
+			return err
+		}
+		if s.opts.NoSync {
+			_, err := s.log.AppendCommitNoSync(newSeq)
+			return err
+		}
+		_, err := s.log.AppendCommit(newSeq)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	s.recordTokensLocked(tokens)
+	return s.maybeCheckpointLocked()
+}
+
+// flushLocked writes the current dirty set to the WAL, seals it with
+// the barrier record the caller appends (a commit, a commit group, or
+// a 2PC decide), writes the images back to the main file, and installs
+// the new committed state for readers. It is the shared tail of
+// commitLocked and DecidePrepared; barrier runs exactly once, after
+// the dirty images are in the log.
+func (s *Store) flushLocked(txns uint64, barrier func(newSeq uint64) error) error {
 	dirty := s.pool.DirtyFrames()
 	s.metaMu.RLock()
 	metaDirty := s.metaDirty
@@ -628,15 +694,7 @@ func (s *Store) commitLocked(tokens []uint64, txns uint64) error {
 	if _, err := s.log.AppendPage(0, s.meta); err != nil {
 		return err
 	}
-	if len(tokens) > 0 {
-		if _, err := s.log.AppendCommitGroup(newSeq, tokens, s.opts.NoSync); err != nil {
-			return err
-		}
-	} else if s.opts.NoSync {
-		if _, err := s.log.AppendCommitNoSync(newSeq); err != nil {
-			return err
-		}
-	} else if _, err := s.log.AppendCommit(newSeq); err != nil {
+	if err := barrier(newSeq); err != nil {
 		return err
 	}
 
@@ -709,7 +767,10 @@ func (s *Store) commitLocked(tokens []uint64, txns uint64) error {
 			break
 		}
 	}
+	return nil
+}
 
+func (s *Store) maybeCheckpointLocked() error {
 	if s.opts.CheckpointBytes > 0 && s.log.Size() > s.opts.CheckpointBytes {
 		return s.checkpointLocked()
 	}
@@ -730,7 +791,13 @@ func (s *Store) checkpointLocked() error {
 	if err := s.pg.Sync(); err != nil {
 		return err
 	}
-	return s.log.Truncate()
+	if err := s.log.Truncate(); err != nil {
+		return err
+	}
+	// Truncation dropped any in-doubt prepared transactions and the
+	// token/abort memory along with the applied images; re-log them so
+	// they survive a crash after this checkpoint (see prepare.go).
+	return s.relogLocked()
 }
 
 // DropCache empties the buffer pool, so the next access to every page

@@ -26,6 +26,25 @@
 //	               like kindCommit: either the barrier made it to disk
 //	               and every transaction in the group replays, or it
 //	               did not and none do.
+//	kindPrepare (4): txn token uint64, root-update count uint32,
+//	               count × (slot uint32, pageID uint64), free count
+//	               uint32, count × pageID uint64 — a two-phase-commit
+//	               prepare barrier. The page images appended since the
+//	               previous barrier are NOT applied: they are stashed
+//	               under the token, together with the record's root
+//	               updates and frees, and surface from Replay as an
+//	               in-doubt prepared transaction for the upper layer
+//	               (the page server) to resolve against the commit
+//	               coordinator. The barrier still advances the
+//	               committed watermark, so a prepared-but-undecided
+//	               transaction survives tail truncation.
+//	kindDecide (5): txn token uint64, commit byte — the decision for a
+//	               prepared transaction. commit=1 applies any pending
+//	               images (the decide flush re-appends the prepared
+//	               write set) and records the token as applied;
+//	               commit=0 drops the token's stash and records the
+//	               abort, so a recovering participant answers "aborted"
+//	               instead of staying in doubt.
 package wal
 
 import (
@@ -43,9 +62,11 @@ import (
 )
 
 const (
-	kindPage   = 1
-	kindCommit = 2
-	kindGroup  = 3
+	kindPage    = 1
+	kindCommit  = 2
+	kindGroup   = 3
+	kindPrepare = 4
+	kindDecide  = 5
 
 	frameHeader = 8 // length + crc
 
@@ -176,6 +197,78 @@ func (w *WAL) AppendCommitGroup(seq uint64, tokens []uint64, nosync bool) (lsn u
 	return lsn, nil
 }
 
+// RootUpdate is one named-root assignment carried by a prepare record.
+type RootUpdate struct {
+	Slot int
+	ID   page.ID
+}
+
+// AppendPrepare logs a two-phase-commit prepare barrier covering every
+// page image appended since the previous barrier, on behalf of the
+// transaction identified by token, and forces the log to stable
+// storage: a participant must not vote yes on a prepare it could lose.
+// The write set travels as the stashed images; the root updates and
+// frees — which have no page image of their own — ride in the record.
+func (w *WAL) AppendPrepare(token uint64, roots []RootUpdate, frees []page.ID) (lsn uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	body := make([]byte, 0, 1+8+4+12*len(roots)+4+8*len(frees))
+	body = append(body, kindPrepare)
+	body = binary.LittleEndian.AppendUint64(body, token)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(roots)))
+	for _, r := range roots {
+		body = binary.LittleEndian.AppendUint32(body, uint32(r.Slot))
+		body = binary.LittleEndian.AppendUint64(body, uint64(r.ID))
+	}
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(frees)))
+	for _, id := range frees {
+		body = binary.LittleEndian.AppendUint64(body, uint64(id))
+	}
+	if lsn, err = w.appendFrame(body); err != nil {
+		return 0, err
+	}
+	if err := w.syncLocked(); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendDecide logs the decision for a prepared transaction and forces
+// the log to stable storage. With commit set it doubles as a commit
+// barrier for any page images appended since the previous barrier (the
+// decide flush re-appends the prepared write set); without it nothing
+// is applied and the abort is remembered.
+func (w *WAL) AppendDecide(token uint64, commit bool) (lsn uint64, err error) {
+	return w.appendDecide(token, commit, false)
+}
+
+// AppendDecideNoSync is AppendDecide without the fsync, for re-logging
+// a batch of remembered decisions after a checkpoint truncation; the
+// caller seals the batch with one Sync.
+func (w *WAL) AppendDecideNoSync(token uint64, commit bool) (lsn uint64, err error) {
+	return w.appendDecide(token, commit, true)
+}
+
+func (w *WAL) appendDecide(token uint64, commit, nosync bool) (lsn uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	body := make([]byte, 1+8+1)
+	body[0] = kindDecide
+	binary.LittleEndian.PutUint64(body[1:9], token)
+	if commit {
+		body[9] = 1
+	}
+	if lsn, err = w.appendFrame(body); err != nil {
+		return 0, err
+	}
+	if !nosync {
+		if err := w.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
 func (w *WAL) syncLocked() error {
 	if w.pending == 0 {
 		return nil
@@ -208,19 +301,54 @@ func (w *WAL) Stats() (appends, syncs uint64) {
 	return w.appends.Load(), w.syncs.Load()
 }
 
+// PageImage is one logged page after-image, surfaced by ReplayFull as
+// part of a prepared transaction's stashed write set.
+type PageImage struct {
+	ID    page.ID
+	Image *page.Page
+}
+
+// PreparedTxn is a transaction recovered in the prepared-but-undecided
+// state: its prepare barrier reached stable storage but no decide
+// record followed. The upper layer resolves it against the commit
+// coordinator and applies or discards the stash.
+type PreparedTxn struct {
+	Token  uint64
+	Images []PageImage
+	Roots  []RootUpdate
+	Frees  []page.ID
+}
+
+// ReplayResult is what recovery learned beyond the applied images: the
+// transactions still in doubt, the tokens of applied commits (for
+// exactly-once dedup across a restart), and the tokens durably decided
+// abort — all in log order.
+type ReplayResult struct {
+	Prepared []*PreparedTxn
+	Tokens   []uint64
+	Aborted  []uint64
+}
+
 // Replay scans the log from the beginning and invokes apply for every
 // page image that belongs to a committed transaction, in log order.
 // Torn or corrupt tails are tolerated: scanning stops at the first
 // invalid frame and the log is truncated to the last committed point.
 func (w *WAL) Replay(apply func(id page.ID, p *page.Page) error) error {
+	_, err := w.ReplayFull(apply)
+	return err
+}
+
+// ReplayFull is Replay returning the recovery artifacts the two-phase
+// commit machinery needs: prepared-but-undecided transactions, applied
+// commit tokens, and durable abort decisions.
+func (w *WAL) ReplayFull(apply func(id page.ID, p *page.Page) error) (*ReplayResult, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 
-	type pendingImage struct {
-		id page.ID
-		p  *page.Page
-	}
-	var pending []pendingImage
+	res := &ReplayResult{}
+	stash := make(map[uint64]*PreparedTxn)
+	var stashOrder []uint64 // prepare log order, for deterministic re-log
+	var pending []PageImage
 	var off, committed int64
 	for off < w.size {
 		var hdr [frameHeader]byte
@@ -242,37 +370,120 @@ func (w *WAL) Replay(apply func(id page.ID, p *page.Page) error) error {
 		switch body[0] {
 		case kindPage:
 			if len(body) != 1+8+page.Size {
-				return fmt.Errorf("wal: malformed page record at offset %d", off)
+				return nil, fmt.Errorf("wal: malformed page record at offset %d", off)
 			}
 			img := &page.Page{}
 			copy(img.Bytes(), body[9:])
-			pending = append(pending, pendingImage{page.ID(binary.LittleEndian.Uint64(body[1:9])), img})
+			pending = append(pending, PageImage{page.ID(binary.LittleEndian.Uint64(body[1:9])), img})
 		case kindCommit, kindGroup:
 			if body[0] == kindGroup {
 				if len(body) < 1+8+4 || len(body) != 1+8+4+8*int(binary.LittleEndian.Uint32(body[9:13])) {
-					return fmt.Errorf("wal: malformed group-commit record at offset %d", off)
+					return nil, fmt.Errorf("wal: malformed group-commit record at offset %d", off)
+				}
+				count := int(binary.LittleEndian.Uint32(body[9:13]))
+				for i := 0; i < count; i++ {
+					res.Tokens = append(res.Tokens, binary.LittleEndian.Uint64(body[13+8*i:]))
 				}
 			}
 			for _, pi := range pending {
-				if err := apply(pi.id, pi.p); err != nil {
-					return fmt.Errorf("wal: replay apply page %d: %w", pi.id, err)
+				if err := apply(pi.ID, pi.Image); err != nil {
+					return nil, fmt.Errorf("wal: replay apply page %d: %w", pi.ID, err)
 				}
 			}
-			pending = pending[:0]
+			pending = nil
+			committed = off + frameHeader + n
+		case kindPrepare:
+			pt, err := parsePrepare(body)
+			if err != nil {
+				return nil, fmt.Errorf("wal: %w at offset %d", err, off)
+			}
+			// The images since the last barrier are the prepared write
+			// set: stashed, not applied — the decision is not ours to
+			// take. The barrier still advances the committed watermark so
+			// the in-doubt state survives tail truncation.
+			pt.Images = pending
+			pending = nil
+			if _, seen := stash[pt.Token]; !seen {
+				stashOrder = append(stashOrder, pt.Token)
+			}
+			stash[pt.Token] = pt
+			committed = off + frameHeader + n
+		case kindDecide:
+			if len(body) != 1+8+1 {
+				return nil, fmt.Errorf("wal: malformed decide record at offset %d", off)
+			}
+			tok := binary.LittleEndian.Uint64(body[1:9])
+			if body[9] == 1 {
+				// Commit: the decide flush re-appended the write set, so
+				// the stash and the pending images carry the same bytes —
+				// apply both, last writer wins.
+				if pt := stash[tok]; pt != nil {
+					pending = append(pt.Images, pending...)
+				}
+				for _, pi := range pending {
+					if err := apply(pi.ID, pi.Image); err != nil {
+						return nil, fmt.Errorf("wal: replay apply page %d: %w", pi.ID, err)
+					}
+				}
+				res.Tokens = append(res.Tokens, tok)
+			} else {
+				// Abort: the stashed write set (and any images appended
+				// since the last barrier) belonged to the aborted txn.
+				res.Aborted = append(res.Aborted, tok)
+			}
+			pending = nil
+			delete(stash, tok)
 			committed = off + frameHeader + n
 		default:
-			return fmt.Errorf("wal: unknown record kind %d at offset %d", body[0], off)
+			return nil, fmt.Errorf("wal: unknown record kind %d at offset %d", body[0], off)
 		}
 		off += frameHeader + n
 	}
 	// Drop any uncommitted or torn tail.
 	if committed < w.size {
 		if err := w.f.Truncate(committed); err != nil {
-			return fmt.Errorf("wal: truncate tail: %w", err)
+			return nil, fmt.Errorf("wal: truncate tail: %w", err)
 		}
 		w.size = committed
 	}
-	return nil
+	// Surface the still-undecided transactions in log order.
+	for _, tok := range stashOrder {
+		if pt, ok := stash[tok]; ok {
+			res.Prepared = append(res.Prepared, pt)
+		}
+	}
+	return res, nil
+}
+
+// parsePrepare decodes a kindPrepare body (sans the stashed images,
+// which the caller collects from the preceding page records).
+func parsePrepare(body []byte) (*PreparedTxn, error) {
+	if len(body) < 1+8+4 {
+		return nil, errors.New("wal: malformed prepare record")
+	}
+	pt := &PreparedTxn{Token: binary.LittleEndian.Uint64(body[1:9])}
+	off := 9
+	nr := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if len(body) < off+12*nr+4 {
+		return nil, errors.New("wal: malformed prepare record")
+	}
+	for i := 0; i < nr; i++ {
+		slot := int(binary.LittleEndian.Uint32(body[off:]))
+		id := page.ID(binary.LittleEndian.Uint64(body[off+4:]))
+		pt.Roots = append(pt.Roots, RootUpdate{Slot: slot, ID: id})
+		off += 12
+	}
+	nf := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if len(body) != off+8*nf {
+		return nil, errors.New("wal: malformed prepare record")
+	}
+	for i := 0; i < nf; i++ {
+		pt.Frees = append(pt.Frees, page.ID(binary.LittleEndian.Uint64(body[off:])))
+		off += 8
+	}
+	return pt, nil
 }
 
 // ScanReport summarizes a read-only integrity pass over the log (see
@@ -281,9 +492,13 @@ type ScanReport struct {
 	// Records is the number of well-formed records scanned, committed
 	// or not.
 	Records int
-	// Commits is the number of commit barriers (kindCommit or
-	// kindGroup) among them.
+	// Commits is the number of commit barriers (kindCommit, kindGroup
+	// or a commit-decide) among them.
 	Commits int
+	// Prepares is the number of two-phase-commit prepare barriers among
+	// them — transactions that were in doubt at the point the log
+	// captures.
+	Prepares int
 	// CommittedBytes is the length of the log prefix covered by the
 	// last commit barrier — exactly what Replay would keep.
 	CommittedBytes int64
@@ -342,6 +557,22 @@ func (w *WAL) Scan() ScanReport {
 			rep.CommittedBytes = off + frameHeader + n
 		case kindGroup:
 			if len(body) < 1+8+4 || len(body) != 1+8+4+8*int(binary.LittleEndian.Uint32(body[9:13])) {
+				rep.Malformed = true
+			} else {
+				rep.Commits++
+				rep.CommittedBytes = off + frameHeader + n
+			}
+		case kindPrepare:
+			if _, err := parsePrepare(body); err != nil {
+				rep.Malformed = true
+			} else {
+				// A prepare is a barrier: Replay keeps the prefix it
+				// covers (the stash must survive truncation).
+				rep.Prepares++
+				rep.CommittedBytes = off + frameHeader + n
+			}
+		case kindDecide:
+			if len(body) != 1+8+1 {
 				rep.Malformed = true
 			} else {
 				rep.Commits++

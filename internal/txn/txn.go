@@ -15,6 +15,18 @@
 //   - Workspace: the R9 cooperation model — a user works privately
 //     (uncommitted changes visible only through their own backend
 //     connection) and makes the work shareable by publishing it.
+//
+// Against a shard cluster these idioms apply unchanged: the cluster
+// session partitions the read and write sets per shard under the
+// covers, and a cross-shard transaction's ErrConflict — raised when
+// any touched shard's prepare-time validation fails — resets every
+// shard session before it surfaces, so Run's retry re-reads current
+// state exactly as with one server. The one cluster-specific outcome
+// is ErrCommitUnknown: the commit decision could not be confirmed
+// (the coordinator became unreachable mid-decide) and the shard-side
+// resolvers will settle it either way after the fact. Run deliberately
+// does NOT retry it — re-running the mutation could apply it twice —
+// and lets it surface for the application to reconcile.
 package txn
 
 import (
